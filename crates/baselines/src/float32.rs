@@ -1,0 +1,109 @@
+//! The uncompressed 32-bit float baseline.
+
+use threelc::{CompressError, Compressor, DecodeError};
+use threelc_tensor::{Shape, Tensor};
+
+/// The paper's `32-bit float` baseline: state changes are transmitted as
+/// raw little-endian `f32`s, 4 bytes per value, with no loss.
+///
+/// ```
+/// use threelc::Compressor;
+/// use threelc_baselines::Float32Compressor;
+/// use threelc_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = Tensor::from_slice(&[1.5, -2.25]);
+/// let mut cx = Float32Compressor::new(t.shape().clone());
+/// let wire = cx.compress(&t)?;
+/// assert_eq!(wire.len(), 8);
+/// assert_eq!(cx.decompress(&wire)?, t);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Float32Compressor {
+    shape: Shape,
+}
+
+impl Float32Compressor {
+    /// Creates a context for tensors of `shape`.
+    pub fn new(shape: Shape) -> Self {
+        Float32Compressor { shape }
+    }
+}
+
+impl Compressor for Float32Compressor {
+    fn name(&self) -> String {
+        "32-bit float".to_owned()
+    }
+
+    fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError> {
+        if input.shape() != &self.shape {
+            return Err(CompressError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        let mut wire = Vec::with_capacity(input.len() * 4);
+        for &x in input.iter() {
+            wire.extend_from_slice(&x.to_le_bytes());
+        }
+        Ok(wire)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        let n = self.shape.num_elements();
+        if payload.len() != n * 4 {
+            return Err(DecodeError::BodyLengthMismatch {
+                decoded: payload.len() / 4,
+                expected: n,
+            });
+        }
+        let data = payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Ok(Tensor::from_vec(data, self.shape.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_roundtrip() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, -1.5, f32::MIN_POSITIVE], [4]);
+        let mut cx = Float32Compressor::new(t.shape().clone());
+        let wire = cx.compress(&t).unwrap();
+        assert_eq!(cx.decompress(&wire).unwrap(), t);
+    }
+
+    #[test]
+    fn exact_wire_size() {
+        let t = Tensor::zeros([100]);
+        let mut cx = Float32Compressor::new(t.shape().clone());
+        assert_eq!(cx.compress(&t).unwrap().len(), 400);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut cx = Float32Compressor::new(Shape::new(&[2]));
+        assert!(cx.compress(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let cx = Float32Compressor::new(Shape::new(&[2]));
+        assert!(matches!(
+            cx.decompress(&[0u8; 7]),
+            Err(DecodeError::BodyLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn no_residual() {
+        let cx = Float32Compressor::new(Shape::new(&[2]));
+        assert!(cx.residual().is_none());
+    }
+}

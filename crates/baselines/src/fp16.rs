@@ -1,0 +1,236 @@
+//! IEEE 754 binary16 (half-precision) truncation — the most widely
+//! deployed communication-reduction baseline in practice (extension; not
+//! in the paper's Table 1).
+//!
+//! Conversion is implemented from scratch (round-to-nearest-even with
+//! correct subnormal, overflow, and NaN handling) since no half-precision
+//! crate is in the dependency set.
+
+use threelc::{CompressError, Compressor, DecodeError};
+use threelc_tensor::{Shape, Tensor};
+
+/// Converts an `f32` to its nearest binary16 bit pattern
+/// (round-to-nearest-even; overflows map to ±inf).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a quiet-NaN payload bit if any mantissa bit set.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, re-biased for f16 (bias 15).
+    let e16 = exp - 127 + 15;
+    if e16 >= 0x1f {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if e16 <= 0 {
+        // Subnormal (or underflow to zero): shift the implicit-1 mantissa.
+        if e16 < -10 {
+            return sign; // underflows to ±0
+        }
+        let full = mant | 0x80_0000; // implicit leading 1
+        let shift = (14 - e16) as u32; // bits dropped from the 24-bit mantissa
+        let half_val = (full >> shift) as u16;
+        // Round to nearest even on the dropped bits.
+        let rem = full & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half_val + 1,
+            std::cmp::Ordering::Equal => half_val + (half_val & 1),
+            std::cmp::Ordering::Less => half_val,
+        };
+        return sign | rounded;
+    }
+    // Normal: keep top 10 mantissa bits, round to nearest even.
+    let half_mant = (mant >> 13) as u16;
+    let rem = mant & 0x1fff;
+    let mut out = sign | ((e16 as u16) << 10) | half_mant;
+    let halfway = 0x1000;
+    match rem.cmp(&halfway) {
+        std::cmp::Ordering::Greater => out += 1, // may carry into exponent: correct (rounds up magnitude)
+        std::cmp::Ordering::Equal => out += out & 1,
+        std::cmp::Ordering::Less => {}
+    }
+    out
+}
+
+/// Converts a binary16 bit pattern back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign, // ±0
+        (0, m) => {
+            // Subnormal: value = m × 2⁻²⁴. With the top set bit of m at
+            // position p, the f32 exponent is (p − 24) + 127 and the
+            // remaining bits become the fraction.
+            let shift = m.leading_zeros() - 21; // 10 − p
+            // Left-align so the leading 1 sits at bit 10, then mask it
+            // off: the remaining 10 bits are the normalized fraction.
+            let frac = (m << shift) & 0x3ff;
+            let e = 127 - 14 - shift; // = 103 + p
+            sign | (e << 23) | (frac << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,          // ±inf
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13), // NaN
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Half-precision truncation as a [`Compressor`]: 2 bytes per value,
+/// stateless, ~3 decimal digits of precision.
+#[derive(Debug, Clone)]
+pub struct Fp16Compressor {
+    shape: Shape,
+}
+
+impl Fp16Compressor {
+    /// Creates a context for tensors of `shape`.
+    pub fn new(shape: Shape) -> Self {
+        Fp16Compressor { shape }
+    }
+}
+
+impl Compressor for Fp16Compressor {
+    fn name(&self) -> String {
+        "16-bit float".to_owned()
+    }
+
+    fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError> {
+        if input.shape() != &self.shape {
+            return Err(CompressError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        if input.iter().any(|x| !x.is_finite()) {
+            return Err(CompressError::NonFiniteInput);
+        }
+        let mut wire = Vec::with_capacity(input.len() * 2);
+        for &x in input.iter() {
+            wire.extend_from_slice(&f32_to_f16_bits(x).to_le_bytes());
+        }
+        Ok(wire)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        let n = self.shape.num_elements();
+        if payload.len() != n * 2 {
+            return Err(DecodeError::BodyLengthMismatch {
+                decoded: payload.len() / 2,
+                expected: n,
+            });
+        }
+        let data = payload
+            .chunks_exact(2)
+            .map(|c| f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2 bytes"))))
+            .collect();
+        Ok(Tensor::from_vec(data, self.shape.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_representable_values() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            let h = f32_to_f16_bits(x);
+            assert_eq!(f16_bits_to_f32(h), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7c00, "overflow → inf");
+        // Smallest f16 subnormal is 2⁻²⁴.
+        assert_eq!(f32_to_f16_bits(2f32.powi(-24)), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), 2f32.powi(-24));
+    }
+
+    #[test]
+    fn nan_preserved() {
+        let h = f32_to_f16_bits(f32::NAN);
+        assert!(f16_bits_to_f32(h).is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and the next f16
+        // (1 + 2⁻¹⁰); ties go to even (1.0, mantissa 0).
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(halfway), 0x3c00);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-20);
+        assert_eq!(f32_to_f16_bits(above), 0x3c01);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut rng = threelc_tensor::rng(1);
+        let t = threelc_tensor::Initializer::Normal {
+            mean: 0.0,
+            std_dev: 0.1,
+        }
+        .init(&mut rng, &[10_000]);
+        let min_normal = 2f32.powi(-14);
+        let subnormal_step = 2f32.powi(-24);
+        for &x in t.iter() {
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            if x.abs() >= min_normal {
+                let rel = (back - x).abs() / x.abs();
+                assert!(rel < 1e-3, "x = {x}, back = {back}");
+            } else {
+                // Subnormal range: absolute error within half a step.
+                assert!(
+                    (back - x).abs() <= subnormal_step / 2.0 + f32::EPSILON,
+                    "x = {x}, back = {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_monotone_on_sorted_input() {
+        // f16 conversion preserves ordering.
+        let xs: Vec<f32> = (-100..100).map(|i| i as f32 * 0.013).collect();
+        let hs: Vec<f32> = xs
+            .iter()
+            .map(|&x| f16_bits_to_f32(f32_to_f16_bits(x)))
+            .collect();
+        for w in hs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn compressor_roundtrip_and_size() {
+        let t = Tensor::from_slice(&[0.1, -0.25, 3.5, 0.0]);
+        let mut cx = Fp16Compressor::new(t.shape().clone());
+        let wire = cx.compress(&t).unwrap();
+        assert_eq!(wire.len(), 8);
+        let out = cx.decompress(&wire).unwrap();
+        assert!(out.approx_eq(&t, 2e-3));
+        assert_eq!(out.as_slice()[1], -0.25, "exactly representable");
+    }
+
+    #[test]
+    fn malformed_payload_errors() {
+        let cx = Fp16Compressor::new(Shape::new(&[4]));
+        assert!(matches!(
+            cx.decompress(&[0u8; 7]),
+            Err(DecodeError::BodyLengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,227 @@
+//! QSGD-style multi-level stochastic quantization with Elias coding
+//! (Alistarh et al., NIPS 2017 — the paper's §6 related work).
+//!
+//! Not part of the paper's Table 1, but included as an extension
+//! comparator: it represents the "stochastic quantization + entropy
+//! coding" family the paper positions 3LC against. Each value is
+//! stochastically quantized onto `levels` uniform buckets of the tensor's
+//! L2 norm, and the (sign, level) pairs are Elias-gamma coded.
+
+use threelc::elias::{self, BitReader, BitWriter};
+use threelc::{CompressError, Compressor, DecodeError};
+use threelc_tensor::{Rng, Shape, Tensor};
+
+/// Header: 4-byte `f32` L2 norm + 4-byte `u32` element count + 1-byte
+/// levels.
+const HEADER_LEN: usize = 9;
+
+/// QSGD quantization: `Q(x_i) = ‖x‖₂ · sign(x_i) · ξ_i / levels` where
+/// `ξ_i` is the stochastic level assignment, an unbiased estimator of
+/// `|x_i|/‖x‖₂ · levels`.
+#[derive(Debug, Clone)]
+pub struct QsgdCompressor {
+    shape: Shape,
+    levels: u32,
+    rng: Rng,
+}
+
+impl QsgdCompressor {
+    /// Creates a context with the given number of quantization levels
+    /// (QSGD's `s`; 4 is a common low-bit setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 or above 255.
+    pub fn new(shape: Shape, levels: u32, seed: u64) -> Self {
+        assert!((1..=255).contains(&levels), "levels must be 1..=255");
+        QsgdCompressor {
+            shape,
+            levels,
+            rng: threelc_tensor::rng(seed),
+        }
+    }
+
+    /// The configured level count.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+}
+
+impl Compressor for QsgdCompressor {
+    fn name(&self) -> String {
+        format!("QSGD ({} levels)", self.levels)
+    }
+
+    fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError> {
+        use rand::Rng as _;
+        if input.shape() != &self.shape {
+            return Err(CompressError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        if input.iter().any(|x| !x.is_finite()) {
+            return Err(CompressError::NonFiniteInput);
+        }
+        let norm = input.l2_norm();
+        let mut writer = BitWriter::new();
+        if norm > 0.0 {
+            for &x in input.iter() {
+                let q = x.abs() / norm * self.levels as f32;
+                let lower = q.floor();
+                let level = if self.rng.gen::<f32>() < q - lower {
+                    lower as u32 + 1
+                } else {
+                    lower as u32
+                };
+                let signed = if x < 0.0 { -(level as i32) } else { level as i32 };
+                elias::encode_u32(&mut writer, elias::zigzag(signed));
+            }
+        } else {
+            for _ in 0..input.len() {
+                elias::encode_u32(&mut writer, 0);
+            }
+        }
+        let body = writer.into_bytes();
+        let mut wire = Vec::with_capacity(HEADER_LEN + body.len());
+        wire.extend_from_slice(&norm.to_le_bytes());
+        wire.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        wire.push(self.levels as u8);
+        wire.extend_from_slice(&body);
+        Ok(wire)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        let norm = crate::wire::read_f32(payload, 0)?;
+        if !norm.is_finite() {
+            return Err(DecodeError::NonFiniteScale);
+        }
+        let count = crate::wire::read_u32(payload, 4)? as usize;
+        let n = self.shape.num_elements();
+        if count != n {
+            return Err(DecodeError::ElementCountMismatch {
+                payload: count,
+                expected: n,
+            });
+        }
+        let levels = *payload.get(8).ok_or(DecodeError::TruncatedHeader {
+            have: payload.len(),
+            need: HEADER_LEN,
+        })? as u32;
+        if levels == 0 {
+            return Err(DecodeError::Malformed {
+                reason: "zero quantization levels".to_owned(),
+            });
+        }
+        let mut reader = BitReader::new(&payload[HEADER_LEN..]);
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let signed = elias::unzigzag(elias::decode_u32(&mut reader)?);
+            data.push(norm * signed as f32 / levels as f32);
+        }
+        Ok(Tensor::from_vec(data, self.shape.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threelc_tensor::Initializer;
+
+    fn gradient(n: usize, seed: u64) -> Tensor {
+        let mut rng = threelc_tensor::rng(seed);
+        Initializer::Normal {
+            mean: 0.0,
+            std_dev: 0.1,
+        }
+        .init(&mut rng, [n])
+    }
+
+    #[test]
+    fn roundtrip_shape_and_levels() {
+        let t = gradient(100, 1);
+        let mut cx = QsgdCompressor::new(t.shape().clone(), 4, 0);
+        let wire = cx.compress(&t).unwrap();
+        let out = cx.decompress(&wire).unwrap();
+        assert_eq!(out.shape(), t.shape());
+        // Every output is k/4 of the norm for integer k.
+        let norm = t.l2_norm();
+        for &v in out.iter() {
+            let k = v / norm * 4.0;
+            assert!((k - k.round()).abs() < 1e-4, "level {k}");
+        }
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        let t = Tensor::from_slice(&[0.6, -0.3, 0.1, 0.0]);
+        let mut cx = QsgdCompressor::new(t.shape().clone(), 4, 7);
+        let rounds = 4000;
+        let mut sum = Tensor::zeros(t.shape().clone());
+        for _ in 0..rounds {
+            let wire = cx.compress(&t).unwrap();
+            sum.add_assign(&cx.decompress(&wire).unwrap()).unwrap();
+        }
+        let avg = sum.scale(1.0 / rounds as f32);
+        assert!(avg.approx_eq(&t, 0.02), "avg {avg} vs {t}");
+    }
+
+    #[test]
+    fn wire_smaller_than_floats_for_low_levels() {
+        let t = gradient(10_000, 2);
+        let mut cx = QsgdCompressor::new(t.shape().clone(), 4, 0);
+        let wire = cx.compress(&t).unwrap();
+        assert!(
+            wire.len() * 4 < t.len() * 4,
+            "QSGD ({}) should beat 8 bits/value",
+            wire.len()
+        );
+    }
+
+    #[test]
+    fn more_levels_cost_more_bits() {
+        let t = gradient(10_000, 3);
+        let size = |levels| {
+            let mut cx = QsgdCompressor::new(t.shape().clone(), levels, 0);
+            cx.compress(&t).unwrap().len()
+        };
+        assert!(size(2) < size(16));
+        assert!(size(16) < size(128));
+    }
+
+    #[test]
+    fn zero_tensor() {
+        let t = Tensor::zeros([64]);
+        let mut cx = QsgdCompressor::new(t.shape().clone(), 4, 0);
+        let wire = cx.compress(&t).unwrap();
+        assert_eq!(cx.decompress(&wire).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_payload_errors() {
+        let cx = QsgdCompressor::new(Shape::new(&[8]), 4, 0);
+        assert!(cx.decompress(&[1, 2, 3]).is_err());
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        bad.extend_from_slice(&8u32.to_le_bytes());
+        bad.push(4);
+        // No body: bit stream exhausted.
+        assert!(cx.decompress(&bad).is_err());
+        // Zero levels.
+        let mut bad2 = Vec::new();
+        bad2.extend_from_slice(&1.0f32.to_le_bytes());
+        bad2.extend_from_slice(&8u32.to_le_bytes());
+        bad2.push(0);
+        bad2.extend_from_slice(&[0xff; 8]);
+        assert!(matches!(
+            cx.decompress(&bad2),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn zero_levels_panics() {
+        QsgdCompressor::new(Shape::new(&[1]), 0, 0);
+    }
+}

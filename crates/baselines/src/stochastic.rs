@@ -1,0 +1,254 @@
+//! Stochastic 3-value quantization with quartic encoding
+//! (the paper's `Stoch 3-value + QE` design, TernGrad-like).
+
+use rand::Rng as _;
+use threelc::{quartic, CompressError, Compressor, DecodeError, TernaryTensor};
+use threelc_tensor::{Rng, Shape, Tensor};
+
+/// Header: 4-byte `f32` scale + 4-byte `u32` element count.
+const HEADER_LEN: usize = 8;
+
+/// Stochastic ternary quantization in the style of TernGrad (Wen et al.,
+/// NIPS 2017), but using 3LC's quartic encoding for a 1.6-bit
+/// representation instead of TernGrad's 2-bit encoding, and without
+/// gradient clipping — exactly the configuration the paper evaluates.
+///
+/// Each value `x` becomes `sign(x)` with probability `|x| / M` (where
+/// `M = max(|T|)`) and `0` otherwise, making the dequantized output an
+/// unbiased estimator of the input. There is **no** error-accumulation
+/// buffer: the paper found stochastic quantization *combined* with error
+/// accumulation fails to converge (§3.1), so the two are alternatives.
+#[derive(Debug, Clone)]
+pub struct StochasticTernaryCompressor {
+    shape: Shape,
+    rng: Rng,
+    clip_std_devs: Option<f32>,
+}
+
+impl StochasticTernaryCompressor {
+    /// Creates a context for tensors of `shape` with a deterministic RNG
+    /// seed (each worker/tensor context should get a distinct seed).
+    ///
+    /// This is the paper's evaluated configuration: *no* gradient
+    /// clipping.
+    pub fn new(shape: Shape, seed: u64) -> Self {
+        StochasticTernaryCompressor {
+            shape,
+            rng: threelc_tensor::rng(seed),
+            clip_std_devs: None,
+        }
+    }
+
+    /// Creates a context with TernGrad's gradient clipping enabled:
+    /// values are clamped to `±c·σ` before quantization (Wen et al. use
+    /// `c = 2.5`), which shrinks `M` and reduces quantization variance at
+    /// the cost of biasing large gradients. The paper evaluates the
+    /// *unclipped* variant; this constructor exists for the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clip_std_devs` is not positive.
+    pub fn with_clipping(shape: Shape, seed: u64, clip_std_devs: f32) -> Self {
+        assert!(clip_std_devs > 0.0, "clip threshold must be positive");
+        StochasticTernaryCompressor {
+            shape,
+            rng: threelc_tensor::rng(seed),
+            clip_std_devs: Some(clip_std_devs),
+        }
+    }
+}
+
+impl Compressor for StochasticTernaryCompressor {
+    fn name(&self) -> String {
+        "Stoch 3-value + QE".to_owned()
+    }
+
+    fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError> {
+        if input.shape() != &self.shape {
+            return Err(CompressError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        let (max_abs, finite) = input
+            .as_slice()
+            .iter()
+            .fold((0.0f32, true), |(m, ok), &x| {
+                (m.max(x.abs()), ok && x.is_finite())
+            });
+        if !finite {
+            return Err(CompressError::NonFiniteInput);
+        }
+        // Optional TernGrad-style clipping: cap magnitudes at c·σ.
+        let clip = self
+            .clip_std_devs
+            .map(|c| c * input.variance().sqrt())
+            .filter(|&c| c > 0.0);
+        let scale = match clip {
+            Some(c) => max_abs.min(c),
+            None => max_abs,
+        };
+        let ternary: Vec<i8> = if scale == 0.0 {
+            vec![0; input.len()]
+        } else {
+            input
+                .iter()
+                .map(|&x| {
+                    let p = (x.abs() / scale).min(1.0);
+                    if self.rng.gen::<f32>() < p {
+                        if x > 0.0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        };
+        let body = quartic::encode(&ternary);
+        let mut wire = Vec::with_capacity(HEADER_LEN + body.len());
+        wire.extend_from_slice(&scale.to_le_bytes());
+        wire.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        Ok(wire)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        let scale = crate::wire::read_f32(payload, 0)?;
+        if !scale.is_finite() {
+            return Err(DecodeError::NonFiniteScale);
+        }
+        let count = crate::wire::read_u32(payload, 4)? as usize;
+        let n = self.shape.num_elements();
+        if count != n {
+            return Err(DecodeError::ElementCountMismatch {
+                payload: count,
+                expected: n,
+            });
+        }
+        let ternary = quartic::decode(&payload[HEADER_LEN..], n)?;
+        Ok(TernaryTensor::from_parts(self.shape.clone(), ternary, scale).dequantize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_ternary_scaled() {
+        let t = Tensor::from_slice(&[0.5, -0.25, 0.1, 0.0]);
+        let mut cx = StochasticTernaryCompressor::new(t.shape().clone(), 1);
+        let wire = cx.compress(&t).unwrap();
+        let out = cx.decompress(&wire).unwrap();
+        let m = t.max_abs();
+        for &v in out.iter() {
+            assert!(v == 0.0 || v == m || v == -m, "value {v}");
+        }
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        // Averaging many independent quantizations approaches the input.
+        let t = Tensor::from_slice(&[0.8, -0.4, 0.2, 0.0, -1.0]);
+        let mut cx = StochasticTernaryCompressor::new(t.shape().clone(), 7);
+        let rounds = 4000;
+        let mut sum = Tensor::zeros(t.shape().clone());
+        for _ in 0..rounds {
+            let wire = cx.compress(&t).unwrap();
+            sum.add_assign(&cx.decompress(&wire).unwrap()).unwrap();
+        }
+        let avg = sum.scale(1.0 / rounds as f32);
+        assert!(
+            avg.approx_eq(&t, 0.05),
+            "average {avg} should approximate input {t}"
+        );
+    }
+
+    #[test]
+    fn max_magnitude_value_always_sent() {
+        // p = |x|/M = 1 for the max-magnitude element.
+        let t = Tensor::from_slice(&[1.0, 0.0]);
+        let mut cx = StochasticTernaryCompressor::new(t.shape().clone(), 3);
+        for _ in 0..50 {
+            let wire = cx.compress(&t).unwrap();
+            let out = cx.decompress(&wire).unwrap();
+            assert_eq!(out.as_slice()[0], 1.0);
+            assert_eq!(out.as_slice()[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn wire_size_is_1_6_bits_per_value() {
+        let t = Tensor::zeros([1000]);
+        let mut cx = StochasticTernaryCompressor::new(t.shape().clone(), 0);
+        assert_eq!(cx.compress(&t).unwrap().len(), HEADER_LEN + 200);
+    }
+
+    #[test]
+    fn no_error_accumulation() {
+        let cx = StochasticTernaryCompressor::new(Shape::new(&[4]), 0);
+        assert!(cx.residual().is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = Tensor::from_slice(&[0.3, -0.6, 0.9, 0.1]);
+        let mut a = StochasticTernaryCompressor::new(t.shape().clone(), 5);
+        let mut b = StochasticTernaryCompressor::new(t.shape().clone(), 5);
+        assert_eq!(a.compress(&t).unwrap(), b.compress(&t).unwrap());
+    }
+
+    #[test]
+    fn clipping_caps_the_scale() {
+        // One huge outlier dominates max|T|; with 2.5σ clipping the scale
+        // drops well below it and small values transmit more often.
+        let mut data = vec![0.1f32; 1000];
+        data[0] = 100.0;
+        let t = Tensor::from_vec(data, [1000]);
+        let mut unclipped = StochasticTernaryCompressor::new(t.shape().clone(), 1);
+        let mut clipped =
+            StochasticTernaryCompressor::with_clipping(t.shape().clone(), 1, 2.5);
+        let wu = unclipped.compress(&t).unwrap();
+        let wc = clipped.compress(&t).unwrap();
+        let scale_u = f32::from_le_bytes(wu[0..4].try_into().unwrap());
+        let scale_c = f32::from_le_bytes(wc[0..4].try_into().unwrap());
+        assert_eq!(scale_u, 100.0);
+        assert!(scale_c < 10.0, "clipped scale {scale_c}");
+        // More nonzeros survive with the smaller scale.
+        let nz = |cx: &StochasticTernaryCompressor, wire: &[u8]| {
+            cx.decompress(wire).unwrap().len()
+                - cx.decompress(wire).unwrap().count_zeros()
+        };
+        // Expected nonzeros: ≈13 clipped vs ≈2 unclipped; allow slack for
+        // the stochastic draw.
+        assert!(
+            nz(&clipped, &wc) > nz(&unclipped, &wu) * 3,
+            "clipped {} vs unclipped {}",
+            nz(&clipped, &wc),
+            nz(&unclipped, &wu)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clip_panics() {
+        StochasticTernaryCompressor::with_clipping(Shape::new(&[1]), 0, 0.0);
+    }
+
+    #[test]
+    fn malformed_payload_errors() {
+        let cx = StochasticTernaryCompressor::new(Shape::new(&[5]), 0);
+        assert!(cx.decompress(&[0u8; 3]).is_err());
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        bad.extend_from_slice(&5u32.to_le_bytes());
+        bad.push(255); // invalid quartic byte
+        assert!(matches!(
+            cx.decompress(&bad),
+            Err(DecodeError::InvalidQuarticByte { .. })
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks: per-scheme compression/decompression
+//! throughput and the three 3LC pipeline stages in isolation.
+//!
+//! These support the paper's computation-overhead axis (§5.3): 3LC's
+//! quantization and encodings are cheap byte-level transforms, and MQE
+//! 1-bit's per-class mean reduction is the costliest codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threelc::{quartic, zrle, SparsityMultiplier, TernaryTensor};
+use threelc_baselines::{build_compressor, SchemeKind};
+use threelc_tensor::{Initializer, Tensor};
+
+const N: usize = 1 << 16;
+
+fn gradient_like_tensor(seed: u64) -> Tensor {
+    let mut rng = threelc_tensor::rng(seed);
+    Initializer::Normal {
+        mean: 0.0,
+        std_dev: 0.02,
+    }
+    .init(&mut rng, [N])
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let input = gradient_like_tensor(1);
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Elements(N as u64));
+    for scheme in SchemeKind::table1_designs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, scheme| {
+                let mut ctx = build_compressor(scheme, input.shape().clone(), 7);
+                b.iter(|| ctx.compress(&input).expect("valid input"));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Elements(N as u64));
+    for scheme in SchemeKind::table1_designs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, scheme| {
+                let mut ctx = build_compressor(scheme, input.shape().clone(), 7);
+                let wire = ctx.compress(&input).expect("valid input");
+                b.iter(|| ctx.decompress(&wire).expect("valid payload"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_3lc_stages(c: &mut Criterion) {
+    let input = gradient_like_tensor(2);
+    let s = SparsityMultiplier::new(1.75).expect("in range");
+    let quantized = TernaryTensor::quantize(&input, s).expect("finite input");
+    let quartic_bytes = quartic::encode(quantized.values());
+    let zre_bytes = zrle::encode(&quartic_bytes).expect("valid quartic");
+
+    let mut group = c.benchmark_group("3lc-stages");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("quantize", |b| {
+        b.iter(|| TernaryTensor::quantize(&input, s).expect("finite"));
+    });
+    group.bench_function("dequantize", |b| b.iter(|| quantized.dequantize()));
+    group.bench_function("quartic-encode", |b| {
+        b.iter(|| quartic::encode(quantized.values()));
+    });
+    group.bench_function("quartic-decode", |b| {
+        b.iter(|| quartic::decode(&quartic_bytes, N).expect("valid"));
+    });
+    group.bench_function("zrle-encode", |b| {
+        b.iter(|| zrle::encode(&quartic_bytes).expect("valid"));
+    });
+    group.bench_function("zrle-decode", |b| b.iter(|| zrle::decode(&zre_bytes)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under two minutes on a
+    // single core; throughput numbers are stable well before that.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_schemes, bench_3lc_stages
+}
+criterion_main!(benches);

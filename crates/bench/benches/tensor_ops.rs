@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks for the tensor substrate: the operations on
+//! the simulator's critical path (matmul for forward/backward, the
+//! quantization reductions, elementwise updates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threelc_tensor::{Initializer, Tensor};
+
+fn gaussian(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = threelc_tensor::rng(seed);
+    Initializer::Normal {
+        mean: 0.0,
+        std_dev: 1.0,
+    }
+    .init(&mut rng, shape)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = gaussian(&[n, n], 1);
+        let b = gaussian(&[n, n], 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).expect("square matmul"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    const N: usize = 1 << 16;
+    let t = gaussian(&[N], 3);
+    let mut group = c.benchmark_group("reductions");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("max_abs", |b| b.iter(|| t.max_abs()));
+    group.bench_function("sum", |b| b.iter(|| t.sum()));
+    group.bench_function("l2_norm", |b| b.iter(|| t.l2_norm()));
+    group.bench_function("variance", |b| b.iter(|| t.variance()));
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    const N: usize = 1 << 16;
+    let t = gaussian(&[N], 4);
+    let u = gaussian(&[N], 5);
+    let mut group = c.benchmark_group("elementwise");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("add_assign", |b| {
+        let mut acc = t.clone();
+        b.iter(|| acc.add_assign(&u).expect("same shape"));
+    });
+    group.bench_function("axpy", |b| {
+        let mut acc = t.clone();
+        b.iter(|| acc.axpy(0.9, &u).expect("same shape"));
+    });
+    group.bench_function("scale", |b| b.iter(|| t.scale(0.5)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under two minutes on a
+    // single core; throughput numbers are stable well before that.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_matmul, bench_reductions, bench_elementwise
+}
+criterion_main!(benches);

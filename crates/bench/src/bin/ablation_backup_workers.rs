@@ -1,0 +1,77 @@
+//! Ablation: backup workers under straggler jitter (paper §2.1).
+//!
+//! TensorFlow's `SyncReplicasOptimizer` — the baseline the paper builds
+//! on — advances a step once enough gradient pushes arrive, dropping the
+//! stragglers. With lognormal per-worker compute jitter, this binary
+//! sweeps the number of backup workers and reports the simulated step
+//! time (gated by the slowest *accepted* worker) and the final accuracy
+//! (backup workers discard gradients, slightly reducing useful work per
+//! step).
+//!
+//! ```text
+//! cargo run -p threelc-bench --release --bin ablation_backup_workers [-- --steps N | --quick]
+//! ```
+
+use serde::Serialize;
+use threelc_baselines::SchemeKind;
+use threelc_bench::{cache, run_cached, HarnessOptions, Table};
+use threelc_distsim::NetworkModel;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    backup_workers: usize,
+    mean_compute_gate: f64,
+    total_minutes_1gbps: f64,
+    accuracy_pct: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!(
+        "Ablation: backup workers with straggler jitter (3LC s=1.00, {} steps)\n",
+        opts.steps
+    );
+    let net = NetworkModel::one_gbps();
+    let mut table = Table::new(&[
+        "Backup workers",
+        "Mean compute gate",
+        "Time @ 1 Gbps (min)",
+        "Accuracy (%)",
+    ]);
+    let mut rows = Vec::new();
+    for backups in [0usize, 1, 2] {
+        let mut config = opts.config(SchemeKind::three_lc(1.0));
+        config.backup_workers = backups;
+        config.timing.straggler_jitter = 0.25;
+        eprintln!("running with {backups} backup workers ...");
+        let r = run_cached(&config, opts.fresh);
+        let gate: f64 = r
+            .trace
+            .steps
+            .iter()
+            .map(|s| s.compute_multiplier)
+            .sum::<f64>()
+            / r.trace.steps.len() as f64;
+        let minutes = r.total_seconds_at(&net) / 60.0;
+        let acc = r.final_eval.accuracy * 100.0;
+        table.row_owned(vec![
+            backups.to_string(),
+            format!("{gate:.3}"),
+            format!("{minutes:.1}"),
+            format!("{acc:.2}"),
+        ]);
+        rows.push(Row {
+            backup_workers: backups,
+            mean_compute_gate: gate,
+            total_minutes_1gbps: minutes,
+            accuracy_pct: acc,
+        });
+    }
+    table.print();
+    println!(
+        "\nMore backups cut the straggler tail (lower gate, shorter steps) at\n\
+         the cost of discarding gradients (slightly less work per step)."
+    );
+    let path = cache::write_output("ablation_backup_workers.json", &rows);
+    println!("wrote {}", path.display());
+}

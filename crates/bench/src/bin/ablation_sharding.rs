@@ -1,0 +1,64 @@
+//! Ablation: parameter-server sharding (Figure 1's multiple servers).
+//!
+//! Partitioning the model across k servers multiplies the aggregate
+//! server-side bandwidth by ~k — an *alternative* way to attack the
+//! network bottleneck that composes with, but does not replace, traffic
+//! compression. This sweep shows the baseline needs many servers to
+//! approach what 3LC achieves through one.
+//!
+//! ```text
+//! cargo run -p threelc-bench --release --bin ablation_sharding [-- --steps N | --quick]
+//! ```
+
+use serde::Serialize;
+use threelc_baselines::SchemeKind;
+use threelc_bench::{cache, run_cached, HarnessOptions, Table};
+use threelc_distsim::NetworkModel;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    scheme: String,
+    servers: usize,
+    minutes_10mbps: f64,
+    accuracy_pct: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!(
+        "Ablation: parameter-server sharding ({} standard steps)\n",
+        opts.steps
+    );
+    let net = NetworkModel::ten_mbps();
+    let mut table = Table::new(&["Scheme", "Servers", "Time @ 10 Mbps (min)", "Accuracy (%)"]);
+    let mut rows = Vec::new();
+    for scheme in [SchemeKind::Float32, SchemeKind::three_lc(1.0)] {
+        for servers in [1usize, 2, 4] {
+            let mut config = opts.config(scheme);
+            config.servers = servers;
+            eprintln!("running {} across {servers} server(s) ...", scheme.label());
+            let r = run_cached(&config, opts.fresh);
+            let minutes = r.total_seconds_at(&net) / 60.0;
+            let acc = r.final_eval.accuracy * 100.0;
+            table.row_owned(vec![
+                r.scheme_label.clone(),
+                servers.to_string(),
+                format!("{minutes:.1}"),
+                format!("{acc:.2}"),
+            ]);
+            rows.push(Row {
+                scheme: r.scheme_label.clone(),
+                servers,
+                minutes_10mbps: minutes,
+                accuracy_pct: acc,
+            });
+        }
+    }
+    table.print();
+    println!(
+        "\nSharding buys linear aggregate bandwidth; 3LC buys 40-100x traffic\n\
+         reduction — and the two compose."
+    );
+    let path = cache::write_output("ablation_sharding.json", &rows);
+    println!("wrote {}", path.display());
+}

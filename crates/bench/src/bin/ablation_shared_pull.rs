@@ -1,0 +1,61 @@
+//! Ablation: shared vs. per-worker pull compression (paper §3, Fig. 2b).
+//!
+//! The paper's point-to-point design compresses model deltas once and lets
+//! every worker pull the same payload; compressing each worker's pull
+//! separately performs redundant codec work. Traffic is identical — only
+//! the server's codec time (and thus step time on fast links) differs.
+//!
+//! ```text
+//! cargo run -p threelc-bench --release --bin ablation_shared_pull [-- --steps N | --quick]
+//! ```
+
+use serde::Serialize;
+use threelc_baselines::SchemeKind;
+use threelc_bench::{cache, run_cached, HarnessOptions, Table};
+use threelc_distsim::NetworkModel;
+
+#[derive(Debug, Serialize)]
+struct AblationRow {
+    variant: String,
+    server_codec_seconds_per_step: f64,
+    step_seconds_1gbps: f64,
+    total_bytes: u64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!(
+        "Ablation: shared vs per-worker pull compression, 3LC (s=1.00), {} steps\n",
+        opts.steps
+    );
+
+    let mut table = Table::new(&["Variant", "Server codec (ms/step)", "Step @ 1 Gbps (s)", "Bytes"]);
+    let mut rows = Vec::new();
+    for (label, shared) in [("shared pull", true), ("per-worker pull", false)] {
+        let mut config = opts.config(SchemeKind::three_lc(1.0));
+        config.shared_pull_compression = shared;
+        eprintln!("running {label} ...");
+        let r = run_cached(&config, opts.fresh);
+        let steps = r.trace.steps.len() as f64;
+        let server_codec: f64 =
+            r.trace.steps.iter().map(|s| s.server_codec_seconds).sum::<f64>() / steps;
+        let net = NetworkModel::one_gbps();
+        let step_s = r.total_seconds_at(&net) / steps;
+        table.row_owned(vec![
+            label.to_owned(),
+            format!("{:.2}", server_codec * 1e3),
+            format!("{step_s:.3}"),
+            format!("{}", r.trace.total_bytes()),
+        ]);
+        rows.push(AblationRow {
+            variant: label.to_owned(),
+            server_codec_seconds_per_step: server_codec,
+            step_seconds_1gbps: step_s,
+            total_bytes: r.trace.total_bytes(),
+        });
+    }
+    table.print();
+    println!("\n(traffic is identical by design; only codec time differs)");
+    let path = cache::write_output("ablation_shared_pull.json", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,80 @@
+//! Extension experiment: QSGD (multi-level stochastic quantization with
+//! Elias coding, §6 related work) vs. 3LC and the baseline.
+//!
+//! QSGD is unbiased like TernGrad but spends more bits for lower variance;
+//! this sweep shows where it lands on the traffic/accuracy plane the
+//! paper's Table 1 spans.
+//!
+//! ```text
+//! cargo run -p threelc-bench --release --bin extension_qsgd [-- --steps N | --quick]
+//! ```
+
+use serde::Serialize;
+use threelc_baselines::SchemeKind;
+use threelc_bench::{cache, run_cached, HarnessOptions, Table};
+use threelc_distsim::NetworkModel;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    design: String,
+    bits_per_value: f64,
+    speedup_10mbps: f64,
+    accuracy_pct: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!(
+        "Extension: QSGD vs 3LC vs baseline ({} standard steps)\n",
+        opts.steps
+    );
+    let designs = [
+        SchemeKind::Float32,
+        SchemeKind::Fp16,
+        SchemeKind::Qsgd { levels: 2 },
+        SchemeKind::Qsgd { levels: 4 },
+        SchemeKind::Qsgd { levels: 16 },
+        SchemeKind::StochasticTernary,
+        SchemeKind::three_lc(1.0),
+    ];
+    let results: Vec<_> = designs
+        .iter()
+        .map(|d| {
+            eprintln!("running {} ...", d.label());
+            run_cached(&opts.config(*d), opts.fresh)
+        })
+        .collect();
+    let net = NetworkModel::ten_mbps();
+    let base_time = results[0].total_seconds_at(&net);
+
+    let mut table = Table::new(&["Design", "bits/value", "Speedup @ 10 Mbps", "Accuracy (%)"]);
+    let mut rows = Vec::new();
+    for r in &results {
+        let bits = match r.scheme_label.as_str() {
+            "32-bit float" => 32.0,
+            _ => r.bits_per_value(),
+        };
+        let speedup = base_time / r.total_seconds_at(&net);
+        let acc = r.final_eval.accuracy * 100.0;
+        table.row_owned(vec![
+            r.scheme_label.clone(),
+            format!("{bits:.3}"),
+            format!("{speedup:.2}"),
+            format!("{acc:.2}"),
+        ]);
+        rows.push(Row {
+            design: r.scheme_label.clone(),
+            bits_per_value: bits,
+            speedup_10mbps: speedup,
+            accuracy_pct: acc,
+        });
+    }
+    table.print();
+    println!(
+        "\nQSGD's unbiased multi-level quantization needs several bits per\n\
+         value to preserve accuracy; 3LC's error accumulation reaches\n\
+         baseline accuracy below one bit — the paper's central comparison."
+    );
+    let path = cache::write_output("extension_qsgd.json", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Figures 4, 5, and 6**: total training time vs. test
+//! accuracy at 25/50/75/100% of standard training steps, for the nine
+//! plotted designs, at 10 Mbps (Fig. 4), 100 Mbps (Fig. 5), and 1 Gbps
+//! (Fig. 6).
+//!
+//! Training dynamics are bandwidth-independent, so each (design, fraction)
+//! pair is trained once and its trace is re-priced under each link — the
+//! same extrapolation the paper uses (§5.2).
+//!
+//! ```text
+//! cargo run -p threelc-bench --release --bin figs4_6 [-- --steps N | --quick | --fresh]
+//! ```
+
+use serde::Serialize;
+use threelc_bench::harness::{figure_designs, STEP_FRACTIONS};
+use threelc_bench::{cache, run_cached, HarnessOptions, Table};
+use threelc_distsim::NetworkModel;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    percent_steps: u64,
+    training_minutes: f64,
+    accuracy_pct: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Series {
+    design: String,
+    points: Vec<Point>,
+}
+
+#[derive(Debug, Serialize)]
+struct Figure {
+    bandwidth: String,
+    series: Vec<Series>,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Train every (design, fraction) once.
+    let mut runs = Vec::new();
+    for design in figure_designs() {
+        for pct in STEP_FRACTIONS {
+            let config = opts.config(design).at_percent_steps(pct);
+            eprintln!("running {} @ {pct}% steps ...", design.label());
+            runs.push((design.label(), pct, run_cached(&config, opts.fresh)));
+        }
+    }
+
+    let mut figures = Vec::new();
+    for (fig_no, (label, net)) in [(4, NetworkModel::ten_mbps()), (5, NetworkModel::hundred_mbps()), (6, NetworkModel::one_gbps())]
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| (i + 4, (a, b)))
+    {
+        println!(
+            "\nFigure {fig_no}: training time vs accuracy @ {} ({} standard steps)",
+            NetworkModel::paper_presets()[fig_no - 4].0,
+            opts.steps
+        );
+        let _ = label;
+        let mut table = Table::new(&["Design", "% steps", "Time (min)", "Accuracy (%)"]);
+        let mut series: Vec<Series> = Vec::new();
+        for (design, pct, result) in &runs {
+            let minutes = result.total_seconds_at(net) / 60.0;
+            let acc = result.final_eval.accuracy * 100.0;
+            table.row_owned(vec![
+                design.clone(),
+                format!("{pct}"),
+                format!("{minutes:.1}"),
+                format!("{acc:.2}"),
+            ]);
+            match series.last_mut() {
+                Some(s) if &s.design == design => s.points.push(Point {
+                    percent_steps: *pct,
+                    training_minutes: minutes,
+                    accuracy_pct: acc,
+                }),
+                _ => series.push(Series {
+                    design: design.clone(),
+                    points: vec![Point {
+                        percent_steps: *pct,
+                        training_minutes: minutes,
+                        accuracy_pct: acc,
+                    }],
+                }),
+            }
+        }
+        table.print();
+        figures.push(Figure {
+            bandwidth: NetworkModel::paper_presets()[fig_no - 4].0.to_owned(),
+            series,
+        });
+    }
+    let path = cache::write_output("figs4_6.json", &figures);
+    println!("\nwrote {}", path.display());
+}

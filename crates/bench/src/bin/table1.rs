@@ -1,0 +1,104 @@
+//! Regenerates **Table 1**: training-time speedup over the 32-bit float
+//! baseline at 10 Mbps / 100 Mbps / 1 Gbps, plus test accuracy, for all
+//! eleven compared designs using standard training steps.
+//!
+//! ```text
+//! cargo run -p threelc-bench --release --bin table1 [-- --steps N | --quick | --fresh]
+//! ```
+
+use serde::Serialize;
+use threelc_baselines::SchemeKind;
+use threelc_bench::{cache, run_cached, HarnessOptions, Table};
+use threelc_distsim::NetworkModel;
+
+#[derive(Debug, Serialize)]
+struct Table1Row {
+    design: String,
+    speedup_10mbps: f64,
+    speedup_100mbps: f64,
+    speedup_1gbps: f64,
+    accuracy_pct: f64,
+    accuracy_diff_pct: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let designs = SchemeKind::table1_designs();
+    let nets = NetworkModel::paper_presets();
+
+    println!(
+        "Table 1: speedup over baseline and test accuracy ({} standard steps, {} run(s) averaged)\n",
+        opts.steps, opts.runs
+    );
+
+    // One result set per repetition (the paper averages 5 independent
+    // runs, §5.2); each repetition gets its own baseline for the speedup
+    // ratios.
+    let repetitions: Vec<Vec<_>> = (0..opts.runs)
+        .map(|run| {
+            designs
+                .iter()
+                .map(|d| {
+                    eprintln!("running {} (run {run}) ...", d.label());
+                    run_cached(&opts.config_for_run(*d, run), opts.fresh)
+                })
+                .collect()
+        })
+        .collect();
+    let results = &repetitions[0];
+    let baseline = &results[0];
+    let base_acc: f64 = repetitions
+        .iter()
+        .map(|rep| rep[0].final_eval.accuracy * 100.0)
+        .sum::<f64>()
+        / opts.runs as f64;
+
+    let mut table = Table::new(&[
+        "Design",
+        "@ 10 Mbps",
+        "@ 100 Mbps",
+        "@ 1 Gbps",
+        "Accuracy (%)",
+        "Difference",
+    ]);
+    let mut rows = Vec::new();
+    for (di, r) in results.iter().enumerate() {
+        // Average speedups and accuracy over repetitions.
+        let mut speedups = vec![0.0f64; nets.len()];
+        let mut acc = 0.0f64;
+        for rep in &repetitions {
+            for (si, (_, n)) in nets.iter().enumerate() {
+                speedups[si] += rep[0].total_seconds_at(n) / rep[di].total_seconds_at(n);
+            }
+            acc += rep[di].final_eval.accuracy * 100.0;
+        }
+        for s in &mut speedups {
+            *s /= opts.runs as f64;
+        }
+        acc /= opts.runs as f64;
+        let diff = acc - base_acc;
+        table.row_owned(vec![
+            r.scheme_label.clone(),
+            format!("{:.2}", speedups[0]),
+            format!("{:.2}", speedups[1]),
+            format!("{:.2}", speedups[2]),
+            format!("{acc:.2}"),
+            if r.scheme_label == baseline.scheme_label {
+                String::new()
+            } else {
+                format!("{diff:+.2}")
+            },
+        ]);
+        rows.push(Table1Row {
+            design: r.scheme_label.clone(),
+            speedup_10mbps: speedups[0],
+            speedup_100mbps: speedups[1],
+            speedup_1gbps: speedups[2],
+            accuracy_pct: acc,
+            accuracy_diff_pct: diff,
+        });
+    }
+    table.print();
+    let path = cache::write_output("table1.json", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,322 @@
+//! Minimal self-contained SVG line plots for the regenerated figures.
+//!
+//! No plotting dependency is available offline, so this renders the small
+//! subset needed for the paper's figures: 2-D line+marker series, linear
+//! axes with "nice" ticks, and a legend. Output is a standalone `.svg`.
+
+use std::fmt::Write as _;
+
+/// A color palette that cycles for successive series.
+const PALETTE: [&str; 10] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf",
+];
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 180.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// One named line in a [`LinePlot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotSeries {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) points in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A 2-D line plot with axes, ticks, and a legend.
+///
+/// ```
+/// use threelc_bench::plot::{LinePlot, PlotSeries};
+/// let svg = LinePlot::new("demo", "x", "y")
+///     .with_series(PlotSeries { name: "a".into(), points: vec![(0.0, 1.0), (2.0, 3.0)] })
+///     .render_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<PlotSeries>,
+}
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LinePlot {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder-style).
+    pub fn with_series(mut self, series: PlotSeries) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Adds a series in place.
+    pub fn push_series(&mut self, series: PlotSeries) {
+        self.series.push(series);
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        // Pad degenerate ranges.
+        if (x_max - x_min).abs() < 1e-12 {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        (x_min, x_max, y_min, y_max)
+    }
+
+    /// Renders the plot as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"##
+        );
+        let _ = write!(
+            svg,
+            r##"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"##
+        );
+        // Title.
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="22" text-anchor="middle" font-size="15">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+        // Axes box.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+        );
+        // Ticks and grid.
+        for t in nice_ticks(x_min, x_max, 6) {
+            let x = sx(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"##,
+                MARGIN_T + plot_h + 18.0,
+                format_tick(t)
+            );
+        }
+        for t in nice_ticks(y_min, y_max, 6) {
+            let y = sy(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"##,
+                MARGIN_L - 6.0,
+                y + 4.0,
+                format_tick(t)
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"##,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = write!(
+                svg,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"##,
+                pts.join(" ")
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"##,
+                lx + 18.0
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}">{}</text>"##,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// Rounds the tick step to a 1/2/5 × 10ⁿ "nice" number and returns ticks
+/// covering `[min, max]`.
+fn nice_ticks(min: f64, max: f64, target: usize) -> Vec<f64> {
+    let span = max - min;
+    if span <= 0.0 || !span.is_finite() {
+        return vec![min];
+    }
+    let raw_step = span / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        mag
+    } else if norm < 3.5 {
+        2.0 * mag
+    } else if norm < 7.5 {
+        5.0 * mag
+    } else {
+        10.0 * mag
+    };
+    let first = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= max + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn format_tick(t: f64) -> String {
+    if t == 0.0 {
+        return "0".to_owned();
+    }
+    let a = t.abs();
+    if a >= 10.0 {
+        format!("{t:.0}")
+    } else if a >= 1.0 {
+        format!("{t:.1}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> LinePlot {
+        LinePlot::new("t", "x", "y")
+            .with_series(PlotSeries {
+                name: "a".into(),
+                points: vec![(0.0, 0.0), (10.0, 5.0), (20.0, 3.0)],
+            })
+            .with_series(PlotSeries {
+                name: "b".into(),
+                points: vec![(0.0, 1.0), (20.0, 9.0)],
+            })
+    }
+
+    #[test]
+    fn renders_valid_skeleton() {
+        let svg = demo().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.matches("<circle").count() >= 5);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round() {
+        let ticks = nice_ticks(0.0, 100.0, 6);
+        assert!(ticks.contains(&0.0));
+        assert!(ticks.contains(&100.0) || ticks.contains(&80.0));
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - (ticks[1] - ticks[0])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let svg = LinePlot::new("empty", "x", "y").render_svg();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let svg = LinePlot::new("p", "x", "y")
+            .with_series(PlotSeries {
+                name: "one".into(),
+                points: vec![(5.0, 5.0)],
+            })
+            .render_svg();
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let svg = LinePlot::new("a<b&c", "x", "y").render_svg();
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+}

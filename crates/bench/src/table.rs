@@ -1,0 +1,108 @@
+//! Minimal fixed-width text table rendering for benchmark output.
+
+/// A text table with a header row and left-aligned first column.
+///
+/// ```
+/// use threelc_bench::Table;
+/// let mut t = Table::new(&["Design", "Speedup"]);
+/// t.row(&["3LC", "15.9"]);
+/// let s = t.render();
+/// assert!(s.contains("Design"));
+/// assert!(s.contains("15.9"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string (trailing newline included).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{cell:<width$}", width = widths[c]));
+                } else {
+                    line.push_str(&format!("{cell:>width$}", width = widths[c]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Name", "X"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        assert_eq!(lines[0].len(), lines[3].len());
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn wrong_arity_panics() {
+        Table::new(&["A"]).row(&["1", "2"]);
+    }
+}

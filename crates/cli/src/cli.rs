@@ -1,0 +1,333 @@
+//! Command implementations for the `threelc` binary.
+//!
+//! Kept separate from `main.rs` so every command is unit-testable without
+//! spawning processes.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::path::Path;
+use threelc::{Compressor, SparsityMultiplier, TernaryTensor, ThreeLcCompressor, ThreeLcOptions};
+use threelc_tensor::{Shape, Tensor, TensorStats};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  threelc compress   <input.f32> <output.3lc> [--sparsity S] [--no-zre]
+  threelc decompress <input.3lc> <output.f32>
+  threelc inspect    <input.3lc>
+  threelc stats      <input.f32> [--sparsity S]";
+
+/// Magic bytes identifying a `.3lc` container.
+const MAGIC: &[u8; 4] = b"3LC\0";
+/// Container header: magic + u32 version + u64 element count.
+const FILE_HEADER_LEN: usize = 4 + 4 + 8;
+const VERSION: u32 = 1;
+
+type CliResult = Result<String, Box<dyn Error>>;
+
+/// Parses and executes a command line (without the program name),
+/// returning the report to print.
+///
+/// # Errors
+///
+/// Returns a human-readable error for unknown commands, bad flags,
+/// malformed files, or I/O failures.
+pub fn run(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("compress") => compress(&args[1..]),
+        Some("decompress") => decompress(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`").into()),
+        None => Err("missing command".into()),
+    }
+}
+
+fn parse_sparsity(args: &[String]) -> Result<(SparsityMultiplier, bool), Box<dyn Error>> {
+    let mut sparsity = SparsityMultiplier::default();
+    let mut zre = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sparsity" => {
+                let v: f32 = it
+                    .next()
+                    .ok_or("--sparsity requires a value")?
+                    .parse()
+                    .map_err(|_| "invalid --sparsity value")?;
+                sparsity = SparsityMultiplier::new(v)
+                    .map_err(|_| "sparsity must be in [1.0, 2.0)")?;
+            }
+            "--no-zre" => zre = false,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`").into());
+            }
+            _ => {}
+        }
+    }
+    Ok((sparsity, zre))
+}
+
+fn read_f32_file(path: &Path) -> Result<Tensor, Box<dyn Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if bytes.len() % 4 != 0 {
+        return Err(format!(
+            "{}: length {} is not a multiple of 4 (raw f32 expected)",
+            path.display(),
+            bytes.len()
+        )
+        .into());
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let n = data.len();
+    Ok(Tensor::from_vec(data, [n]))
+}
+
+/// Extracts exactly `count` positional (non-flag) arguments, skipping
+/// flag values such as the one following `--sparsity`.
+fn positional(args: &[String], count: usize) -> Result<Vec<&String>, Box<dyn Error>> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--sparsity" {
+            let _ = it.next();
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    if out.len() != count {
+        return Err(format!("expected {count} file argument(s), got {}", out.len()).into());
+    }
+    Ok(out)
+}
+
+fn compress(args: &[String]) -> CliResult {
+    let files = positional(args, 2)?;
+    let (sparsity, zre) = parse_sparsity(args)?;
+    let tensor = read_f32_file(Path::new(files[0]))?;
+    let options = ThreeLcOptions {
+        sparsity,
+        zero_run_encoding: zre,
+        error_accumulation: false, // one-shot file compression has no stream
+    };
+    let mut ctx = ThreeLcCompressor::with_options(tensor.shape().clone(), options);
+    let wire = ctx.compress(&tensor)?;
+
+    let mut out = Vec::with_capacity(FILE_HEADER_LEN + wire.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
+    out.extend_from_slice(&wire);
+    std::fs::write(files[1], &out).map_err(|e| format!("{}: {e}", files[1]))?;
+
+    let in_bytes = tensor.len() * 4;
+    let mut report = String::new();
+    writeln!(
+        report,
+        "{} -> {}: {} values, {} -> {} bytes ({:.1}x, {:.3} bits/value, {sparsity})",
+        files[0],
+        files[1],
+        tensor.len(),
+        in_bytes,
+        out.len(),
+        in_bytes as f64 / out.len() as f64,
+        out.len() as f64 * 8.0 / tensor.len() as f64,
+    )?;
+    Ok(report)
+}
+
+fn parse_container(bytes: &[u8], path: &str) -> Result<(usize, Vec<u8>), Box<dyn Error>> {
+    if bytes.len() < FILE_HEADER_LEN || &bytes[0..4] != MAGIC {
+        return Err(format!("{path}: not a .3lc file").into());
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(format!("{path}: unsupported version {version}").into());
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    Ok((count, bytes[FILE_HEADER_LEN..].to_vec()))
+}
+
+fn decompress(args: &[String]) -> CliResult {
+    let files = positional(args, 2)?;
+    let bytes = std::fs::read(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
+    let (count, wire) = parse_container(&bytes, files[0])?;
+    let ctx = ThreeLcCompressor::new(Shape::new(&[count]), SparsityMultiplier::default());
+    let tensor = ctx.decompress(&wire)?;
+    let mut out = Vec::with_capacity(tensor.len() * 4);
+    for &x in tensor.iter() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    std::fs::write(files[1], &out).map_err(|e| format!("{}: {e}", files[1]))?;
+    Ok(format!(
+        "{} -> {}: {} values restored\n",
+        files[0],
+        files[1],
+        tensor.len()
+    ))
+}
+
+fn inspect(args: &[String]) -> CliResult {
+    let files = positional(args, 1)?;
+    let bytes = std::fs::read(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
+    let (count, wire) = parse_container(&bytes, files[0])?;
+    let ctx = ThreeLcCompressor::new(Shape::new(&[count]), SparsityMultiplier::default());
+    let tensor = ctx.decompress(&wire)?;
+    let s = TensorStats::of(&tensor);
+    let mut report = String::new();
+    writeln!(report, "{}:", files[0])?;
+    writeln!(report, "  values:        {count}")?;
+    writeln!(report, "  file bytes:    {}", bytes.len())?;
+    writeln!(
+        report,
+        "  ratio:         {:.1}x ({:.3} bits/value)",
+        (count * 4) as f64 / bytes.len() as f64,
+        bytes.len() as f64 * 8.0 / count.max(1) as f64,
+    )?;
+    writeln!(report, "  scale M:       {:.6}", tensor.max_abs())?;
+    writeln!(report, "  zero fraction: {:.2}%", s.zero_fraction * 100.0)?;
+    Ok(report)
+}
+
+fn stats(args: &[String]) -> CliResult {
+    let files = positional(args, 1)?;
+    let (sparsity, _) = parse_sparsity(args)?;
+    let tensor = read_f32_file(Path::new(files[0]))?;
+    let s = TensorStats::of(&tensor);
+    let q = TernaryTensor::quantize(&tensor, sparsity)?;
+    let mut report = String::new();
+    writeln!(report, "{}:", files[0])?;
+    writeln!(report, "  values:     {}", s.count)?;
+    writeln!(report, "  mean/std:   {:.6} / {:.6}", s.mean, s.std_dev)?;
+    writeln!(report, "  min/max:    {:.6} / {:.6}", s.min, s.max)?;
+    writeln!(
+        report,
+        "  quantized zeros at {sparsity}: {:.2}%",
+        q.zero_fraction() * 100.0
+    )?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("threelc-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn write_f32(path: &Path, data: &[f32]) {
+        let mut bytes = Vec::new();
+        for x in data {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        std::fs::write(path, bytes).expect("write");
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_with_bounded_error() {
+        let input = tmp("in.f32");
+        let packed = tmp("out.3lc");
+        let restored = tmp("back.f32");
+        let data: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 0.01).collect();
+        write_f32(&input, &data);
+
+        let report = run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+            "--sparsity",
+            "1.5",
+        ]))
+        .expect("compress");
+        assert!(report.contains("1000 values"));
+
+        run(&s(&[
+            "decompress",
+            packed.to_str().unwrap(),
+            restored.to_str().unwrap(),
+        ]))
+        .expect("decompress");
+
+        let back = read_f32_file(&restored).expect("read back");
+        let orig = Tensor::from_slice(&data);
+        let m = orig.max_abs() * 1.5;
+        assert!(orig.sub(&back).unwrap().max_abs() <= m / 2.0 + 1e-7);
+    }
+
+    #[test]
+    fn inspect_reports_ratio() {
+        let input = tmp("i2.f32");
+        let packed = tmp("i2.3lc");
+        write_f32(&input, &vec![0.0f32; 700]);
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+        ]))
+        .expect("compress");
+        let report = run(&s(&["inspect", packed.to_str().unwrap()])).expect("inspect");
+        assert!(report.contains("values:        700"));
+        assert!(report.contains("zero fraction: 100.00%"));
+    }
+
+    #[test]
+    fn stats_command() {
+        let input = tmp("s.f32");
+        write_f32(&input, &[1.0, -1.0, 0.5, 0.0]);
+        let report =
+            run(&s(&["stats", input.to_str().unwrap(), "--sparsity", "1.9"])).expect("stats");
+        assert!(report.contains("values:     4"));
+        assert!(report.contains("min/max:    -1.000000 / 1.000000"));
+    }
+
+    #[test]
+    fn no_zre_flag_changes_size() {
+        let input = tmp("z.f32");
+        let with = tmp("z1.3lc");
+        let without = tmp("z2.3lc");
+        write_f32(&input, &vec![0.0f32; 7000]);
+        run(&s(&["compress", input.to_str().unwrap(), with.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            without.to_str().unwrap(),
+            "--no-zre",
+        ]))
+        .unwrap();
+        let a = std::fs::metadata(&with).unwrap().len();
+        let b = std::fs::metadata(&without).unwrap().len();
+        assert!(a * 10 < b, "ZRE file {a} should be far below no-ZRE {b}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["compress", "only-one-file"])).is_err());
+        assert!(run(&s(&["compress", "a", "b", "--sparsity", "9.0"])).is_err());
+        assert!(run(&s(&["compress", "a", "b", "--bogus"])).is_err());
+        // Nonexistent input.
+        assert!(run(&s(&["stats", "/nonexistent/x.f32"])).is_err());
+        // Not a .3lc file.
+        let junk = tmp("junk.3lc");
+        std::fs::write(&junk, b"hello").unwrap();
+        assert!(run(&s(&["inspect", junk.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn odd_length_f32_rejected() {
+        let input = tmp("odd.f32");
+        std::fs::write(&input, [1u8, 2, 3]).unwrap();
+        assert!(run(&s(&["stats", input.to_str().unwrap()])).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `threelc` — command-line 3LC compression for raw `f32` tensor files.
+//!
+//! ```text
+//! threelc compress   <input.f32> <output.3lc> [--sparsity S] [--no-zre]
+//! threelc decompress <input.3lc> <output.f32>
+//! threelc inspect    <input.3lc>
+//! threelc stats      <input.f32> [--sparsity S]
+//! ```
+//!
+//! Input tensors are flat little-endian `f32` files (the natural dump
+//! format of most numeric toolchains). The `.3lc` container prepends a
+//! 16-byte file header (magic, element count) to the wire payload from
+//! `threelc::ThreeLcCompressor` so files are self-describing.
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

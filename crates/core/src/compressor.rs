@@ -1,0 +1,457 @@
+//! The stateful 3LC compression context and its wire format.
+
+use crate::tlq::{SparsityMultiplier, TernaryTensor};
+use crate::{quartic, zrle, CompressError, Compressor, DecodeError};
+use threelc_tensor::{Shape, Tensor};
+
+/// Wire-format header: 1 flags byte + 4-byte `f32` scale + 4-byte `u32`
+/// element count.
+const HEADER_LEN: usize = 9;
+
+/// Flags bit: the body is zero-run encoded.
+const FLAG_ZRE: u8 = 0b0000_0001;
+
+/// Configuration for a [`ThreeLcCompressor`].
+///
+/// The defaults reproduce the paper's full design: error accumulation on,
+/// zero-run encoding on, `s = 1.0`. The switches exist for the ablations the
+/// evaluation reports (Table 2's "No ZRE" row; the stochastic-quantization
+/// comparison uses a separate scheme in `threelc-baselines`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreeLcOptions {
+    /// The sparsity multiplier `s` (compression-level knob).
+    pub sparsity: SparsityMultiplier,
+    /// Apply zero-run encoding after quartic encoding.
+    pub zero_run_encoding: bool,
+    /// Correct quantization errors with a per-tensor accumulation buffer.
+    pub error_accumulation: bool,
+}
+
+impl ThreeLcOptions {
+    /// Options with a given sparsity multiplier and everything else default.
+    pub fn with_sparsity(sparsity: SparsityMultiplier) -> Self {
+        ThreeLcOptions {
+            sparsity,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ThreeLcOptions {
+    fn default() -> Self {
+        ThreeLcOptions {
+            sparsity: SparsityMultiplier::default(),
+            zero_run_encoding: true,
+            error_accumulation: true,
+        }
+    }
+}
+
+/// A 3LC compression context for one tensor (paper §3, Figure 3).
+///
+/// Owns the error-accumulation buffer. Each [`compress`](Compressor::compress)
+/// call performs, in order:
+///
+/// 1. accumulate the input into the local buffer,
+/// 2. 3-value quantization with sparsity multiplication of the buffer,
+/// 3. local dequantization and storing the remaining error back into the
+///    buffer,
+/// 4. quartic encoding,
+/// 5. zero-run encoding (if enabled).
+///
+/// ```
+/// use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor};
+/// use threelc_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cx = ThreeLcCompressor::new((&[512usize]).into(), SparsityMultiplier::new(1.75)?);
+/// let zeros = Tensor::zeros(&[512]);
+/// let wire = cx.compress(&zeros)?;
+/// // An all-zero tensor compresses to the 9-byte header plus a handful of
+/// // run bytes — the paper's hypothetical 280× case.
+/// assert!(wire.len() < 512 * 4 / 100);
+/// assert_eq!(cx.decompress(&wire)?, zeros);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreeLcCompressor {
+    shape: Shape,
+    options: ThreeLcOptions,
+    /// Error accumulation buffer (zeros when `error_accumulation` is off).
+    buffer: Tensor,
+}
+
+impl ThreeLcCompressor {
+    /// Creates a context for tensors of `shape` with default options and
+    /// the given sparsity multiplier.
+    pub fn new(shape: Shape, sparsity: SparsityMultiplier) -> Self {
+        Self::with_options(shape, ThreeLcOptions::with_sparsity(sparsity))
+    }
+
+    /// Creates a context with explicit options.
+    pub fn with_options(shape: Shape, options: ThreeLcOptions) -> Self {
+        let buffer = Tensor::zeros(shape.clone());
+        ThreeLcCompressor {
+            shape,
+            options,
+            buffer,
+        }
+    }
+
+    /// The options this context was created with.
+    pub fn options(&self) -> &ThreeLcOptions {
+        &self.options
+    }
+
+    /// The tensor shape this context is bound to.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn check_shape(&self, input: &Tensor) -> Result<(), CompressError> {
+        if input.shape() != &self.shape {
+            return Err(CompressError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Compressor for ThreeLcCompressor {
+    fn name(&self) -> String {
+        let mut name = format!("3LC (s={:.2})", self.options.sparsity.value());
+        if !self.options.zero_run_encoding {
+            name.push_str(" no-ZRE");
+        }
+        if !self.options.error_accumulation {
+            name.push_str(" no-EA");
+        }
+        name
+    }
+
+    fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError> {
+        self.check_shape(input)?;
+
+        // Step (1): accumulate the input into the local buffer.
+        let quantized = if self.options.error_accumulation {
+            self.buffer
+                .add_assign(input)
+                .expect("buffer shape is validated");
+            // Step (2): quantize the accumulated sum.
+            let q = TernaryTensor::quantize(&self.buffer, self.options.sparsity)?;
+            // Steps (a)+(b): local dequantization; remaining error stays in
+            // the buffer.
+            let dequantized = q.dequantize();
+            self.buffer
+                .sub_assign(&dequantized)
+                .expect("dequantized shape matches buffer");
+            q
+        } else {
+            TernaryTensor::quantize(input, self.options.sparsity)?
+        };
+
+        // Step (3): quartic encoding.
+        let quartic_bytes = quartic::encode(quantized.values());
+
+        // Step (4): zero-run encoding.
+        let (body, flags) = if self.options.zero_run_encoding {
+            let zre =
+                zrle::encode(&quartic_bytes).expect("quartic output is always in range 0..=242");
+            (zre, FLAG_ZRE)
+        } else {
+            (quartic_bytes, 0)
+        };
+
+        let mut wire = Vec::with_capacity(HEADER_LEN + body.len());
+        wire.push(flags);
+        wire.extend_from_slice(&quantized.scale().to_le_bytes());
+        wire.extend_from_slice(&(quantized.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        Ok(wire)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        if payload.len() < HEADER_LEN {
+            return Err(DecodeError::TruncatedHeader {
+                have: payload.len(),
+                need: HEADER_LEN,
+            });
+        }
+        let flags = payload[0];
+        if flags & !FLAG_ZRE != 0 {
+            return Err(DecodeError::UnknownFormat { flags });
+        }
+        let scale = f32::from_le_bytes(payload[1..5].try_into().expect("4 bytes"));
+        if !scale.is_finite() {
+            return Err(DecodeError::NonFiniteScale);
+        }
+        let count = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as usize;
+        if count != self.shape.num_elements() {
+            return Err(DecodeError::ElementCountMismatch {
+                payload: count,
+                expected: self.shape.num_elements(),
+            });
+        }
+        let body = &payload[HEADER_LEN..];
+        let quartic_len = count.div_ceil(quartic::VALUES_PER_BYTE);
+        let quartic_bytes = if flags & FLAG_ZRE != 0 {
+            zrle::decode_exact(body, quartic_len)?
+        } else {
+            if body.len() != quartic_len {
+                return Err(DecodeError::BodyLengthMismatch {
+                    decoded: body.len() * quartic::VALUES_PER_BYTE,
+                    expected: count,
+                });
+            }
+            body.to_vec()
+        };
+        let ternary = quartic::decode(&quartic_bytes, count)?;
+        Ok(TernaryTensor::from_parts(self.shape.clone(), ternary, scale).dequantize())
+    }
+
+    fn residual(&self) -> Option<&Tensor> {
+        if self.options.error_accumulation {
+            Some(&self.buffer)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize, s: f32) -> ThreeLcCompressor {
+        ThreeLcCompressor::new(Shape::new(&[n]), SparsityMultiplier::new(s).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_shape_and_error_bound() {
+        let input = Tensor::from_vec(vec![0.31, -0.17, 0.05, 0.44, -0.29, 0.0], [2, 3]);
+        let mut cx = ThreeLcCompressor::new(
+            input.shape().clone(),
+            SparsityMultiplier::default(),
+        );
+        let wire = cx.compress(&input).unwrap();
+        let out = cx.decompress(&wire).unwrap();
+        assert_eq!(out.shape(), input.shape());
+        let m = input.max_abs();
+        assert!(input.sub(&out).unwrap().max_abs() <= m / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn zero_tensor_280x_compression() {
+        // §3.3: "In a hypothetical case of compressing a zero 32-bit
+        // floating-point tensor, the combination of all techniques in 3LC
+        // reaches a compression ratio of 280×." One escape byte covers 14
+        // quartic bytes = 70 values = 280 input bytes.
+        let n = 70 * 1000;
+        let mut cx = ctx(n, 1.0);
+        let wire = cx.compress(&Tensor::zeros([n])).unwrap();
+        let body = wire.len() - HEADER_LEN;
+        assert_eq!(body, 1000, "all-zero body should be exactly n/70 bytes");
+        let ratio = (n * 4) as f64 / body as f64;
+        assert!((ratio - 280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_accumulation_recovers_dropped_updates() {
+        // A persistent small signal below the quantization threshold must
+        // eventually be transmitted thanks to the accumulation buffer.
+        let n = 8;
+        let mut cx = ctx(n, 1.0);
+        // One big value sets M; the small values individually quantize to 0.
+        let mut input = vec![0.04f32; n];
+        input[0] = 1.0;
+        let input = Tensor::from_vec(input, [n]);
+        let mut recovered = Tensor::zeros([n]);
+        for _ in 0..30 {
+            let wire = cx.compress(&input).unwrap();
+            recovered.add_assign(&cx.decompress(&wire).unwrap()).unwrap();
+        }
+        // After 30 steps the cumulative transmitted sum approximates the
+        // cumulative input sum (30 × 0.04 = 1.2 at index 1..n).
+        let total_in = input.scale(30.0);
+        let err = total_in.sub(&recovered).unwrap().max_abs();
+        assert!(err <= 1.0, "cumulative error {err} should stay bounded");
+        assert!(
+            recovered.as_slice()[1] > 0.0,
+            "small values must eventually transmit"
+        );
+    }
+
+    #[test]
+    fn no_error_accumulation_never_sends_small_values() {
+        let n = 8;
+        let opts = ThreeLcOptions {
+            error_accumulation: false,
+            ..Default::default()
+        };
+        let mut cx = ThreeLcCompressor::with_options(Shape::new(&[n]), opts);
+        let mut input = vec![0.04f32; n];
+        input[0] = 1.0;
+        let input = Tensor::from_vec(input, [n]);
+        for _ in 0..5 {
+            let wire = cx.compress(&input).unwrap();
+            let out = cx.decompress(&wire).unwrap();
+            assert_eq!(out.as_slice()[1], 0.0);
+        }
+        assert!(cx.residual().is_none());
+    }
+
+    #[test]
+    fn residual_tracks_quantization_error() {
+        let input = Tensor::from_slice(&[0.3, 0.1, -0.06, 0.0]);
+        let mut cx = ctx(4, 1.0);
+        let wire = cx.compress(&input).unwrap();
+        let out = cx.decompress(&wire).unwrap();
+        let expected_residual = input.sub(&out).unwrap();
+        assert!(cx.residual().unwrap().approx_eq(&expected_residual, 1e-7));
+    }
+
+    #[test]
+    fn zre_flag_roundtrip_both_ways() {
+        let input = Tensor::from_vec(
+            (0..100).map(|i| if i % 10 == 0 { 0.5 } else { 0.0 }).collect(),
+            [100],
+        );
+        for zre in [true, false] {
+            let opts = ThreeLcOptions {
+                zero_run_encoding: zre,
+                ..Default::default()
+            };
+            let mut cx = ThreeLcCompressor::with_options(Shape::new(&[100]), opts);
+            let wire = cx.compress(&input).unwrap();
+            let out = cx.decompress(&wire).unwrap();
+            assert_eq!(out.shape().dims(), &[100]);
+            if !zre {
+                assert_eq!(wire.len(), HEADER_LEN + 20);
+            }
+        }
+    }
+
+    #[test]
+    fn zre_shrinks_sparse_payloads() {
+        let n = 1000;
+        let mut sparse = vec![0.0f32; n];
+        sparse[500] = 1.0;
+        let sparse = Tensor::from_vec(sparse, [n]);
+        let mut with = ctx(n, 1.0);
+        let mut without = ThreeLcCompressor::with_options(
+            Shape::new(&[n]),
+            ThreeLcOptions {
+                zero_run_encoding: false,
+                ..Default::default()
+            },
+        );
+        let w = with.compress(&sparse).unwrap();
+        let wo = without.compress(&sparse).unwrap();
+        assert!(
+            w.len() * 2 < wo.len(),
+            "ZRE ({}) should at least halve no-ZRE ({})",
+            w.len(),
+            wo.len()
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut cx = ctx(4, 1.0);
+        let err = cx.compress(&Tensor::zeros([5])).unwrap_err();
+        assert!(matches!(err, CompressError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn malformed_payloads_error_not_panic() {
+        let cx = ctx(10, 1.0);
+        // Truncated header.
+        assert!(matches!(
+            cx.decompress(&[1, 2, 3]),
+            Err(DecodeError::TruncatedHeader { .. })
+        ));
+        // Unknown flags.
+        let mut bad = vec![0x80u8];
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        bad.extend_from_slice(&10u32.to_le_bytes());
+        assert!(matches!(
+            cx.decompress(&bad),
+            Err(DecodeError::UnknownFormat { .. })
+        ));
+        // Wrong element count.
+        let mut bad = vec![0u8];
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        bad.extend_from_slice(&11u32.to_le_bytes());
+        bad.extend(vec![121u8; 3]);
+        assert!(matches!(
+            cx.decompress(&bad),
+            Err(DecodeError::ElementCountMismatch { .. })
+        ));
+        // Non-finite scale.
+        let mut bad = vec![0u8];
+        bad.extend_from_slice(&f32::NAN.to_le_bytes());
+        bad.extend_from_slice(&10u32.to_le_bytes());
+        bad.extend(vec![121u8; 2]);
+        assert!(matches!(
+            cx.decompress(&bad),
+            Err(DecodeError::NonFiniteScale)
+        ));
+        // Body too short (no ZRE flag set).
+        let mut bad = vec![0u8];
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        bad.extend_from_slice(&10u32.to_le_bytes());
+        bad.push(121);
+        assert!(matches!(
+            cx.decompress(&bad),
+            Err(DecodeError::BodyLengthMismatch { .. })
+        ));
+        // Invalid quartic byte inside a non-ZRE body.
+        let mut bad = vec![0u8];
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        bad.extend_from_slice(&10u32.to_le_bytes());
+        bad.extend([250u8, 121]);
+        assert!(matches!(
+            cx.decompress(&bad),
+            Err(DecodeError::InvalidQuarticByte { .. })
+        ));
+    }
+
+    #[test]
+    fn name_reflects_options() {
+        assert_eq!(ctx(1, 1.0).name(), "3LC (s=1.00)");
+        let cx = ThreeLcCompressor::with_options(
+            Shape::new(&[1]),
+            ThreeLcOptions {
+                sparsity: SparsityMultiplier::new(1.75).unwrap(),
+                zero_run_encoding: false,
+                error_accumulation: false,
+            },
+        );
+        assert_eq!(cx.name(), "3LC (s=1.75) no-ZRE no-EA");
+    }
+
+    #[test]
+    fn sparsity_multiplier_reduces_wire_size_on_gaussian_input() {
+        let mut r = threelc_tensor::rng(42);
+        let input = threelc_tensor::Initializer::Normal {
+            mean: 0.0,
+            std_dev: 0.05,
+        }
+        .init(&mut r, [10000]);
+        let mut sizes = Vec::new();
+        for s in [1.0, 1.5, 1.75, 1.9] {
+            let mut cx = ThreeLcCompressor::new(
+                input.shape().clone(),
+                SparsityMultiplier::new(s).unwrap(),
+            );
+            sizes.push(cx.compress(&input).unwrap().len());
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[1] <= w[0]),
+            "sizes should be non-increasing in s: {sizes:?}"
+        );
+    }
+}

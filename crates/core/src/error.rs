@@ -1,0 +1,158 @@
+//! Error types shared by the compression schemes.
+
+use std::error::Error;
+use std::fmt;
+use threelc_tensor::TensorError;
+
+/// Error produced while compressing a tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The input tensor's shape does not match the shape this compressor
+    /// was constructed for (the error-accumulation buffer is per-tensor).
+    ShapeMismatch {
+        /// Shape the compressor was bound to.
+        expected: Vec<usize>,
+        /// Shape of the offending input.
+        actual: Vec<usize>,
+    },
+    /// The input contained a non-finite value (NaN or ±inf); quantization
+    /// scales would be meaningless.
+    NonFiniteInput,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "input shape {actual:?} does not match compressor shape {expected:?}"
+            ),
+            CompressError::NonFiniteInput => {
+                write!(f, "input tensor contains a non-finite value")
+            }
+        }
+    }
+}
+
+impl Error for CompressError {}
+
+/// Error produced while decoding a compressed payload.
+///
+/// Decoders must never panic on malformed input; every structural problem
+/// maps to a variant here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload is shorter than its fixed header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        have: usize,
+        /// Bytes the header requires.
+        need: usize,
+    },
+    /// The payload's version/flags byte is not recognized.
+    UnknownFormat {
+        /// The offending flags byte.
+        flags: u8,
+    },
+    /// The element count recorded in the payload does not match the tensor
+    /// shape the decoder was constructed for.
+    ElementCountMismatch {
+        /// Count in the payload.
+        payload: usize,
+        /// Count implied by the bound shape.
+        expected: usize,
+    },
+    /// The encoded body decodes to the wrong number of values.
+    BodyLengthMismatch {
+        /// Values produced by decoding.
+        decoded: usize,
+        /// Values expected.
+        expected: usize,
+    },
+    /// A quartic byte exceeded the valid range 0–242.
+    InvalidQuarticByte {
+        /// The offending byte value.
+        byte: u8,
+        /// Offset within the quartic stream.
+        offset: usize,
+    },
+    /// A scale or other scalar field is non-finite.
+    NonFiniteScale,
+    /// Scheme-specific structural error.
+    Malformed {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedHeader { have, need } => {
+                write!(f, "payload truncated: {have} bytes, header needs {need}")
+            }
+            DecodeError::UnknownFormat { flags } => {
+                write!(f, "unknown payload format flags {flags:#04x}")
+            }
+            DecodeError::ElementCountMismatch { payload, expected } => write!(
+                f,
+                "payload element count {payload} does not match bound shape ({expected})"
+            ),
+            DecodeError::BodyLengthMismatch { decoded, expected } => {
+                write!(f, "decoded {decoded} values, expected {expected}")
+            }
+            DecodeError::InvalidQuarticByte { byte, offset } => {
+                write!(f, "invalid quartic byte {byte} at offset {offset}")
+            }
+            DecodeError::NonFiniteScale => write!(f, "payload scale is non-finite"),
+            DecodeError::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl From<TensorError> for DecodeError {
+    fn from(err: TensorError) -> Self {
+        DecodeError::Malformed {
+            reason: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompressError>();
+        assert_send_sync::<DecodeError>();
+    }
+
+    #[test]
+    fn display_messages_nonempty() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(CompressError::NonFiniteInput),
+            Box::new(DecodeError::NonFiniteScale),
+            Box::new(DecodeError::UnknownFormat { flags: 0xff }),
+            Box::new(DecodeError::Malformed {
+                reason: "bad".into(),
+            }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::RankMismatch {
+            expected: 2,
+            actual: 3,
+        };
+        let de: DecodeError = te.into();
+        assert!(matches!(de, DecodeError::Malformed { .. }));
+    }
+}

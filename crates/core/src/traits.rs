@@ -1,0 +1,147 @@
+//! The [`Compressor`] trait shared by 3LC and the baseline schemes.
+
+use crate::{CompressError, DecodeError};
+use serde::{Deserialize, Serialize};
+use threelc_tensor::Tensor;
+
+/// A point-to-point, per-tensor state-change compressor.
+///
+/// One `Compressor` instance owns the compression state (such as 3LC's
+/// error-accumulation buffer) for **one** tensor — exactly the paper's
+/// "compression context" (§3, Figure 2). Gradients pushed from a worker and
+/// model deltas pulled from a server each get their own context.
+///
+/// Compression is stateful (`&mut self`); decompression is stateless
+/// (`&self`), which is what allows the paper's *shared* pull compression —
+/// a server compresses model deltas once and every worker decompresses the
+/// same payload.
+///
+/// # Contract
+///
+/// - `decompress(compress(t))` yields a tensor of the same shape as `t`.
+/// - Decoding never panics on malformed payloads; it returns a
+///   [`DecodeError`].
+/// - Lossy schemes may return a different tensor; schemes with error
+///   accumulation must fold `t − decompress(compress(t))` into later calls.
+pub trait Compressor: Send {
+    /// Human-readable scheme name as used in the paper's tables, e.g.
+    /// `"3LC (s=1.00)"` or `"32-bit float"`.
+    fn name(&self) -> String;
+
+    /// Compresses one state-change tensor into a wire payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompressError`] if the tensor does not match the shape
+    /// this context was created for, or contains non-finite values.
+    fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError>;
+
+    /// Decompresses a wire payload produced by this context.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for any structurally malformed payload.
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError>;
+
+    /// The error-accumulation (residual) buffer, if this scheme keeps one.
+    ///
+    /// Exposed for tests and instrumentation; `None` for stateless schemes.
+    fn residual(&self) -> Option<&Tensor> {
+        None
+    }
+}
+
+/// Running traffic statistics for a stream of compressed tensors.
+///
+/// Tracks exactly the quantities the paper's Table 2 and Figure 9 report:
+/// the end-to-end compression ratio relative to 32-bit floats and the
+/// average compressed bits per state-change value.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Total state-change values compressed.
+    pub values: u64,
+    /// Total wire bytes produced.
+    pub wire_bytes: u64,
+    /// Number of tensors (payloads) compressed.
+    pub payloads: u64,
+}
+
+impl CompressionStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one payload of `wire_bytes` bytes covering `values` values.
+    pub fn record(&mut self, values: usize, wire_bytes: usize) {
+        self.values += values as u64;
+        self.wire_bytes += wire_bytes as u64;
+        self.payloads += 1;
+    }
+
+    /// Merges another statistics record into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.values += other.values;
+        self.wire_bytes += other.wire_bytes;
+        self.payloads += other.payloads;
+    }
+
+    /// Average compressed bits per state-change value.
+    pub fn bits_per_value(&self) -> f64 {
+        if self.values == 0 {
+            0.0
+        } else {
+            self.wire_bytes as f64 * 8.0 / self.values as f64
+        }
+    }
+
+    /// End-to-end compression ratio versus 32-bit floats (higher is better).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            0.0
+        } else {
+            self.values as f64 * 4.0 / self.wire_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = CompressionStats::new();
+        s.record(100, 10);
+        s.record(100, 10);
+        assert_eq!(s.values, 200);
+        assert_eq!(s.wire_bytes, 20);
+        assert_eq!(s.payloads, 2);
+        assert!((s.bits_per_value() - 0.8).abs() < 1e-12);
+        assert!((s.compression_ratio() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_is_zero() {
+        let s = CompressionStats::new();
+        assert_eq!(s.bits_per_value(), 0.0);
+        assert_eq!(s.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CompressionStats::new();
+        a.record(10, 4);
+        let mut b = CompressionStats::new();
+        b.record(30, 4);
+        a.merge(&b);
+        assert_eq!(a.values, 40);
+        assert_eq!(a.wire_bytes, 8);
+        assert_eq!(a.payloads, 2);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _take(_: &mut dyn Compressor) {}
+    }
+}

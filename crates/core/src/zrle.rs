@@ -1,0 +1,208 @@
+//! Zero-run encoding of quartic byte streams (paper §3.3).
+//!
+//! Quartic encoding is fixed-length, so it cannot exploit the sparseness of
+//! the ternary input. Zero-run encoding is a run-length code specialized to
+//! quartic output: the input alphabet is 0–242, leaving byte values 243–255
+//! free. A run of `k` consecutive [`ZERO_BYTE`]s (`2 ≤ k ≤ 14`) is replaced
+//! by the single byte `243 + (k − 2)`; longer runs are split into maximal
+//! chunks of 14. A lone zero byte is emitted unchanged.
+//!
+//! The code is byte-aligned — no bit-level operations and no lookup tables —
+//! which is what keeps 3LC's computation overhead low compared to entropy
+//! coders (§3.3, §6).
+
+use crate::quartic::{MAX_QUARTIC_BYTE, ZERO_BYTE};
+use crate::DecodeError;
+
+/// Shortest zero-byte run that gets replaced by an escape code.
+pub const MIN_RUN: usize = 2;
+
+/// Longest zero-byte run a single escape code can represent.
+pub const MAX_RUN: usize = 14;
+
+/// First escape code: `ESCAPE_BASE + (k - MIN_RUN)` encodes a run of `k`.
+pub const ESCAPE_BASE: u8 = 243;
+
+/// Encodes a quartic byte stream with zero-run encoding.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::InvalidQuarticByte`] if the input contains a byte
+/// above 242 (not a valid quartic stream).
+///
+/// ```
+/// use threelc::zrle;
+/// // Three zero bytes collapse into one escape byte 243 + (3-2) = 244.
+/// assert_eq!(zrle::encode(&[121, 121, 121])?, vec![244]);
+/// // A lone zero byte stays as-is.
+/// assert_eq!(zrle::encode(&[7, 121, 9])?, vec![7, 121, 9]);
+/// # Ok::<(), threelc::DecodeError>(())
+/// ```
+pub fn encode(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    if let Some(offset) = input.iter().position(|&b| b > MAX_QUARTIC_BYTE) {
+        return Err(DecodeError::InvalidQuarticByte {
+            byte: input[offset],
+            offset,
+        });
+    }
+    let mut out = Vec::with_capacity(input.len());
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        if b != ZERO_BYTE {
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        let mut run = 1;
+        while run < MAX_RUN && i + run < input.len() && input[i + run] == ZERO_BYTE {
+            run += 1;
+        }
+        if run >= MIN_RUN {
+            out.push(ESCAPE_BASE + (run - MIN_RUN) as u8);
+        } else {
+            out.push(ZERO_BYTE);
+        }
+        i += run;
+    }
+    Ok(out)
+}
+
+/// Decodes a zero-run-encoded stream back into quartic bytes.
+///
+/// # Errors
+///
+/// This function cannot fail structurally (every byte 0–255 is meaningful),
+/// but callers should verify the decoded length against the expected
+/// quartic length; [`decode_exact`] does that check.
+pub fn decode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    for &b in input {
+        if b >= ESCAPE_BASE {
+            let run = (b - ESCAPE_BASE) as usize + MIN_RUN;
+            out.resize(out.len() + run, ZERO_BYTE);
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Decodes and verifies that exactly `expected_len` quartic bytes result.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BodyLengthMismatch`] if the decoded length
+/// differs from `expected_len`.
+pub fn decode_exact(input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecodeError> {
+    let out = decode(input);
+    if out.len() != expected_len {
+        return Err(DecodeError::BodyLengthMismatch {
+            decoded: out.len(),
+            expected: expected_len,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_zero_byte_unchanged() {
+        assert_eq!(encode(&[121]).unwrap(), vec![121]);
+        assert_eq!(encode(&[5, 121, 6]).unwrap(), vec![5, 121, 6]);
+    }
+
+    #[test]
+    fn short_runs_escape() {
+        assert_eq!(encode(&[121, 121]).unwrap(), vec![243]);
+        assert_eq!(encode(&[121; 14]).unwrap(), vec![255]);
+    }
+
+    #[test]
+    fn long_runs_split_into_max_chunks() {
+        // 15 zeros → one max-run (14) + one lone zero byte.
+        assert_eq!(encode(&[121; 15]).unwrap(), vec![255, 121]);
+        // 16 zeros → 14 + 2.
+        assert_eq!(encode(&[121; 16]).unwrap(), vec![255, 243]);
+        // 28 zeros → 14 + 14.
+        assert_eq!(encode(&[121; 28]).unwrap(), vec![255, 255]);
+    }
+
+    #[test]
+    fn non_zero_bytes_pass_through() {
+        let data = [0u8, 1, 100, 242, 120, 122];
+        assert_eq!(encode(&data).unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn encode_rejects_invalid_quartic() {
+        assert!(matches!(
+            encode(&[243]),
+            Err(DecodeError::InvalidQuarticByte {
+                byte: 243,
+                offset: 0
+            })
+        ));
+        assert!(matches!(
+            encode(&[121, 255]),
+            Err(DecodeError::InvalidQuarticByte { offset: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![121],
+            vec![121; 2],
+            vec![121; 14],
+            vec![121; 15],
+            vec![121; 29],
+            vec![1, 121, 121, 2, 121, 121, 121, 3],
+            vec![242, 0, 121],
+        ];
+        for case in cases {
+            let enc = encode(&case).unwrap();
+            assert_eq!(decode(&enc), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn decode_exact_length_check() {
+        let enc = encode(&[121; 10]).unwrap();
+        assert!(decode_exact(&enc, 10).is_ok());
+        assert!(matches!(
+            decode_exact(&enc, 11),
+            Err(DecodeError::BodyLengthMismatch {
+                decoded: 10,
+                expected: 11
+            })
+        ));
+    }
+
+    #[test]
+    fn compression_ratio_on_all_zero_stream() {
+        // An all-zero quartic stream compresses ~14×: each escape byte
+        // covers 14 zero bytes (70 ternary values).
+        let input = vec![121u8; 14 * 100];
+        let enc = encode(&input).unwrap();
+        assert_eq!(enc.len(), 100);
+    }
+
+    #[test]
+    fn mixed_stream_roundtrip_matches_paper_figure3() {
+        // Figure 3 step (4): quartic bytes [113, 121, 121, 121] encode to
+        // [113, 244] (run of 3 → 243 + 1).
+        let quartic = [113u8, 121, 121, 121];
+        assert_eq!(encode(&quartic).unwrap(), vec![113, 244]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(encode(&[]).unwrap().is_empty());
+        assert!(decode(&[]).is_empty());
+    }
+}

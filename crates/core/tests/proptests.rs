@@ -1,0 +1,133 @@
+//! Property-based tests for the 3LC compression pipeline invariants.
+
+use proptest::prelude::*;
+use threelc::{
+    quartic, zrle, Compressor, SparsityMultiplier, TernaryTensor, ThreeLcCompressor,
+    ThreeLcOptions,
+};
+use threelc_tensor::{Shape, Tensor};
+
+fn ternary_vec() -> impl Strategy<Value = Vec<i8>> {
+    prop::collection::vec(-1i8..=1, 0..600)
+}
+
+fn float_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..400)
+}
+
+fn sparsity() -> impl Strategy<Value = SparsityMultiplier> {
+    (1.0f32..1.999).prop_map(|s| SparsityMultiplier::new(s).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn quartic_roundtrip(values in ternary_vec()) {
+        let bytes = quartic::encode(&values);
+        prop_assert_eq!(bytes.len(), values.len().div_ceil(5));
+        let back = quartic::decode(&bytes, values.len()).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn quartic_output_in_range(values in ternary_vec()) {
+        let bytes = quartic::encode(&values);
+        prop_assert!(bytes.iter().all(|&b| b <= quartic::MAX_QUARTIC_BYTE));
+    }
+
+    #[test]
+    fn zrle_roundtrip(bytes in prop::collection::vec(0u8..=242, 0..800)) {
+        let enc = zrle::encode(&bytes).unwrap();
+        prop_assert_eq!(zrle::decode(&enc), bytes.clone());
+        // ZRE never expands a valid quartic stream.
+        prop_assert!(enc.len() <= bytes.len().max(1));
+    }
+
+    #[test]
+    fn zrle_decode_exact_catches_length_tampering(bytes in prop::collection::vec(0u8..=242, 1..200)) {
+        let enc = zrle::encode(&bytes).unwrap();
+        prop_assert!(zrle::decode_exact(&enc, bytes.len()).is_ok());
+        prop_assert!(zrle::decode_exact(&enc, bytes.len() + 1).is_err());
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_m(v in float_vec(), s in sparsity()) {
+        let input = Tensor::from_slice(&v);
+        let q = TernaryTensor::quantize(&input, s).unwrap();
+        let out = q.dequantize();
+        let err = input.sub(&out).unwrap().max_abs();
+        // Paper §3.1 convergence argument: max |T_in − T_out| ≤ M/2.
+        prop_assert!(err <= q.scale() / 2.0 + q.scale() * 1e-6,
+            "err {} > M/2 {}", err, q.scale() / 2.0);
+    }
+
+    #[test]
+    fn quantized_values_are_ternary(v in float_vec(), s in sparsity()) {
+        let input = Tensor::from_slice(&v);
+        let q = TernaryTensor::quantize(&input, s).unwrap();
+        prop_assert!(q.values().iter().all(|x| (-1..=1).contains(x)));
+    }
+
+    #[test]
+    fn end_to_end_roundtrip_bound(v in float_vec(), s in sparsity(), zre in any::<bool>()) {
+        let input = Tensor::from_slice(&v);
+        let opts = ThreeLcOptions {
+            sparsity: s,
+            zero_run_encoding: zre,
+            error_accumulation: false,
+        };
+        let mut cx = ThreeLcCompressor::with_options(input.shape().clone(), opts);
+        let wire = cx.compress(&input).unwrap();
+        let out = cx.decompress(&wire).unwrap();
+        prop_assert_eq!(out.shape(), input.shape());
+        let m = input.max_abs() * s.value();
+        let err = input.sub(&out).unwrap().max_abs();
+        prop_assert!(err <= m / 2.0 + m * 1e-6);
+    }
+
+    #[test]
+    fn error_accumulation_conserves_mass(v in float_vec(), s in sparsity()) {
+        // Invariant: after each compress, buffer + Σ(transmitted) = Σ(inputs).
+        let input = Tensor::from_slice(&v);
+        let mut cx = ThreeLcCompressor::with_options(
+            input.shape().clone(),
+            ThreeLcOptions { sparsity: s, ..Default::default() },
+        );
+        let mut transmitted = Tensor::zeros(input.shape().clone());
+        for step in 1..=4u32 {
+            let wire = cx.compress(&input).unwrap();
+            transmitted.add_assign(&cx.decompress(&wire).unwrap()).unwrap();
+            let total_in = input.scale(step as f32);
+            let account = transmitted.add(cx.residual().unwrap()).unwrap();
+            let tol = total_in.max_abs().max(1.0) * 1e-4;
+            prop_assert!(account.approx_eq(&total_in, tol),
+                "step {}: accounting mismatch", step);
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_arbitrary_bytes(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        n in 1usize..64,
+    ) {
+        let cx = ThreeLcCompressor::new(Shape::new(&[n]), SparsityMultiplier::default());
+        // Must return Ok or Err, never panic.
+        let _ = cx.decompress(&payload);
+    }
+
+    #[test]
+    fn wire_size_monotone_in_sparsity(seed in any::<u64>()) {
+        let mut r = threelc_tensor::rng(seed);
+        let input = threelc_tensor::Initializer::Normal { mean: 0.0, std_dev: 1.0 }
+            .init(&mut r, [2048]);
+        let mut prev = usize::MAX;
+        for s in [1.0f32, 1.3, 1.6, 1.9] {
+            let mut cx = ThreeLcCompressor::new(
+                input.shape().clone(),
+                SparsityMultiplier::new(s).unwrap(),
+            );
+            let len = cx.compress(&input).unwrap().len();
+            prop_assert!(len <= prev, "size must not grow with s");
+            prev = len;
+        }
+    }
+}

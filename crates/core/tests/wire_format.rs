@@ -1,0 +1,104 @@
+//! Golden wire-format tests: the exact bytes of 3LC payloads.
+//!
+//! The wire format is a protocol: decoders on other nodes (or other
+//! implementations) must agree on every byte. These tests pin the format
+//! so accidental changes fail loudly rather than corrupting traffic.
+
+use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor, ThreeLcOptions};
+use threelc_tensor::{Shape, Tensor};
+
+fn ctx(n: usize, zre: bool) -> ThreeLcCompressor {
+    ThreeLcCompressor::with_options(
+        Shape::new(&[n]),
+        ThreeLcOptions {
+            sparsity: SparsityMultiplier::default(),
+            zero_run_encoding: zre,
+            error_accumulation: false,
+        },
+    )
+}
+
+#[test]
+fn golden_header_layout() {
+    // [0] flags, [1..5] f32 LE scale, [5..9] u32 LE count.
+    let mut cx = ctx(5, true);
+    let wire = cx
+        .compress(&Tensor::from_slice(&[1.0, -1.0, 0.0, 0.0, 0.0]))
+        .unwrap();
+    assert_eq!(wire[0], 0b0000_0001, "ZRE flag set");
+    assert_eq!(f32::from_le_bytes(wire[1..5].try_into().unwrap()), 1.0);
+    assert_eq!(u32::from_le_bytes(wire[5..9].try_into().unwrap()), 5);
+}
+
+#[test]
+fn golden_quartic_body_no_zre() {
+    // Ternary [1, -1, 0, 0, 0] → digits (2,0,1,1,1) → 2·81+0+9+3+1 = 175.
+    let mut cx = ctx(5, false);
+    let wire = cx
+        .compress(&Tensor::from_slice(&[1.0, -1.0, 0.0, 0.0, 0.0]))
+        .unwrap();
+    assert_eq!(wire[0], 0, "no flags");
+    assert_eq!(&wire[9..], &[175]);
+}
+
+#[test]
+fn golden_partitioned_layout() {
+    // 10 values, partitions of length 2: byte 0 packs values 0,2,4,6,8 and
+    // byte 1 packs values 1,3,5,7,9 (the paper's 5-partition scheme).
+    let mut data = vec![0.0f32; 10];
+    data[0] = 1.0; // partition p0, byte 0 → digit a=2
+    data[1] = -1.0; // partition p0, byte 1 → digit a=0
+    let mut cx = ctx(10, false);
+    let wire = cx.compress(&Tensor::from_vec(data, [10])).unwrap();
+    // byte0: (2,1,1,1,1) → 202; byte1: (0,1,1,1,1) → 40.
+    assert_eq!(&wire[9..], &[202, 40]);
+}
+
+#[test]
+fn golden_zre_run_codes() {
+    // 100 zeros → 20 quartic bytes of 121 → runs of 14 and 6:
+    // 255 (= 243 + 14 − 2) then 247 (= 243 + 6 − 2).
+    let mut cx = ctx(100, true);
+    let wire = cx.compress(&Tensor::zeros([100])).unwrap();
+    assert_eq!(&wire[9..], &[255, 247]);
+}
+
+#[test]
+fn golden_scale_is_max_abs_times_s() {
+    let mut cx = ThreeLcCompressor::new(
+        Shape::new(&[3]),
+        SparsityMultiplier::new(1.5).unwrap(),
+    );
+    let wire = cx
+        .compress(&Tensor::from_slice(&[0.2, -0.4, 0.1]))
+        .unwrap();
+    let scale = f32::from_le_bytes(wire[1..5].try_into().unwrap());
+    assert!((scale - 0.6).abs() < 1e-6, "M = max|T| · s = 0.4 · 1.5");
+}
+
+#[test]
+fn golden_empty_runs_and_eof() {
+    // A tensor shorter than one quartic group still produces one byte.
+    let mut cx = ctx(2, false);
+    let wire = cx.compress(&Tensor::from_slice(&[0.5, -0.5])).unwrap();
+    // Ternary [1, -1] padded with zeros: partitions of length 1, bytes:
+    // ceil(2/5) = 1 byte: digits (2, 0, 1, 1, 1) = 175.
+    assert_eq!(wire.len(), 9 + 1);
+    assert_eq!(wire[9], 175);
+}
+
+#[test]
+fn cross_context_decode_agrees() {
+    // Any context bound to the same shape decodes the payload identically
+    // (the basis for shared pull compression).
+    let t = Tensor::from_slice(&[0.3, 0.0, -0.1, 0.05, 0.0, 0.0, 0.2, 0.0]);
+    let mut producer = ctx(8, true);
+    let wire = producer.compress(&t).unwrap();
+    let consumer_a = ctx(8, true);
+    let consumer_b = ThreeLcCompressor::new(Shape::new(&[8]), SparsityMultiplier::new(1.9).unwrap());
+    assert_eq!(
+        consumer_a.decompress(&wire).unwrap(),
+        consumer_b.decompress(&wire).unwrap(),
+        "decoding is independent of the consumer's own options"
+    );
+}

@@ -1,0 +1,747 @@
+//! The bulk-synchronous parameter-server cluster.
+
+use crate::config::ExperimentConfig;
+use crate::trace::StepRecord;
+use std::time::Instant;
+use threelc::{CompressionStats, Compressor};
+use threelc_baselines::build_compressor;
+use threelc_learning::{models, Batch, Evaluation, LrSchedule, Network, SgdMomentum, SyntheticImages};
+use threelc_tensor::{Rng, Tensor};
+
+/// One worker's state: a local model replica, a data-sampling RNG, and a
+/// push compression context per compressible tensor.
+struct Worker {
+    model: Network,
+    rng: Rng,
+    push_ctxs: Vec<Option<Box<dyn Compressor>>>,
+}
+
+/// An in-process parameter-server cluster (paper Figures 1–2).
+///
+/// Training dynamics are exact: every gradient flows through a real
+/// compression context on push, the server's SGD-with-momentum updates the
+/// full-precision global model, and every model delta flows through a real
+/// (shared) compression context on pull. Wall-clock time is *simulated*
+/// from the measured codec CPU time and byte counts recorded in each
+/// [`StepRecord`].
+pub struct Cluster {
+    config: ExperimentConfig,
+    global: Network,
+    prev_global: Vec<Tensor>,
+    workers: Vec<Worker>,
+    pull_ctxs: Vec<Option<Box<dyn Compressor>>>,
+    optimizer: SgdMomentum,
+    schedule: LrSchedule,
+    data: SyntheticImages,
+    test: Batch,
+    step: u64,
+    push_stats: CompressionStats,
+    pull_stats: CompressionStats,
+    /// RNG for per-step straggler jitter (separate stream so enabling
+    /// jitter does not perturb data sampling).
+    straggler_rng: Rng,
+    /// Stale-pull pipeline: decoded per-tensor deltas waiting to be
+    /// applied to workers (`config.staleness` steps deep; empty in BSP).
+    pending_deltas: std::collections::VecDeque<Vec<Tensor>>,
+}
+
+impl Cluster {
+    /// Builds a cluster: global model, `config.workers` replicas, and
+    /// per-tensor compression contexts on both paths.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let data = SyntheticImages::standard(config.seed.wrapping_mul(31).wrapping_add(7));
+        let spec = data.spec();
+        let global = models::residual_mlp(&spec, config.model_width, config.model_blocks, config.seed);
+        let shapes: Vec<_> = global.params().iter().map(|p| p.shape().clone()).collect();
+        let compressible: Vec<bool> = global
+            .params()
+            .iter()
+            .map(|p| p.len() >= config.compress_threshold)
+            .collect();
+
+        let workers = (0..config.workers)
+            .map(|w| Worker {
+                model: global.clone(),
+                rng: threelc_tensor::rng(config.seed.wrapping_add(1000 + w as u64)),
+                push_ctxs: shapes
+                    .iter()
+                    .zip(&compressible)
+                    .enumerate()
+                    .map(|(i, (shape, &c))| {
+                        c.then(|| {
+                            build_compressor(
+                                &config.scheme,
+                                shape.clone(),
+                                config.seed ^ (w as u64) << 32 ^ i as u64,
+                            )
+                        })
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let pull_ctxs = shapes
+            .iter()
+            .zip(&compressible)
+            .enumerate()
+            .map(|(i, (shape, &c))| {
+                c.then(|| {
+                    build_compressor(
+                        &config.scheme,
+                        shape.clone(),
+                        config.seed ^ 0x5055_4C4C_0000_0000 ^ i as u64,
+                    )
+                })
+            })
+            .collect();
+
+        let prev_global = global.snapshot();
+        let test = data.test_batch();
+        Cluster {
+            prev_global,
+            workers,
+            pull_ctxs,
+            optimizer: SgdMomentum::new(config.momentum, config.weight_decay),
+            schedule: LrSchedule::cosine(config.lr_max, config.lr_min, config.total_steps),
+            global,
+            data,
+            test,
+            step: 0,
+            push_stats: CompressionStats::new(),
+            pull_stats: CompressionStats::new(),
+            straggler_rng: threelc_tensor::rng(config.seed ^ 0x5357_4147), // "STAG"
+            pending_deltas: std::collections::VecDeque::new(),
+            config,
+        }
+    }
+
+    /// Samples this step's per-worker compute multipliers and decides which
+    /// workers participate: with `backup_workers = k`, the `k` slowest are
+    /// dropped (their pushes never aggregated), as in TensorFlow's
+    /// `SyncReplicasOptimizer` backup-worker design (§2.1). Returns the
+    /// participation mask and the accepted slowest multiplier.
+    fn sample_stragglers(&mut self) -> (Vec<bool>, f64) {
+        let n = self.config.workers;
+        let jitter = self.config.timing.straggler_jitter;
+        let multipliers: Vec<f64> = (0..n)
+            .map(|_| {
+                if jitter > 0.0 {
+                    (jitter
+                        * threelc_tensor::init::sample_standard_normal(&mut self.straggler_rng)
+                            as f64)
+                        .exp()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let backups = self.config.backup_workers.min(n.saturating_sub(1));
+        let mut accepted = vec![true; n];
+        if backups > 0 {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                multipliers[b]
+                    .partial_cmp(&multipliers[a])
+                    .expect("multipliers are finite")
+            });
+            for &w in order.iter().take(backups) {
+                accepted[w] = false;
+            }
+        }
+        let gate = multipliers
+            .iter()
+            .zip(&accepted)
+            .filter(|(_, &a)| a)
+            .map(|(&m, _)| m)
+            .fold(0.0f64, f64::max);
+        (accepted, gate)
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The server's full-precision global model.
+    pub fn global_model(&self) -> &Network {
+        &self.global
+    }
+
+    /// Worker `w`'s local model replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn worker_model(&self, w: usize) -> &Network {
+        &self.workers[w].model
+    }
+
+    /// Steps executed so far.
+    pub fn steps_done(&self) -> u64 {
+        self.step
+    }
+
+    /// Cumulative gradient-push traffic statistics.
+    pub fn push_stats(&self) -> &CompressionStats {
+        &self.push_stats
+    }
+
+    /// Cumulative model-delta-pull traffic statistics.
+    pub fn pull_stats(&self) -> &CompressionStats {
+        &self.pull_stats
+    }
+
+    /// Total parameters in the model.
+    pub fn num_params(&self) -> u64 {
+        self.global.num_params() as u64
+    }
+
+    /// Number of values covered by compression (per direction per worker).
+    pub fn compressible_values(&self) -> u64 {
+        self.global
+            .params()
+            .iter()
+            .filter(|p| p.len() >= self.config.compress_threshold)
+            .map(|p| p.len() as u64)
+            .sum()
+    }
+
+    /// Evaluates the global model on the held-out test set (the paper's
+    /// dedicated evaluation node reading a model snapshot).
+    pub fn evaluate(&self) -> Evaluation {
+        Evaluation::of(&self.global, &self.test)
+    }
+
+    /// Evaluates the global model on a training-data sample (used for the
+    /// training-loss curves of Figure 7).
+    pub fn training_loss_sample(&self, batch_size: usize) -> f32 {
+        let mut rng = threelc_tensor::rng(self.config.seed ^ 0x5A5A ^ self.step);
+        let batch = self.data.sample_train_batch(&mut rng, batch_size);
+        self.global.loss(&batch)
+    }
+
+    /// Executes one bulk-synchronous training step and returns its record.
+    pub fn step(&mut self) -> StepRecord {
+        // Linear warmup (Goyal et al.) scales the cosine schedule during
+        // the first `warmup_steps` steps.
+        let warmup = if self.config.warmup_steps > 0 && self.step < self.config.warmup_steps {
+            (self.step + 1) as f32 / self.config.warmup_steps as f32
+        } else {
+            1.0
+        };
+        let lr = self.schedule.lr_at(self.step) * warmup;
+        let n_params = self.global.params().len();
+        let workers = self.config.workers;
+        let (accepted, compute_multiplier) = self.sample_stragglers();
+        let accepted_count = accepted.iter().filter(|&&a| a).count();
+
+        // ---- Worker phase: local compute + gradient push compression.
+        // Workers dropped as stragglers skip the step entirely: their
+        // gradients never reach the server (backup-worker semantics).
+        let mut payloads: Vec<Vec<PushPayload>> = Vec::with_capacity(workers);
+        let mut loss_sum = 0.0f64;
+        let mut worker_codec_max = 0.0f64;
+        let mut push_bytes = 0u64;
+        let mut raw_bytes = 0u64;
+        // Per-server traffic for the sharded-model timing (Figure 1:
+        // tensor i lives on server i mod servers).
+        let servers = self.config.servers.max(1);
+        let mut server_bytes = vec![0u64; servers];
+        for (w, &participating) in self.workers.iter_mut().zip(&accepted) {
+            if !participating {
+                payloads.push(Vec::new());
+                continue;
+            }
+            let batch = self.data.sample_train_batch(&mut w.rng, self.config.batch_per_worker);
+            let (loss, grads) = w.model.loss_and_gradients(&batch);
+            loss_sum += loss as f64;
+            let mut worker_payloads = Vec::with_capacity(n_params);
+            let mut codec = 0.0f64;
+            for (i, grad) in grads.into_iter().enumerate() {
+                match &mut w.push_ctxs[i] {
+                    Some(ctx) => {
+                        let t0 = Instant::now();
+                        let wire = ctx
+                            .compress(&grad)
+                            .expect("gradient shape matches context");
+                        codec += t0.elapsed().as_secs_f64();
+                        push_bytes += wire.len() as u64;
+                        server_bytes[i % servers] += wire.len() as u64;
+                        self.push_stats.record(grad.len(), wire.len());
+                        worker_payloads.push(PushPayload::Compressed(wire));
+                    }
+                    None => {
+                        raw_bytes += grad.len() as u64 * 4;
+                        server_bytes[i % servers] += grad.len() as u64 * 4;
+                        worker_payloads.push(PushPayload::Raw(grad));
+                    }
+                }
+            }
+            worker_codec_max = worker_codec_max.max(codec);
+            payloads.push(worker_payloads);
+        }
+
+        // ---- Server phase: decompress, aggregate, update global model.
+        let mut server_codec = 0.0f64;
+        let mut aggregated: Vec<Tensor> = Vec::with_capacity(n_params);
+        for i in 0..n_params {
+            let mut sum: Option<Tensor> = None;
+            for (w, worker_payloads) in payloads.iter().enumerate() {
+                if worker_payloads.is_empty() {
+                    continue; // dropped straggler
+                }
+                let grad = match &worker_payloads[i] {
+                    PushPayload::Compressed(wire) => {
+                        let t0 = Instant::now();
+                        let g = self.workers[w].push_ctxs[i]
+                            .as_ref()
+                            .expect("compressed payload implies a context")
+                            .decompress(wire)
+                            .expect("payload produced by matching context");
+                        server_codec += t0.elapsed().as_secs_f64();
+                        g
+                    }
+                    PushPayload::Raw(grad) => grad.clone(),
+                };
+                match &mut sum {
+                    Some(s) => s.add_assign(&grad).expect("same shapes"),
+                    None => sum = Some(grad),
+                }
+            }
+            let mut avg = sum.expect("at least one accepted worker");
+            avg.scale_inplace(1.0 / accepted_count as f32);
+            aggregated.push(avg);
+        }
+        self.optimizer.apply(&mut self.global, &aggregated, lr);
+
+        // ---- Pull phase: compress model deltas (shared) and stage them.
+        let mut pull_bytes = 0u64;
+        let global_now = self.global.snapshot();
+        let mut step_deltas = Vec::with_capacity(n_params);
+        for i in 0..n_params {
+            let delta = global_now[i]
+                .sub(&self.prev_global[i])
+                .expect("snapshots share shapes");
+            match &mut self.pull_ctxs[i] {
+                Some(ctx) => {
+                    let t0 = Instant::now();
+                    let wire = ctx.compress(&delta).expect("delta shape matches context");
+                    let decoded = ctx
+                        .decompress(&wire)
+                        .expect("payload produced by this context");
+                    server_codec += t0.elapsed().as_secs_f64();
+                    if !self.config.shared_pull_compression {
+                        // Ablation: without sharing, the server pays the
+                        // codec cost once per worker.
+                        server_codec += t0.elapsed().as_secs_f64() * (workers as f64 - 1.0);
+                    }
+                    pull_bytes += wire.len() as u64 * workers as u64;
+                    if self.config.staleness == 0 {
+                        server_bytes[i % servers] += wire.len() as u64 * workers as u64;
+                    }
+                    self.pull_stats
+                        .record(delta.len() * workers, wire.len() * workers);
+                    step_deltas.push(decoded);
+                }
+                None => {
+                    raw_bytes += delta.len() as u64 * 4 * workers as u64;
+                    if self.config.staleness == 0 {
+                        server_bytes[i % servers] += delta.len() as u64 * 4 * workers as u64;
+                    }
+                    step_deltas.push(delta);
+                }
+            }
+        }
+        self.prev_global = global_now;
+
+        // Apply the deltas that have cleared the staleness pipeline. In BSP
+        // (staleness 0) that is this step's own deltas; with staleness k,
+        // workers run k steps behind the server's global model and pull
+        // transfers overlap subsequent compute.
+        self.pending_deltas.push_back(step_deltas);
+        while self.pending_deltas.len() > self.config.staleness as usize {
+            let deltas = self.pending_deltas.pop_front().expect("nonempty");
+            for w in &mut self.workers {
+                for (i, delta) in deltas.iter().enumerate() {
+                    w.model.params_mut()[i]
+                        .add_assign(delta)
+                        .expect("same shapes");
+                }
+            }
+        }
+
+        let record = StepRecord {
+            step: self.step,
+            lr,
+            loss: (loss_sum / accepted_count as f64) as f32,
+            push_bytes,
+            pull_bytes,
+            raw_bytes,
+            compressible_values: self.compressible_values(),
+            worker_codec_seconds: worker_codec_max,
+            server_codec_seconds: server_codec,
+            compute_multiplier,
+            pull_overlapped: self.config.staleness > 0,
+            critical_bytes: server_bytes.iter().copied().max().unwrap_or(0),
+        };
+        self.step += 1;
+        record
+    }
+}
+
+/// A worker's per-tensor push: compressed wire bytes or a raw tensor for
+/// the small layers excluded from compression.
+enum PushPayload {
+    Compressed(Vec<u8>),
+    Raw(Tensor),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threelc_baselines::SchemeKind;
+
+    fn tiny_config(scheme: SchemeKind) -> ExperimentConfig {
+        ExperimentConfig {
+            scheme,
+            workers: 3,
+            batch_per_worker: 8,
+            total_steps: 10,
+            model_width: 16,
+            model_blocks: 1,
+            seed: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn float32_keeps_workers_identical_to_global() {
+        // With lossless transport, every worker's local model must equal
+        // the global model bit-for-bit after every step.
+        let mut cluster = Cluster::new(tiny_config(SchemeKind::Float32));
+        for _ in 0..5 {
+            cluster.step();
+        }
+        let global = cluster.global_model().snapshot();
+        for w in 0..3 {
+            assert_eq!(
+                cluster.worker_model(w).snapshot(),
+                global,
+                "worker {w} diverged under lossless transport"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_stay_in_sync_with_each_other_under_lossy_pulls() {
+        // Shared pull compression means all workers decode the same
+        // payload: they may drift from the global model but never from
+        // each other.
+        let mut cluster = Cluster::new(tiny_config(SchemeKind::three_lc(1.0)));
+        for _ in 0..5 {
+            cluster.step();
+        }
+        let first = cluster.worker_model(0).snapshot();
+        for w in 1..3 {
+            assert_eq!(
+                cluster.worker_model(w).snapshot(),
+                first,
+                "worker {w} out of sync"
+            );
+        }
+    }
+
+    #[test]
+    fn step_records_traffic() {
+        let mut cluster = Cluster::new(tiny_config(SchemeKind::Float32));
+        let rec = cluster.step();
+        let values = cluster.compressible_values();
+        assert!(values > 0);
+        // Lossless f32: 4 bytes per value per worker per direction.
+        assert_eq!(rec.push_bytes, values * 4 * 3);
+        assert_eq!(rec.pull_bytes, values * 4 * 3);
+        assert!(rec.raw_bytes > 0, "biases travel uncompressed");
+        assert!(rec.loss.is_finite());
+    }
+
+    #[test]
+    fn three_lc_reduces_traffic_by_more_than_10x() {
+        let mut a = Cluster::new(tiny_config(SchemeKind::Float32));
+        let mut b = Cluster::new(tiny_config(SchemeKind::three_lc(1.0)));
+        let (mut fa, mut fb) = (0u64, 0u64);
+        for _ in 0..5 {
+            let ra = a.step();
+            let rb = b.step();
+            fa += ra.push_bytes + ra.pull_bytes;
+            fb += rb.push_bytes + rb.pull_bytes;
+        }
+        assert!(
+            fb * 10 < fa,
+            "3LC bytes {fb} should be <10% of float32 bytes {fa}"
+        );
+    }
+
+    #[test]
+    fn deterministic_dynamics_given_seed() {
+        let run = |seed| {
+            let mut cluster = Cluster::new(ExperimentConfig {
+                seed,
+                ..tiny_config(SchemeKind::three_lc(1.5))
+            });
+            for _ in 0..4 {
+                cluster.step();
+            }
+            cluster.global_model().snapshot()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn small_tensors_bypass_compression() {
+        let cluster = Cluster::new(tiny_config(SchemeKind::three_lc(1.0)));
+        let threshold = cluster.config().compress_threshold;
+        let total: u64 = cluster.num_params();
+        let compressible = cluster.compressible_values();
+        assert!(compressible < total, "biases must be excluded");
+        for p in cluster.global_model().params() {
+            if p.len() < threshold {
+                // Small tensors are exactly the excluded ones.
+                assert!(compressible <= total - p.len() as u64 + compressible);
+            }
+        }
+    }
+
+    #[test]
+    fn backup_workers_drop_stragglers_but_stay_in_sync() {
+        let mut config = tiny_config(SchemeKind::Float32);
+        config.backup_workers = 1;
+        config.timing.straggler_jitter = 0.3;
+        let mut cluster = Cluster::new(config);
+        for _ in 0..5 {
+            let rec = cluster.step();
+            // Only 2 of 3 workers push: float32 traffic shrinks by 1/3.
+            let values = cluster.compressible_values();
+            assert_eq!(rec.push_bytes, values * 4 * 2);
+            // All 3 still pull.
+            assert_eq!(rec.pull_bytes, values * 4 * 3);
+            assert!(rec.compute_multiplier > 0.0);
+        }
+        // Dropped workers still receive deltas: replicas stay identical.
+        let first = cluster.worker_model(0).snapshot();
+        for w in 1..3 {
+            assert_eq!(cluster.worker_model(w).snapshot(), first);
+        }
+    }
+
+    #[test]
+    fn straggler_jitter_inflates_step_gate() {
+        let mut config = tiny_config(SchemeKind::Float32);
+        config.timing.straggler_jitter = 0.5;
+        let mut cluster = Cluster::new(config);
+        let gates: Vec<f64> = (0..10).map(|_| cluster.step().compute_multiplier).collect();
+        // The max of several lognormal samples is above 1 almost surely.
+        assert!(gates.iter().all(|&g| g > 0.0));
+        assert!(gates.iter().any(|&g| g > 1.0));
+        // And jitter must actually vary step to step.
+        assert!(gates.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn backup_workers_shrink_the_gate() {
+        // Cutting the slowest worker lowers the step-gating multiplier in
+        // expectation — the whole point of backup workers (§2.1).
+        let mean_gate = |backups: usize| {
+            let mut config = tiny_config(SchemeKind::Float32);
+            config.workers = 6;
+            config.backup_workers = backups;
+            config.timing.straggler_jitter = 0.4;
+            let mut cluster = Cluster::new(config);
+            (0..10).map(|_| cluster.step().compute_multiplier).sum::<f64>() / 10.0
+        };
+        assert!(
+            mean_gate(2) < mean_gate(0),
+            "dropping stragglers must reduce the expected gate"
+        );
+    }
+
+    #[test]
+    fn stale_pulls_delay_worker_updates() {
+        let mut bsp_cfg = tiny_config(SchemeKind::Float32);
+        bsp_cfg.total_steps = 8;
+        let mut stale_cfg = bsp_cfg;
+        stale_cfg.staleness = 2;
+
+        let mut bsp = Cluster::new(bsp_cfg);
+        let mut stale = Cluster::new(stale_cfg);
+        for _ in 0..5 {
+            bsp.step();
+            stale.step();
+        }
+        // Global models differ (workers computed on stale replicas), and
+        // the stale cluster's workers lag the global model by the pipeline
+        // depth.
+        assert_eq!(
+            bsp.worker_model(0).snapshot(),
+            bsp.global_model().snapshot(),
+            "BSP workers track the global model"
+        );
+        assert_ne!(
+            stale.worker_model(0).snapshot(),
+            stale.global_model().snapshot(),
+            "stale workers must lag the global model"
+        );
+        // Workers still agree with each other.
+        assert_eq!(
+            stale.worker_model(0).snapshot(),
+            stale.worker_model(1).snapshot()
+        );
+    }
+
+    #[test]
+    fn stale_pulls_hide_pull_traffic_in_step_time() {
+        let run = |staleness: u32| {
+            let mut config = tiny_config(SchemeKind::Float32);
+            config.staleness = staleness;
+            let mut cluster = Cluster::new(config);
+            cluster.step()
+        };
+        let mut bsp = run(0);
+        let mut stale = run(1);
+        assert!(!bsp.pull_overlapped);
+        assert!(stale.pull_overlapped);
+        // Zero the measured codec wall times: they are scheduler-noisy and
+        // irrelevant to what this test isolates (the comm term).
+        bsp.worker_codec_seconds = 0.0;
+        bsp.server_codec_seconds = 0.0;
+        stale.worker_codec_seconds = 0.0;
+        stale.server_codec_seconds = 0.0;
+        let net = crate::NetworkModel::ten_mbps();
+        // No overlap budget: isolate the raw comm term.
+        let timing = crate::TimingModel {
+            overlap_fraction: 0.0,
+            ..Default::default()
+        };
+        assert!(
+            stale.seconds_at(&net, &timing, 10.0) < bsp.seconds_at(&net, &timing, 10.0),
+            "hiding pulls must shorten slow-network steps"
+        );
+    }
+
+    #[test]
+    fn staleness_zero_matches_previous_bsp_behaviour() {
+        // A staleness-0 cluster applies deltas the same step (regression
+        // guard for the pipeline refactor).
+        let mut cluster = Cluster::new(tiny_config(SchemeKind::three_lc(1.0)));
+        for _ in 0..3 {
+            cluster.step();
+        }
+        // Worker replicas must reflect all three updates: training moved.
+        let w = cluster.worker_model(0).snapshot();
+        let init = Cluster::new(tiny_config(SchemeKind::three_lc(1.0)))
+            .worker_model(0)
+            .snapshot();
+        assert_ne!(w, init);
+    }
+
+    #[test]
+    fn sharding_reduces_critical_bytes_not_totals() {
+        let run = |servers: usize| {
+            let mut config = tiny_config(SchemeKind::Float32);
+            config.servers = servers;
+            let mut cluster = Cluster::new(config);
+            cluster.step()
+        };
+        let one = run(1);
+        let four = run(4);
+        // Learning dynamics and total traffic are unchanged.
+        assert_eq!(one.push_bytes, four.push_bytes);
+        assert_eq!(one.pull_bytes, four.pull_bytes);
+        assert_eq!(one.raw_bytes, four.raw_bytes);
+        // But the busiest-server share shrinks.
+        assert_eq!(
+            one.critical_bytes,
+            one.push_bytes + one.pull_bytes + one.raw_bytes
+        );
+        assert!(
+            four.critical_bytes < one.critical_bytes,
+            "sharding must cut the per-server critical path \
+             ({} vs {})",
+            four.critical_bytes,
+            one.critical_bytes
+        );
+        // And the sharded step is never slower under any link.
+        let net = crate::NetworkModel::ten_mbps();
+        let timing = crate::TimingModel {
+            overlap_fraction: 0.0,
+            ..Default::default()
+        };
+        let (mut a, mut b) = (one, four);
+        a.worker_codec_seconds = 0.0;
+        a.server_codec_seconds = 0.0;
+        b.worker_codec_seconds = 0.0;
+        b.server_codec_seconds = 0.0;
+        assert!(b.seconds_at(&net, &timing, 10.0) <= a.seconds_at(&net, &timing, 10.0));
+    }
+
+    #[test]
+    fn sharding_does_not_change_training() {
+        let run = |servers: usize| {
+            let mut config = tiny_config(SchemeKind::three_lc(1.0));
+            config.servers = servers;
+            let mut cluster = Cluster::new(config);
+            for _ in 0..4 {
+                cluster.step();
+            }
+            cluster.global_model().snapshot()
+        };
+        assert_eq!(run(1), run(3), "sharding is a placement decision only");
+    }
+
+    #[test]
+    fn no_jitter_means_unit_multiplier() {
+        let mut cluster = Cluster::new(tiny_config(SchemeKind::Float32));
+        for _ in 0..3 {
+            assert_eq!(cluster.step().compute_multiplier, 1.0);
+        }
+    }
+
+    #[test]
+    fn accessors_and_stats_track_progress() {
+        let mut cluster = Cluster::new(tiny_config(SchemeKind::three_lc(1.0)));
+        assert_eq!(cluster.steps_done(), 0);
+        assert!(cluster.push_stats().payloads == 0);
+        let eval0 = cluster.evaluate();
+        assert!(eval0.loss.is_finite());
+        assert!((0.0..=1.0).contains(&eval0.accuracy));
+        for _ in 0..3 {
+            cluster.step();
+        }
+        assert_eq!(cluster.steps_done(), 3);
+        // 3 workers × compressible tensors × 3 steps payloads on push;
+        // pull compresses once per tensor per step.
+        assert!(cluster.push_stats().payloads > 0);
+        assert!(cluster.pull_stats().payloads > 0);
+        assert!(cluster.push_stats().compression_ratio() > 5.0);
+        let sampled = cluster.training_loss_sample(16);
+        assert!(sampled.is_finite());
+        assert!(cluster.num_params() > cluster.compressible_values());
+        assert_eq!(cluster.config().workers, 3);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let mut cluster = Cluster::new(ExperimentConfig {
+            total_steps: 60,
+            ..tiny_config(SchemeKind::Float32)
+        });
+        let first: f32 = (0..5).map(|_| cluster.step().loss).sum::<f32>() / 5.0;
+        for _ in 0..50 {
+            cluster.step();
+        }
+        let last: f32 = (0..5).map(|_| cluster.step().loss).sum::<f32>() / 5.0;
+        assert!(
+            last < first,
+            "loss should fall: first {first}, last {last}"
+        );
+    }
+}

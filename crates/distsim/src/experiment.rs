@@ -1,0 +1,154 @@
+//! End-to-end experiment execution.
+
+use crate::cluster::Cluster;
+use crate::config::{ExperimentConfig, TimingModel};
+use crate::netmodel::NetworkModel;
+use crate::trace::{EvalRecord, TrainingTrace};
+use serde::{Deserialize, Serialize};
+use threelc_learning::Evaluation;
+
+/// The complete outcome of one training run: configuration, final test
+/// accuracy, and the per-step trace from which training time under any
+/// bandwidth is derived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Human-readable scheme label (as used in the paper's tables).
+    pub scheme_label: String,
+    /// Model parameter count (for traffic scaling).
+    pub model_params: u64,
+    /// Final evaluation of the global model on the test set.
+    pub final_eval: Evaluation,
+    /// Per-step traffic/time records and periodic evaluations.
+    pub trace: TrainingTrace,
+}
+
+impl ExperimentResult {
+    /// Total simulated training seconds under a given link.
+    pub fn total_seconds_at(&self, net: &NetworkModel) -> f64 {
+        let scale = self.config.timing.scale_for(self.model_params);
+        self.trace
+            .total_seconds_at(net, &self.config.timing, scale)
+    }
+
+    /// Average compressed bits per state-change value over the run.
+    pub fn bits_per_value(&self) -> f64 {
+        self.trace
+            .average_bits_per_value(self.config.workers as u64)
+    }
+
+    /// End-to-end compression ratio versus 32-bit floats.
+    pub fn compression_ratio(&self) -> f64 {
+        self.trace.compression_ratio(self.config.workers as u64)
+    }
+
+    /// The timing model in effect.
+    pub fn timing(&self) -> &TimingModel {
+        &self.config.timing
+    }
+}
+
+/// Runs one full training experiment.
+///
+/// Evaluates the global model every `config.eval_every` steps (if nonzero)
+/// and always once more after the final step.
+///
+/// ```no_run
+/// use threelc_baselines::SchemeKind;
+/// use threelc_distsim::{run_experiment, ExperimentConfig, NetworkModel};
+///
+/// let result = run_experiment(&ExperimentConfig::for_scheme(SchemeKind::three_lc(1.0)));
+/// println!(
+///     "accuracy {:.2}% in {:.0} simulated minutes @ 10 Mbps",
+///     result.final_eval.accuracy * 100.0,
+///     result.total_seconds_at(&NetworkModel::ten_mbps()) / 60.0,
+/// );
+/// ```
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    let mut cluster = Cluster::new(*config);
+    let mut trace = TrainingTrace::default();
+    for step in 0..config.total_steps {
+        trace.steps.push(cluster.step());
+        let due = config.eval_every > 0 && (step + 1) % config.eval_every == 0;
+        if due && step + 1 < config.total_steps {
+            trace.evals.push(EvalRecord {
+                step: step + 1,
+                eval: cluster.evaluate(),
+            });
+        }
+    }
+    let final_eval = cluster.evaluate();
+    trace.evals.push(EvalRecord {
+        step: config.total_steps,
+        eval: final_eval,
+    });
+    ExperimentResult {
+        config: *config,
+        scheme_label: config.scheme.label(),
+        model_params: cluster.num_params(),
+        final_eval,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threelc_baselines::SchemeKind;
+
+    fn quick(scheme: SchemeKind) -> ExperimentConfig {
+        ExperimentConfig {
+            scheme,
+            workers: 2,
+            batch_per_worker: 8,
+            total_steps: 6,
+            model_width: 16,
+            model_blocks: 1,
+            eval_every: 2,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_complete_trace() {
+        let r = run_experiment(&quick(SchemeKind::three_lc(1.0)));
+        assert_eq!(r.trace.steps.len(), 6);
+        // Evals at steps 2, 4, and the final 6.
+        let steps: Vec<u64> = r.trace.evals.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![2, 4, 6]);
+        assert_eq!(r.trace.final_eval().unwrap().eval, r.final_eval);
+        assert!(r.model_params > 0);
+        assert_eq!(r.scheme_label, "3LC (s=1.00)");
+    }
+
+    #[test]
+    fn time_decreases_with_bandwidth() {
+        let r = run_experiment(&quick(SchemeKind::Float32));
+        let slow = r.total_seconds_at(&NetworkModel::ten_mbps());
+        let fast = r.total_seconds_at(&NetworkModel::one_gbps());
+        assert!(slow > fast, "10 Mbps {slow} should exceed 1 Gbps {fast}");
+    }
+
+    #[test]
+    fn three_lc_beats_baseline_on_slow_links() {
+        let base = run_experiment(&quick(SchemeKind::Float32));
+        let lc = run_experiment(&quick(SchemeKind::three_lc(1.0)));
+        let net = NetworkModel::ten_mbps();
+        assert!(
+            lc.total_seconds_at(&net) < base.total_seconds_at(&net),
+            "3LC must be faster at 10 Mbps"
+        );
+        assert!(lc.compression_ratio() > 10.0);
+        assert!(lc.bits_per_value() < 3.2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = run_experiment(&quick(SchemeKind::Int8));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,38 @@
+//! Parameter-server cluster simulator for the 3LC reproduction.
+//!
+//! The paper evaluates 3LC on a 10-GPU cluster running TensorFlow's
+//! `SyncReplicasOptimizer` with Linux Traffic Control emulating 10 Mbps /
+//! 100 Mbps / 1 Gbps links (§5.2). This crate is the from-scratch stand-in:
+//! an in-process bulk-synchronous parameter server whose *learning
+//! dynamics* are exact (real gradients flow through real compression
+//! contexts on both the push and pull paths) and whose *wall-clock time* is
+//! simulated from first principles — measured codec CPU time plus a
+//! calibrated compute constant plus a bandwidth/latency transfer model.
+//!
+//! The architecture mirrors the paper's Figures 1 and 2:
+//!
+//! - each of `N` workers holds a local model replica and a per-tensor
+//!   **push** compression context for its gradients;
+//! - the server averages decompressed gradients, applies SGD-with-momentum
+//!   to the global model, and compresses each tensor's **model delta**
+//!   once (shared pull compression, Fig. 2b) for all workers to pull;
+//! - small tensors (biases — the analog of the paper's batch-normalization
+//!   layers) bypass compression, per §5.1.
+//!
+//! Because training dynamics do not depend on link speed, a single training
+//! run records a [`TrainingTrace`] of per-step traffic and codec times from
+//! which [`ExperimentResult::total_seconds_at`] recovers the training time
+//! under *any* bandwidth — the same extrapolation methodology the paper
+//! uses for its 10 Mbps and 100 Mbps numbers.
+
+pub mod cluster;
+pub mod config;
+pub mod experiment;
+pub mod netmodel;
+pub mod trace;
+
+pub use cluster::Cluster;
+pub use config::{ExperimentConfig, TimingModel};
+pub use experiment::{run_experiment, ExperimentResult};
+pub use netmodel::NetworkModel;
+pub use trace::{EvalRecord, StepRecord, TrainingTrace};

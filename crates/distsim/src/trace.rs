@@ -1,0 +1,258 @@
+//! Per-step training traces and derived traffic/time summaries.
+
+use crate::config::TimingModel;
+use crate::netmodel::NetworkModel;
+use serde::{Deserialize, Serialize};
+use threelc_learning::Evaluation;
+
+/// One training step's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index (0-based).
+    pub step: u64,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Mean training loss across workers.
+    pub loss: f32,
+    /// Compressed gradient-push bytes, summed over workers (compressible
+    /// tensors only).
+    pub push_bytes: u64,
+    /// Compressed model-delta pull bytes, summed over workers.
+    pub pull_bytes: u64,
+    /// Uncompressed bytes for tensors excluded from compression (both
+    /// directions, all workers).
+    pub raw_bytes: u64,
+    /// State-change values covered by compression, per direction per
+    /// worker (i.e. the compressible parameter count).
+    pub compressible_values: u64,
+    /// Measured worker-side codec seconds (max across workers — they run
+    /// in parallel on real hardware).
+    pub worker_codec_seconds: f64,
+    /// Measured server-side codec seconds (decompress pushes + compress
+    /// pulls).
+    pub server_codec_seconds: f64,
+    /// Compute-time multiplier of the slowest *accepted* worker this step
+    /// (1.0 without straggler jitter; see
+    /// [`TimingModel::straggler_jitter`]).
+    #[serde(default = "default_multiplier")]
+    pub compute_multiplier: f64,
+    /// Whether this step's pull transfer is fully overlapped with later
+    /// compute (stale-pull mode, `staleness > 0`): its bytes then do not
+    /// appear on the critical path.
+    #[serde(default)]
+    pub pull_overlapped: bool,
+    /// Bytes through the busiest parameter server this step (equals the
+    /// byte total with one server; less when the model is sharded and
+    /// servers transfer in parallel). `0` means "not recorded" — the
+    /// totals are used instead.
+    #[serde(default)]
+    pub critical_bytes: u64,
+}
+
+fn default_multiplier() -> f64 {
+    1.0
+}
+
+impl StepRecord {
+    /// Compressed bits per state-change value for pushes this step
+    /// (Figure 9's y-axis).
+    pub fn push_bits_per_value(&self, workers: u64) -> f64 {
+        if self.compressible_values == 0 {
+            return 0.0;
+        }
+        self.push_bytes as f64 * 8.0 / (self.compressible_values * workers) as f64
+    }
+
+    /// Compressed bits per state-change value for pulls this step.
+    pub fn pull_bits_per_value(&self, workers: u64) -> f64 {
+        if self.compressible_values == 0 {
+            return 0.0;
+        }
+        self.pull_bytes as f64 * 8.0 / (self.compressible_values * workers) as f64
+    }
+
+    /// Simulated duration of this step under a given link and timing model.
+    ///
+    /// `scale` is [`TimingModel::scale_for`] of the model size.
+    pub fn seconds_at(&self, net: &NetworkModel, timing: &TimingModel, scale: f64) -> f64 {
+        let critical_pull = if self.pull_overlapped { 0 } else { self.pull_bytes };
+        let total = self.push_bytes + critical_pull + self.raw_bytes;
+        // Sharded models transfer through parallel server links: the
+        // busiest server gates the step (but never more than the total).
+        let bytes = if self.critical_bytes > 0 {
+            self.critical_bytes.min(total)
+        } else {
+            total
+        } as f64
+            * scale;
+        // One batched push transfer and one batched pull transfer.
+        let comm = 2.0 * net.latency_s + bytes * 8.0 / net.bandwidth_bps;
+        let codec = (self.worker_codec_seconds + self.server_codec_seconds) * scale;
+        let compute = timing.compute_seconds_per_step * self.compute_multiplier;
+        let visible_comm = (comm - timing.overlap_fraction * compute).max(0.0);
+        compute + codec + visible_comm
+    }
+}
+
+/// A periodic test-set evaluation of the global model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Step at which the snapshot was taken (after that step's update).
+    pub step: u64,
+    /// Loss and top-1 accuracy on the held-out test set.
+    pub eval: Evaluation,
+}
+
+/// The full per-step record of one training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingTrace {
+    /// One record per training step, in order.
+    pub steps: Vec<StepRecord>,
+    /// Periodic test evaluations (always includes the final step when the
+    /// run was produced by [`run_experiment`](crate::run_experiment)).
+    pub evals: Vec<EvalRecord>,
+}
+
+impl TrainingTrace {
+    /// Total compressed+raw traffic in bytes over the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.push_bytes + s.pull_bytes + s.raw_bytes)
+            .sum()
+    }
+
+    /// Average compressed bits per state-change value across the run,
+    /// counting both directions (Table 2's right column).
+    pub fn average_bits_per_value(&self, workers: u64) -> f64 {
+        let bytes: u64 = self.steps.iter().map(|s| s.push_bytes + s.pull_bytes).sum();
+        let values: u64 = self
+            .steps
+            .iter()
+            .map(|s| s.compressible_values * workers * 2)
+            .sum();
+        if values == 0 {
+            0.0
+        } else {
+            bytes as f64 * 8.0 / values as f64
+        }
+    }
+
+    /// End-to-end compression ratio versus 32-bit floats (Table 2's left
+    /// column).
+    pub fn compression_ratio(&self, workers: u64) -> f64 {
+        let b = self.average_bits_per_value(workers);
+        if b == 0.0 {
+            0.0
+        } else {
+            32.0 / b
+        }
+    }
+
+    /// Total simulated training seconds under a link/timing model.
+    pub fn total_seconds_at(&self, net: &NetworkModel, timing: &TimingModel, scale: f64) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.seconds_at(net, timing, scale))
+            .sum()
+    }
+
+    /// The last recorded evaluation, if any.
+    pub fn final_eval(&self) -> Option<&EvalRecord> {
+        self.evals.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(push: u64, pull: u64, raw: u64, values: u64) -> StepRecord {
+        StepRecord {
+            step: 0,
+            lr: 0.1,
+            loss: 1.0,
+            push_bytes: push,
+            pull_bytes: pull,
+            raw_bytes: raw,
+            compressible_values: values,
+            worker_codec_seconds: 0.0,
+            server_codec_seconds: 0.0,
+            compute_multiplier: 1.0,
+            pull_overlapped: false,
+            critical_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn bits_per_value() {
+        // 10 workers, 100 values each, 1000 bytes pushed total
+        // → 8000 bits / 1000 values = 8 bits/value.
+        let r = record(1000, 500, 0, 100);
+        assert_eq!(r.push_bits_per_value(10), 8.0);
+        assert_eq!(r.pull_bits_per_value(10), 4.0);
+    }
+
+    #[test]
+    fn step_seconds_additive_model() {
+        let r = StepRecord {
+            worker_codec_seconds: 0.1,
+            server_codec_seconds: 0.1,
+            ..record(500_000, 500_000, 0, 1)
+        };
+        let net = NetworkModel::new(8e6, 0.0);
+        let timing = TimingModel {
+            compute_seconds_per_step: 0.5,
+            overlap_fraction: 0.0,
+            reference_params: 1,
+            ..Default::default()
+        };
+        // comm = 1e6 bytes → 1 s; codec 0.2 s; compute 0.5 s.
+        let s = r.seconds_at(&net, &timing, 1.0);
+        assert!((s - 1.7).abs() < 1e-9, "step seconds {s}");
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let r = record(500_000, 500_000, 0, 1);
+        let net = NetworkModel::new(8e6, 0.0);
+        let timing = TimingModel {
+            compute_seconds_per_step: 0.5,
+            overlap_fraction: 2.0,
+            reference_params: 1,
+            ..Default::default()
+        };
+        // comm 1 s, hidden budget 1 s → fully hidden.
+        let s = r.seconds_at(&net, &timing, 1.0);
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let trace = TrainingTrace {
+            steps: vec![record(1000, 1000, 100, 100), record(3000, 1000, 100, 100)],
+            evals: Vec::new(),
+        };
+        assert_eq!(trace.total_bytes(), 6200);
+        // bytes = 6000, values = 100·10·2·2 = 4000 → 12 bits/value.
+        assert_eq!(trace.average_bits_per_value(10), 12.0);
+        assert!((trace.compression_ratio(10) - 32.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TrainingTrace::default();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.average_bits_per_value(10), 0.0);
+        assert!(t.final_eval().is_none());
+    }
+
+    #[test]
+    fn faster_network_never_slower() {
+        let r = record(10_000, 10_000, 1000, 100);
+        let timing = TimingModel::default();
+        let slow = r.seconds_at(&NetworkModel::ten_mbps(), &timing, 10.0);
+        let fast = r.seconds_at(&NetworkModel::one_gbps(), &timing, 10.0);
+        assert!(fast <= slow);
+    }
+}

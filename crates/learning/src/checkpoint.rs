@@ -1,0 +1,258 @@
+//! Model checkpointing: save and restore named parameter snapshots.
+//!
+//! The paper's evaluation reads "the snapshot of the global model" on a
+//! dedicated node (§5.2); this module gives snapshots a durable, versioned
+//! on-disk form so training runs can be checkpointed, resumed, or handed
+//! to an external evaluator.
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+use threelc_tensor::Tensor;
+
+/// Current checkpoint format version.
+const VERSION: u32 = 1;
+
+/// A serializable named-parameter snapshot of a [`Network`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    version: u32,
+    params: Vec<NamedTensor>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NamedTensor {
+    name: String,
+    tensor: Tensor,
+}
+
+/// Error restoring a checkpoint into a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The file could not be read or parsed.
+    Unreadable {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The checkpoint version is not supported.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The checkpoint's parameters do not match the network's.
+    Mismatch {
+        /// Description of the first mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Unreadable { reason } => write!(f, "unreadable checkpoint: {reason}"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint version {found}")
+            }
+            CheckpointError::Mismatch { reason } => write!(f, "checkpoint mismatch: {reason}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Captures a network's parameters.
+    pub fn capture(net: &Network) -> Self {
+        let params = net
+            .param_names()
+            .into_iter()
+            .zip(net.params())
+            .map(|(name, tensor)| NamedTensor {
+                name,
+                tensor: tensor.clone(),
+            })
+            .collect();
+        Checkpoint {
+            version: VERSION,
+            params,
+        }
+    }
+
+    /// Restores the captured parameters into a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] if parameter names, counts,
+    /// or shapes differ from the network's, and
+    /// [`CheckpointError::UnsupportedVersion`] for unknown versions.
+    pub fn restore(&self, net: &mut Network) -> Result<(), CheckpointError> {
+        if self.version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: self.version,
+            });
+        }
+        let names = net.param_names();
+        if names.len() != self.params.len() {
+            return Err(CheckpointError::Mismatch {
+                reason: format!(
+                    "network has {} parameters, checkpoint has {}",
+                    names.len(),
+                    self.params.len()
+                ),
+            });
+        }
+        for (name, saved) in names.iter().zip(&self.params) {
+            if name != &saved.name {
+                return Err(CheckpointError::Mismatch {
+                    reason: format!("parameter `{name}` vs checkpoint `{}`", saved.name),
+                });
+            }
+        }
+        for (param, saved) in net.params_mut().into_iter().zip(&self.params) {
+            if param.shape() != saved.tensor.shape() {
+                return Err(CheckpointError::Mismatch {
+                    reason: format!(
+                        "parameter `{}`: shape {} vs checkpoint {}",
+                        saved.name,
+                        param.shape(),
+                        saved.tensor.shape()
+                    ),
+                });
+            }
+            *param = saved.tensor.clone();
+        }
+        Ok(())
+    }
+
+    /// Saves the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Unreadable`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self).map_err(|e| CheckpointError::Unreadable {
+            reason: e.to_string(),
+        })?;
+        std::fs::write(path, json).map_err(|e| CheckpointError::Unreadable {
+            reason: format!("{}: {e}", path.display()),
+        })
+    }
+
+    /// Loads a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Unreadable`] on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Unreadable {
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        serde_json::from_str(&text).map_err(|e| CheckpointError::Unreadable {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Number of parameter tensors captured.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the checkpoint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataSpec;
+    use crate::models;
+
+    fn spec() -> DataSpec {
+        DataSpec {
+            channels: 1,
+            height: 4,
+            width: 4,
+            classes: 3,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("threelc-ckpt-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let net = models::residual_mlp(&spec(), 8, 1, 1);
+        let ckpt = Checkpoint::capture(&net);
+        let mut other = models::residual_mlp(&spec(), 8, 1, 99);
+        assert_ne!(net.snapshot(), other.snapshot());
+        ckpt.restore(&mut other).unwrap();
+        assert_eq!(net.snapshot(), other.snapshot());
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let net = models::mlp(&spec(), &[6], 2);
+        let path = tmp("a.json");
+        Checkpoint::capture(&net).save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        let mut other = models::mlp(&spec(), &[6], 3);
+        loaded.restore(&mut other).unwrap();
+        assert_eq!(net.snapshot(), other.snapshot());
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let net = models::mlp(&spec(), &[6], 0);
+        let ckpt = Checkpoint::capture(&net);
+        // Different width → shape mismatch (names match positionally).
+        let mut wrong_width = models::mlp(&spec(), &[7], 0);
+        assert!(matches!(
+            ckpt.restore(&mut wrong_width),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        // Different depth → count mismatch.
+        let mut wrong_depth = models::mlp(&spec(), &[6, 6], 0);
+        assert!(matches!(
+            ckpt.restore(&mut wrong_depth),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unreadable_paths_error() {
+        assert!(matches!(
+            Checkpoint::load(Path::new("/nonexistent/ckpt.json")),
+            Err(CheckpointError::Unreadable { .. })
+        ));
+        let path = tmp("junk.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn version_guard() {
+        let net = models::mlp(&spec(), &[4], 0);
+        let mut ckpt = Checkpoint::capture(&net);
+        ckpt.version = 999;
+        let mut other = models::mlp(&spec(), &[4], 0);
+        assert!(matches!(
+            ckpt.restore(&mut other),
+            Err(CheckpointError::UnsupportedVersion { found: 999 })
+        ));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let net = models::mlp(&spec(), &[4], 0);
+        let ckpt = Checkpoint::capture(&net);
+        assert_eq!(ckpt.len(), 4);
+        assert!(!ckpt.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Softmax cross-entropy loss.
+
+use threelc_tensor::Tensor;
+
+/// Computes the mean softmax cross-entropy loss and the gradient with
+/// respect to the logits.
+///
+/// `logits` has shape `[batch, classes]`; `labels[i]` is the class index of
+/// row `i`. The gradient is `(softmax − onehot) / batch`, ready to feed
+/// into the network's backward pass.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len()` does not match the
+/// batch dimension, or a label is out of range.
+///
+/// ```
+/// use threelc_learning::softmax_cross_entropy;
+/// use threelc_tensor::Tensor;
+/// // Perfectly confident, correct prediction → loss near zero.
+/// let logits = Tensor::from_vec(vec![100.0, 0.0], &[1, 2]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 1e-6);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(labels.len(), batch, "one label per batch row");
+
+    let x = logits.as_slice();
+    let mut grad = vec![0.0f32; batch * classes];
+    let mut loss = 0.0f64;
+    for r in 0..batch {
+        let row = &x[r * classes..(r + 1) * classes];
+        let label = labels[r];
+        assert!(label < classes, "label {label} out of range ({classes})");
+        // Numerically stable log-softmax.
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let sum_exp: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        let log_sum = max + sum_exp.ln();
+        loss += (log_sum - row[label]) as f64;
+        let grow = &mut grad[r * classes..(r + 1) * classes];
+        for (c, g) in grow.iter_mut().enumerate() {
+            let softmax = (row[c] - log_sum).exp();
+            *g = (softmax - if c == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    (
+        (loss / batch as f64) as f32,
+        Tensor::from_vec(grad, [batch, classes]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let logits = Tensor::zeros([4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = grad.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 0.3, 2.0, 0.1, -0.2], [2, 3]);
+        let labels = [1usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 1e-3,
+                "grad[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0, 0.0], [2, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1, 0]);
+        assert!(loss.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros([1, 3]), &[3]);
+    }
+}

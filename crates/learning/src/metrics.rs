@@ -1,0 +1,70 @@
+//! Evaluation metrics.
+
+use crate::data::Batch;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions matching labels (top-1 accuracy).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "cannot score an empty batch");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// A model evaluation snapshot: loss and top-1 test accuracy.
+///
+/// The paper's "dedicated node \[that\] reads the snapshot of the global
+/// model and calculates the top-1 score" (§5.2) corresponds to calling
+/// [`Evaluation::of`] on the server's global model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Mean cross-entropy loss over the batch.
+    pub loss: f32,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+impl Evaluation {
+    /// Evaluates a network on a batch (typically the full test set).
+    pub fn of(net: &Network, batch: &Batch) -> Self {
+        let loss = net.loss(batch);
+        let preds = net.predict(&batch.inputs);
+        Evaluation {
+            loss,
+            accuracy: accuracy(&preds, &batch.labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+        assert_eq!(accuracy(&[1], &[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        accuracy(&[], &[]);
+    }
+}

@@ -1,0 +1,294 @@
+//! The [`Network`] type: an ordered layer stack with named parameters.
+
+use crate::data::Batch;
+use crate::layers::Layer;
+use crate::loss::softmax_cross_entropy;
+use threelc_tensor::Tensor;
+
+/// A feedforward network: an ordered stack of [`Layer`]s ending in logits.
+///
+/// The parameter list is the flattened, ordered concatenation of every
+/// layer's parameters; gradients from
+/// [`loss_and_gradients`](Network::loss_and_gradients) use the same order.
+/// This flat, named view is exactly what the parameter-server simulator
+/// partitions across compression contexts.
+#[derive(Clone)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    input_dim: usize,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("input_dim", &self.input_dim)
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.kind()).collect::<Vec<_>>(),
+            )
+            .field("num_params", &self.num_params())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network from a layer stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer dimensions are incompatible (checked by
+    /// threading `input_dim` through every layer's `output_dim`).
+    pub fn new(input_dim: usize, layers: Vec<Box<dyn Layer>>) -> Self {
+        let mut dim = input_dim;
+        for layer in &layers {
+            dim = layer.output_dim(dim);
+        }
+        Network { layers, input_dim }
+    }
+
+    /// The expected input feature count.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The output (logit) dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers
+            .iter()
+            .fold(self.input_dim, |d, l| l.output_dim(d))
+    }
+
+    /// Runs the forward pass, returning logits.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut h = input.clone();
+        for layer in &self.layers {
+            let (out, _) = layer.forward(&h);
+            h = out;
+        }
+        h
+    }
+
+    /// Computes mean cross-entropy loss and per-parameter gradients for a
+    /// batch. Gradient order matches [`param_names`](Network::param_names).
+    pub fn loss_and_gradients(&self, batch: &Batch) -> (f32, Vec<Tensor>) {
+        self.loss_and_gradients_with(batch.inputs.clone(), |logits| {
+            softmax_cross_entropy(logits, &batch.labels)
+        })
+    }
+
+    /// Computes gradients under an arbitrary loss: `loss` maps the
+    /// network's output to `(loss value, d loss / d output)`.
+    ///
+    /// This is what makes the training substrate loss-agnostic — the
+    /// regression workload plugs in mean squared error here while the
+    /// classification path uses softmax cross-entropy.
+    pub fn loss_and_gradients_with(
+        &self,
+        inputs: Tensor,
+        loss: impl FnOnce(&Tensor) -> (f32, Tensor),
+    ) -> (f32, Vec<Tensor>) {
+        // Forward, keeping caches.
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = inputs;
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&h);
+            caches.push(cache);
+            h = out;
+        }
+        let (loss_value, mut grad) = loss(&h);
+
+        // Backward.
+        let mut per_layer_grads: Vec<Vec<Tensor>> = vec![Vec::new(); self.layers.len()];
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let back = layer.backward(&caches[i], &grad);
+            grad = back.grad_input;
+            per_layer_grads[i] = back.param_grads;
+        }
+        (loss_value, per_layer_grads.into_iter().flatten().collect())
+    }
+
+    /// Mean loss on a batch without computing gradients.
+    pub fn loss(&self, batch: &Batch) -> f32 {
+        let logits = self.forward(&batch.inputs);
+        softmax_cross_entropy(&logits, &batch.labels).0
+    }
+
+    /// Argmax class predictions for a batch of inputs.
+    pub fn predict(&self, inputs: &Tensor) -> Vec<usize> {
+        let logits = self.forward(inputs);
+        let (batch, classes) = (logits.shape().dim(0), logits.shape().dim(1));
+        let data = logits.as_slice();
+        (0..batch)
+            .map(|r| {
+                let row = &data[r * classes..(r + 1) * classes];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+                    .map(|(i, _)| i)
+                    .expect("at least one class")
+            })
+            .collect()
+    }
+
+    /// Immutable views of all parameters, in network order.
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Mutable views of all parameters, in network order.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Names of all parameters, in network order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.layers.iter().flat_map(|l| l.param_names()).collect()
+    }
+
+    /// Clones all parameter tensors (a model snapshot).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params().into_iter().cloned().collect()
+    }
+
+    /// Overwrites all parameters from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the parameter count or shapes.
+    pub fn restore(&mut self, values: &[Tensor]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), values.len(), "parameter count mismatch");
+        for (p, v) in params.iter_mut().zip(values) {
+            assert_eq!(p.shape(), v.shape(), "parameter shape mismatch");
+            **p = v.clone();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{DenseLayer, ReluLayer, ResidualBlock};
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = threelc_tensor::rng(seed);
+        Network::new(
+            4,
+            vec![
+                Box::new(DenseLayer::new("fc0", 4, 8, &mut rng)),
+                Box::new(ReluLayer::new()),
+                Box::new(ResidualBlock::new("blk0", 8, 8, &mut rng)),
+                Box::new(DenseLayer::new_xavier("out", 8, 3, &mut rng)),
+            ],
+        )
+    }
+
+    fn tiny_batch(seed: u64) -> Batch {
+        let mut rng = threelc_tensor::rng(seed);
+        Batch {
+            inputs: threelc_tensor::Initializer::Normal {
+                mean: 0.0,
+                std_dev: 1.0,
+            }
+            .init(&mut rng, [6, 4]),
+            labels: vec![0, 1, 2, 0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn dims_and_param_bookkeeping() {
+        let net = tiny_net(0);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.params().len(), net.param_names().len());
+        // stem (w+b) + residual block (2 BN pairs + 2 dense) + head (w+b).
+        assert_eq!(
+            net.num_params(),
+            (4 * 8 + 8) + (2 * 8 + 2 * 8) + (8 * 8 + 8) * 2 + (8 * 3 + 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn incompatible_layers_panic() {
+        let mut rng = threelc_tensor::rng(0);
+        Network::new(
+            4,
+            vec![
+                Box::new(DenseLayer::new("a", 4, 8, &mut rng)),
+                Box::new(DenseLayer::new("b", 9, 3, &mut rng)), // wrong input dim
+            ],
+        );
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_through_loss() {
+        let net = tiny_net(1);
+        let batch = tiny_batch(2);
+        let (_, grads) = net.loss_and_gradients(&batch);
+        let eps = 3e-3f32;
+        // Spot-check a handful of parameters in each tensor.
+        let mut net_mut = net.clone();
+        for (pi, g) in grads.iter().enumerate() {
+            for i in (0..g.len()).step_by((g.len() / 3).max(1)) {
+                let orig = net_mut.params()[pi].as_slice()[i];
+                net_mut.params_mut()[pi].as_mut_slice()[i] = orig + eps;
+                let lp = net_mut.loss(&batch);
+                net_mut.params_mut()[pi].as_mut_slice()[i] = orig - eps;
+                let lm = net_mut.loss(&batch);
+                net_mut.params_mut()[pi].as_mut_slice()[i] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = g.as_slice()[i];
+                // Loose tolerance: f32 arithmetic plus ReLU kinks crossed
+                // by the finite-difference step add O(eps) noise.
+                assert!(
+                    (num - ana).abs() < 6e-2 * (1.0 + num.abs()),
+                    "param {pi}[{i}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let net = tiny_net(3);
+        let snap = net.snapshot();
+        let mut other = tiny_net(99); // different init
+        other.restore(&snap);
+        let batch = tiny_batch(4);
+        assert_eq!(net.loss(&batch), other.loss(&batch));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let net = tiny_net(5);
+        let mut copy = net.clone();
+        copy.params_mut()[0].map_inplace(|_| 0.0);
+        assert_ne!(
+            net.params()[0].as_slice(),
+            copy.params()[0].as_slice(),
+            "clone must not share storage"
+        );
+    }
+
+    #[test]
+    fn predict_returns_valid_classes() {
+        let net = tiny_net(6);
+        let batch = tiny_batch(7);
+        let preds = net.predict(&batch.inputs);
+        assert_eq!(preds.len(), 6);
+        assert!(preds.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let s = format!("{:?}", tiny_net(0));
+        assert!(s.contains("dense"));
+        assert!(s.contains("num_params"));
+    }
+}

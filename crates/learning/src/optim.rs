@@ -1,0 +1,182 @@
+//! SGD with momentum and weight decay.
+
+use crate::network::Network;
+use threelc_tensor::Tensor;
+
+/// TensorFlow `MomentumOptimizer` semantics with decoupled weight decay
+/// added to the gradient, matching the paper's training configuration
+/// (momentum 0.9, weight decay 1e-4 — §5.2):
+///
+/// ```text
+/// g ← grad + weight_decay · param
+/// v ← momentum · v + g
+/// param ← param − lr · v
+/// ```
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl SgdMomentum {
+    /// Creates an optimizer with the given momentum and weight decay.
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        SgdMomentum {
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The paper's configuration: momentum 0.9, weight decay 1e-4.
+    pub fn paper_defaults() -> Self {
+        SgdMomentum::new(0.9, 1e-4)
+    }
+
+    /// Applies one update step to `net` with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not match the network's parameter list (count
+    /// or shapes), or differs from the shapes seen on the first call.
+    pub fn apply(&mut self, net: &mut Network, grads: &[Tensor], lr: f32) {
+        let mut params = net.params_mut();
+        assert_eq!(params.len(), grads.len(), "gradient count mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect();
+        }
+        assert_eq!(self.velocity.len(), grads.len(), "velocity count mismatch");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            let (pd, gd, vd) = (p.as_mut_slice(), g.as_slice(), v.as_mut_slice());
+            for i in 0..pd.len() {
+                let grad = gd[i] + self.weight_decay * pd[i];
+                vd[i] = self.momentum * vd[i] + grad;
+                pd[i] -= lr * vd[i];
+            }
+        }
+    }
+
+    /// Resets accumulated momentum (e.g. when restarting training).
+    pub fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    /// The configured momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The configured weight decay.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+}
+
+/// Applies a raw delta to every parameter: `param += delta`.
+///
+/// The parameter-server simulator uses this to apply aggregated,
+/// (de)compressed model deltas to a worker's local model.
+///
+/// # Panics
+///
+/// Panics if `deltas` does not match the network's parameters.
+pub fn apply_deltas(net: &mut Network, deltas: &[Tensor]) {
+    let mut params = net.params_mut();
+    assert_eq!(params.len(), deltas.len(), "delta count mismatch");
+    for (p, d) in params.iter_mut().zip(deltas) {
+        p.add_assign(d).expect("delta shape matches parameter");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{DenseLayer, Layer};
+
+    fn one_param_net() -> Network {
+        let mut rng = threelc_tensor::rng(0);
+        let mut layer = DenseLayer::new("d", 1, 1, &mut rng);
+        layer.params_mut()[0].as_mut_slice()[0] = 1.0;
+        Network::new(1, vec![Box::new(layer)])
+    }
+
+    fn grads_of(net: &Network, w: f32, b: f32) -> Vec<Tensor> {
+        let _ = net;
+        vec![
+            Tensor::from_vec(vec![w], [1, 1]),
+            Tensor::from_vec(vec![b], [1, 1]),
+        ]
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut net = one_param_net();
+        let mut opt = SgdMomentum::new(0.0, 0.0);
+        let g = grads_of(&net, 0.5, 0.0);
+        opt.apply(&mut net, &g, 0.1);
+        assert!((net.params()[0].as_slice()[0] - 0.95).abs() < 1e-7);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut net = one_param_net();
+        let mut opt = SgdMomentum::new(0.9, 0.0);
+        let g = grads_of(&net, 1.0, 0.0);
+        opt.apply(&mut net, &g, 0.1); // v=1.0, p = 1 - 0.1
+        opt.apply(&mut net, &g, 0.1); // v=1.9, p = 0.9 - 0.19
+        let p = net.params()[0].as_slice()[0];
+        assert!((p - (1.0 - 0.1 - 0.19)).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut net = one_param_net();
+        let mut opt = SgdMomentum::new(0.0, 0.1);
+        let g = grads_of(&net, 0.0, 0.0);
+        opt.apply(&mut net, &g, 1.0);
+        // p = 1 − 1.0 · (0 + 0.1·1) = 0.9
+        assert!((net.params()[0].as_slice()[0] - 0.9).abs() < 1e-7);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut net = one_param_net();
+        let mut opt = SgdMomentum::new(0.9, 0.0);
+        let g = grads_of(&net, 1.0, 0.0);
+        opt.apply(&mut net, &g, 0.1);
+        opt.reset();
+        let before = net.params()[0].as_slice()[0];
+        opt.apply(&mut net, &g, 0.1);
+        let after = net.params()[0].as_slice()[0];
+        // Without the old velocity the step is exactly lr · g.
+        assert!((before - after - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_deltas_adds() {
+        let mut net = one_param_net();
+        let deltas = grads_of(&net, 0.25, -0.5);
+        apply_deltas(&mut net, &deltas);
+        assert!((net.params()[0].as_slice()[0] - 1.25).abs() < 1e-7);
+        assert!((net.params()[1].as_slice()[0] + 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn wrong_grad_count_panics() {
+        let mut net = one_param_net();
+        SgdMomentum::new(0.9, 0.0).apply(&mut net, &[], 0.1);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let opt = SgdMomentum::paper_defaults();
+        assert_eq!(opt.momentum(), 0.9);
+        assert_eq!(opt.weight_decay(), 1e-4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ElementCountMismatch {
+        /// Elements in the existing tensor.
+        have: usize,
+        /// Elements implied by the requested shape.
+        want: usize,
+    },
+    /// An operation required a specific rank (e.g. matmul requires rank 2).
+    RankMismatch {
+        /// Expected tensor rank.
+        expected: usize,
+        /// Actual tensor rank.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix multiply do not agree.
+    InnerDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::ElementCountMismatch { have, want } => {
+                write!(f, "element count mismatch: have {have}, want {want}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::InnerDimMismatch {
+                left_cols,
+                right_rows,
+            } => {
+                write!(
+                    f,
+                    "matmul inner dimension mismatch: left has {left_cols} columns, \
+                     right has {right_rows} rows"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeMismatch {
+                left: vec![2, 2],
+                right: vec![3],
+            },
+            TensorError::ElementCountMismatch { have: 4, want: 6 },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::InnerDimMismatch {
+                left_cols: 3,
+                right_rows: 4,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

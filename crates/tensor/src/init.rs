@@ -1,0 +1,178 @@
+//! Random tensor initializers.
+
+use crate::{Rng, Shape, Tensor};
+use rand::Rng as _;
+
+/// Random initialization schemes for tensors.
+///
+/// These cover the standard initializers deep-learning frameworks provide;
+/// the training substrate uses [`Initializer::HeNormal`] for ReLU layers and
+/// [`Initializer::XavierUniform`] for linear output layers.
+///
+/// ```
+/// use threelc_tensor::{Initializer, rng};
+/// let mut r = rng(1);
+/// let w = Initializer::HeNormal { fan_in: 64 }.init(&mut r, &[64, 32]);
+/// assert_eq!(w.len(), 64 * 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// Every element is `value`.
+    Constant {
+        /// The fill value.
+        value: f32,
+    },
+    /// Uniform over `[low, high)`.
+    Uniform {
+        /// Inclusive lower bound.
+        low: f32,
+        /// Exclusive upper bound.
+        high: f32,
+    },
+    /// Normal with the given mean and standard deviation.
+    Normal {
+        /// Distribution mean.
+        mean: f32,
+        /// Distribution standard deviation.
+        std_dev: f32,
+    },
+    /// He (Kaiming) normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU nets.
+    HeNormal {
+        /// Number of input units feeding each output unit.
+        fan_in: usize,
+    },
+    /// Xavier (Glorot) uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform {
+        /// Number of input units.
+        fan_in: usize,
+        /// Number of output units.
+        fan_out: usize,
+    },
+}
+
+impl Initializer {
+    /// Creates a tensor of the given shape drawn from this initializer.
+    pub fn init(&self, rng: &mut Rng, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data: Vec<f32> = match *self {
+            Initializer::Constant { value } => vec![value; n],
+            Initializer::Uniform { low, high } => {
+                (0..n).map(|_| rng.gen_range(low..high)).collect()
+            }
+            Initializer::Normal { mean, std_dev } => {
+                (0..n).map(|_| mean + std_dev * sample_standard_normal(rng)).collect()
+            }
+            Initializer::HeNormal { fan_in } => {
+                let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| std_dev * sample_standard_normal(rng)).collect()
+            }
+            Initializer::XavierUniform { fan_in, fan_out } => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..a)).collect()
+            }
+        };
+        Tensor::from_vec(data, shape)
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+///
+/// We avoid `rand_distr` to keep the dependency set to the pre-approved
+/// crates; Box–Muller is exact and adequate for initialization and synthetic
+/// data generation.
+pub fn sample_standard_normal(rng: &mut Rng) -> f32 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        return (r * theta.cos()) as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn constant_fills() {
+        let mut r = rng(0);
+        let t = Initializer::Constant { value: 4.0 }.init(&mut r, [5]);
+        assert!(t.iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = rng(1);
+        let t = Initializer::Uniform {
+            low: -0.5,
+            high: 0.5,
+        }
+        .init(&mut r, [1000]);
+        assert!(t.iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(2);
+        let t = Initializer::Normal {
+            mean: 1.0,
+            std_dev: 2.0,
+        }
+        .init(&mut r, [20000]);
+        assert!((t.mean() - 1.0).abs() < 0.1, "mean {}", t.mean());
+        assert!(
+            (t.variance().sqrt() - 2.0).abs() < 0.1,
+            "std {}",
+            t.variance().sqrt()
+        );
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut r = rng(3);
+        let t = Initializer::HeNormal { fan_in: 50 }.init(&mut r, [20000]);
+        let expect = (2.0f32 / 50.0).sqrt();
+        assert!((t.variance().sqrt() - expect).abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut r = rng(4);
+        let a = (6.0f32 / 30.0).sqrt();
+        let t = Initializer::XavierUniform {
+            fan_in: 10,
+            fan_out: 20,
+        }
+        .init(&mut r, [5000]);
+        assert!(t.iter().all(|&x| x.abs() < a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Initializer::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+        .init(&mut rng(9), [64]);
+        let b = Initializer::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+        .init(&mut rng(9), [64]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_mean_zero() {
+        let mut r = rng(5);
+        let n = 20000;
+        let mean: f32 = (0..n).map(|_| sample_standard_normal(&mut r)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Tensor shapes (dimension lists).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape (list of dimensions) of a [`Tensor`](crate::Tensor).
+///
+/// A scalar has the empty shape `[]` and one element. Shapes are immutable
+/// once constructed.
+///
+/// ```
+/// use threelc_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.num_elements(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Creates the scalar shape `[]`.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements (product of dimensions; 1 for a scalar).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} != shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut offset = 0;
+        for (i, (&idx, &dim)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(idx < dim, "index {idx} out of bounds for dim {i} (size {dim})");
+            offset = offset * dim + idx;
+        }
+        offset
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+}
+
+impl<const N: usize> From<&[usize; N]> for Shape {
+    fn from(dims: &[usize; N]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+}
+
+impl From<&Shape> for Shape {
+    fn from(shape: &Shape) -> Self {
+        shape.clone()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.flat_index(&[]), 0);
+    }
+
+    #[test]
+    fn num_elements_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::new(&[5]).num_elements(), 5);
+        assert_eq!(Shape::new(&[7, 0, 3]).num_elements(), 0);
+    }
+
+    #[test]
+    fn flat_index_row_major() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.flat_index(&[0, 0]), 0);
+        assert_eq!(s.flat_index(&[0, 2]), 2);
+        assert_eq!(s.flat_index(&[1, 0]), 3);
+        assert_eq!(s.flat_index(&[1, 2]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_out_of_bounds_panics() {
+        Shape::new(&[2, 3]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn flat_index_wrong_rank_panics() {
+        Shape::new(&[2, 3]).flat_index(&[1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = [2usize, 3].into();
+        let b: Shape = vec![2usize, 3].into();
+        let c: Shape = (&[2usize, 3][..]).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

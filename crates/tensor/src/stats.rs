@@ -1,0 +1,176 @@
+//! Summary statistics over tensors.
+//!
+//! The evaluation harness uses these to characterize gradient and
+//! model-delta distributions over training (the paper's Figure 9 discussion
+//! relates compression ratio to state-change variance).
+
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a tensor's value distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorStats {
+    /// Number of elements.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std_dev: f32,
+    /// Minimum element.
+    pub min: f32,
+    /// Maximum element.
+    pub max: f32,
+    /// Maximum absolute value.
+    pub max_abs: f32,
+    /// Fraction of exactly-zero elements.
+    pub zero_fraction: f64,
+}
+
+impl TensorStats {
+    /// Computes statistics over a tensor.
+    ///
+    /// ```
+    /// use threelc_tensor::{Tensor, TensorStats};
+    /// let s = TensorStats::of(&Tensor::from_slice(&[0.0, 2.0, -2.0, 0.0]));
+    /// assert_eq!(s.mean, 0.0);
+    /// assert_eq!(s.zero_fraction, 0.5);
+    /// ```
+    pub fn of(tensor: &Tensor) -> Self {
+        TensorStats {
+            count: tensor.len(),
+            mean: tensor.mean(),
+            std_dev: tensor.variance().sqrt(),
+            min: tensor.min(),
+            max: tensor.max(),
+            max_abs: tensor.max_abs(),
+            zero_fraction: tensor.sparsity(),
+        }
+    }
+}
+
+/// A fixed-width histogram over a symmetric value range `[-limit, limit]`.
+///
+/// Used by the compression explorer example to visualize how 3-value
+/// quantization buckets state changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    limit: f32,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets spanning `[-limit, limit]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `limit <= 0`.
+    pub fn new(limit: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(limit > 0.0, "histogram limit must be positive");
+        Histogram {
+            limit,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds every element of `tensor` to the histogram.
+    pub fn add_tensor(&mut self, tensor: &Tensor) {
+        for &x in tensor.iter() {
+            self.add(x);
+        }
+    }
+
+    /// Adds a single value.
+    pub fn add(&mut self, x: f32) {
+        if x < -self.limit {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.limit {
+            self.overflow += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x + self.limit) / (2.0 * self.limit);
+        let idx = ((t * bins as f32) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts, lowest value range first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of values below `-limit`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values above `limit`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of values added, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_tensor() {
+        let t = Tensor::from_slice(&[-1.0, 0.0, 1.0, 2.0]);
+        let s = TensorStats::of(&t);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.max_abs, 2.0);
+        assert_eq!(s.zero_fraction, 0.25);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(1.0, 4);
+        // Bins: [-1,-0.5), [-0.5,0), [0,0.5), [0.5,1]
+        h.add(-0.9);
+        h.add(-0.1);
+        h.add(0.1);
+        h.add(0.9);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_overflow_underflow() {
+        let mut h = Histogram::new(1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        h.add(1.0); // exactly at limit lands in the top bin
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_add_tensor() {
+        let mut h = Histogram::new(2.0, 4);
+        h.add_tensor(&Tensor::from_slice(&[-1.5, -0.5, 0.5, 1.5]));
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(1.0, 0);
+    }
+}

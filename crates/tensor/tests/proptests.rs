@@ -1,0 +1,93 @@
+//! Property-based tests for tensor algebra invariants.
+
+use proptest::prelude::*;
+use threelc_tensor::Tensor;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e6f32..1e6f32, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(v in finite_vec(64)) {
+        let a = Tensor::from_slice(&v);
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 0.0));
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(v in finite_vec(64)) {
+        let a = Tensor::from_slice(&v);
+        let b = a.map(|x| x * 0.25 + 3.0);
+        let sub = a.sub(&b).unwrap();
+        let neg_add = a.add(&b.scale(-1.0)).unwrap();
+        prop_assert!(sub.approx_eq(&neg_add, 1e-3));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(v in finite_vec(64), s in -10.0f32..10.0) {
+        let a = Tensor::from_slice(&v);
+        let b = a.map(|x| x.sin());
+        let lhs = a.add(&b).unwrap().scale(s);
+        let rhs = a.scale(s).add(&b.scale(s)).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-1 + lhs.max_abs() * 1e-5));
+    }
+
+    #[test]
+    fn max_abs_bounds_all_elements(v in finite_vec(128)) {
+        let a = Tensor::from_slice(&v);
+        let m = a.max_abs();
+        prop_assert!(a.iter().all(|&x| x.abs() <= m));
+        // max_abs is attained by some element.
+        prop_assert!(a.iter().any(|&x| x.abs() == m));
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(v in finite_vec(64), c in -100.0f32..100.0) {
+        let a = Tensor::from_slice(&v);
+        prop_assert!(a.variance() >= 0.0);
+        let shifted = a.map(|x| x + c);
+        let scale = a.variance().max(1.0);
+        prop_assert!((a.variance() - shifted.variance()).abs() <= scale * 0.05 + 1.0);
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let mut r = threelc_tensor::rng(seed);
+        let t = threelc_tensor::Initializer::Normal { mean: 0.0, std_dev: 1.0 }
+            .init(&mut r, [rows, cols]);
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(tt, t);
+    }
+
+    #[test]
+    fn matmul_identity_property(n in 1usize..8, seed in any::<u64>()) {
+        let mut r = threelc_tensor::rng(seed);
+        let a = threelc_tensor::Initializer::Uniform { low: -1.0, high: 1.0 }
+            .init(&mut r, [n, n]);
+        let eye = Tensor::from_fn([n, n], |i| if i / n == i % n { 1.0 } else { 0.0 });
+        let prod = a.matmul(&eye).unwrap();
+        prop_assert!(prod.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn reshape_preserves_elements(v in finite_vec(60)) {
+        let a = Tensor::from_slice(&v);
+        let n = a.len();
+        // Find any factorization n = p * q.
+        let p = (1..=n).find(|p| n.is_multiple_of(*p) && *p > 1).unwrap_or(1);
+        let r = a.reshape([p, n / p]).unwrap();
+        prop_assert_eq!(r.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(v in finite_vec(32)) {
+        let a = Tensor::from_slice(&v);
+        let b = a.map(|x| (x * 0.01).cos());
+        let d = a.dot(&b).unwrap().abs() as f64;
+        let bound = a.l2_norm() as f64 * b.l2_norm() as f64;
+        prop_assert!(d <= bound * (1.0 + 1e-3) + 1e-3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Compression explorer: how the sparsity multiplier shapes the ternary
+//! distribution and what each 3LC stage contributes.
+//!
+//! ```text
+//! cargo run --release --example compression_explorer
+//! ```
+
+use threelc::{quartic, zrle, SparsityMultiplier, TernaryTensor};
+use threelc_tensor::{Histogram, Initializer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = threelc_tensor::rng(7);
+    let input = Initializer::Normal {
+        mean: 0.0,
+        std_dev: 0.02,
+    }
+    .init(&mut rng, [100_000]);
+
+    // Show the distribution 3-value quantization sees.
+    let mut hist = Histogram::new(input.max_abs(), 9);
+    hist.add_tensor(&input);
+    println!("input distribution (9 bins over ±max):");
+    let max = *hist.counts().iter().max().expect("bins") as f64;
+    for (i, &c) in hist.counts().iter().enumerate() {
+        println!(
+            "  bin {i}: {:<50} {c}",
+            "#".repeat((c as f64 / max * 50.0) as usize)
+        );
+    }
+
+    println!("\nstage-by-stage, per sparsity multiplier:");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>14} {:>9}",
+        "s", "zeros", "quantized", "quartic", "after ZRE", "bits/val"
+    );
+    for s in [1.0f32, 1.25, 1.5, 1.75, 1.9, 1.99] {
+        let sm = SparsityMultiplier::new(s)?;
+        let q = TernaryTensor::quantize(&input, sm)?;
+        let qb = quartic::encode(q.values());
+        let zb = zrle::encode(&qb)?;
+        println!(
+            "{s:>6.2} {:>7.1}% {:>13}B {:>13}B {:>13}B {:>9.3}",
+            q.zero_fraction() * 100.0,
+            q.len(), // one i8 per value before packing
+            qb.len(),
+            zb.len(),
+            zb.len() as f64 * 8.0 / q.len() as f64,
+        );
+    }
+
+    // The 280x headline: an all-zero tensor through the whole pipeline.
+    let zeros = threelc_tensor::Tensor::zeros([70_000]);
+    let q = TernaryTensor::quantize(&zeros, SparsityMultiplier::default())?;
+    let body = zrle::encode(&quartic::encode(q.values()))?;
+    println!(
+        "\nall-zero tensor: {} f32 bytes -> {} body bytes = {:.0}x (paper §3.3: 280x)",
+        zeros.len() * 4,
+        body.len(),
+        (zeros.len() * 4) as f64 / body.len() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: compress one gradient tensor with 3LC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor};
+use threelc_tensor::{Initializer, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A gradient-like tensor: 64×128 values centered on zero.
+    let mut rng = threelc_tensor::rng(42);
+    let gradient = Initializer::Normal {
+        mean: 0.0,
+        std_dev: 0.02,
+    }
+    .init(&mut rng, [64, 128]);
+    let raw_bytes = gradient.len() * 4;
+    println!("input: {} values ({} bytes as f32)", gradient.len(), raw_bytes);
+
+    for s in [1.0f32, 1.5, 1.75, 1.9] {
+        // One compression context per tensor: it owns the error
+        // accumulation buffer that corrects quantization errors over time.
+        let mut ctx =
+            ThreeLcCompressor::new(gradient.shape().clone(), SparsityMultiplier::new(s)?);
+        let wire = ctx.compress(&gradient)?;
+        let restored = ctx.decompress(&wire)?;
+        let max_err = gradient.sub(&restored)?.max_abs();
+        println!(
+            "3LC (s={s:.2}): {:5} bytes  ({:5.1}x, {:.3} bits/value)  max error {max_err:.4}  \
+             residual kept for next step: {:.4}",
+            wire.len(),
+            raw_bytes as f64 / wire.len() as f64,
+            wire.len() as f64 * 8.0 / gradient.len() as f64,
+            ctx.residual().expect("error accumulation is on").max_abs(),
+        );
+    }
+
+    // The residual is not lost: compressing a stream of identical tensors
+    // transmits the full signal over time.
+    let mut ctx = ThreeLcCompressor::new(gradient.shape().clone(), SparsityMultiplier::default());
+    let mut transmitted = Tensor::zeros(gradient.shape().clone());
+    for _ in 0..20 {
+        let wire = ctx.compress(&gradient)?;
+        transmitted.add_assign(&ctx.decompress(&wire)?)?;
+    }
+    let target = gradient.scale(20.0);
+    println!(
+        "\nafter 20 steps of the same gradient: relative L2 error of cumulative sum = {:.4}",
+        target.sub(&transmitted)?.l2_norm() / target.l2_norm()
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Geo-distributed / WAN training scenario from the paper's introduction:
+//! workers must communicate over a slow (and possibly metered) wide-area
+//! link because training data is pinned by regulation or lives on mobile
+//! devices. Compares total bytes on the wire (what a metered link bills)
+//! and time-to-accuracy across schemes at 10 Mbps.
+//!
+//! ```text
+//! cargo run --release --example wan_geo_training [steps]
+//! ```
+
+use threelc_baselines::SchemeKind;
+use threelc_distsim::{run_experiment, ExperimentConfig, NetworkModel};
+
+fn main() {
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let wan = NetworkModel::ten_mbps();
+    // Illustrative metered-WAN price per GB (e.g. cellular / inter-region
+    // egress); only the *relative* cost across schemes matters.
+    let dollars_per_gb = 0.08;
+
+    println!("Geo-distributed training over a 10 Mbps WAN ({steps} steps, 10 workers)\n");
+    println!(
+        "{:<22} {:>9} {:>12} {:>12} {:>12}",
+        "design", "acc (%)", "time (min)", "wire (GB)", "est. cost"
+    );
+    for scheme in [
+        SchemeKind::Float32,
+        SchemeKind::Sparsify { fraction: 0.05 },
+        SchemeKind::MqeOneBit,
+        SchemeKind::three_lc(1.0),
+        SchemeKind::three_lc(1.9),
+    ] {
+        let config = ExperimentConfig {
+            total_steps: steps,
+            ..ExperimentConfig::for_scheme(scheme)
+        };
+        let r = run_experiment(&config);
+        // Project traffic to the paper's ResNet-110 scale, as the
+        // simulated clock does.
+        let scale = r.config.timing.scale_for(r.model_params);
+        let gb = r.trace.total_bytes() as f64 * scale / 1e9;
+        println!(
+            "{:<22} {:>9.2} {:>12.1} {:>12.2} {:>11.2}$",
+            r.scheme_label,
+            r.final_eval.accuracy * 100.0,
+            r.total_seconds_at(&wan) / 60.0,
+            gb,
+            gb * dollars_per_gb,
+        );
+    }
+    println!(
+        "\n3LC keeps accuracy within noise of the baseline while cutting both\n\
+         the training time and the metered-traffic bill by more than an order\n\
+         of magnitude — without any change to the training algorithm."
+    );
+}
