@@ -1,0 +1,361 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace uses: the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros, `any::<T>()`,
+//! `Just`, range and tuple strategies, `prop_map`, and
+//! `prop::collection::vec`. Each property runs [`CASES`] deterministic
+//! cases seeded from the property's source location, so failures are
+//! reproducible run-to-run. Unlike real proptest there is no shrinking:
+//! a failure reports the case number and message only.
+
+use rand::Rng as _;
+use rand::SeedableRng as _;
+
+/// The generator driving case generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Number of cases per property (real proptest defaults to 256; this keeps
+/// whole-workspace test runs fast while still exploring the space).
+pub const CASES: u32 = 64;
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Records a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// A generator of values of one type.
+///
+/// Object-safe (the combinators carry `Self: Sized`), so `prop_oneof!` can
+/// erase heterogeneous strategies behind `Box<dyn Strategy<Value = V>>`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between erased strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T> {
+    gen: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+macro_rules! arbitrary_impls {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy { gen: |rng| rng.gen::<$t>() }
+            }
+        }
+    )*};
+}
+
+arbitrary_impls!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The canonical strategy for `T` (full domain).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+// Ranges are strategies (uniform over the range).
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+}
+
+/// `prop::collection` and friends.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Strategy for `Vec<T>` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vectors of `element` with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Drives one property: [`CASES`] deterministic cases seeded from the
+/// source location. Panics (failing the surrounding `#[test]`) on the
+/// first case whose body returns `Err`.
+pub fn run_property<F>(file: &str, line: u32, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Stable seed: FNV-1a over the source location and property name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes().chain(name.bytes()).chain(line.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..CASES {
+        let mut rng = TestRng::seed_from_u64(h ^ u64::from(case));
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {case}/{CASES}: {}",
+                e.message()
+            );
+        }
+    }
+}
+
+/// Everything a test file needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Defines `#[test]` functions over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            $crate::run_property(file!(), line!(), stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts inside a property body; on failure the case is reported with its
+/// deterministic case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Uniform choice between strategies producing one common type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, (a, b) in (0.0f64..1.0, -5i8..=5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(0u32),
+            (10u32..20).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 0 || (20u32..40).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn failure_is_reported() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property(file!(), line!(), "always_fails", |_rng| {
+                Err(crate::TestCaseError::fail("boom"))
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! The `Standard` distribution and uniform range sampling, following the
+//! rand 0.8.5 algorithms bit-for-bit.
+
+use crate::RngCore;
+
+/// Types that can produce values of `T` from a bit source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: full-range integers, `[0, 1)`
+/// floats, fair booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // rand 0.8: high word first.
+        u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())
+    }
+}
+
+macro_rules! standard_small_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+standard_small_uint!(u8, u16);
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        // rand 0.8 samples usize as u64 on 64-bit targets, u32 on 32-bit.
+        #[cfg(target_pointer_width = "64")]
+        {
+            rng.next_u64() as usize
+        }
+        #[cfg(not(target_pointer_width = "64"))]
+        {
+            rng.next_u32() as usize
+        }
+    }
+}
+
+macro_rules! standard_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                <Standard as Distribution<$u>>::sample(self, rng) as $t
+            }
+        }
+    )*};
+}
+
+standard_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Sign test on the most significant bit, as in rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Multiply-based [0, 1) with 24 bits of precision.
+        let value = rng.next_u32() >> (32 - 24);
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        scale * value as f32
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based [0, 1) with 53 bits of precision.
+        let value = rng.next_u64() >> (64 - 53);
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        scale * value as f64
+    }
+}
+
+/// Uniform range sampling (`Rng::gen_range`).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Range types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Types uniformly samplable from a range.
+    ///
+    /// The blanket `SampleRange` impls below relate the range's element
+    /// type to `gen_range`'s return type the same way the real crate's
+    /// generic impls do, so inference like `let x: f32 =
+    /// rng.gen_range(0.5..2.0)` resolves the literal types.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform draw from `low..high`.
+        fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `low..=high`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+
+    /// 64-bit widening multiply: `(hi, lo)` of `a * b`.
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let t = u128::from(a) * u128::from(b);
+        ((t >> 64) as u64, t as u64)
+    }
+
+    /// 32-bit widening multiply.
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let t = u64::from(a) * u64::from(b);
+        ((t >> 32) as u32, t as u32)
+    }
+
+    // rand 0.8's `UniformInt::sample_single_inclusive`: widening multiply
+    // with a rejection zone so the distribution is exactly uniform.
+    // `$u_large` is u32 for sub-32-bit types (their zone uses the modulo
+    // form), otherwise the type's own width.
+    macro_rules! range_int_impl {
+        // Types sampled through u32 with the small-type zone computation.
+        (small: $($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(
+                    low: $t,
+                    high: $t,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(low < high, "empty range in gen_range");
+                    Self::sample_inclusive(low, high - 1, rng)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: $t,
+                    high: $t,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(low <= high, "empty range in gen_range");
+                    let range = (high.wrapping_sub(low) as u32).wrapping_add(1);
+                    if range == 0 {
+                        // The full type range: every u32 draw is acceptable.
+                        return crate::Rng::gen::<$t>(rng);
+                    }
+                    let ints_to_reject = (u32::MAX - range + 1) % range;
+                    let zone = u32::MAX - ints_to_reject;
+                    loop {
+                        let v: u32 = rng.next_u32();
+                        let (hi, lo) = wmul32(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $t);
+                        }
+                    }
+                }
+            }
+        )*};
+        // Types whose zone uses the leading-zeros form over their own width.
+        (large: $($t:ty : $u:ty : $wmul:ident : $next:ident),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(
+                    low: $t,
+                    high: $t,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(low < high, "empty range in gen_range");
+                    Self::sample_inclusive(low, high - 1, rng)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: $t,
+                    high: $t,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(low <= high, "empty range in gen_range");
+                    let range = (high.wrapping_sub(low) as $u).wrapping_add(1);
+                    if range == 0 {
+                        return crate::Rng::gen::<$t>(rng);
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$next() as $u;
+                        let (hi, lo) = $wmul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $t);
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    range_int_impl!(small: u8, i8, u16, i16);
+    range_int_impl!(large: u32: u32: wmul32: next_u32, i32: u32: wmul32: next_u32);
+    range_int_impl!(large: u64: u64: wmul64: next_u64, i64: u64: wmul64: next_u64);
+    #[cfg(target_pointer_width = "64")]
+    range_int_impl!(large: usize: u64: wmul64: next_u64, isize: u64: wmul64: next_u64);
+    #[cfg(not(target_pointer_width = "64"))]
+    range_int_impl!(large: usize: u32: wmul32: next_u32, isize: u32: wmul32: next_u32);
+
+    // rand 0.8's `UniformFloat::sample_single`: draw a mantissa into
+    // [1, 2), shift to [0, 1), then scale — `res = v12 * scale + (low -
+    // scale)` so FMA-capable targets fuse it exactly like the real crate.
+    macro_rules! range_float_impl {
+        ($(($t:ty, $bits:ty, $next:ident, $mant:expr, $exp_one:expr)),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(
+                    low: $t,
+                    high: $t,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(low < high, "empty range in gen_range");
+                    let mut scale = high - low;
+                    loop {
+                        // `$mant` mantissa bits under an exponent of 0
+                        // (biased $exp_one) give a float in [1, 2).
+                        let mantissa = rng.$next() >> (<$bits>::BITS as usize - $mant);
+                        let value1_2 = <$t>::from_bits($exp_one | mantissa);
+                        let res = value1_2 * scale + (low - scale);
+                        if res < high {
+                            return res;
+                        }
+                        // Boundary rounding pushed us to `high`; tighten the
+                        // scale one ULP and retry (rand's decrease_masked).
+                        scale = <$t>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    low: $t,
+                    high: $t,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(low <= high, "empty range in gen_range");
+                    // rand 0.8 nudges `high` up one ULP and samples the
+                    // half-open range.
+                    let high_open = if high.is_finite() && high > 0.0 {
+                        <$t>::from_bits(high.to_bits() + 1)
+                    } else if high == 0.0 {
+                        <$t>::MIN_POSITIVE
+                    } else if high.is_finite() {
+                        <$t>::from_bits(high.to_bits() - 1)
+                    } else {
+                        high
+                    };
+                    Self::sample_half_open(low, high_open, rng)
+                }
+            }
+        )*};
+    }
+
+    range_float_impl!(
+        (f32, u32, next_u32, 23, 127u32 << 23),
+        (f64, u64, next_u64, 52, 1023u64 << 52),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use super::{Distribution, Standard};
+    use crate::{Rng, RngCore};
+
+    /// A fixed-sequence source for deterministic checks.
+    struct Seq(Vec<u64>, usize);
+
+    impl RngCore for Seq {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval() {
+        let mut r = Seq(vec![0, u64::MAX, 12345678901234567, 1 << 60], 0);
+        for _ in 0..16 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Seq(vec![7, u64::MAX, 0, 991, 1 << 63, 42], 0);
+        for _ in 0..32 {
+            let v = (3usize..17).sample_single(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (-1isize..=1).sample_single(&mut r);
+            assert!((-1..=1).contains(&w));
+            let f = (0.5f32..2.0).sample_single(&mut r);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_is_sign_bit() {
+        let mut hi = Seq(vec![u64::MAX], 0);
+        let mut lo = Seq(vec![0], 0);
+        assert!(<Standard as Distribution<bool>>::sample(&Standard, &mut hi));
+        assert!(!<Standard as Distribution<bool>>::sample(
+            &Standard, &mut lo
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment cannot reach a registry, so this crate (wired in
+//! through `[patch.crates-io]`) reimplements the parts of rand 0.8 the
+//! workspace uses. The sampling algorithms follow rand 0.8.5 exactly —
+//! `seed_from_u64`'s PCG-based seed expansion, the `Standard` distribution's
+//! bit layouts, and uniform ranges via widening multiply (integers) and the
+//! `[1, 2)` exponent trick (floats) — so streams drawn through this stub are
+//! bit-identical to the real crate for the same underlying generator.
+
+pub mod distributions;
+
+pub use distributions::{Distribution, Standard};
+
+/// A low-level source of random bits (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed (mirror of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with PCG32, exactly as rand_core
+    /// 0.6's default implementation does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        // rand 0.8's Bernoulli: p scaled into 64 fractional bits.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Mirror of `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Distribution, Rng, RngCore, SeedableRng, Standard};
+}

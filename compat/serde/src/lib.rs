@@ -1,0 +1,314 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! vendored registry, so the real serde cannot be fetched. This crate (wired
+//! in through `[patch.crates-io]` in the workspace manifest) provides the
+//! subset the workspace actually uses: `#[derive(Serialize, Deserialize)]`
+//! on named structs, newtype structs, and enums with unit/struct variants,
+//! the `#[serde(default)]` / `#[serde(default = "path")]` field attributes,
+//! and exact JSON round-trips for every primitive used in the workspace
+//! (including shortest-roundtrip floats, matching serde_json's
+//! `float_roundtrip` behaviour).
+//!
+//! Unlike real serde there is no generic `Serializer`/`Deserializer`
+//! abstraction: values serialize into an owned JSON [`Value`] tree, which is
+//! all the workspace (always JSON, always owned) needs. The public trait
+//! names and the `serde::de::DeserializeOwned` alias match real serde so
+//! call sites compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+mod value;
+
+pub use value::{Error, Value};
+
+/// Types that can serialize themselves into a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape or type does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de` for the `DeserializeOwned` bound used by readers.
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Mirror of `serde::ser` for symmetry.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Looks up a field in an object body (first match wins, as in JSON).
+pub fn get_field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n.parse::<$t>().map_err(|_| {
+                        Error::custom(format!(
+                            "invalid {} literal `{n}`",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(Error::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    // Rust's float Display prints the shortest decimal that
+                    // parses back to the same bits: an exact round-trip, the
+                    // same guarantee serde_json's `float_roundtrip` gives.
+                    Value::Number(self.to_string())
+                } else {
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n.parse::<$t>().map_err(|_| {
+                        Error::custom(format!(
+                            "invalid {} literal `{n}`",
+                            stringify!($t)
+                        ))
+                    }),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                vec.try_into()
+                    .map_err(|_| Error::custom("array length changed during collect"))
+            }
+            Value::Array(items) => Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            ))),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error::custom(format!(
+                        "expected array of length {LEN}, got {}",
+                        items.len()
+                    ))),
+                    other => Err(Error::type_mismatch("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for x in [0.1f32, 1e-12, 3.4e38, -0.0, 123.456] {
+            let v = x.to_value();
+            assert_eq!(f32::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
+        for x in [0.1f64, 1e-300, f64::MIN_POSITIVE, 2.5] {
+            let v = x.to_value();
+            assert_eq!(f64::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn tuple_and_vec_roundtrip() {
+        let x: Vec<(u64, f32)> = vec![(1, 0.5), (2, -0.25)];
+        let v = x.to_value();
+        assert_eq!(Vec::<(u64, f32)>::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&7u32.to_value()).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(u32::from_value(&Value::Bool(true)).is_err());
+        assert!(bool::from_value(&Value::Number("1".into())).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`:
+//! the build environment is offline). Supports exactly the shapes this
+//! workspace uses:
+//!
+//! - structs with named fields,
+//! - newtype structs (`struct S(T);`), serialized as the inner value,
+//! - enums with unit variants (serialized as `"Name"`) and struct variants
+//!   (serialized as `{"Name": {fields...}}`),
+//! - field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+//!
+//! Anything else (generics, tuple variants, renames) is rejected with a
+//! compile error naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&item.kind, mode) {
+        (ItemKind::Struct(fields), Mode::Serialize) => struct_serialize(&item.name, fields),
+        (ItemKind::Struct(fields), Mode::Deserialize) => struct_deserialize(&item.name, fields),
+        (ItemKind::Newtype, Mode::Serialize) => newtype_serialize(&item.name),
+        (ItemKind::Newtype, Mode::Deserialize) => newtype_deserialize(&item.name),
+        (ItemKind::Enum(variants), Mode::Serialize) => enum_serialize(&item.name, variants),
+        (ItemKind::Enum(variants), Mode::Deserialize) => enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("generated code parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone)]
+enum FieldDefault {
+    /// Required: missing is an error.
+    None,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Struct(parse_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = top_level_commas(g.stream()) + 1;
+                if arity != 1 {
+                    return Err(format!(
+                        "serde stand-in derive supports only 1-field tuple structs \
+                         (`{name}` has {arity})"
+                    ));
+                }
+                Ok(Item {
+                    name,
+                    kind: ItemKind::Newtype,
+                })
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Counts top-level commas in a token stream.
+fn top_level_commas(stream: TokenStream) -> usize {
+    stream
+        .into_iter()
+        .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+        .count()
+}
+
+/// Advances past `#[...]` attributes (returning any serde default marker
+/// found) and past `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if let Some(d) = parse_serde_attr(g.stream()) {
+                        default = d;
+                    }
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Recognizes `serde(default)` and `serde(default = "path")` inside an
+/// attribute's bracket group.
+fn parse_serde_attr(stream: TokenStream) -> Option<FieldDefault> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let group = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match (inner.get(1), inner.get(2)) {
+        (None, _) => Some(FieldDefault::Std),
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) if p.as_char() == '=' => {
+            let text = lit.to_string();
+            let path = text.trim_matches('"').to_string();
+            Some(FieldDefault::Path(path))
+        }
+        _ => None,
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a top-level comma. Track `<`/`>`
+        // nesting so generic arguments' commas don't terminate the field.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream())?;
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stand-in derive does not support tuple variants (`{name}`)"
+                ));
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_fields_body(receiver: &str, fields: &[Field]) -> String {
+    let mut body = String::from("let mut obj = ::std::vec::Vec::new();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "obj.push(({n:?}.to_string(), ::serde::Serialize::to_value(&{r}{n})));\n",
+            n = f.name,
+            r = receiver,
+        ));
+    }
+    body.push_str("::serde::Value::Object(obj)");
+    body
+}
+
+/// One struct-literal field initializer reading from object body `obj`.
+fn deserialize_field_init(f: &Field) -> String {
+    let missing = match &f.default {
+        FieldDefault::None => format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field({:?}))",
+            f.name
+        ),
+        FieldDefault::Std => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{n}: match ::serde::get_field(obj, {n:?}) {{\n\
+         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+         None => {missing},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         {body}\n\
+         }}\n\
+         }}\n",
+        body = serialize_fields_body("self.", fields)
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let inits: String = fields.iter().map(deserialize_field_init).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let obj = v.as_object().ok_or_else(|| \
+            ::serde::Error::type_mismatch(\"object for struct {name}\", v))?;\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn newtype_serialize(name: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         ::serde::Serialize::to_value(&self.0)\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn newtype_deserialize(name: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let pattern: String = fields.iter().map(|f| format!("{}, ", f.name)).collect();
+                let body = serialize_fields_body("", fields);
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {pattern} }} => {{\n\
+                     let inner = {{ {body} }};\n\
+                     ::serde::Value::Object(vec![({v:?}.to_string(), inner)])\n\
+                     }},\n",
+                    v = v.name,
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let inits: String = fields.iter().map(deserialize_field_init).collect();
+                struct_arms.push_str(&format!(
+                    "{v:?} => {{\n\
+                     let obj = inner.as_object().ok_or_else(|| \
+                        ::serde::Error::type_mismatch(\"object for variant {v}\", inner))?;\n\
+                     ::std::result::Result::Ok({name}::{v} {{\n\
+                     {inits}\
+                     }})\n\
+                     }},\n",
+                    v = v.name,
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+            format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+         let (tag, inner) = &fields[0];\n\
+         match tag.as_str() {{\n\
+         {struct_arms}\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+            format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(\
+            ::serde::Error::type_mismatch(\"enum {name}\", other)),\n\
+         }}\n\
+         }}\n\
+         }}\n"
+    )
+}

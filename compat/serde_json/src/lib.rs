@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_json`, backed by the serde stub's [`Value`]
+//! tree and JSON text layer.
+//!
+//! Numbers round-trip exactly (the stub keeps numeric literals as text and
+//! parses them straight into the target type), which covers the
+//! `float_roundtrip` feature the workspace requests.
+
+pub use serde::{Error, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` shape matches
+/// the real crate's API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::json::write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (2-space indentation).
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::json::write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into a value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let v = serde::json::parse(s)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn string_roundtrip() {
+        let x: Vec<(String, f64)> = vec![("a".into(), 0.1), ("b".into(), -2.5e-3)];
+        let json = super::to_string(&x).unwrap();
+        let back: Vec<(String, f64)> = super::from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pretty_roundtrip() {
+        let x = vec![vec![1u32, 2], vec![3]];
+        let json = super::to_string_pretty(&x).unwrap();
+        let back: Vec<Vec<u32>> = super::from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn malformed_is_error() {
+        assert!(super::from_str::<Vec<u32>>("[1, 2").is_err());
+    }
+}

@@ -69,13 +69,13 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
             // position p, the f32 exponent is (p − 24) + 127 and the
             // remaining bits become the fraction.
             let shift = m.leading_zeros() - 21; // 10 − p
-            // Left-align so the leading 1 sits at bit 10, then mask it
-            // off: the remaining 10 bits are the normalized fraction.
+                                                // Left-align so the leading 1 sits at bit 10, then mask it
+                                                // off: the remaining 10 bits are the normalized fraction.
             let frac = (m << shift) & 0x3ff;
             let e = 127 - 14 - shift; // = 103 + p
             sign | (e << 23) | (frac << 13)
         }
-        (0x1f, 0) => sign | 0x7f80_0000,          // ±inf
+        (0x1f, 0) => sign | 0x7f80_0000,             // ±inf
         (0x1f, m) => sign | 0x7f80_0000 | (m << 13), // NaN
         (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
     };
@@ -183,7 +183,7 @@ mod tests {
             mean: 0.0,
             std_dev: 0.1,
         }
-        .init(&mut rng, &[10_000]);
+        .init(&mut rng, [10_000]);
         let min_normal = 2f32.powi(-14);
         let subnormal_step = 2f32.powi(-24);
         for &x in t.iter() {

@@ -37,12 +37,9 @@ impl Compressor for Int8Compressor {
                 actual: input.shape().dims().to_vec(),
             });
         }
-        let (max_abs, finite) = input
-            .as_slice()
-            .iter()
-            .fold((0.0f32, true), |(m, ok), &x| {
-                (m.max(x.abs()), ok && x.is_finite())
-            });
+        let (max_abs, finite) = input.as_slice().iter().fold((0.0f32, true), |(m, ok), &x| {
+            (m.max(x.abs()), ok && x.is_finite())
+        });
         if !finite {
             return Err(CompressError::NonFiniteInput);
         }
@@ -54,11 +51,7 @@ impl Compressor for Int8Compressor {
             wire.extend(std::iter::repeat_n(0u8, input.len()));
         } else {
             let inv = 1.0 / scale;
-            wire.extend(
-                input
-                    .iter()
-                    .map(|&x| ((x * inv).round() as i8) as u8),
-            );
+            wire.extend(input.iter().map(|&x| ((x * inv).round() as i8) as u8));
         }
         Ok(wire)
     }
@@ -153,9 +146,6 @@ mod tests {
     fn non_finite_rejected() {
         let t = Tensor::from_slice(&[f32::NAN]);
         let mut cx = Int8Compressor::new(t.shape().clone());
-        assert_eq!(
-            cx.compress(&t).unwrap_err(),
-            CompressError::NonFiniteInput
-        );
+        assert_eq!(cx.compress(&t).unwrap_err(), CompressError::NonFiniteInput);
     }
 }

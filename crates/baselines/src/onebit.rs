@@ -62,8 +62,16 @@ impl Compressor for MqeOneBitCompressor {
                 neg_n += 1;
             }
         }
-        let pos_level = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
-        let neg_level = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        let pos_level = if pos_n > 0 {
+            (pos_sum / pos_n as f64) as f32
+        } else {
+            0.0
+        };
+        let neg_level = if neg_n > 0 {
+            (neg_sum / neg_n as f64) as f32
+        } else {
+            0.0
+        };
 
         let n = self.buffer.len();
         let mut wire = Vec::with_capacity(HEADER_LEN + n.div_ceil(8));
@@ -134,10 +142,7 @@ mod tests {
         let wire = cx.compress(&t).unwrap();
         let out = cx.decompress(&wire).unwrap();
         // Positive class mean 0.3; negative class mean −0.2.
-        assert!(out.approx_eq(
-            &Tensor::from_slice(&[0.3, 0.3, -0.2, -0.2]),
-            1e-6
-        ));
+        assert!(out.approx_eq(&Tensor::from_slice(&[0.3, 0.3, -0.2, -0.2]), 1e-6));
     }
 
     #[test]

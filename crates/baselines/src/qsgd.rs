@@ -74,7 +74,11 @@ impl Compressor for QsgdCompressor {
                 } else {
                     lower as u32
                 };
-                let signed = if x < 0.0 { -(level as i32) } else { level as i32 };
+                let signed = if x < 0.0 {
+                    -(level as i32)
+                } else {
+                    level as i32
+                };
                 elias::encode_u32(&mut writer, elias::zigzag(signed));
             }
         } else {

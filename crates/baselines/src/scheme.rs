@@ -1,8 +1,8 @@
 //! Uniform scheme selection for the simulator and benchmark harness.
 
 use crate::{
-    Float32Compressor, Fp16Compressor, Int8Compressor, LocalStepsCompressor,
-    MqeOneBitCompressor, QsgdCompressor, SparsifyCompressor, StochasticTernaryCompressor,
+    Float32Compressor, Fp16Compressor, Int8Compressor, LocalStepsCompressor, MqeOneBitCompressor,
+    QsgdCompressor, SparsifyCompressor, StochasticTernaryCompressor,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -111,9 +111,7 @@ pub fn build_compressor(kind: &SchemeKind, shape: Shape, seed: u64) -> Box<dyn C
         SchemeKind::Float32 => Box::new(Float32Compressor::new(shape)),
         SchemeKind::Fp16 => Box::new(Fp16Compressor::new(shape)),
         SchemeKind::Int8 => Box::new(Int8Compressor::new(shape)),
-        SchemeKind::StochasticTernary => {
-            Box::new(StochasticTernaryCompressor::new(shape, seed))
-        }
+        SchemeKind::StochasticTernary => Box::new(StochasticTernaryCompressor::new(shape, seed)),
         SchemeKind::MqeOneBit => Box::new(MqeOneBitCompressor::new(shape)),
         SchemeKind::Sparsify { fraction } => Box::new(SparsifyCompressor::new(shape, fraction)),
         SchemeKind::LocalSteps { period } => Box::new(LocalStepsCompressor::new(shape, period)),
@@ -185,7 +183,7 @@ mod tests {
     }
 
     #[test]
-    fn lossy_designs_compress_below_float32(){
+    fn lossy_designs_compress_below_float32() {
         let mut r = threelc_tensor::rng(5);
         let t = threelc_tensor::Initializer::Normal {
             mean: 0.0,

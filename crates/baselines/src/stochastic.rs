@@ -70,12 +70,9 @@ impl Compressor for StochasticTernaryCompressor {
                 actual: input.shape().dims().to_vec(),
             });
         }
-        let (max_abs, finite) = input
-            .as_slice()
-            .iter()
-            .fold((0.0f32, true), |(m, ok), &x| {
-                (m.max(x.abs()), ok && x.is_finite())
-            });
+        let (max_abs, finite) = input.as_slice().iter().fold((0.0f32, true), |(m, ok), &x| {
+            (m.max(x.abs()), ok && x.is_finite())
+        });
         if !finite {
             return Err(CompressError::NonFiniteInput);
         }
@@ -209,8 +206,7 @@ mod tests {
         data[0] = 100.0;
         let t = Tensor::from_vec(data, [1000]);
         let mut unclipped = StochasticTernaryCompressor::new(t.shape().clone(), 1);
-        let mut clipped =
-            StochasticTernaryCompressor::with_clipping(t.shape().clone(), 1, 2.5);
+        let mut clipped = StochasticTernaryCompressor::with_clipping(t.shape().clone(), 1, 2.5);
         let wu = unclipped.compress(&t).unwrap();
         let wc = clipped.compress(&t).unwrap();
         let scale_u = f32::from_le_bytes(wu[0..4].try_into().unwrap());
@@ -219,8 +215,7 @@ mod tests {
         assert!(scale_c < 10.0, "clipped scale {scale_c}");
         // More nonzeros survive with the smaller scale.
         let nz = |cx: &StochasticTernaryCompressor, wire: &[u8]| {
-            cx.decompress(wire).unwrap().len()
-                - cx.decompress(wire).unwrap().count_zeros()
+            cx.decompress(wire).unwrap().len() - cx.decompress(wire).unwrap().count_zeros()
         };
         // Expected nonzeros: ≈13 clipped vs ≈2 unclipped; allow slack for
         // the stochastic draw.

@@ -47,13 +47,7 @@ fn main() {
     }
     .init(&mut rng, [N]);
 
-    let mut table = Table::new(&[
-        "s",
-        "stage",
-        "bits/value",
-        "enc ns/val",
-        "dec ns/val",
-    ]);
+    let mut table = Table::new(&["s", "stage", "bits/value", "enc ns/val", "dec ns/val"]);
     let mut rows = Vec::new();
     for s in [1.0f32, 1.5, 1.75, 1.9] {
         let q = TernaryTensor::quantize(&input, SparsityMultiplier::new(s).expect("valid"))
@@ -63,19 +57,43 @@ fn main() {
         // Plain quartic (fixed 1.6 bits/value).
         let (_, enc_t) = timed(REPS, || quartic::encode(q.values()));
         let (_, dec_t) = timed(REPS, || quartic::decode(&quartic_bytes, N).expect("valid"));
-        push(&mut table, &mut rows, s, "quartic only", quartic_bytes.len(), enc_t, dec_t);
+        push(
+            &mut table,
+            &mut rows,
+            s,
+            "quartic only",
+            quartic_bytes.len(),
+            enc_t,
+            dec_t,
+        );
 
         // Quartic + zero-run encoding.
         let zre = zrle::encode(&quartic_bytes).expect("valid");
         let (_, enc_t) = timed(REPS, || zrle::encode(&quartic_bytes).expect("valid"));
         let (_, dec_t) = timed(REPS, || zrle::decode(&zre));
-        push(&mut table, &mut rows, s, "quartic + ZRE", zre.len(), enc_t, dec_t);
+        push(
+            &mut table,
+            &mut rows,
+            s,
+            "quartic + ZRE",
+            zre.len(),
+            enc_t,
+            dec_t,
+        );
 
         // Quartic + Huffman entropy coding.
         let huff = huffman::encode(&quartic_bytes);
         let (_, enc_t) = timed(REPS, || huffman::encode(&quartic_bytes));
         let (_, dec_t) = timed(REPS, || huffman::decode(&huff).expect("valid"));
-        push(&mut table, &mut rows, s, "quartic + Huffman", huff.len(), enc_t, dec_t);
+        push(
+            &mut table,
+            &mut rows,
+            s,
+            "quartic + Huffman",
+            huff.len(),
+            enc_t,
+            dec_t,
+        );
     }
     table.print();
     println!(

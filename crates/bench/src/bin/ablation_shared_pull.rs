@@ -29,7 +29,12 @@ fn main() {
         opts.steps
     );
 
-    let mut table = Table::new(&["Variant", "Server codec (ms/step)", "Step @ 1 Gbps (s)", "Bytes"]);
+    let mut table = Table::new(&[
+        "Variant",
+        "Server codec (ms/step)",
+        "Step @ 1 Gbps (s)",
+        "Bytes",
+    ]);
     let mut rows = Vec::new();
     for (label, shared) in [("shared pull", true), ("per-worker pull", false)] {
         let mut config = opts.config(SchemeKind::three_lc(1.0));
@@ -37,8 +42,13 @@ fn main() {
         eprintln!("running {label} ...");
         let r = run_cached(&config, opts.fresh);
         let steps = r.trace.steps.len() as f64;
-        let server_codec: f64 =
-            r.trace.steps.iter().map(|s| s.server_codec_seconds).sum::<f64>() / steps;
+        let server_codec: f64 = r
+            .trace
+            .steps
+            .iter()
+            .map(|s| s.server_codec_seconds)
+            .sum::<f64>()
+            / steps;
         let net = NetworkModel::one_gbps();
         let step_s = r.total_seconds_at(&net) / steps;
         table.row_owned(vec![

@@ -32,7 +32,12 @@ fn main() {
         opts.steps
     );
     let net = NetworkModel::ten_mbps();
-    let mut table = Table::new(&["Scheme", "Staleness", "Time @ 10 Mbps (min)", "Accuracy (%)"]);
+    let mut table = Table::new(&[
+        "Scheme",
+        "Staleness",
+        "Time @ 10 Mbps (min)",
+        "Accuracy (%)",
+    ]);
     let mut rows = Vec::new();
     for scheme in [SchemeKind::Float32, SchemeKind::three_lc(1.0)] {
         for staleness in [0u32, 1, 2, 4] {

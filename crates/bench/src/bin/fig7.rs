@@ -70,7 +70,15 @@ fn main() {
     }
 
     // Print a digest: loss/accuracy at quartiles of training.
-    let mut table = Table::new(&["Design", "Loss @25%", "@50%", "@100%", "Acc @25%", "@50%", "@100%"]);
+    let mut table = Table::new(&[
+        "Design",
+        "Loss @25%",
+        "@50%",
+        "@100%",
+        "Acc @25%",
+        "@50%",
+        "@100%",
+    ]);
     for c in &curves {
         let at = |v: &Vec<(u64, f32)>, f: f64| -> f32 {
             let i = ((v.len() as f64 * f).ceil() as usize).clamp(1, v.len()) - 1;

@@ -27,9 +27,7 @@ fn main() {
     );
 
     let mut panels = Vec::new();
-    let mut table = Table::new(&[
-        "s", "phase", "push b/v", "pull b/v",
-    ]);
+    let mut table = Table::new(&["s", "phase", "push b/v", "pull b/v"]);
     for s in [1.0f32, 1.75] {
         let design = SchemeKind::three_lc(s);
         eprintln!("running {} ...", design.label());
@@ -42,10 +40,16 @@ fn main() {
             .chunks(stride)
             .map(|w| {
                 let step = w.last().expect("nonempty").step;
-                let push =
-                    w.iter().map(|x| x.push_bits_per_value(workers)).sum::<f64>() / w.len() as f64;
-                let pull =
-                    w.iter().map(|x| x.pull_bits_per_value(workers)).sum::<f64>() / w.len() as f64;
+                let push = w
+                    .iter()
+                    .map(|x| x.push_bits_per_value(workers))
+                    .sum::<f64>()
+                    / w.len() as f64;
+                let pull = w
+                    .iter()
+                    .map(|x| x.pull_bits_per_value(workers))
+                    .sum::<f64>()
+                    / w.len() as f64;
                 (step, push, pull)
             })
             .collect();
@@ -56,7 +60,9 @@ fn main() {
             ("late", 2.0 / 3.0, 1.0),
         ] {
             let a = (samples.len() as f64 * lo) as usize;
-            let b = ((samples.len() as f64 * hi) as usize).max(a + 1).min(samples.len());
+            let b = ((samples.len() as f64 * hi) as usize)
+                .max(a + 1)
+                .min(samples.len());
             let part = &samples[a..b];
             let push = part.iter().map(|x| x.1).sum::<f64>() / part.len() as f64;
             let pull = part.iter().map(|x| x.2).sum::<f64>() / part.len() as f64;

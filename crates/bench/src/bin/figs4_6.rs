@@ -48,10 +48,14 @@ fn main() {
     }
 
     let mut figures = Vec::new();
-    for (fig_no, (label, net)) in [(4, NetworkModel::ten_mbps()), (5, NetworkModel::hundred_mbps()), (6, NetworkModel::one_gbps())]
-        .iter()
-        .enumerate()
-        .map(|(i, (a, b))| (i + 4, (a, b)))
+    for (fig_no, (label, net)) in [
+        (4, NetworkModel::ten_mbps()),
+        (5, NetworkModel::hundred_mbps()),
+        (6, NetworkModel::one_gbps()),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (a, b))| (i + 4, (a, b)))
     {
         println!(
             "\nFigure {fig_no}: training time vs accuracy @ {} ({} standard steps)",

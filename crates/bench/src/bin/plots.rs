@@ -50,11 +50,7 @@ fn main() {
 
     if let Some(figures) = load::<Vec<TradeoffFigure>>("figs4_6.json") {
         for (i, fig) in figures.iter().enumerate() {
-            let title = format!(
-                "Figure {}: time vs accuracy @ {}",
-                4 + i,
-                fig.bandwidth
-            );
+            let title = format!("Figure {}: time vs accuracy @ {}", 4 + i, fig.bandwidth);
             save(
                 &format!("fig{}.svg", 4 + i),
                 &tradeoff_plot(&title, &fig.series).render_svg(),
@@ -114,11 +110,19 @@ fn main() {
             });
             plot.push_series(PlotSeries {
                 name: "With ZRE (push)".into(),
-                points: p.samples.iter().map(|&(s, push, _)| (s as f64, push)).collect(),
+                points: p
+                    .samples
+                    .iter()
+                    .map(|&(s, push, _)| (s as f64, push))
+                    .collect(),
             });
             plot.push_series(PlotSeries {
                 name: "With ZRE (pull)".into(),
-                points: p.samples.iter().map(|&(s, _, pull)| (s as f64, pull)).collect(),
+                points: p
+                    .samples
+                    .iter()
+                    .map(|&(s, _, pull)| (s as f64, pull))
+                    .collect(),
             });
             save(
                 &format!("fig9_s{}.svg", (p.sparsity * 100.0) as u32),

@@ -41,8 +41,11 @@ fn cache_path(root: &Path, config: &ExperimentConfig) -> PathBuf {
         .scheme
         .label()
         .replace([' ', '(', ')', '=', '%', '+'], "_");
-    root.join(RUNS_DIR)
-        .join(format!("{label}-{}steps-{}.json", config.total_steps, config_key(config)))
+    root.join(RUNS_DIR).join(format!(
+        "{label}-{}steps-{}.json",
+        config.total_steps,
+        config_key(config)
+    ))
 }
 
 /// Runs an experiment, reusing a cached result when one exists for this

@@ -32,7 +32,8 @@ impl Table {
     /// Panics if the cell count differs from the header.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.

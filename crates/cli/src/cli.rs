@@ -15,7 +15,12 @@ usage:
   threelc compress   <input.f32> <output.3lc> [--sparsity S] [--no-zre]
   threelc decompress <input.3lc> <output.f32>
   threelc inspect    <input.3lc>
-  threelc stats      <input.f32> [--sparsity S]";
+  threelc stats      <input.f32> [--sparsity S]
+  threelc serve      --addr A [--workers N] [--steps N] [--seed N]
+                     [--scheme float32|fp16|int8|3lc] [--sparsity S]
+                     [--width N] [--blocks N] [--batch N] [--eval-every N]
+                     [--json report.json]
+  threelc worker     --addr A --id N";
 
 /// Magic bytes identifying a `.3lc` container.
 const MAGIC: &[u8; 4] = b"3LC\0";
@@ -38,6 +43,8 @@ pub fn run(args: &[String]) -> CliResult {
         Some("decompress") => decompress(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("serve") => crate::netcmd::serve_cmd(&args[1..]),
+        Some("worker") => crate::netcmd::worker_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("missing command".into()),
     }
@@ -55,8 +62,8 @@ fn parse_sparsity(args: &[String]) -> Result<(SparsityMultiplier, bool), Box<dyn
                     .ok_or("--sparsity requires a value")?
                     .parse()
                     .map_err(|_| "invalid --sparsity value")?;
-                sparsity = SparsityMultiplier::new(v)
-                    .map_err(|_| "sparsity must be in [1.0, 2.0)")?;
+                sparsity =
+                    SparsityMultiplier::new(v).map_err(|_| "sparsity must be in [1.0, 2.0)")?;
             }
             "--no-zre" => zre = false,
             other if other.starts_with("--") => {
@@ -140,15 +147,43 @@ fn compress(args: &[String]) -> CliResult {
 }
 
 fn parse_container(bytes: &[u8], path: &str) -> Result<(usize, Vec<u8>), Box<dyn Error>> {
-    if bytes.len() < FILE_HEADER_LEN || &bytes[0..4] != MAGIC {
+    if bytes.len() < MAGIC.len() || &bytes[0..4] != MAGIC {
         return Err(format!("{path}: not a .3lc file").into());
+    }
+    if bytes.len() < FILE_HEADER_LEN {
+        return Err(format!(
+            "{path}: truncated .3lc file ({} bytes, the header alone is {FILE_HEADER_LEN})",
+            bytes.len()
+        )
+        .into());
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     if version != VERSION {
         return Err(format!("{path}: unsupported version {version}").into());
     }
-    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    Ok((count, bytes[FILE_HEADER_LEN..].to_vec()))
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let wire = &bytes[FILE_HEADER_LEN..];
+    if wire.len() < threelc::sizing::WIRE_HEADER_LEN {
+        return Err(format!(
+            "{path}: truncated .3lc file (payload is {} bytes, the wire header alone is {})",
+            wire.len(),
+            threelc::sizing::WIRE_HEADER_LEN
+        )
+        .into());
+    }
+    // Bound the claimed element count by what this payload could possibly
+    // encode before sizing any allocation by it: a corrupt or hostile
+    // header must not cost memory proportional to its claim.
+    let max = threelc::sizing::max_values_for_payload(wire.len()) as u64;
+    if count > max {
+        return Err(format!(
+            "{path}: header claims {count} values but a {}-byte payload holds at most {max}; \
+             the file is truncated or corrupt",
+            wire.len()
+        )
+        .into());
+    }
+    Ok((count as usize, wire.to_vec()))
 }
 
 fn decompress(args: &[String]) -> CliResult {
@@ -238,7 +273,9 @@ mod tests {
         let input = tmp("in.f32");
         let packed = tmp("out.3lc");
         let restored = tmp("back.f32");
-        let data: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 0.01).collect();
+        let data: Vec<f32> = (0..1000)
+            .map(|i| ((i as f32) * 0.37).sin() * 0.01)
+            .collect();
         write_f32(&input, &data);
 
         let report = run(&s(&[
@@ -296,7 +333,12 @@ mod tests {
         let with = tmp("z1.3lc");
         let without = tmp("z2.3lc");
         write_f32(&input, &vec![0.0f32; 7000]);
-        run(&s(&["compress", input.to_str().unwrap(), with.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            with.to_str().unwrap(),
+        ]))
+        .unwrap();
         run(&s(&[
             "compress",
             input.to_str().unwrap(),
@@ -322,6 +364,125 @@ mod tests {
         let junk = tmp("junk.3lc");
         std::fs::write(&junk, b"hello").unwrap();
         assert!(run(&s(&["inspect", junk.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn truncated_containers_report_cleanly() {
+        let input = tmp("trunc.f32");
+        let packed = tmp("trunc.3lc");
+        write_f32(&input, &vec![0.25f32; 600]);
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+        ]))
+        .expect("compress");
+        let full = std::fs::read(&packed).expect("read container");
+
+        // Cut the file at every structurally interesting point: inside the
+        // magic, inside the file header, inside the wire header, and one
+        // byte short of complete. Each must yield a clean error from both
+        // readers — no panic, no huge allocation.
+        for cut in [
+            2,
+            4,
+            10,
+            FILE_HEADER_LEN,
+            FILE_HEADER_LEN + 4,
+            full.len() - 1,
+        ] {
+            let cut_file = tmp(&format!("cut{cut}.3lc"));
+            std::fs::write(&cut_file, &full[..cut]).expect("write truncation");
+            let path = cut_file.to_str().unwrap();
+            assert!(
+                run(&s(&["inspect", path])).is_err(),
+                "inspect accepted a {cut}-byte truncation"
+            );
+            let out = tmp(&format!("cut{cut}.f32"));
+            assert!(
+                run(&s(&["decompress", path, out.to_str().unwrap()])).is_err(),
+                "decompress accepted a {cut}-byte truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_count_claims_are_rejected_before_allocation() {
+        // A 16-byte payload cannot hold u64::MAX values; the claim must be
+        // rejected up front instead of sizing buffers from it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let hostile = tmp("hostile.3lc");
+        std::fs::write(&hostile, &bytes).unwrap();
+        let err = run(&s(&["inspect", hostile.to_str().unwrap()]))
+            .expect_err("hostile claim must be rejected");
+        assert!(err.to_string().contains("claims"), "got: {err}");
+    }
+
+    #[test]
+    fn serve_and_worker_commands_run_a_loopback_experiment() {
+        // Reserve an ephemeral port, then immediately reuse it. The worker
+        // commands retry with backoff, so they tolerate starting first.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().expect("addr").to_string()
+        };
+        let json = tmp("net-report.json");
+        let serve_args = s(&[
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--steps",
+            "3",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--sparsity",
+            "1.5",
+            "--json",
+            json.to_str().unwrap(),
+        ]);
+        // `run` returns `Box<dyn Error>`, which is not `Send`; stringify
+        // errors inside the threads.
+        let server = std::thread::spawn(move || run(&serve_args).map_err(|e| e.to_string()));
+        let workers: Vec<_> = (0..2)
+            .map(|id| {
+                let args = s(&["worker", "--addr", &addr, "--id", &id.to_string()]);
+                std::thread::spawn(move || run(&args).map_err(|e| e.to_string()))
+            })
+            .collect();
+        for w in workers {
+            let report = w.join().expect("worker thread").expect("worker run");
+            assert!(report.contains("finished 3 steps"), "got: {report}");
+        }
+        let report = server.join().expect("server thread").expect("serve run");
+        assert!(report.contains("final eval"), "got: {report}");
+        let dumped = std::fs::read_to_string(&json).expect("json report");
+        let parsed: threelc_net::NetReport = serde_json::from_str(&dumped).expect("parse report");
+        assert_eq!(parsed.connections.len(), 2);
+        assert_eq!(parsed.result.trace.steps.len(), 3);
+    }
+
+    #[test]
+    fn net_command_flags_are_validated() {
+        assert!(run(&s(&["serve"])).is_err()); // --addr missing
+        assert!(run(&s(&["serve", "--addr", "x", "--bogus", "1"])).is_err());
+        assert!(run(&s(&["serve", "--addr", "x", "--workers"])).is_err());
+        assert!(run(&s(&["serve", "--addr", "x", "--scheme", "zstd"])).is_err());
+        assert!(run(&s(&["serve", "--addr", "x", "--sparsity", "3.0"])).is_err());
+        assert!(run(&s(&["worker", "--addr", "127.0.0.1:1"])).is_err()); // --id missing
+        assert!(run(&s(&["worker", "--id", "0"])).is_err()); // --addr missing
+        assert!(run(&s(&["worker", "--addr", "not-an-address", "--id", "0"])).is_err());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! threelc decompress <input.3lc> <output.f32>
 //! threelc inspect    <input.3lc>
 //! threelc stats      <input.f32> [--sparsity S]
+//! threelc serve      --addr A [--workers N] [--steps N] [...]
+//! threelc worker     --addr A --id N
 //! ```
 //!
 //! Input tensors are flat little-endian `f32` files (the natural dump
@@ -15,6 +17,7 @@
 use std::process::ExitCode;
 
 mod cli;
+mod netcmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,197 @@
+//! The `serve` and `worker` subcommands: the TCP parameter-server runtime
+//! from `threelc-net`, driven from the command line.
+//!
+//! The server owns the full experiment configuration and distributes it in
+//! the handshake, so a worker invocation needs nothing but an address and
+//! a worker id.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use threelc::SparsityMultiplier;
+use threelc_baselines::SchemeKind;
+use threelc_distsim::ExperimentConfig;
+use threelc_net::{run_worker, serve, ServeOptions, WorkerOptions};
+
+type CliResult = Result<String, Box<dyn Error>>;
+
+/// Rejects unknown flags and flags missing their value (every flag of
+/// these subcommands takes exactly one value).
+fn check_flags(args: &[String], known: &[&str]) -> Result<(), Box<dyn Error>> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if !known.contains(&a.as_str()) {
+            return Err(format!("unknown argument `{a}`").into());
+        }
+        if it.next().is_none() {
+            return Err(format!("{a} requires a value").into());
+        }
+    }
+    Ok(())
+}
+
+/// The value following `name`, if the flag is present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses the value following `name`, if present.
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+) -> Result<Option<T>, Box<dyn Error>> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value `{v}` for {name}").into()),
+    }
+}
+
+fn parse_scheme(name: &str, sparsity: f32) -> Result<SchemeKind, Box<dyn Error>> {
+    match name {
+        "float32" => Ok(SchemeKind::Float32),
+        "fp16" => Ok(SchemeKind::Fp16),
+        "int8" => Ok(SchemeKind::Int8),
+        "3lc" => Ok(SchemeKind::three_lc(sparsity)),
+        other => Err(format!("unknown scheme `{other}` (expected float32|fp16|int8|3lc)").into()),
+    }
+}
+
+/// `threelc serve`: bind, run a full experiment as the parameter server,
+/// and report (optionally dumping the full JSON report).
+pub fn serve_cmd(args: &[String]) -> CliResult {
+    const FLAGS: &[&str] = &[
+        "--addr",
+        "--workers",
+        "--steps",
+        "--scheme",
+        "--sparsity",
+        "--seed",
+        "--width",
+        "--blocks",
+        "--batch",
+        "--eval-every",
+        "--json",
+    ];
+    check_flags(args, FLAGS)?;
+    let addr =
+        flag_value(args, "--addr").ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
+
+    let sparsity: f32 = parse_flag(args, "--sparsity")?.unwrap_or(1.0);
+    SparsityMultiplier::new(sparsity).map_err(|_| "sparsity must be in [1.0, 2.0)")?;
+    let scheme = match flag_value(args, "--scheme") {
+        Some(name) => parse_scheme(name, sparsity)?,
+        None => SchemeKind::three_lc(sparsity),
+    };
+    let mut config = ExperimentConfig::for_scheme(scheme);
+    if let Some(v) = parse_flag(args, "--workers")? {
+        config.workers = v;
+    }
+    if let Some(v) = parse_flag(args, "--steps")? {
+        config.total_steps = v;
+    }
+    if let Some(v) = parse_flag(args, "--seed")? {
+        config.seed = v;
+    }
+    if let Some(v) = parse_flag(args, "--width")? {
+        config.model_width = v;
+    }
+    if let Some(v) = parse_flag(args, "--blocks")? {
+        config.model_blocks = v;
+    }
+    if let Some(v) = parse_flag(args, "--batch")? {
+        config.batch_per_worker = v;
+    }
+    if let Some(v) = parse_flag(args, "--eval-every")? {
+        config.eval_every = v;
+    }
+
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = listener.local_addr()?;
+    let report = serve(&listener, &config, &ServeOptions::default())?;
+
+    if let Some(path) = flag_value(args, "--json") {
+        let json = serde_json::to_string(&report)?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    let result = &report.result;
+    let (push, pull, raw) = result
+        .trace
+        .steps
+        .iter()
+        .fold((0u64, 0u64, 0u64), |acc, s| {
+            (
+                acc.0 + s.push_bytes,
+                acc.1 + s.pull_bytes,
+                acc.2 + s.raw_bytes,
+            )
+        });
+    let mut out = String::new();
+    writeln!(
+        out,
+        "served {} worker(s) for {} steps on {bound} [{}]",
+        config.workers, config.total_steps, result.scheme_label
+    )?;
+    writeln!(
+        out,
+        "final eval: loss {:.4}, accuracy {:.2}%",
+        result.final_eval.loss,
+        result.final_eval.accuracy * 100.0
+    )?;
+    writeln!(
+        out,
+        "traffic: push {push} B, pull {pull} B, raw {raw} B (payloads, all workers)"
+    )?;
+    for conn in &report.connections {
+        let c = &conn.counters;
+        writeln!(
+            out,
+            "worker {} @ {}: in {} B / {} frames, out {} B / {} frames, codec {:.3}s, socket {:.3}s",
+            conn.worker,
+            conn.peer,
+            c.bytes_in,
+            c.frames_in,
+            c.bytes_out,
+            c.frames_out,
+            c.codec_seconds,
+            c.socket_seconds
+        )?;
+    }
+    Ok(out)
+}
+
+/// `threelc worker`: join a serving parameter server and train.
+pub fn worker_cmd(args: &[String]) -> CliResult {
+    const FLAGS: &[&str] = &["--addr", "--id"];
+    check_flags(args, FLAGS)?;
+    let addr =
+        flag_value(args, "--addr").ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
+    let id: u16 = parse_flag(args, "--id")?.ok_or("--id is required (0-based worker id)")?;
+
+    let outcome = run_worker(&WorkerOptions::new(addr, id))?;
+    let c = &outcome.counters;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "worker {id} finished {} steps against {addr} [{}]",
+        outcome.steps,
+        outcome.config.scheme.label()
+    )?;
+    writeln!(
+        out,
+        "traffic: in {} B / {} frames, out {} B / {} frames, {} retries",
+        c.bytes_in, c.frames_in, c.bytes_out, c.frames_out, c.retries
+    )?;
+    writeln!(
+        out,
+        "time: codec {:.3}s, socket {:.3}s",
+        c.codec_seconds, c.socket_seconds
+    )?;
+    Ok(out)
+}

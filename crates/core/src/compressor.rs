@@ -232,10 +232,7 @@ mod tests {
     #[test]
     fn roundtrip_shape_and_error_bound() {
         let input = Tensor::from_vec(vec![0.31, -0.17, 0.05, 0.44, -0.29, 0.0], [2, 3]);
-        let mut cx = ThreeLcCompressor::new(
-            input.shape().clone(),
-            SparsityMultiplier::default(),
-        );
+        let mut cx = ThreeLcCompressor::new(input.shape().clone(), SparsityMultiplier::default());
         let wire = cx.compress(&input).unwrap();
         let out = cx.decompress(&wire).unwrap();
         assert_eq!(out.shape(), input.shape());
@@ -271,7 +268,9 @@ mod tests {
         let mut recovered = Tensor::zeros([n]);
         for _ in 0..30 {
             let wire = cx.compress(&input).unwrap();
-            recovered.add_assign(&cx.decompress(&wire).unwrap()).unwrap();
+            recovered
+                .add_assign(&cx.decompress(&wire).unwrap())
+                .unwrap();
         }
         // After 30 steps the cumulative transmitted sum approximates the
         // cumulative input sum (30 × 0.04 = 1.2 at index 1..n).
@@ -316,7 +315,9 @@ mod tests {
     #[test]
     fn zre_flag_roundtrip_both_ways() {
         let input = Tensor::from_vec(
-            (0..100).map(|i| if i % 10 == 0 { 0.5 } else { 0.0 }).collect(),
+            (0..100)
+                .map(|i| if i % 10 == 0 { 0.5 } else { 0.0 })
+                .collect(),
             [100],
         );
         for zre in [true, false] {
@@ -443,10 +444,8 @@ mod tests {
         .init(&mut r, [10000]);
         let mut sizes = Vec::new();
         for s in [1.0, 1.5, 1.75, 1.9] {
-            let mut cx = ThreeLcCompressor::new(
-                input.shape().clone(),
-                SparsityMultiplier::new(s).unwrap(),
-            );
+            let mut cx =
+                ThreeLcCompressor::new(input.shape().clone(), SparsityMultiplier::new(s).unwrap());
             sizes.push(cx.compress(&input).unwrap().len());
         }
         assert!(

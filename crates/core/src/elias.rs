@@ -44,7 +44,12 @@ impl BitWriter {
 
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.bytes.len() * 8 - if self.used == 0 { 0 } else { (8 - self.used) as usize }
+        self.bytes.len() * 8
+            - if self.used == 0 {
+                0
+            } else {
+                (8 - self.used) as usize
+            }
     }
 
     /// Finishes the stream and returns the bytes (zero-padded tail).

@@ -224,7 +224,13 @@ mod tests {
         let mut rng = threelc_tensor::rng(1);
         use rand::Rng as _;
         let data: Vec<u8> = (0..50_000)
-            .map(|_| if rng.gen::<f32>() < 0.9 { 121 } else { rng.gen_range(0..=242) })
+            .map(|_| {
+                if rng.gen::<f32>() < 0.9 {
+                    121
+                } else {
+                    rng.gen_range(0..=242)
+                }
+            })
             .collect();
         let enc = encode(&data);
         assert!(
@@ -244,7 +250,13 @@ mod tests {
         use rand::Rng as _;
         let n = 100_000usize;
         let data: Vec<u8> = (0..n)
-            .map(|_| if rng.gen::<bool>() { 121 } else { rng.gen_range(0..=242) })
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    121
+                } else {
+                    rng.gen_range(0..=242)
+                }
+            })
             .collect();
         let enc = encode(&data);
         let bits_per_sym = (enc.len() - HEADER_LEN) as f64 * 8.0 / n as f64;

@@ -46,6 +46,7 @@ pub mod elias;
 mod error;
 pub mod huffman;
 pub mod quartic;
+pub mod sizing;
 pub mod tlq;
 mod traits;
 pub mod zrle;

@@ -101,12 +101,9 @@ impl TernaryTensor {
         // A single fold computes the max magnitude and detects NaN/inf
         // (`f32::max` silently ignores NaN, so finiteness is tracked
         // separately).
-        let (max_abs, finite) = input
-            .as_slice()
-            .iter()
-            .fold((0.0f32, true), |(m, ok), &x| {
-                (m.max(x.abs()), ok && x.is_finite())
-            });
+        let (max_abs, finite) = input.as_slice().iter().fold((0.0f32, true), |(m, ok), &x| {
+            (m.max(x.abs()), ok && x.is_finite())
+        });
         if !finite {
             return Err(CompressError::NonFiniteInput);
         }
@@ -278,8 +275,12 @@ mod tests {
             std_dev: 0.1,
         }
         .init(&mut r, [4096]);
-        let z1 = TernaryTensor::quantize(&input, s(1.0)).unwrap().zero_fraction();
-        let z19 = TernaryTensor::quantize(&input, s(1.9)).unwrap().zero_fraction();
+        let z1 = TernaryTensor::quantize(&input, s(1.0))
+            .unwrap()
+            .zero_fraction();
+        let z19 = TernaryTensor::quantize(&input, s(1.9))
+            .unwrap()
+            .zero_fraction();
         assert!(z19 > z1, "z(1.9)={z19} should exceed z(1.0)={z1}");
     }
 

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use threelc::{
-    quartic, zrle, Compressor, SparsityMultiplier, TernaryTensor, ThreeLcCompressor,
-    ThreeLcOptions,
+    quartic, zrle, Compressor, SparsityMultiplier, TernaryTensor, ThreeLcCompressor, ThreeLcOptions,
 };
 use threelc_tensor::{Shape, Tensor};
 

@@ -65,13 +65,8 @@ fn golden_zre_run_codes() {
 
 #[test]
 fn golden_scale_is_max_abs_times_s() {
-    let mut cx = ThreeLcCompressor::new(
-        Shape::new(&[3]),
-        SparsityMultiplier::new(1.5).unwrap(),
-    );
-    let wire = cx
-        .compress(&Tensor::from_slice(&[0.2, -0.4, 0.1]))
-        .unwrap();
+    let mut cx = ThreeLcCompressor::new(Shape::new(&[3]), SparsityMultiplier::new(1.5).unwrap());
+    let wire = cx.compress(&Tensor::from_slice(&[0.2, -0.4, 0.1])).unwrap();
     let scale = f32::from_le_bytes(wire[1..5].try_into().unwrap());
     assert!((scale - 0.6).abs() < 1e-6, "M = max|T| · s = 0.4 · 1.5");
 }
@@ -95,7 +90,8 @@ fn cross_context_decode_agrees() {
     let mut producer = ctx(8, true);
     let wire = producer.compress(&t).unwrap();
     let consumer_a = ctx(8, true);
-    let consumer_b = ThreeLcCompressor::new(Shape::new(&[8]), SparsityMultiplier::new(1.9).unwrap());
+    let consumer_b =
+        ThreeLcCompressor::new(Shape::new(&[8]), SparsityMultiplier::new(1.9).unwrap());
     assert_eq!(
         consumer_a.decompress(&wire).unwrap(),
         consumer_b.decompress(&wire).unwrap(),

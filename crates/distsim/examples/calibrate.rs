@@ -4,19 +4,47 @@ use threelc_baselines::SchemeKind;
 use threelc_distsim::{run_experiment, ExperimentConfig, NetworkModel};
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     for scheme in [SchemeKind::Float32, SchemeKind::three_lc(1.0)] {
-        let cfg = ExperimentConfig { scheme, total_steps: steps, eval_every: steps / 4, ..Default::default() };
+        let cfg = ExperimentConfig {
+            scheme,
+            total_steps: steps,
+            eval_every: steps / 4,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let r = run_experiment(&cfg);
         let wall = t0.elapsed().as_secs_f64();
-        println!("== {} ({} steps, wall {:.1}s, {:.1} ms/step)", r.scheme_label, steps, wall, wall * 1000.0 / steps as f64);
+        println!(
+            "== {} ({} steps, wall {:.1}s, {:.1} ms/step)",
+            r.scheme_label,
+            steps,
+            wall,
+            wall * 1000.0 / steps as f64
+        );
         for e in &r.trace.evals {
-            println!("  step {:4}  loss {:.3}  acc {:.2}%", e.step, e.eval.loss, e.eval.accuracy * 100.0);
+            println!(
+                "  step {:4}  loss {:.3}  acc {:.2}%",
+                e.step,
+                e.eval.loss,
+                e.eval.accuracy * 100.0
+            );
         }
-        println!("  bits/value {:.3}  ratio {:.1}x  params {}", r.bits_per_value(), r.compression_ratio(), r.model_params);
+        println!(
+            "  bits/value {:.3}  ratio {:.1}x  params {}",
+            r.bits_per_value(),
+            r.compression_ratio(),
+            r.model_params
+        );
         for (label, net) in NetworkModel::paper_presets() {
-            println!("  time @ {}: {:.1} min", label, r.total_seconds_at(&net) / 60.0);
+            println!(
+                "  time @ {}: {:.1} min",
+                label,
+                r.total_seconds_at(&net) / 60.0
+            );
         }
     }
 }

@@ -3,15 +3,35 @@ use threelc_baselines::SchemeKind;
 use threelc_distsim::{Cluster, ExperimentConfig};
 
 fn main() {
-    let s: f32 = std::env::args().nth(1).and_then(|x| x.parse().ok()).unwrap_or(1.9);
-    let steps: u64 = std::env::args().nth(2).and_then(|x| x.parse().ok()).unwrap_or(400);
-    let cfg = ExperimentConfig { scheme: SchemeKind::three_lc(s), total_steps: steps, ..Default::default() };
+    let s: f32 = std::env::args()
+        .nth(1)
+        .and_then(|x| x.parse().ok())
+        .unwrap_or(1.9);
+    let steps: u64 = std::env::args()
+        .nth(2)
+        .and_then(|x| x.parse().ok())
+        .unwrap_or(400);
+    let cfg = ExperimentConfig {
+        scheme: SchemeKind::three_lc(s),
+        total_steps: steps,
+        ..Default::default()
+    };
     let mut c = Cluster::new(cfg);
     for t in 0..steps {
         let r = c.step();
         if t % 25 == 0 || t == steps - 1 {
-            let gmax = c.global_model().params().iter().map(|p| p.max_abs()).fold(0.0f32, f32::max);
-            println!("step {t:4} lr {:.4} loss {:8.4} push_bits/v {:.3} |global|max {gmax:.3}", r.lr, r.loss, r.push_bits_per_value(10));
+            let gmax = c
+                .global_model()
+                .params()
+                .iter()
+                .map(|p| p.max_abs())
+                .fold(0.0f32, f32::max);
+            println!(
+                "step {t:4} lr {:.4} loss {:8.4} push_bits/v {:.3} |global|max {gmax:.3}",
+                r.lr,
+                r.loss,
+                r.push_bits_per_value(10)
+            );
         }
     }
     println!("final acc {:.2}%", c.evaluate().accuracy * 100.0);

@@ -3,10 +3,22 @@ use threelc_baselines::SchemeKind;
 use threelc_distsim::{run_experiment, ExperimentConfig};
 
 fn main() {
-    let steps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1200);
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1200);
     for s in [1.0f32, 1.5, 1.75, 1.9] {
-        let cfg = ExperimentConfig { scheme: SchemeKind::three_lc(s), total_steps: steps, ..Default::default() };
+        let cfg = ExperimentConfig {
+            scheme: SchemeKind::three_lc(s),
+            total_steps: steps,
+            ..Default::default()
+        };
         let r = run_experiment(&cfg);
-        println!("s={s:<5} acc {:.2}%  bits/value {:.3}  ratio {:.1}x", r.final_eval.accuracy*100.0, r.bits_per_value(), r.compression_ratio());
+        println!(
+            "s={s:<5} acc {:.2}%  bits/value {:.3}  ratio {:.1}x",
+            r.final_eval.accuracy * 100.0,
+            r.bits_per_value(),
+            r.compression_ratio()
+        );
     }
 }

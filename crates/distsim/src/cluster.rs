@@ -1,20 +1,11 @@
 //! The bulk-synchronous parameter-server cluster.
 
 use crate::config::ExperimentConfig;
+use crate::engine::{self, Problem, ServerCore, TensorPayload, WorkerReplica};
 use crate::trace::StepRecord;
-use std::time::Instant;
-use threelc::{CompressionStats, Compressor};
-use threelc_baselines::build_compressor;
-use threelc_learning::{models, Batch, Evaluation, LrSchedule, Network, SgdMomentum, SyntheticImages};
+use threelc::CompressionStats;
+use threelc_learning::{Batch, Evaluation, Network, SyntheticImages};
 use threelc_tensor::{Rng, Tensor};
-
-/// One worker's state: a local model replica, a data-sampling RNG, and a
-/// push compression context per compressible tensor.
-struct Worker {
-    model: Network,
-    rng: Rng,
-    push_ctxs: Vec<Option<Box<dyn Compressor>>>,
-}
 
 /// An in-process parameter-server cluster (paper Figures 1–2).
 ///
@@ -24,19 +15,18 @@ struct Worker {
 /// (shared) compression context on pull. Wall-clock time is *simulated*
 /// from the measured codec CPU time and byte counts recorded in each
 /// [`StepRecord`].
+///
+/// The arithmetic lives in [`crate::engine`], which the TCP runtime
+/// (`threelc-net`) drives over real sockets; this type adds what a single
+/// process can simulate cheaply — straggler jitter, backup workers, the
+/// stale-pull pipeline, and per-server traffic accounting.
 pub struct Cluster {
     config: ExperimentConfig,
-    global: Network,
-    prev_global: Vec<Tensor>,
-    workers: Vec<Worker>,
-    pull_ctxs: Vec<Option<Box<dyn Compressor>>>,
-    optimizer: SgdMomentum,
-    schedule: LrSchedule,
+    server: ServerCore,
+    workers: Vec<WorkerReplica>,
     data: SyntheticImages,
     test: Batch,
-    step: u64,
-    push_stats: CompressionStats,
-    pull_stats: CompressionStats,
+    compressible_values: u64,
     /// RNG for per-step straggler jitter (separate stream so enabling
     /// jitter does not perturb data sampling).
     straggler_rng: Rng,
@@ -49,112 +39,21 @@ impl Cluster {
     /// Builds a cluster: global model, `config.workers` replicas, and
     /// per-tensor compression contexts on both paths.
     pub fn new(config: ExperimentConfig) -> Self {
-        let data = SyntheticImages::standard(config.seed.wrapping_mul(31).wrapping_add(7));
-        let spec = data.spec();
-        let global = models::residual_mlp(&spec, config.model_width, config.model_blocks, config.seed);
-        let shapes: Vec<_> = global.params().iter().map(|p| p.shape().clone()).collect();
-        let compressible: Vec<bool> = global
-            .params()
-            .iter()
-            .map(|p| p.len() >= config.compress_threshold)
-            .collect();
-
+        let problem = Problem::build(&config);
         let workers = (0..config.workers)
-            .map(|w| Worker {
-                model: global.clone(),
-                rng: threelc_tensor::rng(config.seed.wrapping_add(1000 + w as u64)),
-                push_ctxs: shapes
-                    .iter()
-                    .zip(&compressible)
-                    .enumerate()
-                    .map(|(i, (shape, &c))| {
-                        c.then(|| {
-                            build_compressor(
-                                &config.scheme,
-                                shape.clone(),
-                                config.seed ^ (w as u64) << 32 ^ i as u64,
-                            )
-                        })
-                    })
-                    .collect(),
-            })
+            .map(|w| WorkerReplica::new(&problem, w))
             .collect();
-
-        let pull_ctxs = shapes
-            .iter()
-            .zip(&compressible)
-            .enumerate()
-            .map(|(i, (shape, &c))| {
-                c.then(|| {
-                    build_compressor(
-                        &config.scheme,
-                        shape.clone(),
-                        config.seed ^ 0x5055_4C4C_0000_0000 ^ i as u64,
-                    )
-                })
-            })
-            .collect();
-
-        let prev_global = global.snapshot();
-        let test = data.test_batch();
+        let server = ServerCore::new(&problem);
         Cluster {
-            prev_global,
             workers,
-            pull_ctxs,
-            optimizer: SgdMomentum::new(config.momentum, config.weight_decay),
-            schedule: LrSchedule::cosine(config.lr_max, config.lr_min, config.total_steps),
-            global,
-            data,
-            test,
-            step: 0,
-            push_stats: CompressionStats::new(),
-            pull_stats: CompressionStats::new(),
+            server,
+            compressible_values: problem.compressible_values(),
+            data: problem.data,
+            test: problem.test,
             straggler_rng: threelc_tensor::rng(config.seed ^ 0x5357_4147), // "STAG"
             pending_deltas: std::collections::VecDeque::new(),
             config,
         }
-    }
-
-    /// Samples this step's per-worker compute multipliers and decides which
-    /// workers participate: with `backup_workers = k`, the `k` slowest are
-    /// dropped (their pushes never aggregated), as in TensorFlow's
-    /// `SyncReplicasOptimizer` backup-worker design (§2.1). Returns the
-    /// participation mask and the accepted slowest multiplier.
-    fn sample_stragglers(&mut self) -> (Vec<bool>, f64) {
-        let n = self.config.workers;
-        let jitter = self.config.timing.straggler_jitter;
-        let multipliers: Vec<f64> = (0..n)
-            .map(|_| {
-                if jitter > 0.0 {
-                    (jitter
-                        * threelc_tensor::init::sample_standard_normal(&mut self.straggler_rng)
-                            as f64)
-                        .exp()
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-        let backups = self.config.backup_workers.min(n.saturating_sub(1));
-        let mut accepted = vec![true; n];
-        if backups > 0 {
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                multipliers[b]
-                    .partial_cmp(&multipliers[a])
-                    .expect("multipliers are finite")
-            });
-            for &w in order.iter().take(backups) {
-                accepted[w] = false;
-            }
-        }
-        let gate = multipliers
-            .iter()
-            .zip(&accepted)
-            .filter(|(_, &a)| a)
-            .map(|(&m, _)| m)
-            .fold(0.0f64, f64::max);
-        (accepted, gate)
     }
 
     /// The experiment configuration.
@@ -164,7 +63,7 @@ impl Cluster {
 
     /// The server's full-precision global model.
     pub fn global_model(&self) -> &Network {
-        &self.global
+        self.server.global()
     }
 
     /// Worker `w`'s local model replica.
@@ -173,72 +72,60 @@ impl Cluster {
     ///
     /// Panics if `w` is out of range.
     pub fn worker_model(&self, w: usize) -> &Network {
-        &self.workers[w].model
+        self.workers[w].model()
     }
 
     /// Steps executed so far.
     pub fn steps_done(&self) -> u64 {
-        self.step
+        self.server.step_number()
     }
 
     /// Cumulative gradient-push traffic statistics.
     pub fn push_stats(&self) -> &CompressionStats {
-        &self.push_stats
+        self.server.push_stats()
     }
 
     /// Cumulative model-delta-pull traffic statistics.
     pub fn pull_stats(&self) -> &CompressionStats {
-        &self.pull_stats
+        self.server.pull_stats()
     }
 
     /// Total parameters in the model.
     pub fn num_params(&self) -> u64 {
-        self.global.num_params() as u64
+        self.server.global().num_params() as u64
     }
 
     /// Number of values covered by compression (per direction per worker).
     pub fn compressible_values(&self) -> u64 {
-        self.global
-            .params()
-            .iter()
-            .filter(|p| p.len() >= self.config.compress_threshold)
-            .map(|p| p.len() as u64)
-            .sum()
+        self.compressible_values
     }
 
     /// Evaluates the global model on the held-out test set (the paper's
     /// dedicated evaluation node reading a model snapshot).
     pub fn evaluate(&self) -> Evaluation {
-        Evaluation::of(&self.global, &self.test)
+        Evaluation::of(self.server.global(), &self.test)
     }
 
     /// Evaluates the global model on a training-data sample (used for the
     /// training-loss curves of Figure 7).
     pub fn training_loss_sample(&self, batch_size: usize) -> f32 {
-        let mut rng = threelc_tensor::rng(self.config.seed ^ 0x5A5A ^ self.step);
+        let mut rng = threelc_tensor::rng(self.config.seed ^ 0x5A5A ^ self.server.step_number());
         let batch = self.data.sample_train_batch(&mut rng, batch_size);
-        self.global.loss(&batch)
+        self.server.global().loss(&batch)
     }
 
     /// Executes one bulk-synchronous training step and returns its record.
     pub fn step(&mut self) -> StepRecord {
-        // Linear warmup (Goyal et al.) scales the cosine schedule during
-        // the first `warmup_steps` steps.
-        let warmup = if self.config.warmup_steps > 0 && self.step < self.config.warmup_steps {
-            (self.step + 1) as f32 / self.config.warmup_steps as f32
-        } else {
-            1.0
-        };
-        let lr = self.schedule.lr_at(self.step) * warmup;
-        let n_params = self.global.params().len();
+        let step = self.server.step_number();
         let workers = self.config.workers;
-        let (accepted, compute_multiplier) = self.sample_stragglers();
+        let (accepted, compute_multiplier) =
+            engine::sample_stragglers(&self.config, &mut self.straggler_rng);
         let accepted_count = accepted.iter().filter(|&&a| a).count();
 
         // ---- Worker phase: local compute + gradient push compression.
         // Workers dropped as stragglers skip the step entirely: their
         // gradients never reach the server (backup-worker semantics).
-        let mut payloads: Vec<Vec<PushPayload>> = Vec::with_capacity(workers);
+        let mut payloads: Vec<Vec<TensorPayload>> = Vec::with_capacity(workers);
         let mut loss_sum = 0.0f64;
         let mut worker_codec_max = 0.0f64;
         let mut push_bytes = 0u64;
@@ -252,148 +139,64 @@ impl Cluster {
                 payloads.push(Vec::new());
                 continue;
             }
-            let batch = self.data.sample_train_batch(&mut w.rng, self.config.batch_per_worker);
-            let (loss, grads) = w.model.loss_and_gradients(&batch);
+            let (loss, grads) = w.compute(&self.data, self.config.batch_per_worker);
             loss_sum += loss as f64;
-            let mut worker_payloads = Vec::with_capacity(n_params);
-            let mut codec = 0.0f64;
-            for (i, grad) in grads.into_iter().enumerate() {
-                match &mut w.push_ctxs[i] {
-                    Some(ctx) => {
-                        let t0 = Instant::now();
-                        let wire = ctx
-                            .compress(&grad)
-                            .expect("gradient shape matches context");
-                        codec += t0.elapsed().as_secs_f64();
-                        push_bytes += wire.len() as u64;
-                        server_bytes[i % servers] += wire.len() as u64;
-                        self.push_stats.record(grad.len(), wire.len());
-                        worker_payloads.push(PushPayload::Compressed(wire));
-                    }
-                    None => {
-                        raw_bytes += grad.len() as u64 * 4;
-                        server_bytes[i % servers] += grad.len() as u64 * 4;
-                        worker_payloads.push(PushPayload::Raw(grad));
-                    }
+            let encoded = w.encode_push(grads);
+            worker_codec_max = worker_codec_max.max(encoded.codec_seconds);
+            for (i, payload) in encoded.payloads.iter().enumerate() {
+                let bytes = payload.wire_len();
+                server_bytes[i % servers] += bytes;
+                match payload {
+                    TensorPayload::Compressed(_) => push_bytes += bytes,
+                    TensorPayload::Raw(_) => raw_bytes += bytes,
                 }
             }
-            worker_codec_max = worker_codec_max.max(codec);
-            payloads.push(worker_payloads);
+            payloads.push(encoded.payloads);
         }
 
-        // ---- Server phase: decompress, aggregate, update global model.
-        let mut server_codec = 0.0f64;
-        let mut aggregated: Vec<Tensor> = Vec::with_capacity(n_params);
-        for i in 0..n_params {
-            let mut sum: Option<Tensor> = None;
-            for (w, worker_payloads) in payloads.iter().enumerate() {
-                if worker_payloads.is_empty() {
-                    continue; // dropped straggler
-                }
-                let grad = match &worker_payloads[i] {
-                    PushPayload::Compressed(wire) => {
-                        let t0 = Instant::now();
-                        let g = self.workers[w].push_ctxs[i]
-                            .as_ref()
-                            .expect("compressed payload implies a context")
-                            .decompress(wire)
-                            .expect("payload produced by matching context");
-                        server_codec += t0.elapsed().as_secs_f64();
-                        g
-                    }
-                    PushPayload::Raw(grad) => grad.clone(),
-                };
-                match &mut sum {
-                    Some(s) => s.add_assign(&grad).expect("same shapes"),
-                    None => sum = Some(grad),
-                }
-            }
-            let mut avg = sum.expect("at least one accepted worker");
-            avg.scale_inplace(1.0 / accepted_count as f32);
-            aggregated.push(avg);
-        }
-        self.optimizer.apply(&mut self.global, &aggregated, lr);
+        // ---- Server phase: decompress, aggregate, update global model,
+        // then compress the model deltas for the pull path.
+        let out = self.server.apply_step(&payloads, accepted_count);
 
-        // ---- Pull phase: compress model deltas (shared) and stage them.
         let mut pull_bytes = 0u64;
-        let global_now = self.global.snapshot();
-        let mut step_deltas = Vec::with_capacity(n_params);
-        for i in 0..n_params {
-            let delta = global_now[i]
-                .sub(&self.prev_global[i])
-                .expect("snapshots share shapes");
-            match &mut self.pull_ctxs[i] {
-                Some(ctx) => {
-                    let t0 = Instant::now();
-                    let wire = ctx.compress(&delta).expect("delta shape matches context");
-                    let decoded = ctx
-                        .decompress(&wire)
-                        .expect("payload produced by this context");
-                    server_codec += t0.elapsed().as_secs_f64();
-                    if !self.config.shared_pull_compression {
-                        // Ablation: without sharing, the server pays the
-                        // codec cost once per worker.
-                        server_codec += t0.elapsed().as_secs_f64() * (workers as f64 - 1.0);
-                    }
-                    pull_bytes += wire.len() as u64 * workers as u64;
-                    if self.config.staleness == 0 {
-                        server_bytes[i % servers] += wire.len() as u64 * workers as u64;
-                    }
-                    self.pull_stats
-                        .record(delta.len() * workers, wire.len() * workers);
-                    step_deltas.push(decoded);
-                }
-                None => {
-                    raw_bytes += delta.len() as u64 * 4 * workers as u64;
-                    if self.config.staleness == 0 {
-                        server_bytes[i % servers] += delta.len() as u64 * 4 * workers as u64;
-                    }
-                    step_deltas.push(delta);
-                }
+        for (i, payload) in out.pulls.iter().enumerate() {
+            let bytes = payload.wire_len() * workers as u64;
+            if self.config.staleness == 0 {
+                server_bytes[i % servers] += bytes;
+            }
+            match payload {
+                TensorPayload::Compressed(_) => pull_bytes += bytes,
+                TensorPayload::Raw(_) => raw_bytes += bytes,
             }
         }
-        self.prev_global = global_now;
 
         // Apply the deltas that have cleared the staleness pipeline. In BSP
         // (staleness 0) that is this step's own deltas; with staleness k,
         // workers run k steps behind the server's global model and pull
         // transfers overlap subsequent compute.
-        self.pending_deltas.push_back(step_deltas);
+        self.pending_deltas.push_back(out.step_deltas);
         while self.pending_deltas.len() > self.config.staleness as usize {
             let deltas = self.pending_deltas.pop_front().expect("nonempty");
             for w in &mut self.workers {
-                for (i, delta) in deltas.iter().enumerate() {
-                    w.model.params_mut()[i]
-                        .add_assign(delta)
-                        .expect("same shapes");
-                }
+                w.apply_deltas(&deltas);
             }
         }
 
-        let record = StepRecord {
-            step: self.step,
-            lr,
+        StepRecord {
+            step,
+            lr: out.lr,
             loss: (loss_sum / accepted_count as f64) as f32,
             push_bytes,
             pull_bytes,
             raw_bytes,
-            compressible_values: self.compressible_values(),
+            compressible_values: self.compressible_values,
             worker_codec_seconds: worker_codec_max,
-            server_codec_seconds: server_codec,
+            server_codec_seconds: out.server_codec_seconds,
             compute_multiplier,
             pull_overlapped: self.config.staleness > 0,
             critical_bytes: server_bytes.iter().copied().max().unwrap_or(0),
-        };
-        self.step += 1;
-        record
+        }
     }
-}
-
-/// A worker's per-tensor push: compressed wire bytes or a raw tensor for
-/// the small layers excluded from compression.
-enum PushPayload {
-    Compressed(Vec<u8>),
-    Raw(Tensor),
 }
 
 #[cfg(test)]
@@ -556,7 +359,10 @@ mod tests {
             config.backup_workers = backups;
             config.timing.straggler_jitter = 0.4;
             let mut cluster = Cluster::new(config);
-            (0..10).map(|_| cluster.step().compute_multiplier).sum::<f64>() / 10.0
+            (0..10)
+                .map(|_| cluster.step().compute_multiplier)
+                .sum::<f64>()
+                / 10.0
         };
         assert!(
             mean_gate(2) < mean_gate(0),
@@ -739,9 +545,6 @@ mod tests {
             cluster.step();
         }
         let last: f32 = (0..5).map(|_| cluster.step().loss).sum::<f32>() / 5.0;
-        assert!(
-            last < first,
-            "loss should fall: first {first}, last {last}"
-        );
+        assert!(last < first, "loss should fall: first {first}, last {last}");
     }
 }

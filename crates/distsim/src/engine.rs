@@ -1,0 +1,584 @@
+//! The shared parameter-server step engine.
+//!
+//! Extracted from [`Cluster`](crate::Cluster) so the in-process simulator
+//! and the TCP runtime in `threelc-net` execute the *same* arithmetic: the
+//! same seeds, the same compression contexts, the same worker-order
+//! aggregation, the same optimizer updates. A networked run and a simulated
+//! run of one configuration therefore produce bit-identical models.
+//!
+//! The split follows the deployment boundary:
+//!
+//! - [`Problem`] — everything both sides derive deterministically from the
+//!   configuration (dataset, test batch, initial model, tensor shapes,
+//!   compression eligibility);
+//! - [`WorkerReplica`] — one worker's state: a model replica, its
+//!   data-sampling RNG, and its per-tensor push compression contexts;
+//! - [`ServerCore`] — the server's state: the global model, the optimizer,
+//!   per-worker push *decode* contexts, and the shared pull contexts.
+//!
+//! The server decodes pushes with its own mirror contexts rather than the
+//! workers' contexts. That is sound because every scheme's `decompress` is
+//! a pure function of the payload and the tensor shape: compression state
+//! (error-accumulation buffers, RNG draws) only affects `compress`.
+
+use crate::config::ExperimentConfig;
+use std::time::Instant;
+use threelc::{CompressionStats, Compressor};
+use threelc_baselines::build_compressor;
+use threelc_learning::{models, Batch, LrSchedule, Network, SgdMomentum, SyntheticImages};
+use threelc_tensor::{Rng, Shape, Tensor};
+
+/// Seed of the synthetic dataset (shared by every node).
+pub fn data_seed(config: &ExperimentConfig) -> u64 {
+    config.seed.wrapping_mul(31).wrapping_add(7)
+}
+
+/// Seed of worker `w`'s data-sampling RNG.
+pub fn worker_rng_seed(config: &ExperimentConfig, w: usize) -> u64 {
+    config.seed.wrapping_add(1000 + w as u64)
+}
+
+/// Seed of worker `w`'s push compression context for tensor `i`.
+pub fn push_ctx_seed(config: &ExperimentConfig, w: usize, i: usize) -> u64 {
+    config.seed ^ (w as u64) << 32 ^ i as u64
+}
+
+/// Seed of the shared pull compression context for tensor `i`.
+pub fn pull_ctx_seed(config: &ExperimentConfig, i: usize) -> u64 {
+    config.seed ^ 0x5055_4C4C_0000_0000 ^ i as u64
+}
+
+/// The deterministic problem instance every node derives from the
+/// configuration: dataset, held-out test batch, initial model, and the
+/// per-tensor compression plan.
+pub struct Problem {
+    /// The configuration this problem was built from.
+    pub config: ExperimentConfig,
+    /// The synthetic training dataset.
+    pub data: SyntheticImages,
+    /// The held-out evaluation batch.
+    pub test: Batch,
+    /// The initial model (server global and every replica start here).
+    pub init: Network,
+    /// Parameter tensor shapes, in parameter order.
+    pub shapes: Vec<Shape>,
+    /// Whether each tensor meets the compression threshold (§5.1's
+    /// small-layer exclusion).
+    pub compressible: Vec<bool>,
+}
+
+impl Problem {
+    /// Derives the problem instance from a configuration.
+    pub fn build(config: &ExperimentConfig) -> Self {
+        let data = SyntheticImages::standard(data_seed(config));
+        let spec = data.spec();
+        let init =
+            models::residual_mlp(&spec, config.model_width, config.model_blocks, config.seed);
+        let shapes: Vec<_> = init.params().iter().map(|p| p.shape().clone()).collect();
+        let compressible: Vec<bool> = init
+            .params()
+            .iter()
+            .map(|p| p.len() >= config.compress_threshold)
+            .collect();
+        let test = data.test_batch();
+        Problem {
+            config: *config,
+            data,
+            test,
+            init,
+            shapes,
+            compressible,
+        }
+    }
+
+    /// Number of parameter tensors.
+    pub fn num_tensors(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of values covered by compression (per direction per worker).
+    pub fn compressible_values(&self) -> u64 {
+        self.shapes
+            .iter()
+            .zip(&self.compressible)
+            .filter(|(_, &c)| c)
+            .map(|(s, _)| s.num_elements() as u64)
+            .sum()
+    }
+
+    /// Builds worker `w`'s per-tensor push compression contexts.
+    pub fn push_ctxs(&self, w: usize) -> Vec<Option<Box<dyn Compressor>>> {
+        self.ctxs(|i| push_ctx_seed(&self.config, w, i))
+    }
+
+    /// Builds the per-tensor pull compression contexts (shared across
+    /// workers, Fig. 2b). Decode-only users may build these too: decoding
+    /// never consumes context state.
+    pub fn pull_ctxs(&self) -> Vec<Option<Box<dyn Compressor>>> {
+        self.ctxs(|i| pull_ctx_seed(&self.config, i))
+    }
+
+    fn ctxs(&self, seed: impl Fn(usize) -> u64) -> Vec<Option<Box<dyn Compressor>>> {
+        self.shapes
+            .iter()
+            .zip(&self.compressible)
+            .enumerate()
+            .map(|(i, (shape, &c))| {
+                c.then(|| build_compressor(&self.config.scheme, shape.clone(), seed(i)))
+            })
+            .collect()
+    }
+}
+
+/// A per-tensor state-change payload: compressed wire bytes, or the raw
+/// tensor for small layers excluded from compression.
+pub enum TensorPayload {
+    /// Output of a compression context.
+    Compressed(Vec<u8>),
+    /// An uncompressed tensor (transferred as little-endian `f32`s).
+    Raw(Tensor),
+}
+
+impl TensorPayload {
+    /// Bytes this payload occupies on the wire.
+    pub fn wire_len(&self) -> u64 {
+        match self {
+            TensorPayload::Compressed(wire) => wire.len() as u64,
+            TensorPayload::Raw(t) => t.len() as u64 * 4,
+        }
+    }
+}
+
+/// The result of compressing one worker's gradients.
+pub struct EncodedPush {
+    /// One payload per parameter tensor, in parameter order.
+    pub payloads: Vec<TensorPayload>,
+    /// Measured compression CPU seconds.
+    pub codec_seconds: f64,
+}
+
+/// One worker's state: a local model replica, a data-sampling RNG, and a
+/// push compression context per compressible tensor.
+pub struct WorkerReplica {
+    model: Network,
+    rng: Rng,
+    push_ctxs: Vec<Option<Box<dyn Compressor>>>,
+}
+
+impl WorkerReplica {
+    /// Builds worker `w`'s replica from the shared problem instance.
+    pub fn new(problem: &Problem, w: usize) -> Self {
+        WorkerReplica {
+            model: problem.init.clone(),
+            rng: threelc_tensor::rng(worker_rng_seed(&problem.config, w)),
+            push_ctxs: problem.push_ctxs(w),
+        }
+    }
+
+    /// The local model replica.
+    pub fn model(&self) -> &Network {
+        &self.model
+    }
+
+    /// Consumes the replica, returning its final model.
+    pub fn into_model(self) -> Network {
+        self.model
+    }
+
+    /// Samples a minibatch and computes the local loss and gradients.
+    pub fn compute(
+        &mut self,
+        data: &SyntheticImages,
+        batch_per_worker: usize,
+    ) -> (f32, Vec<Tensor>) {
+        let batch = data.sample_train_batch(&mut self.rng, batch_per_worker);
+        self.model.loss_and_gradients(&batch)
+    }
+
+    /// Runs each gradient through its push compression context (or passes
+    /// it through raw), measuring codec CPU time.
+    pub fn encode_push(&mut self, grads: Vec<Tensor>) -> EncodedPush {
+        let mut payloads = Vec::with_capacity(grads.len());
+        let mut codec_seconds = 0.0f64;
+        for (i, grad) in grads.into_iter().enumerate() {
+            match &mut self.push_ctxs[i] {
+                Some(ctx) => {
+                    let t0 = Instant::now();
+                    let wire = ctx.compress(&grad).expect("gradient shape matches context");
+                    codec_seconds += t0.elapsed().as_secs_f64();
+                    payloads.push(TensorPayload::Compressed(wire));
+                }
+                None => payloads.push(TensorPayload::Raw(grad)),
+            }
+        }
+        EncodedPush {
+            payloads,
+            codec_seconds,
+        }
+    }
+
+    /// Applies decoded model deltas to the local replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta shapes do not match the model's parameters.
+    pub fn apply_deltas(&mut self, deltas: &[Tensor]) {
+        for (i, delta) in deltas.iter().enumerate() {
+            self.model.params_mut()[i]
+                .add_assign(delta)
+                .expect("same shapes");
+        }
+    }
+}
+
+/// The output of one server step: what the workers pull, and the decoded
+/// deltas they will apply.
+pub struct ServerStepOutput {
+    /// Learning rate used this step (warmup-scaled cosine schedule).
+    pub lr: f32,
+    /// Per-tensor pull payloads (one shared payload per tensor).
+    pub pulls: Vec<TensorPayload>,
+    /// Decoded deltas — exactly what every worker obtains by decoding
+    /// `pulls` (identical by decode purity).
+    pub step_deltas: Vec<Tensor>,
+    /// Measured server-side codec CPU seconds (push decode + pull codec).
+    pub server_codec_seconds: f64,
+}
+
+/// The server's state: the global model, optimizer, decode contexts for
+/// every worker's pushes, and the shared pull compression contexts.
+pub struct ServerCore {
+    config: ExperimentConfig,
+    global: Network,
+    prev_global: Vec<Tensor>,
+    /// Per-worker, per-tensor push decode contexts (mirrors of the
+    /// workers' compression contexts; decode is pure, so mirrors decode
+    /// identically).
+    decode_ctxs: Vec<Vec<Option<Box<dyn Compressor>>>>,
+    pull_ctxs: Vec<Option<Box<dyn Compressor>>>,
+    optimizer: SgdMomentum,
+    schedule: LrSchedule,
+    shapes: Vec<Shape>,
+    push_stats: CompressionStats,
+    pull_stats: CompressionStats,
+    step: u64,
+}
+
+impl ServerCore {
+    /// Builds the server state from the shared problem instance.
+    pub fn new(problem: &Problem) -> Self {
+        let config = problem.config;
+        ServerCore {
+            global: problem.init.clone(),
+            prev_global: problem.init.snapshot(),
+            decode_ctxs: (0..config.workers).map(|w| problem.push_ctxs(w)).collect(),
+            pull_ctxs: problem.pull_ctxs(),
+            optimizer: SgdMomentum::new(config.momentum, config.weight_decay),
+            schedule: LrSchedule::cosine(config.lr_max, config.lr_min, config.total_steps),
+            shapes: problem.shapes.clone(),
+            push_stats: CompressionStats::new(),
+            pull_stats: CompressionStats::new(),
+            step: 0,
+            config,
+        }
+    }
+
+    /// The server's full-precision global model.
+    pub fn global(&self) -> &Network {
+        &self.global
+    }
+
+    /// Steps applied so far.
+    pub fn step_number(&self) -> u64 {
+        self.step
+    }
+
+    /// The learning rate the *next* step will use: the cosine schedule with
+    /// linear warmup (Goyal et al.) over the first `warmup_steps` steps.
+    pub fn lr(&self) -> f32 {
+        let config = &self.config;
+        let warmup = if config.warmup_steps > 0 && self.step < config.warmup_steps {
+            (self.step + 1) as f32 / config.warmup_steps as f32
+        } else {
+            1.0
+        };
+        self.schedule.lr_at(self.step) * warmup
+    }
+
+    /// Cumulative gradient-push traffic statistics.
+    pub fn push_stats(&self) -> &CompressionStats {
+        &self.push_stats
+    }
+
+    /// Cumulative model-delta-pull traffic statistics.
+    pub fn pull_stats(&self) -> &CompressionStats {
+        &self.pull_stats
+    }
+
+    /// Executes one server step: decodes and averages the accepted pushes
+    /// (in worker-id order — float addition is not associative, so order
+    /// is part of the contract), applies SGD-with-momentum to the global
+    /// model, and compresses the resulting model delta for the pull path.
+    ///
+    /// `payloads` holds one entry per worker in worker-id order; an empty
+    /// vector marks a dropped straggler whose push is not aggregated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every worker's payload list is empty, if payload counts
+    /// disagree with the model, or if a payload fails to decode (payloads
+    /// come from matching contexts; failures are programming errors here —
+    /// the networked runtime validates frames before this point).
+    pub fn apply_step(
+        &mut self,
+        payloads: &[Vec<TensorPayload>],
+        accepted_count: usize,
+    ) -> ServerStepOutput {
+        let lr = self.lr();
+        let n_params = self.shapes.len();
+        let workers = self.config.workers;
+        let mut server_codec = 0.0f64;
+
+        // Decode + aggregate in worker-id order.
+        let mut aggregated: Vec<Tensor> = Vec::with_capacity(n_params);
+        for i in 0..n_params {
+            let mut sum: Option<Tensor> = None;
+            for (w, worker_payloads) in payloads.iter().enumerate() {
+                if worker_payloads.is_empty() {
+                    continue; // dropped straggler
+                }
+                let grad = match &worker_payloads[i] {
+                    TensorPayload::Compressed(wire) => {
+                        let t0 = Instant::now();
+                        let g = self.decode_ctxs[w][i]
+                            .as_ref()
+                            .expect("compressed payload implies a context")
+                            .decompress(wire)
+                            .expect("payload produced by matching context");
+                        server_codec += t0.elapsed().as_secs_f64();
+                        self.push_stats
+                            .record(self.shapes[i].num_elements(), wire.len());
+                        g
+                    }
+                    TensorPayload::Raw(grad) => grad.clone(),
+                };
+                match &mut sum {
+                    Some(s) => s.add_assign(&grad).expect("same shapes"),
+                    None => sum = Some(grad),
+                }
+            }
+            let mut avg = sum.expect("at least one accepted worker");
+            avg.scale_inplace(1.0 / accepted_count as f32);
+            aggregated.push(avg);
+        }
+        self.optimizer.apply(&mut self.global, &aggregated, lr);
+
+        // Compress model deltas (shared pull contexts, Fig. 2b).
+        let global_now = self.global.snapshot();
+        let mut pulls = Vec::with_capacity(n_params);
+        let mut step_deltas = Vec::with_capacity(n_params);
+        for (i, now) in global_now.iter().enumerate() {
+            let delta = now
+                .sub(&self.prev_global[i])
+                .expect("snapshots share shapes");
+            match &mut self.pull_ctxs[i] {
+                Some(ctx) => {
+                    let t0 = Instant::now();
+                    let wire = ctx.compress(&delta).expect("delta shape matches context");
+                    let decoded = ctx
+                        .decompress(&wire)
+                        .expect("payload produced by this context");
+                    let elapsed = t0.elapsed().as_secs_f64();
+                    server_codec += elapsed;
+                    if !self.config.shared_pull_compression {
+                        // Ablation: without sharing, the server pays the
+                        // codec cost once per worker.
+                        server_codec += elapsed * (workers as f64 - 1.0);
+                    }
+                    self.pull_stats
+                        .record(delta.len() * workers, wire.len() * workers);
+                    pulls.push(TensorPayload::Compressed(wire));
+                    step_deltas.push(decoded);
+                }
+                None => {
+                    pulls.push(TensorPayload::Raw(delta.clone()));
+                    step_deltas.push(delta);
+                }
+            }
+        }
+        self.prev_global = global_now;
+        self.step += 1;
+
+        ServerStepOutput {
+            lr,
+            pulls,
+            step_deltas,
+            server_codec_seconds: server_codec,
+        }
+    }
+}
+
+/// Samples this step's per-worker compute multipliers and decides which
+/// workers participate: with `backup_workers = k`, the `k` slowest are
+/// dropped (their pushes never aggregated), as in TensorFlow's
+/// `SyncReplicasOptimizer` backup-worker design (§2.1). Returns the
+/// participation mask and the accepted slowest multiplier.
+pub fn sample_stragglers(config: &ExperimentConfig, rng: &mut Rng) -> (Vec<bool>, f64) {
+    let n = config.workers;
+    let jitter = config.timing.straggler_jitter;
+    let multipliers: Vec<f64> = (0..n)
+        .map(|_| {
+            if jitter > 0.0 {
+                (jitter * threelc_tensor::init::sample_standard_normal(rng) as f64).exp()
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let backups = config.backup_workers.min(n.saturating_sub(1));
+    let mut accepted = vec![true; n];
+    if backups > 0 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            multipliers[b]
+                .partial_cmp(&multipliers[a])
+                .expect("multipliers are finite")
+        });
+        for &w in order.iter().take(backups) {
+            accepted[w] = false;
+        }
+    }
+    let gate = multipliers
+        .iter()
+        .zip(&accepted)
+        .filter(|(_, &a)| a)
+        .map(|(&m, _)| m)
+        .fold(0.0f64, f64::max);
+    (accepted, gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threelc_baselines::SchemeKind;
+
+    fn tiny(scheme: SchemeKind) -> ExperimentConfig {
+        ExperimentConfig {
+            scheme,
+            workers: 2,
+            batch_per_worker: 8,
+            total_steps: 6,
+            model_width: 16,
+            model_blocks: 1,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    /// Drives one BSP step directly through the engine types, the way the
+    /// networked runtime does.
+    fn engine_step(
+        problem: &Problem,
+        workers: &mut [WorkerReplica],
+        server: &mut ServerCore,
+    ) -> ServerStepOutput {
+        let mut payloads = Vec::with_capacity(workers.len());
+        for w in workers.iter_mut() {
+            let (_loss, grads) = w.compute(&problem.data, problem.config.batch_per_worker);
+            payloads.push(w.encode_push(grads).payloads);
+        }
+        let out = server.apply_step(&payloads, workers.len());
+        for w in workers.iter_mut() {
+            w.apply_deltas(&out.step_deltas);
+        }
+        out
+    }
+
+    #[test]
+    fn engine_matches_cluster_bit_for_bit() {
+        for scheme in [SchemeKind::Float32, SchemeKind::three_lc(1.5)] {
+            let config = tiny(scheme);
+            let mut cluster = crate::Cluster::new(config);
+            let problem = Problem::build(&config);
+            let mut workers: Vec<WorkerReplica> = (0..config.workers)
+                .map(|w| WorkerReplica::new(&problem, w))
+                .collect();
+            let mut server = ServerCore::new(&problem);
+            for _ in 0..4 {
+                cluster.step();
+                engine_step(&problem, &mut workers, &mut server);
+            }
+            assert_eq!(
+                server.global().snapshot(),
+                cluster.global_model().snapshot(),
+                "global model diverged under {scheme}"
+            );
+            for (w, replica) in workers.iter().enumerate() {
+                assert_eq!(
+                    replica.model().snapshot(),
+                    cluster.worker_model(w).snapshot(),
+                    "worker {w} replica diverged under {scheme}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_contexts_mirror_compress_contexts() {
+        // A fresh decode-side context must reproduce exactly what the
+        // (stateful) compress-side context decodes, even after several
+        // steps of error accumulation.
+        let config = tiny(SchemeKind::three_lc(1.0));
+        let problem = Problem::build(&config);
+        let mut worker = WorkerReplica::new(&problem, 0);
+        let mirror = problem.push_ctxs(0);
+        for _ in 0..3 {
+            let (_, grads) = worker.compute(&problem.data, 8);
+            for (i, payload) in worker.encode_push(grads).payloads.iter().enumerate() {
+                if let TensorPayload::Compressed(wire) = payload {
+                    let a = worker.push_ctxs[i]
+                        .as_ref()
+                        .expect("compressed implies context")
+                        .decompress(wire)
+                        .expect("valid payload");
+                    let b = mirror[i]
+                        .as_ref()
+                        .expect("same compression plan")
+                        .decompress(wire)
+                        .expect("valid payload");
+                    assert_eq!(a, b, "decode depends on context state");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn problem_exposes_compression_plan() {
+        let config = tiny(SchemeKind::three_lc(1.0));
+        let problem = Problem::build(&config);
+        assert_eq!(problem.num_tensors(), problem.compressible.len());
+        assert!(problem.compressible_values() > 0);
+        // Biases fall below the default threshold.
+        assert!(problem.compressible.iter().any(|&c| !c));
+        let ctxs = problem.pull_ctxs();
+        for (ctx, &c) in ctxs.iter().zip(&problem.compressible) {
+            assert_eq!(ctx.is_some(), c);
+        }
+    }
+
+    #[test]
+    fn wire_len_counts_raw_as_four_bytes_per_value() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(TensorPayload::Raw(t).wire_len(), 12);
+        assert_eq!(TensorPayload::Compressed(vec![0; 5]).wire_len(), 5);
+    }
+
+    #[test]
+    fn stragglers_without_jitter_all_participate() {
+        let config = tiny(SchemeKind::Float32);
+        let mut rng = threelc_tensor::rng(1);
+        let (accepted, gate) = sample_stragglers(&config, &mut rng);
+        assert!(accepted.iter().all(|&a| a));
+        assert_eq!(gate, 1.0);
+    }
+}

@@ -28,8 +28,7 @@ impl ExperimentResult {
     /// Total simulated training seconds under a given link.
     pub fn total_seconds_at(&self, net: &NetworkModel) -> f64 {
         let scale = self.config.timing.scale_for(self.model_params);
-        self.trace
-            .total_seconds_at(net, &self.config.timing, scale)
+        self.trace.total_seconds_at(net, &self.config.timing, scale)
     }
 
     /// Average compressed bits per state-change value over the run.

@@ -27,12 +27,14 @@
 
 pub mod cluster;
 pub mod config;
+pub mod engine;
 pub mod experiment;
 pub mod netmodel;
 pub mod trace;
 
 pub use cluster::Cluster;
 pub use config::{ExperimentConfig, TimingModel};
+pub use engine::{Problem, ServerCore, TensorPayload, WorkerReplica};
 pub use experiment::{run_experiment, ExperimentResult};
 pub use netmodel::NetworkModel;
 pub use trace::{EvalRecord, StepRecord, TrainingTrace};

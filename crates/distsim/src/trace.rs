@@ -75,7 +75,11 @@ impl StepRecord {
     ///
     /// `scale` is [`TimingModel::scale_for`] of the model size.
     pub fn seconds_at(&self, net: &NetworkModel, timing: &TimingModel, scale: f64) -> f64 {
-        let critical_pull = if self.pull_overlapped { 0 } else { self.pull_bytes };
+        let critical_pull = if self.pull_overlapped {
+            0
+        } else {
+            self.pull_bytes
+        };
         let total = self.push_bytes + critical_pull + self.raw_bytes;
         // Sharded models transfer through parallel server links: the
         // busiest server gates the step (but never more than the total).

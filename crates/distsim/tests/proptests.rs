@@ -33,14 +33,14 @@ fn any_record() -> impl Strategy<Value = StepRecord> {
 }
 
 fn any_timing() -> impl Strategy<Value = TimingModel> {
-    (0.01f64..2.0, 0.0f64..4.0, 1u64..10_000_000).prop_map(
-        |(compute, overlap, reference)| TimingModel {
+    (0.01f64..2.0, 0.0f64..4.0, 1u64..10_000_000).prop_map(|(compute, overlap, reference)| {
+        TimingModel {
             compute_seconds_per_step: compute,
             overlap_fraction: overlap,
             reference_params: reference,
             straggler_jitter: 0.0,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -278,7 +278,10 @@ mod tests {
         assert_eq!(a.test_batch(), b.test_batch());
         let mut r1 = threelc_tensor::rng(9);
         let mut r2 = threelc_tensor::rng(9);
-        assert_eq!(a.sample_train_batch(&mut r1, 8), b.sample_train_batch(&mut r2, 8));
+        assert_eq!(
+            a.sample_train_batch(&mut r1, 8),
+            b.sample_train_batch(&mut r2, 8)
+        );
     }
 
     #[test]

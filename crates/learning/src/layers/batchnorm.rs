@@ -114,9 +114,8 @@ impl Layer for BatchNormLayer {
         let mut dx = vec![0.0f32; b * f];
         for r in 0..b {
             for j in 0..f {
-                let term = dy[r * f + j]
-                    - sum_dy[j] * inv_b
-                    - xh[r * f + j] * sum_dy_xhat[j] * inv_b;
+                let term =
+                    dy[r * f + j] - sum_dy[j] * inv_b - xh[r * f + j] * sum_dy_xhat[j] * inv_b;
                 dx[r * f + j] = gamma[j] * inv_std[j] * term;
             }
         }
@@ -138,7 +137,10 @@ impl Layer for BatchNormLayer {
     }
 
     fn param_names(&self) -> Vec<String> {
-        vec![format!("{}/gamma", self.name), format!("{}/beta", self.name)]
+        vec![
+            format!("{}/gamma", self.name),
+            format!("{}/beta", self.name),
+        ]
     }
 
     fn output_dim(&self, input_dim: usize) -> usize {

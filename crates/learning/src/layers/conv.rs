@@ -82,8 +82,7 @@ impl Conv2dLayer {
                                 + ((ky + half) as usize) * k
                                 + (kx + half) as usize;
                             if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
-                                col[col_idx] =
-                                    x[ci * h * w + sy as usize * w + sx as usize];
+                                col[col_idx] = x[ci * h * w + sy as usize * w + sx as usize];
                             }
                         }
                     }
@@ -114,8 +113,7 @@ impl Conv2dLayer {
                                     + ci * k * k
                                     + ((ky + half) as usize) * k
                                     + (kx + half) as usize;
-                                out[ci * h * w + sy as usize * w + sx as usize] +=
-                                    data[col_idx];
+                                out[ci * h * w + sy as usize * w + sx as usize] += data[col_idx];
                             }
                         }
                     }
@@ -181,8 +179,7 @@ impl Layer for Conv2dLayer {
         let w_t = self.weight.transpose().expect("rank 2");
         for b in 0..batch {
             let col = &cache.tensors[b];
-            let go = &grad_output.as_slice()
-                [b * self.out_dim_len()..(b + 1) * self.out_dim_len()];
+            let go = &grad_output.as_slice()[b * self.out_dim_len()..(b + 1) * self.out_dim_len()];
             // Reassemble dY as [H·W, O].
             let mut dy = vec![0.0f32; h * w * o];
             for pix in 0..h * w {
@@ -218,7 +215,10 @@ impl Layer for Conv2dLayer {
     }
 
     fn param_names(&self) -> Vec<String> {
-        vec![format!("{}/weight", self.name), format!("{}/bias", self.name)]
+        vec![
+            format!("{}/weight", self.name),
+            format!("{}/bias", self.name),
+        ]
     }
 
     fn output_dim(&self, input_dim: usize) -> usize {
@@ -340,10 +340,7 @@ mod tests {
         }
         let x = Tensor::ones([1, 9]);
         let (y, _) = conv.forward(&x);
-        assert_eq!(
-            y.as_slice(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.as_slice(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
@@ -353,7 +350,9 @@ mod tests {
         for v in conv.params_mut()[0].as_mut_slice() {
             *v = 0.0;
         }
-        conv.params_mut()[1].as_mut_slice().copy_from_slice(&[1.0, -1.0]);
+        conv.params_mut()[1]
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, -1.0]);
         let x = Tensor::zeros([1, 4]);
         let (y, _) = conv.forward(&x);
         assert_eq!(y.as_slice(), &[1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0]);

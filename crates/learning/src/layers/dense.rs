@@ -111,7 +111,10 @@ impl Layer for DenseLayer {
     }
 
     fn param_names(&self) -> Vec<String> {
-        vec![format!("{}/weight", self.name), format!("{}/bias", self.name)]
+        vec![
+            format!("{}/weight", self.name),
+            format!("{}/bias", self.name),
+        ]
     }
 
     fn output_dim(&self, input_dim: usize) -> usize {
@@ -136,7 +139,9 @@ mod tests {
         layer.params_mut()[0]
             .as_mut_slice()
             .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
-        layer.params_mut()[1].as_mut_slice().copy_from_slice(&[0.5, -0.5]);
+        layer.params_mut()[1]
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::from_vec(vec![1.0, 1.0], [1, 2]);
         let (y, _) = layer.forward(&x);
         // [1,1]·[[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]

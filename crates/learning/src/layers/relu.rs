@@ -69,10 +69,8 @@ mod tests {
 
     #[test]
     fn forward_clamps_negatives() {
-        let (y, _) = ReluLayer::new().forward(&Tensor::from_vec(
-            vec![-1.0, 0.0, 2.0, -0.5],
-            [2, 2],
-        ));
+        let (y, _) =
+            ReluLayer::new().forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0, -0.5], [2, 2]));
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
     }
 

@@ -95,10 +95,7 @@ impl Layer for Residual {
     }
 
     fn output_dim(&self, input_dim: usize) -> usize {
-        let out = self
-            .path
-            .iter()
-            .fold(input_dim, |d, l| l.output_dim(d));
+        let out = self.path.iter().fold(input_dim, |d, l| l.output_dim(d));
         assert_eq!(out, input_dim, "residual path must preserve dimension");
         input_dim
     }

@@ -51,7 +51,10 @@ pub mod schedule;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use data::{Batch, DataSpec, SyntheticImages};
-pub use layers::{BatchNormLayer, Conv2dLayer, DenseLayer, GlobalAvgPoolLayer, Layer, LayerCache, ReluLayer, ResidualBlock};
+pub use layers::{
+    BatchNormLayer, Conv2dLayer, DenseLayer, GlobalAvgPoolLayer, Layer, LayerCache, ReluLayer,
+    ResidualBlock,
+};
 pub use loss::softmax_cross_entropy;
 pub use metrics::{accuracy, Evaluation};
 pub use network::Network;

@@ -53,7 +53,12 @@ pub fn mlp(spec: &DataSpec, hidden: &[usize], seed: u64) -> Network {
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     let mut dim = spec.feature_dim();
     for (i, &h) in hidden.iter().enumerate() {
-        layers.push(Box::new(DenseLayer::new(format!("fc{i}"), dim, h, &mut rng)));
+        layers.push(Box::new(DenseLayer::new(
+            format!("fc{i}"),
+            dim,
+            h,
+            &mut rng,
+        )));
         layers.push(Box::new(ReluLayer::new()));
         dim = h;
     }

@@ -137,7 +137,10 @@ impl Network {
 
     /// Mutable views of all parameters, in network order.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Names of all parameters, in network order.

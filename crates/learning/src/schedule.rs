@@ -79,10 +79,7 @@ impl LrSchedule {
                 total_steps,
             } => {
                 let progress = t as f64 / total_steps.max(1) as f64;
-                let hits = milestones
-                    .iter()
-                    .filter(|&&m| progress >= m as f64)
-                    .count() as i32;
+                let hits = milestones.iter().filter(|&&m| progress >= m as f64).count() as i32;
                 lr0 * factor.powi(hits)
             }
         }

@@ -1,0 +1,104 @@
+//! Per-connection traffic and time accounting.
+
+use crate::frame::HEADER_LEN;
+use serde::{Deserialize, Serialize};
+
+/// Counters kept by each side of a connection: raw traffic, retry count,
+/// and a split of CPU time into codec work (compress/decompress and
+/// f32 serialization) versus socket work (blocking reads and writes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConnCounters {
+    /// Frames received.
+    pub frames_in: u64,
+    /// Frames sent.
+    pub frames_out: u64,
+    /// Bytes received (headers + payloads).
+    pub bytes_in: u64,
+    /// Bytes sent (headers + payloads).
+    pub bytes_out: u64,
+    /// Connection attempts that failed and were retried.
+    pub retries: u64,
+    /// Seconds spent in codec work.
+    pub codec_seconds: f64,
+    /// Seconds spent blocked on socket reads/writes.
+    pub socket_seconds: f64,
+}
+
+impl ConnCounters {
+    /// Records one received frame of `payload_len` payload bytes that took
+    /// `seconds` of blocking read time.
+    pub fn note_read(&mut self, payload_len: usize, seconds: f64) {
+        self.frames_in += 1;
+        self.bytes_in += (HEADER_LEN + payload_len) as u64;
+        self.socket_seconds += seconds;
+    }
+
+    /// Records one sent frame of `payload_len` payload bytes that took
+    /// `seconds` of blocking write time.
+    pub fn note_write(&mut self, payload_len: usize, seconds: f64) {
+        self.frames_out += 1;
+        self.bytes_out += (HEADER_LEN + payload_len) as u64;
+        self.socket_seconds += seconds;
+    }
+
+    /// Accumulates another counter set (e.g. across reconnects).
+    pub fn merge(&mut self, other: &ConnCounters) {
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.retries += other.retries;
+        self.codec_seconds += other.codec_seconds;
+        self.socket_seconds += other.socket_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notes_count_header_bytes() {
+        let mut c = ConnCounters::default();
+        c.note_read(100, 0.5);
+        c.note_write(0, 0.25);
+        assert_eq!(c.frames_in, 1);
+        assert_eq!(c.frames_out, 1);
+        assert_eq!(c.bytes_in, (HEADER_LEN + 100) as u64);
+        assert_eq!(c.bytes_out, HEADER_LEN as u64);
+        assert!((c.socket_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = ConnCounters {
+            frames_in: 1,
+            frames_out: 2,
+            bytes_in: 3,
+            bytes_out: 4,
+            retries: 5,
+            codec_seconds: 0.5,
+            socket_seconds: 0.25,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.frames_in, 2);
+        assert_eq!(a.frames_out, 4);
+        assert_eq!(a.bytes_in, 6);
+        assert_eq!(a.bytes_out, 8);
+        assert_eq!(a.retries, 10);
+        assert!((a.codec_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = ConnCounters {
+            frames_in: 7,
+            retries: 1,
+            codec_seconds: 0.125,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ConnCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,486 @@
+//! The length-prefixed frame codec.
+//!
+//! Every message on a 3LC connection is one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        b"3LCN"
+//!      4     1  version      protocol version (currently 1)
+//!      5     1  msg type     MsgType discriminant
+//!      6     2  tensor id    u16 LE (0 where not applicable)
+//!      8     8  step         u64 LE training step (0 during handshake)
+//!     16     4  payload len  u32 LE
+//!     20     4  crc32        u32 LE over bytes 0..20 and the payload
+//!     24     …  payload      `len` bytes (a `threelc` wire payload,
+//!                            raw f32 LE values, or protocol metadata)
+//! ```
+//!
+//! The CRC covers the header fields *and* the payload, so any single
+//! corrupted byte anywhere in the frame is rejected. Decoding validates
+//! the magic, version, message type, and length cap before allocating or
+//! reading payload bytes, so a malicious length field cannot trigger a
+//! huge allocation and a truncated stream yields a clean error — never a
+//! panic, never an over-read.
+
+use crate::crc32::Crc32;
+use std::io::{self, Read, Write};
+
+/// Frame magic: distinguishes the network protocol from `.3lc` files.
+pub const MAGIC: [u8; 4] = *b"3LCN";
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed frame header length in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Hard cap on payload length (64 MiB) — far above any tensor this
+/// workspace trains, low enough that a corrupted length field cannot
+/// exhaust memory.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Message types of the parameter-server protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Worker → server: `payload = worker id (u16 LE)`.
+    Hello = 1,
+    /// Server → worker: `payload = ExperimentConfig JSON`.
+    HelloAck = 2,
+    /// Worker → server: one compressed gradient tensor.
+    PushTensor = 3,
+    /// Worker → server: one uncompressed gradient tensor (f32 LE).
+    PushRaw = 4,
+    /// Worker → server: end of push; `payload = loss (f32 LE) +
+    /// codec seconds (f64 LE)`.
+    PushDone = 5,
+    /// Server → worker: one compressed model-delta tensor.
+    PullTensor = 6,
+    /// Server → worker: one uncompressed model-delta tensor (f32 LE).
+    PullRaw = 7,
+    /// Server → worker: end of pull.
+    PullDone = 8,
+    /// Server → worker: training complete, close after acking.
+    Shutdown = 9,
+    /// Worker → server: shutdown acknowledged.
+    ShutdownAck = 10,
+}
+
+impl MsgType {
+    /// Parses a wire discriminant.
+    pub fn from_u8(v: u8) -> Option<MsgType> {
+        match v {
+            1 => Some(MsgType::Hello),
+            2 => Some(MsgType::HelloAck),
+            3 => Some(MsgType::PushTensor),
+            4 => Some(MsgType::PushRaw),
+            5 => Some(MsgType::PushDone),
+            6 => Some(MsgType::PullTensor),
+            7 => Some(MsgType::PullRaw),
+            8 => Some(MsgType::PullDone),
+            9 => Some(MsgType::Shutdown),
+            10 => Some(MsgType::ShutdownAck),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message type.
+    pub msg: MsgType,
+    /// Tensor index (0 where not applicable).
+    pub tensor: u16,
+    /// Training step (0 during handshake).
+    pub step: u64,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Frame codec failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The magic bytes did not match.
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown message type discriminant.
+    BadMsgType(u8),
+    /// Payload length above [`MAX_PAYLOAD`].
+    Oversize {
+        /// Claimed payload length.
+        len: usize,
+    },
+    /// Checksum mismatch (corrupted frame).
+    CrcMismatch {
+        /// Checksum carried in the header.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        actual: u32,
+    },
+    /// Not enough bytes for the declared frame.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the frame needs.
+        need: usize,
+    },
+    /// Underlying socket/stream error (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadMsgType(t) => write!(f, "unknown message type {t}"),
+            FrameError::Oversize { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+                )
+            }
+            FrameError::CrcMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum {actual:08x} != header checksum {expected:08x}"
+                )
+            }
+            FrameError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Builds the 24-byte header (including the CRC over header and payload).
+fn header_bytes(msg: MsgType, tensor: u16, step: u64, payload: &[u8]) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4] = PROTOCOL_VERSION;
+    h[5] = msg as u8;
+    h[6..8].copy_from_slice(&tensor.to_le_bytes());
+    h[8..16].copy_from_slice(&step.to_le_bytes());
+    h[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&h[..20]);
+    crc.update(payload);
+    h[20..24].copy_from_slice(&crc.finish().to_le_bytes());
+    h
+}
+
+impl Frame {
+    /// Constructs a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`]; senders control
+    /// their payload sizes, so that is a programming error.
+    pub fn new(msg: MsgType, tensor: u16, step: u64, payload: Vec<u8>) -> Frame {
+        assert!(payload.len() <= MAX_PAYLOAD, "payload above MAX_PAYLOAD");
+        Frame {
+            msg,
+            tensor,
+            step,
+            payload,
+        }
+    }
+
+    /// Total encoded length.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serializes the frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&header_bytes(
+            self.msg,
+            self.tensor,
+            self.step,
+            &self.payload,
+        ));
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses one frame from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] for truncation, bad magic/version/type, an
+    /// oversize length field, or a checksum mismatch. Never reads past
+    /// the declared frame length.
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                have: bytes.len(),
+                need: HEADER_LEN,
+            });
+        }
+        let header = &bytes[..HEADER_LEN];
+        validate_fixed_header(header)?;
+        let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversize { len });
+        }
+        let total = HEADER_LEN + len;
+        if bytes.len() < total {
+            return Err(FrameError::Truncated {
+                have: bytes.len(),
+                need: total,
+            });
+        }
+        let payload = &bytes[HEADER_LEN..total];
+        check_crc(header, payload)?;
+        Ok((
+            Frame {
+                msg: MsgType::from_u8(header[5]).expect("validated above"),
+                tensor: u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")),
+                step: u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")),
+                payload: payload.to_vec(),
+            },
+            total,
+        ))
+    }
+}
+
+/// Validates magic, version, and message type (everything before the
+/// length field).
+fn validate_fixed_header(header: &[u8]) -> Result<(), FrameError> {
+    if header[0..4] != MAGIC {
+        return Err(FrameError::BadMagic(
+            header[0..4].try_into().expect("4 bytes"),
+        ));
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    if MsgType::from_u8(header[5]).is_none() {
+        return Err(FrameError::BadMsgType(header[5]));
+    }
+    Ok(())
+}
+
+/// Verifies the header CRC against header bytes 0..20 plus the payload.
+fn check_crc(header: &[u8], payload: &[u8]) -> Result<(), FrameError> {
+    let expected = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+    let mut crc = Crc32::new();
+    crc.update(&header[..20]);
+    crc.update(payload);
+    let actual = crc.finish();
+    if actual != expected {
+        return Err(FrameError::CrcMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// Writes one frame without copying the payload into an owned [`Frame`].
+/// Returns the number of bytes written.
+///
+/// # Errors
+///
+/// Propagates stream write failures (including write timeouts).
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    msg: MsgType,
+    tensor: u16,
+    step: u64,
+    payload: &[u8],
+) -> io::Result<usize> {
+    assert!(payload.len() <= MAX_PAYLOAD, "payload above MAX_PAYLOAD");
+    w.write_all(&header_bytes(msg, tensor, step, payload))?;
+    w.write_all(payload)?;
+    Ok(HEADER_LEN + payload.len())
+}
+
+/// Reads exactly one frame from a stream.
+///
+/// Reads the fixed header first, validates it (so a bogus length is
+/// rejected before any allocation), then reads exactly the declared
+/// payload. A peer that closes mid-frame produces
+/// [`FrameError::Io`]/[`FrameError::Truncated`]-style errors via
+/// `read_exact`, never a panic.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] for I/O failures (including read timeouts)
+/// and every malformed-frame condition [`Frame::decode`] reports.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    validate_fixed_header(&header)?;
+    let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversize { len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    check_crc(&header, &payload)?;
+    Ok(Frame {
+        msg: MsgType::from_u8(header[5]).expect("validated above"),
+        tensor: u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")),
+        step: u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")),
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(MsgType::PushTensor, 7, 42, vec![1, 2, 3, 4, 5])
+    }
+
+    #[test]
+    fn roundtrip_via_slice_and_stream() {
+        let f = sample();
+        let bytes = f.encode();
+        let (back, used) = Frame::decode(&bytes).expect("decode");
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).expect("read"), f);
+    }
+
+    #[test]
+    fn write_frame_matches_encode() {
+        let f = sample();
+        let mut out = Vec::new();
+        let n = write_frame(&mut out, f.msg, f.tensor, f.step, &f.payload).expect("write");
+        assert_eq!(out, f.encode());
+        assert_eq!(n, f.encoded_len());
+    }
+
+    #[test]
+    fn trailing_bytes_are_not_consumed() {
+        let mut bytes = sample().encode();
+        bytes.extend_from_slice(&[0xAA; 10]);
+        let (_, used) = Frame::decode(&bytes).expect("decode");
+        assert_eq!(used, bytes.len() - 10);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_errors() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(Frame::decode(&corrupt).is_err(), "flip at byte {i} decoded");
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut bytes = sample().encode();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        match Frame::decode(&bytes) {
+            Err(FrameError::Oversize { len }) => assert_eq!(len, u32::MAX as usize),
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+        // Streaming path too: the reader must not try to allocate 4 GiB.
+        let mut cursor = io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn specific_error_variants() {
+        let good = sample().encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bad_magic),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            Frame::decode(&bad_version),
+            Err(FrameError::BadVersion(9))
+        ));
+
+        let mut bad_type = good.clone();
+        bad_type[5] = 200;
+        assert!(matches!(
+            Frame::decode(&bad_type),
+            Err(FrameError::BadMsgType(200))
+        ));
+
+        let mut bad_payload = good.clone();
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&bad_payload),
+            Err(FrameError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_tensor_and_step_fields_are_caught() {
+        // tensor id and step are covered by the CRC — a flipped routing
+        // field must not deliver the payload to the wrong tensor.
+        let bytes = sample().encode();
+        for i in 6..16 {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x80;
+            assert!(matches!(
+                Frame::decode(&corrupt),
+                Err(FrameError::CrcMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames_work() {
+        let f = Frame::new(MsgType::PullDone, 0, 3, Vec::new());
+        let (back, used) = Frame::decode(&f.encode()).expect("decode");
+        assert_eq!(back, f);
+        assert_eq!(used, HEADER_LEN);
+    }
+
+    #[test]
+    fn msg_type_roundtrip() {
+        for v in 1..=10u8 {
+            let m = MsgType::from_u8(v).expect("valid discriminant");
+            assert_eq!(m as u8, v);
+        }
+        assert!(MsgType::from_u8(0).is_none());
+        assert!(MsgType::from_u8(11).is_none());
+    }
+}

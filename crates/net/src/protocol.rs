@@ -1,0 +1,156 @@
+//! Payload encodings shared by server and worker, and the runtime error
+//! type.
+
+use crate::frame::FrameError;
+use std::io;
+use threelc_tensor::{Shape, Tensor};
+
+/// Failures of the networked runtime.
+#[derive(Debug)]
+pub enum NetError {
+    /// Frame codec failure (corruption, truncation, bad header).
+    Frame(FrameError),
+    /// Socket-level failure outside frame parsing.
+    Io(io::Error),
+    /// The peer violated the protocol (wrong message, wrong step, bad
+    /// payload contents).
+    Protocol(String),
+    /// The configuration cannot run on this runtime.
+    Config(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Io(e) => write!(f, "I/O error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Config(m) => write!(f, "unsupported configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Frame(e) => Some(e),
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Serializes a tensor as little-endian `f32`s (the raw-tensor payload).
+pub fn tensor_to_bytes(t: &Tensor) -> Vec<u8> {
+    let mut out = Vec::with_capacity(t.len() * 4);
+    for &x in t.iter() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Rebuilds a tensor of a known shape from little-endian `f32` bytes.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] when the byte count does not match the
+/// shape.
+pub fn bytes_to_tensor(bytes: &[u8], shape: &Shape) -> Result<Tensor, NetError> {
+    let n = shape.num_elements();
+    if bytes.len() != n * 4 {
+        return Err(NetError::Protocol(format!(
+            "raw tensor payload is {} bytes, shape {shape} needs {}",
+            bytes.len(),
+            n * 4
+        )));
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Ok(Tensor::from_vec(data, shape.clone()))
+}
+
+/// Encodes the `Hello` payload: the worker's id.
+pub fn encode_hello(worker: u16) -> Vec<u8> {
+    worker.to_le_bytes().to_vec()
+}
+
+/// Decodes the `Hello` payload.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload.
+pub fn decode_hello(payload: &[u8]) -> Result<u16, NetError> {
+    let bytes: [u8; 2] = payload.try_into().map_err(|_| {
+        NetError::Protocol(format!("hello payload is {} bytes, want 2", payload.len()))
+    })?;
+    Ok(u16::from_le_bytes(bytes))
+}
+
+/// Encodes the `PushDone` payload: local loss and worker codec seconds.
+pub fn encode_push_done(loss: f32, codec_seconds: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&loss.to_le_bytes());
+    out.extend_from_slice(&codec_seconds.to_le_bytes());
+    out
+}
+
+/// Decodes the `PushDone` payload.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload.
+pub fn decode_push_done(payload: &[u8]) -> Result<(f32, f64), NetError> {
+    if payload.len() != 12 {
+        return Err(NetError::Protocol(format!(
+            "push-done payload is {} bytes, want 12",
+            payload.len()
+        )));
+    }
+    let loss = f32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let codec = f64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+    Ok((loss, codec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_bytes_roundtrip_exactly() {
+        let t = Tensor::from_vec(vec![0.1, -2.5, f32::MIN_POSITIVE, 0.0], [2, 2]);
+        let bytes = tensor_to_bytes(&t);
+        let back = bytes_to_tensor(&bytes, t.shape()).expect("roundtrip");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn tensor_bytes_length_checked() {
+        let shape = Shape::new(&[3]);
+        assert!(bytes_to_tensor(&[0u8; 11], &shape).is_err());
+        assert!(bytes_to_tensor(&[0u8; 16], &shape).is_err());
+    }
+
+    #[test]
+    fn hello_and_push_done_roundtrip() {
+        assert_eq!(decode_hello(&encode_hello(513)).unwrap(), 513);
+        assert!(decode_hello(&[1, 2, 3]).is_err());
+        let (loss, codec) = decode_push_done(&encode_push_done(0.75, 1.5)).unwrap();
+        assert_eq!(loss, 0.75);
+        assert_eq!(codec, 1.5);
+        assert!(decode_push_done(&[0u8; 11]).is_err());
+    }
+}

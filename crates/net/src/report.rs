@@ -1,0 +1,62 @@
+//! The server's final JSON report.
+
+use crate::counters::ConnCounters;
+use serde::{Deserialize, Serialize};
+use threelc_distsim::ExperimentResult;
+
+/// One connection's summary in the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnReport {
+    /// Worker id this connection served.
+    pub worker: usize,
+    /// Peer address as reported by the socket.
+    pub peer: String,
+    /// Traffic and time counters.
+    pub counters: ConnCounters,
+}
+
+/// The networked run's final report: the standard [`ExperimentResult`]
+/// (the same schema the `bench` harness caches and plots from), plus the
+/// transport-level per-connection counters only a real network run has.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetReport {
+    /// The training outcome in the simulator's result schema.
+    pub result: ExperimentResult,
+    /// Per-connection transport counters, in worker-id order.
+    pub connections: Vec<ConnReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threelc_baselines::SchemeKind;
+    use threelc_distsim::{run_experiment, ExperimentConfig};
+
+    #[test]
+    fn report_embeds_a_plain_experiment_result() {
+        let result = run_experiment(&ExperimentConfig {
+            workers: 1,
+            batch_per_worker: 4,
+            total_steps: 2,
+            model_width: 8,
+            model_blocks: 1,
+            ..ExperimentConfig::for_scheme(SchemeKind::Float32)
+        });
+        let report = NetReport {
+            result: result.clone(),
+            connections: vec![ConnReport {
+                worker: 0,
+                peer: "127.0.0.1:9".into(),
+                counters: ConnCounters::default(),
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: NetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // The embedded result stays readable by ExperimentResult readers
+        // (bench's cache schema).
+        let embedded = serde_json::to_string(&report.result).unwrap();
+        let parsed: ExperimentResult = serde_json::from_str(&embedded).unwrap();
+        assert_eq!(parsed, result);
+    }
+}

@@ -1,0 +1,519 @@
+//! The parameter-server side of the networked runtime.
+//!
+//! One OS thread per worker connection handles framing; a coordinator
+//! (the calling thread) owns the [`ServerCore`] and enforces the BSP
+//! barrier: it waits for every worker's push batch, applies the step, and
+//! broadcasts one shared pull batch back to all handlers. The arithmetic
+//! is exactly [`threelc_distsim::engine`]'s, so a networked run matches
+//! the in-process simulator bit for bit.
+//!
+//! Failure semantics are fail-stop: a protocol violation, checksum
+//! mismatch, timeout, or dropped connection on any worker aborts the run
+//! with an error. Every blocking socket operation is bounded by
+//! [`ServeOptions::io_timeout`], and every barrier wait by
+//! [`ServeOptions::step_timeout`], so a dead peer cannot wedge the
+//! server.
+
+use crate::counters::ConnCounters;
+use crate::frame::{read_frame, write_frame, MsgType};
+use crate::protocol::{bytes_to_tensor, decode_hello, decode_push_done, tensor_to_bytes, NetError};
+use crate::report::{ConnReport, NetReport};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+use threelc_distsim::engine::{self, Problem, ServerCore, TensorPayload};
+use threelc_distsim::trace::{EvalRecord, StepRecord, TrainingTrace};
+use threelc_distsim::{ExperimentConfig, ExperimentResult};
+use threelc_learning::Evaluation;
+use threelc_tensor::Shape;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Read/write timeout on every worker socket.
+    pub io_timeout: Duration,
+    /// How long the coordinator waits at a barrier (for all pushes to
+    /// arrive, or for handlers to finish) before declaring the run dead.
+    pub step_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            io_timeout: Duration::from_secs(30),
+            step_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Handler → coordinator messages.
+enum ToCoord {
+    /// One worker's complete push batch for a step.
+    Pushed {
+        worker: usize,
+        step: u64,
+        payloads: Vec<TensorPayload>,
+        loss: f32,
+        codec_seconds: f64,
+    },
+    /// The handler finished (cleanly or with an error).
+    Finished {
+        worker: usize,
+        peer: String,
+        counters: ConnCounters,
+        error: Option<String>,
+    },
+}
+
+/// One step's shared pull batch, encoded once and broadcast to every
+/// handler (shared pull compression, paper Fig. 2b).
+struct PullBatch {
+    step: u64,
+    /// `(message type, payload bytes)` per tensor, in parameter order.
+    frames: Vec<(MsgType, Vec<u8>)>,
+}
+
+/// Coordinator → handler messages.
+enum FromCoord {
+    Pulls(Arc<PullBatch>),
+}
+
+/// Runs a full training experiment as the parameter server.
+///
+/// Accepts `config.workers` connections on `listener`, drives
+/// `config.total_steps` barrier-synchronized BSP steps, shuts the workers
+/// down gracefully, and returns the final report (the standard
+/// [`ExperimentResult`] plus per-connection transport counters).
+///
+/// # Errors
+///
+/// Returns [`NetError::Config`] for configurations the networked runtime
+/// does not support (staleness, backup workers), and
+/// [`NetError::Protocol`]/[`NetError::Frame`]/[`NetError::Io`] when any
+/// worker misbehaves, times out, or disconnects.
+pub fn serve(
+    listener: &TcpListener,
+    config: &ExperimentConfig,
+    opts: &ServeOptions,
+) -> Result<NetReport, NetError> {
+    validate_config(config)?;
+    let problem = Problem::build(config);
+    let n_params = problem.num_tensors();
+    if n_params > usize::from(u16::MAX) {
+        return Err(NetError::Config(format!(
+            "{n_params} tensors exceed the u16 tensor-id space"
+        )));
+    }
+    let mut server = ServerCore::new(&problem);
+    let shapes: Arc<Vec<Shape>> = Arc::new(problem.shapes.clone());
+    let workers = config.workers;
+    let config_json = serde_json::to_string(config)
+        .map_err(|e| NetError::Config(format!("config does not serialize: {e}")))?;
+
+    // ---- Handshake: fill every worker slot.
+    let (to_coord, from_handlers) = mpsc::channel::<ToCoord>();
+    let mut pull_txs: Vec<Option<mpsc::Sender<FromCoord>>> = (0..workers).map(|_| None).collect();
+    let mut handles = Vec::with_capacity(workers);
+    while handles.len() < workers {
+        let (stream, _) = listener.accept().map_err(NetError::Io)?;
+        let (worker, handshake_counters) =
+            handshake(&stream, opts.io_timeout, workers, &pull_txs, &config_json)?;
+        let (tx, rx) = mpsc::channel::<FromCoord>();
+        pull_txs[worker] = Some(tx);
+        let to_coord = to_coord.clone();
+        let shapes = Arc::clone(&shapes);
+        let total_steps = config.total_steps;
+        let step_timeout = opts.step_timeout;
+        handles.push(thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "unknown".into());
+            let mut counters = handshake_counters;
+            let error = run_handler(
+                stream,
+                worker,
+                total_steps,
+                &shapes,
+                &to_coord,
+                rx,
+                &mut counters,
+                step_timeout,
+            )
+            .err()
+            .map(|e| e.to_string());
+            // The coordinator may already be gone on abort; ignore.
+            let _ = to_coord.send(ToCoord::Finished {
+                worker,
+                peer,
+                counters,
+                error,
+            });
+        }));
+    }
+    drop(to_coord);
+
+    // ---- Barrier-synchronized BSP training loop.
+    let mut trace = TrainingTrace::default();
+    let mut straggler_rng = threelc_tensor::rng(config.seed ^ 0x5357_4147);
+    let compressible_values = problem.compressible_values();
+    let servers = config.servers.max(1);
+    for step in 0..config.total_steps {
+        let (_accepted, compute_multiplier) = engine::sample_stragglers(config, &mut straggler_rng);
+
+        // Collect every worker's push batch (the barrier).
+        let mut slots: Vec<Option<(Vec<TensorPayload>, f32, f64)>> =
+            (0..workers).map(|_| None).collect();
+        let mut missing = workers;
+        while missing > 0 {
+            match from_handlers.recv_timeout(opts.step_timeout) {
+                Ok(ToCoord::Pushed {
+                    worker,
+                    step: s,
+                    payloads,
+                    loss,
+                    codec_seconds,
+                }) => {
+                    if s != step {
+                        return Err(NetError::Protocol(format!(
+                            "worker {worker} pushed step {s} during step {step}"
+                        )));
+                    }
+                    if slots[worker].is_some() {
+                        return Err(NetError::Protocol(format!(
+                            "worker {worker} pushed twice in step {step}"
+                        )));
+                    }
+                    slots[worker] = Some((payloads, loss, codec_seconds));
+                    missing -= 1;
+                }
+                Ok(ToCoord::Finished { worker, error, .. }) => {
+                    let detail = error.unwrap_or_else(|| "closed early".into());
+                    return Err(NetError::Protocol(format!(
+                        "worker {worker} left during step {step}: {detail}"
+                    )));
+                }
+                Err(_) => {
+                    return Err(NetError::Protocol(format!(
+                        "timed out waiting for pushes in step {step}"
+                    )));
+                }
+            }
+        }
+
+        // Worker-order accounting, exactly as the simulator does it.
+        let mut payloads_by_worker = Vec::with_capacity(workers);
+        let mut loss_sum = 0.0f64;
+        let mut worker_codec_max = 0.0f64;
+        let mut push_bytes = 0u64;
+        let mut raw_bytes = 0u64;
+        let mut server_bytes = vec![0u64; servers];
+        for slot in &mut slots {
+            let (payloads, loss, codec) = slot.take().expect("barrier filled every slot");
+            loss_sum += loss as f64;
+            worker_codec_max = worker_codec_max.max(codec);
+            for (i, payload) in payloads.iter().enumerate() {
+                let bytes = payload.wire_len();
+                server_bytes[i % servers] += bytes;
+                match payload {
+                    TensorPayload::Compressed(_) => push_bytes += bytes,
+                    TensorPayload::Raw(_) => raw_bytes += bytes,
+                }
+            }
+            payloads_by_worker.push(payloads);
+        }
+
+        let out = server.apply_step(&payloads_by_worker, workers);
+
+        // Encode the shared pull batch once; handlers fan it out.
+        let mut pull_bytes = 0u64;
+        let mut frames = Vec::with_capacity(n_params);
+        for (i, payload) in out.pulls.into_iter().enumerate() {
+            let bytes = payload.wire_len() * workers as u64;
+            server_bytes[i % servers] += bytes;
+            match payload {
+                TensorPayload::Compressed(wire) => {
+                    pull_bytes += bytes;
+                    frames.push((MsgType::PullTensor, wire));
+                }
+                TensorPayload::Raw(t) => {
+                    raw_bytes += bytes;
+                    frames.push((MsgType::PullRaw, tensor_to_bytes(&t)));
+                }
+            }
+        }
+        let batch = Arc::new(PullBatch { step, frames });
+        for tx in pull_txs.iter().flatten() {
+            tx.send(FromCoord::Pulls(Arc::clone(&batch)))
+                .map_err(|_| NetError::Protocol("a handler thread died".into()))?;
+        }
+
+        trace.steps.push(StepRecord {
+            step,
+            lr: out.lr,
+            loss: (loss_sum / workers as f64) as f32,
+            push_bytes,
+            pull_bytes,
+            raw_bytes,
+            compressible_values,
+            worker_codec_seconds: worker_codec_max,
+            server_codec_seconds: out.server_codec_seconds,
+            compute_multiplier,
+            pull_overlapped: false,
+            critical_bytes: server_bytes.iter().copied().max().unwrap_or(0),
+        });
+        let due = config.eval_every > 0 && (step + 1) % config.eval_every == 0;
+        if due && step + 1 < config.total_steps {
+            trace.evals.push(EvalRecord {
+                step: step + 1,
+                eval: Evaluation::of(server.global(), &problem.test),
+            });
+        }
+    }
+
+    // ---- Graceful shutdown: handlers run the Shutdown/ShutdownAck
+    // handshake on their own after the last pull, then report in.
+    let mut connections: Vec<Option<ConnReport>> = (0..workers).map(|_| None).collect();
+    for _ in 0..workers {
+        match from_handlers.recv_timeout(opts.step_timeout) {
+            Ok(ToCoord::Finished {
+                worker,
+                peer,
+                counters,
+                error: None,
+            }) => {
+                connections[worker] = Some(ConnReport {
+                    worker,
+                    peer,
+                    counters,
+                });
+            }
+            Ok(ToCoord::Finished {
+                worker,
+                error: Some(e),
+                ..
+            }) => {
+                return Err(NetError::Protocol(format!(
+                    "worker {worker} failed to shut down cleanly: {e}"
+                )));
+            }
+            Ok(ToCoord::Pushed { worker, step, .. }) => {
+                return Err(NetError::Protocol(format!(
+                    "worker {worker} pushed step {step} after training ended"
+                )));
+            }
+            Err(_) => {
+                return Err(NetError::Protocol(
+                    "timed out waiting for workers to shut down".into(),
+                ));
+            }
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    let final_eval = Evaluation::of(server.global(), &problem.test);
+    trace.evals.push(EvalRecord {
+        step: config.total_steps,
+        eval: final_eval,
+    });
+    Ok(NetReport {
+        result: ExperimentResult {
+            config: *config,
+            scheme_label: config.scheme.label(),
+            model_params: server.global().num_params() as u64,
+            final_eval,
+            trace,
+        },
+        connections: connections
+            .into_iter()
+            .map(|c| c.expect("every slot reported"))
+            .collect(),
+    })
+}
+
+/// Rejects configurations the barrier-synchronized runtime cannot honor.
+fn validate_config(config: &ExperimentConfig) -> Result<(), NetError> {
+    if config.workers == 0 {
+        return Err(NetError::Config("at least one worker required".into()));
+    }
+    if config.workers > usize::from(u16::MAX) {
+        return Err(NetError::Config(format!(
+            "{} workers exceed the u16 worker-id space",
+            config.workers
+        )));
+    }
+    if config.backup_workers != 0 {
+        return Err(NetError::Config(
+            "backup workers are simulator-only; the TCP runtime is strict BSP".into(),
+        ));
+    }
+    if config.staleness != 0 {
+        return Err(NetError::Config(
+            "stale pulls are simulator-only; the TCP runtime is strict BSP".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Performs the server side of the Hello/HelloAck handshake on a fresh
+/// connection, returning the validated worker id and the counters for the
+/// two handshake frames (carried into the handler's accounting).
+fn handshake(
+    stream: &TcpStream,
+    io_timeout: Duration,
+    workers: usize,
+    taken: &[Option<mpsc::Sender<FromCoord>>],
+    config_json: &str,
+) -> Result<(usize, ConnCounters), NetError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let mut counters = ConnCounters::default();
+    let t0 = Instant::now();
+    let hello = read_frame(&mut &*stream)?;
+    counters.note_read(hello.payload.len(), t0.elapsed().as_secs_f64());
+    if hello.msg != MsgType::Hello {
+        return Err(NetError::Protocol(format!(
+            "expected Hello, got {:?}",
+            hello.msg
+        )));
+    }
+    let worker = usize::from(decode_hello(&hello.payload)?);
+    if worker >= workers {
+        return Err(NetError::Protocol(format!(
+            "worker id {worker} out of range (cluster has {workers})"
+        )));
+    }
+    if taken[worker].is_some() {
+        return Err(NetError::Protocol(format!(
+            "worker id {worker} connected twice"
+        )));
+    }
+    let t0 = Instant::now();
+    write_frame(
+        &mut &*stream,
+        MsgType::HelloAck,
+        0,
+        0,
+        config_json.as_bytes(),
+    )?;
+    counters.note_write(config_json.len(), t0.elapsed().as_secs_f64());
+    Ok((worker, counters))
+}
+
+/// One connection's framing loop: collect pushes, forward to the
+/// coordinator, fan the shared pull batch back out, and finally run the
+/// shutdown handshake.
+#[allow(clippy::too_many_arguments)]
+fn run_handler(
+    stream: TcpStream,
+    worker: usize,
+    total_steps: u64,
+    shapes: &[Shape],
+    to_coord: &mpsc::Sender<ToCoord>,
+    pulls: mpsc::Receiver<FromCoord>,
+    counters: &mut ConnCounters,
+    step_timeout: Duration,
+) -> Result<(), NetError> {
+    let n_params = shapes.len();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for step in 0..total_steps {
+        // ---- Gather this worker's push batch.
+        let mut payloads: Vec<TensorPayload> = Vec::with_capacity(n_params);
+        let (loss, codec_seconds) = loop {
+            let t0 = Instant::now();
+            let frame = read_frame(&mut reader)?;
+            counters.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
+            if frame.step != step {
+                return Err(NetError::Protocol(format!(
+                    "worker {worker} sent step {} during step {step}",
+                    frame.step
+                )));
+            }
+            match frame.msg {
+                MsgType::PushTensor | MsgType::PushRaw => {
+                    let i = payloads.len();
+                    if i >= n_params || usize::from(frame.tensor) != i {
+                        return Err(NetError::Protocol(format!(
+                            "worker {worker} pushed tensor {} out of order (expected {i})",
+                            frame.tensor
+                        )));
+                    }
+                    if frame.msg == MsgType::PushTensor {
+                        payloads.push(TensorPayload::Compressed(frame.payload));
+                    } else {
+                        let t1 = Instant::now();
+                        let tensor = bytes_to_tensor(&frame.payload, &shapes[i])?;
+                        counters.codec_seconds += t1.elapsed().as_secs_f64();
+                        payloads.push(TensorPayload::Raw(tensor));
+                    }
+                }
+                MsgType::PushDone => {
+                    if payloads.len() != n_params {
+                        return Err(NetError::Protocol(format!(
+                            "worker {worker} pushed {} of {n_params} tensors",
+                            payloads.len()
+                        )));
+                    }
+                    break decode_push_done(&frame.payload)?;
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "worker {worker} sent {other:?} during the push phase"
+                    )));
+                }
+            }
+        };
+        to_coord
+            .send(ToCoord::Pushed {
+                worker,
+                step,
+                payloads,
+                loss,
+                codec_seconds,
+            })
+            .map_err(|_| NetError::Protocol("coordinator is gone".into()))?;
+
+        // ---- Wait at the barrier, then fan out the shared pulls.
+        let batch = match pulls.recv_timeout(step_timeout) {
+            Ok(FromCoord::Pulls(batch)) => batch,
+            Err(_) => return Err(NetError::Protocol("no pull batch from coordinator".into())),
+        };
+        if batch.step != step {
+            return Err(NetError::Protocol(format!(
+                "pull batch for step {} arrived during step {step}",
+                batch.step
+            )));
+        }
+        for (i, (msg, payload)) in batch.frames.iter().enumerate() {
+            let t0 = Instant::now();
+            write_frame(&mut writer, *msg, i as u16, step, payload)?;
+            counters.note_write(payload.len(), t0.elapsed().as_secs_f64());
+        }
+        let t0 = Instant::now();
+        write_frame(&mut writer, MsgType::PullDone, 0, step, &[])?;
+        writer.flush()?;
+        counters.note_write(0, t0.elapsed().as_secs_f64());
+    }
+
+    // ---- Graceful shutdown handshake.
+    let t0 = Instant::now();
+    write_frame(&mut writer, MsgType::Shutdown, 0, total_steps, &[])?;
+    writer.flush()?;
+    counters.note_write(0, t0.elapsed().as_secs_f64());
+    let t0 = Instant::now();
+    let ack = read_frame(&mut reader)?;
+    counters.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
+    if ack.msg != MsgType::ShutdownAck {
+        return Err(NetError::Protocol(format!(
+            "worker {worker} answered shutdown with {:?}",
+            ack.msg
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,267 @@
+//! The worker side of the networked runtime.
+//!
+//! A worker connects (with bounded retry and exponential backoff),
+//! receives the experiment configuration from the server's `HelloAck`,
+//! derives the identical [`Problem`] instance locally, and then runs the
+//! BSP loop: compute → compress → push, pull → decode → apply. Every
+//! blocking socket operation is bounded by [`WorkerOptions::io_timeout`].
+
+use crate::counters::ConnCounters;
+use crate::frame::{read_frame, write_frame, MsgType};
+use crate::protocol::{bytes_to_tensor, encode_hello, encode_push_done, tensor_to_bytes, NetError};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+use threelc_distsim::engine::{Problem, TensorPayload, WorkerReplica};
+use threelc_distsim::ExperimentConfig;
+use threelc_learning::Network;
+
+/// Worker connection and retry knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Server address, e.g. `"127.0.0.1:7171"`.
+    pub addr: String,
+    /// This worker's id (`0..config.workers`; the server assigns slots by
+    /// id, so every worker must use a distinct one).
+    pub worker: u16,
+    /// Timeout for each connection attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on the established connection.
+    pub io_timeout: Duration,
+    /// How many times to retry connecting after the first failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry, capped at 10 s.
+    pub initial_backoff: Duration,
+}
+
+impl WorkerOptions {
+    /// Sensible defaults for `addr` and `worker`: 5 s connect timeout,
+    /// 30 s I/O timeout, 5 retries starting at 100 ms backoff.
+    pub fn new(addr: impl Into<String>, worker: u16) -> Self {
+        WorkerOptions {
+            addr: addr.into(),
+            worker,
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What a worker brings home from a completed run.
+pub struct WorkerOutcome {
+    /// The configuration the server distributed.
+    pub config: ExperimentConfig,
+    /// BSP steps completed.
+    pub steps: u64,
+    /// Transport counters for this connection.
+    pub counters: ConnCounters,
+    /// The final local model replica (bit-identical to the simulator's
+    /// replica for the same configuration).
+    pub model: Network,
+}
+
+const BACKOFF_CAP: Duration = Duration::from_secs(10);
+
+/// Connects with per-attempt timeout and bounded exponential backoff,
+/// counting failed attempts in `counters.retries`.
+fn connect_with_retry(
+    opts: &WorkerOptions,
+    counters: &mut ConnCounters,
+) -> Result<TcpStream, NetError> {
+    let addrs: Vec<SocketAddr> = opts
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| NetError::Protocol(format!("bad address {:?}: {e}", opts.addr)))?
+        .collect();
+    if addrs.is_empty() {
+        return Err(NetError::Protocol(format!(
+            "address {:?} resolved to nothing",
+            opts.addr
+        )));
+    }
+    let mut backoff = opts.initial_backoff;
+    let mut last_err: Option<std::io::Error> = None;
+    for attempt in 0..=opts.max_retries {
+        if attempt > 0 {
+            counters.retries += 1;
+            thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+        }
+        match TcpStream::connect_timeout(&addrs[0], opts.connect_timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(NetError::Io(last_err.expect("at least one attempt failed")))
+}
+
+/// Runs one worker to completion against a serving parameter server.
+///
+/// # Errors
+///
+/// Returns an error if the connection cannot be established within the
+/// retry budget, the server misbehaves, or any frame fails validation.
+pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
+    let mut counters = ConnCounters::default();
+    let stream = connect_with_retry(opts, &mut counters)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(opts.io_timeout))?;
+    stream.set_write_timeout(Some(opts.io_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // ---- Hello / HelloAck: the server distributes the configuration, so
+    // a worker needs nothing but an address and an id.
+    let t0 = Instant::now();
+    write_frame(
+        &mut writer,
+        MsgType::Hello,
+        0,
+        0,
+        &encode_hello(opts.worker),
+    )?;
+    writer.flush()?;
+    counters.note_write(2, t0.elapsed().as_secs_f64());
+    let t0 = Instant::now();
+    let ack = read_frame(&mut reader)?;
+    counters.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
+    if ack.msg != MsgType::HelloAck {
+        return Err(NetError::Protocol(format!(
+            "expected HelloAck, got {:?}",
+            ack.msg
+        )));
+    }
+    let config_json = std::str::from_utf8(&ack.payload)
+        .map_err(|_| NetError::Protocol("config payload is not UTF-8".into()))?;
+    let config: ExperimentConfig = serde_json::from_str(config_json)
+        .map_err(|e| NetError::Protocol(format!("config does not parse: {e}")))?;
+    if usize::from(opts.worker) >= config.workers {
+        return Err(NetError::Protocol(format!(
+            "server config has {} workers, this is worker {}",
+            config.workers, opts.worker
+        )));
+    }
+
+    // ---- Derive the identical problem instance locally.
+    let problem = Problem::build(&config);
+    let n_params = problem.num_tensors();
+    let mut replica = WorkerReplica::new(&problem, usize::from(opts.worker));
+    // Decode-only mirrors of the server's pull contexts (decode is pure).
+    let pull_ctxs = problem.pull_ctxs();
+
+    // ---- The BSP loop.
+    for step in 0..config.total_steps {
+        let (loss, grads) = replica.compute(&problem.data, config.batch_per_worker);
+        let encoded = replica.encode_push(grads);
+        let mut codec_seconds = encoded.codec_seconds;
+        for (i, payload) in encoded.payloads.iter().enumerate() {
+            let (msg, bytes) = match payload {
+                TensorPayload::Compressed(wire) => (MsgType::PushTensor, wire.clone()),
+                TensorPayload::Raw(t) => {
+                    let t1 = Instant::now();
+                    let bytes = tensor_to_bytes(t);
+                    codec_seconds += t1.elapsed().as_secs_f64();
+                    (MsgType::PushRaw, bytes)
+                }
+            };
+            let t0 = Instant::now();
+            write_frame(&mut writer, msg, i as u16, step, &bytes)?;
+            counters.note_write(bytes.len(), t0.elapsed().as_secs_f64());
+        }
+        counters.codec_seconds += codec_seconds;
+        let done = encode_push_done(loss, codec_seconds);
+        let t0 = Instant::now();
+        write_frame(&mut writer, MsgType::PushDone, 0, step, &done)?;
+        writer.flush()?;
+        counters.note_write(done.len(), t0.elapsed().as_secs_f64());
+
+        // Pull the shared model delta and apply it.
+        let mut deltas = Vec::with_capacity(n_params);
+        loop {
+            let t0 = Instant::now();
+            let frame = read_frame(&mut reader)?;
+            counters.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
+            if frame.step != step {
+                return Err(NetError::Protocol(format!(
+                    "server sent step {} during step {step}",
+                    frame.step
+                )));
+            }
+            match frame.msg {
+                MsgType::PullTensor | MsgType::PullRaw => {
+                    let i = deltas.len();
+                    if i >= n_params || usize::from(frame.tensor) != i {
+                        return Err(NetError::Protocol(format!(
+                            "server pulled tensor {} out of order (expected {i})",
+                            frame.tensor
+                        )));
+                    }
+                    let t1 = Instant::now();
+                    let delta = if frame.msg == MsgType::PullTensor {
+                        pull_ctxs[i]
+                            .as_ref()
+                            .ok_or_else(|| {
+                                NetError::Protocol(format!(
+                                    "server compressed tensor {i}, which is below the threshold"
+                                ))
+                            })?
+                            .decompress(&frame.payload)
+                            .map_err(|e| {
+                                NetError::Protocol(format!("pull payload {i} does not decode: {e}"))
+                            })?
+                    } else {
+                        bytes_to_tensor(&frame.payload, &problem.shapes[i])?
+                    };
+                    counters.codec_seconds += t1.elapsed().as_secs_f64();
+                    deltas.push(delta);
+                }
+                MsgType::PullDone => {
+                    if deltas.len() != n_params {
+                        return Err(NetError::Protocol(format!(
+                            "server pulled {} of {n_params} tensors",
+                            deltas.len()
+                        )));
+                    }
+                    break;
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "server sent {other:?} during the pull phase"
+                    )));
+                }
+            }
+        }
+        replica.apply_deltas(&deltas);
+    }
+
+    // ---- Graceful shutdown handshake.
+    let t0 = Instant::now();
+    let fin = read_frame(&mut reader)?;
+    counters.note_read(fin.payload.len(), t0.elapsed().as_secs_f64());
+    if fin.msg != MsgType::Shutdown {
+        return Err(NetError::Protocol(format!(
+            "expected Shutdown, got {:?}",
+            fin.msg
+        )));
+    }
+    let t0 = Instant::now();
+    write_frame(
+        &mut writer,
+        MsgType::ShutdownAck,
+        0,
+        config.total_steps,
+        &[],
+    )?;
+    writer.flush()?;
+    counters.note_write(0, t0.elapsed().as_secs_f64());
+
+    Ok(WorkerOutcome {
+        config,
+        steps: config.total_steps,
+        counters,
+        model: replica.into_model(),
+    })
+}

@@ -1,0 +1,87 @@
+//! Property tests for the frame codec: roundtrips, and robustness against
+//! truncation, corruption, and arbitrary garbage (never panic, never
+//! over-read, never over-allocate).
+
+use proptest::prelude::*;
+use threelc_net::frame::{self, Frame, MsgType, HEADER_LEN};
+
+fn arb_msg() -> impl Strategy<Value = MsgType> {
+    (1u8..=10).prop_map(|b| MsgType::from_u8(b).expect("1..=10 are valid"))
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        arb_msg(),
+        any::<u16>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..600),
+    )
+        .prop_map(|(msg, tensor, step, payload)| Frame::new(msg, tensor, step, payload))
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_frames(frame in arb_frame()) {
+        let encoded = frame.encode();
+        prop_assert_eq!(encoded.len(), frame.encoded_len());
+
+        let (decoded, consumed) = Frame::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(consumed, encoded.len());
+        prop_assert_eq!(&decoded, &frame);
+
+        // The streaming reader agrees with the slice decoder.
+        let streamed = frame::read_frame(&mut encoded.as_slice()).expect("stream decodes");
+        prop_assert_eq!(&streamed, &frame);
+    }
+
+    #[test]
+    fn trailing_bytes_are_not_consumed(frame in arb_frame(), extra in prop::collection::vec(any::<u8>(), 1..64)) {
+        let mut wire = frame.encode();
+        let frame_len = wire.len();
+        wire.extend_from_slice(&extra);
+        let (decoded, consumed) = Frame::decode(&wire).expect("prefix decodes");
+        prop_assert_eq!(consumed, frame_len);
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_truncation_errors(frame in arb_frame(), cut in any::<u16>()) {
+        let encoded = frame.encode();
+        let cut = (cut as usize) % encoded.len(); // strictly shorter
+        prop_assert!(Frame::decode(&encoded[..cut]).is_err());
+        prop_assert!(frame::read_frame(&mut &encoded[..cut]).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_corruption_errors(frame in arb_frame(), pos in any::<u32>(), flip in 1u8..=255) {
+        let mut wire = frame.encode();
+        let pos = (pos as usize) % wire.len();
+        wire[pos] ^= flip;
+        // Any change — header or payload — must be rejected, not
+        // reinterpreted: the CRC covers both.
+        prop_assert!(Frame::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics_and_never_over_reads(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok((frame, consumed)) = Frame::decode(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert_eq!(consumed, HEADER_LEN + frame.payload.len());
+        }
+        let _ = frame::read_frame(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn hostile_length_fields_never_allocate(claimed_len in any::<u32>(), msg in arb_msg()) {
+        // Forge a header claiming an arbitrary payload length with a valid
+        // CRC but no payload bytes behind it. Decoding must error without
+        // trying to allocate or read `claimed_len` bytes.
+        let real = Frame::new(msg, 3, 9, vec![]);
+        let mut wire = real.encode();
+        wire[16..20].copy_from_slice(&claimed_len.to_le_bytes());
+        if claimed_len != 0 {
+            prop_assert!(Frame::decode(&wire).is_err());
+            prop_assert!(frame::read_frame(&mut wire.as_slice()).is_err());
+        }
+    }
+}

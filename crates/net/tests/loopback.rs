@@ -1,0 +1,176 @@
+//! Loopback integration tests: a real server and real worker clients,
+//! all in one process over 127.0.0.1, checked bit-for-bit against the
+//! in-process simulator.
+
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+use threelc_baselines::SchemeKind;
+use threelc_distsim::{run_experiment, Cluster, ExperimentConfig};
+use threelc_net::{run_worker, serve, ServeOptions, WorkerOptions};
+
+fn loopback_config(scheme: SchemeKind) -> ExperimentConfig {
+    ExperimentConfig {
+        scheme,
+        workers: 2,
+        batch_per_worker: 8,
+        total_steps: 20,
+        model_width: 16,
+        model_blocks: 1,
+        eval_every: 7,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+/// Binds an ephemeral port, serves `config` on it, and runs one client
+/// thread per worker. Returns the server's report and the workers'
+/// outcomes in worker-id order.
+fn run_loopback(
+    config: ExperimentConfig,
+) -> (threelc_net::NetReport, Vec<threelc_net::WorkerOutcome>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = thread::spawn(move || serve(&listener, &config, &ServeOptions::default()));
+    let clients: Vec<_> = (0..config.workers as u16)
+        .map(|w| {
+            let addr = addr.clone();
+            thread::spawn(move || run_worker(&WorkerOptions::new(addr, w)))
+        })
+        .collect();
+    let outcomes = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread").expect("worker run"))
+        .collect();
+    let report = server.join().expect("server thread").expect("serve run");
+    (report, outcomes)
+}
+
+#[test]
+fn loopback_run_matches_simulator_bit_for_bit() {
+    let config = loopback_config(SchemeKind::three_lc(1.0));
+    let (report, outcomes) = run_loopback(config);
+    let simulated = run_experiment(&config);
+
+    // The training outcome is bit-identical to the simulator's.
+    assert_eq!(report.result.config, simulated.config);
+    assert_eq!(report.result.scheme_label, simulated.scheme_label);
+    assert_eq!(report.result.model_params, simulated.model_params);
+    assert_eq!(report.result.final_eval, simulated.final_eval);
+    assert_eq!(report.result.trace.evals, simulated.trace.evals);
+
+    // Every deterministic per-step field matches; only measured codec
+    // seconds may differ between a simulated and a networked run.
+    assert_eq!(report.result.trace.steps.len(), simulated.trace.steps.len());
+    for (net, sim) in report.result.trace.steps.iter().zip(&simulated.trace.steps) {
+        assert_eq!(net.step, sim.step);
+        assert_eq!(net.lr.to_bits(), sim.lr.to_bits(), "step {}", sim.step);
+        assert_eq!(net.loss.to_bits(), sim.loss.to_bits(), "step {}", sim.step);
+        assert_eq!(net.push_bytes, sim.push_bytes, "step {}", sim.step);
+        assert_eq!(net.pull_bytes, sim.pull_bytes, "step {}", sim.step);
+        assert_eq!(net.raw_bytes, sim.raw_bytes, "step {}", sim.step);
+        assert_eq!(net.compressible_values, sim.compressible_values);
+        assert_eq!(net.critical_bytes, sim.critical_bytes, "step {}", sim.step);
+        assert_eq!(net.compute_multiplier, sim.compute_multiplier);
+        assert_eq!(net.pull_overlapped, sim.pull_overlapped);
+    }
+
+    // Worker replicas end up bit-identical to the simulator's replicas.
+    let mut cluster = Cluster::new(config);
+    for _ in 0..config.total_steps {
+        cluster.step();
+    }
+    for (w, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.steps, config.total_steps);
+        assert_eq!(
+            outcome.model.snapshot(),
+            cluster.worker_model(w).snapshot(),
+            "worker {w} replica diverged from the simulator"
+        );
+    }
+
+    // Each side's transport counters mirror the other's.
+    assert_eq!(report.connections.len(), config.workers);
+    for (w, conn) in report.connections.iter().enumerate() {
+        assert_eq!(conn.worker, w);
+        let outcome = &outcomes[w];
+        assert_eq!(conn.counters.bytes_in, outcome.counters.bytes_out);
+        assert_eq!(conn.counters.bytes_out, outcome.counters.bytes_in);
+        assert_eq!(conn.counters.frames_in, outcome.counters.frames_out);
+        assert_eq!(conn.counters.frames_out, outcome.counters.frames_in);
+        assert_eq!(outcome.counters.retries, 0);
+        assert!(conn.counters.bytes_in > 0);
+    }
+}
+
+#[test]
+fn loopback_uncompressed_scheme_also_matches() {
+    let config = ExperimentConfig {
+        total_steps: 6,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::Float32)
+    };
+    let (report, outcomes) = run_loopback(config);
+    let simulated = run_experiment(&config);
+    assert_eq!(report.result.final_eval, simulated.final_eval);
+    let last = report.result.trace.steps.last().expect("steps recorded");
+    let sim_last = simulated.trace.steps.last().expect("steps recorded");
+    // Float32 is itself a (1:1) compression scheme: big tensors go through
+    // its wire format, only below-threshold tensors travel raw.
+    assert_eq!(last.push_bytes, sim_last.push_bytes);
+    assert_eq!(last.raw_bytes, sim_last.raw_bytes);
+    assert!(last.raw_bytes > 0);
+    assert_eq!(outcomes.len(), config.workers);
+}
+
+#[test]
+fn worker_retry_budget_is_bounded() {
+    // Grab an ephemeral port, then close it: connections get refused.
+    let dead_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        listener.local_addr().expect("local addr").to_string()
+    };
+    let opts = WorkerOptions {
+        max_retries: 2,
+        initial_backoff: Duration::from_millis(1),
+        connect_timeout: Duration::from_millis(200),
+        ..WorkerOptions::new(dead_addr, 0)
+    };
+    assert!(run_worker(&opts).is_err());
+}
+
+#[test]
+fn server_rejects_a_garbage_hello() {
+    let config = ExperimentConfig {
+        workers: 1,
+        ..loopback_config(SchemeKind::Float32)
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let opts = ServeOptions {
+        io_timeout: Duration::from_secs(2),
+        step_timeout: Duration::from_secs(2),
+    };
+    let server = thread::spawn(move || serve(&listener, &config, &opts));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    use std::io::Write as _;
+    stream.write_all(&[0xAB; 64]).expect("write garbage");
+    let result = server.join().expect("server thread");
+    assert!(result.is_err(), "garbage magic must abort the handshake");
+}
+
+#[test]
+fn server_rejects_unsupported_configs_before_accepting() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let opts = ServeOptions::default();
+    let stale = ExperimentConfig {
+        staleness: 1,
+        ..loopback_config(SchemeKind::Float32)
+    };
+    assert!(serve(&listener, &stale, &opts).is_err());
+    let backup = ExperimentConfig {
+        backup_workers: 1,
+        ..loopback_config(SchemeKind::Float32)
+    };
+    assert!(serve(&listener, &backup, &opts).is_err());
+}

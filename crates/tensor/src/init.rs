@@ -60,12 +60,14 @@ impl Initializer {
             Initializer::Uniform { low, high } => {
                 (0..n).map(|_| rng.gen_range(low..high)).collect()
             }
-            Initializer::Normal { mean, std_dev } => {
-                (0..n).map(|_| mean + std_dev * sample_standard_normal(rng)).collect()
-            }
+            Initializer::Normal { mean, std_dev } => (0..n)
+                .map(|_| mean + std_dev * sample_standard_normal(rng))
+                .collect(),
             Initializer::HeNormal { fan_in } => {
                 let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
-                (0..n).map(|_| std_dev * sample_standard_normal(rng)).collect()
+                (0..n)
+                    .map(|_| std_dev * sample_standard_normal(rng))
+                    .collect()
             }
             Initializer::XavierUniform { fan_in, fan_out } => {
                 let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();

@@ -123,9 +123,7 @@ impl Tensor {
 
     /// Minimum element; `+inf` for an empty tensor.
     pub fn min(&self) -> f32 {
-        self.as_slice()
-            .iter()
-            .fold(f32::INFINITY, |m, &x| m.min(x))
+        self.as_slice().iter().fold(f32::INFINITY, |m, &x| m.min(x))
     }
 
     /// Maximum element; `-inf` for an empty tensor.

@@ -72,7 +72,10 @@ impl Shape {
         );
         let mut offset = 0;
         for (i, (&idx, &dim)) in index.iter().zip(&self.dims).enumerate() {
-            assert!(idx < dim, "index {idx} out of bounds for dim {i} (size {dim})");
+            assert!(
+                idx < dim,
+                "index {idx} out of bounds for dim {i} (size {dim})"
+            );
             offset = offset * dim + idx;
         }
         offset

@@ -16,13 +16,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     .init(&mut rng, [64, 128]);
     let raw_bytes = gradient.len() * 4;
-    println!("input: {} values ({} bytes as f32)", gradient.len(), raw_bytes);
+    println!(
+        "input: {} values ({} bytes as f32)",
+        gradient.len(),
+        raw_bytes
+    );
 
     for s in [1.0f32, 1.5, 1.75, 1.9] {
         // One compression context per tensor: it owns the error
         // accumulation buffer that corrects quantization errors over time.
-        let mut ctx =
-            ThreeLcCompressor::new(gradient.shape().clone(), SparsityMultiplier::new(s)?);
+        let mut ctx = ThreeLcCompressor::new(gradient.shape().clone(), SparsityMultiplier::new(s)?);
         let wire = ctx.compress(&gradient)?;
         let restored = ctx.decompress(&wire)?;
         let max_err = gradient.sub(&restored)?.max_abs();
