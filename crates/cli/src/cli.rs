@@ -20,7 +20,12 @@ usage:
                      [--scheme float32|fp16|int8|3lc] [--sparsity S]
                      [--width N] [--blocks N] [--batch N] [--eval-every N]
                      [--json report.json]
-  threelc worker     --addr A --id N";
+  threelc worker     --addr A --id N
+  threelc metrics    <addr> [--json]
+
+global flags (any command):
+  --log-json <path>  append structured JSONL events to <path>
+                     (level from THREELC_LOG, default info)";
 
 /// Magic bytes identifying a `.3lc` container.
 const MAGIC: &[u8; 4] = b"3LC\0";
@@ -45,6 +50,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("stats") => stats(&args[1..]),
         Some("serve") => crate::netcmd::serve_cmd(&args[1..]),
         Some("worker") => crate::netcmd::worker_cmd(&args[1..]),
+        Some("metrics") => crate::netcmd::metrics_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("missing command".into()),
     }
@@ -205,6 +211,49 @@ fn decompress(args: &[String]) -> CliResult {
     ))
 }
 
+/// Chunk granularity of the `inspect` table, in quartic bytes (each
+/// quartic byte holds five ternary values).
+const CHUNK_QUARTIC_BYTES: usize = 16384;
+
+/// Per-chunk accumulators for the `inspect` table.
+#[derive(Default, Clone, Copy)]
+struct ChunkStat {
+    /// Wire (possibly zero-run-encoded) bytes attributed to the chunk.
+    encoded: usize,
+    /// Decoded quartic bytes in the chunk.
+    quartic: usize,
+    /// How many of those quartic bytes are the all-zero byte.
+    zeros: usize,
+}
+
+/// Walks the wire body once, attributing each encoded byte to the chunk
+/// (of [`CHUNK_QUARTIC_BYTES`] decoded quartic bytes) where its output
+/// starts. An escape byte's whole run counts in the chunk it begins in.
+fn chunk_stats(body: &[u8], zre: bool) -> Vec<ChunkStat> {
+    let mut chunks: Vec<ChunkStat> = Vec::new();
+    let mut pos = 0usize;
+    for &b in body {
+        let (decoded, zeros) = if zre && b >= threelc::zrle::ESCAPE_BASE {
+            let run = usize::from(b - threelc::zrle::ESCAPE_BASE) + threelc::zrle::MIN_RUN;
+            (run, run)
+        } else if b == threelc::quartic::ZERO_BYTE {
+            (1, 1)
+        } else {
+            (1, 0)
+        };
+        let idx = pos / CHUNK_QUARTIC_BYTES;
+        if chunks.len() <= idx {
+            chunks.resize(idx + 1, ChunkStat::default());
+        }
+        let c = &mut chunks[idx];
+        c.encoded += 1;
+        c.quartic += decoded;
+        c.zeros += zeros;
+        pos += decoded;
+    }
+    chunks
+}
+
 fn inspect(args: &[String]) -> CliResult {
     let files = positional(args, 1)?;
     let bytes = std::fs::read(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
@@ -224,6 +273,64 @@ fn inspect(args: &[String]) -> CliResult {
     )?;
     writeln!(report, "  scale M:       {:.6}", tensor.max_abs())?;
     writeln!(report, "  zero fraction: {:.2}%", s.zero_fraction * 100.0)?;
+
+    // ---- Per-chunk wire anatomy. The container was validated by the
+    // decompress above, so the header fields can be trusted here.
+    let zre = wire[0] & threelc::sizing::WIRE_FLAG_ZRE != 0;
+    let body = &wire[threelc::sizing::WIRE_HEADER_LEN..];
+    writeln!(
+        report,
+        "  encoding:      {}",
+        if zre { "quartic + zero-run" } else { "quartic" }
+    )?;
+    writeln!(
+        report,
+        "  chunks ({CHUNK_QUARTIC_BYTES} quartic bytes = {} values each):",
+        CHUNK_QUARTIC_BYTES * threelc::quartic::VALUES_PER_BYTE
+    )?;
+    writeln!(
+        report,
+        "    {:>5}  {:>10}  {:>10}  {:>8}  {:>9}",
+        "chunk", "bytes", "values", "ratio", "zero-run"
+    )?;
+    let mut remaining = count;
+    for (idx, c) in chunk_stats(body, zre).iter().enumerate() {
+        let values = (c.quartic * threelc::quartic::VALUES_PER_BYTE).min(remaining);
+        remaining -= values;
+        writeln!(
+            report,
+            "    {:>5}  {:>10}  {:>10}  {:>7.1}x  {:>8.2}%",
+            idx,
+            c.encoded,
+            values,
+            (values * 4) as f64 / c.encoded.max(1) as f64,
+            c.zeros as f64 / c.quartic.max(1) as f64 * 100.0,
+        )?;
+    }
+
+    // ---- Zero-run-length distribution, measured exactly as the encoder
+    // emits runs (lone zeros are runs of 1, long runs split at MAX_RUN).
+    let quartic_bytes = if zre {
+        std::borrow::Cow::Owned(threelc::zrle::decode(body))
+    } else {
+        std::borrow::Cow::Borrowed(body)
+    };
+    let runs = threelc_obs::Histogram::new();
+    threelc::zrle::encode_with_runs(&quartic_bytes, |run| runs.record(run as f64))
+        .map_err(|e| format!("{}: body is not a quartic stream: {e}", files[0]))?;
+    let r = runs.snapshot();
+    if r.count == 0 {
+        writeln!(report, "  zero runs:     none")?;
+    } else {
+        writeln!(
+            report,
+            "  zero runs:     {} (p50 {:.0}, p95 {:.0}, max {:.0} quartic bytes)",
+            r.count,
+            r.percentile(50.0),
+            r.percentile(95.0),
+            r.max,
+        )?;
+    }
     Ok(report)
 }
 
@@ -315,6 +422,16 @@ mod tests {
         let report = run(&s(&["inspect", packed.to_str().unwrap()])).expect("inspect");
         assert!(report.contains("values:        700"));
         assert!(report.contains("zero fraction: 100.00%"));
+        // The per-chunk table: 700 zeros quantize to 140 quartic zero
+        // bytes, zero-run encoded into 10 escape bytes (one chunk).
+        assert!(report.contains("encoding:      quartic + zero-run"));
+        assert!(report.contains("280.0x"), "got: {report}");
+        assert!(report.contains("100.00%"));
+        // 140 zero bytes = 10 maximal runs of 14.
+        assert!(
+            report.contains("zero runs:     10 (p50 14, p95 14, max 14 quartic bytes)"),
+            "got: {report}"
+        );
     }
 
     #[test]
@@ -349,6 +466,12 @@ mod tests {
         let a = std::fs::metadata(&with).unwrap().len();
         let b = std::fs::metadata(&without).unwrap().len();
         assert!(a * 10 < b, "ZRE file {a} should be far below no-ZRE {b}");
+
+        // The inspect table identifies both encodings.
+        let plain = run(&s(&["inspect", without.to_str().unwrap()])).expect("inspect");
+        assert!(plain.contains("encoding:      quartic\n"), "got: {plain}");
+        // 7000 values → 1400 quartic bytes, all zero, no run collapsing.
+        assert!(plain.contains("zero runs:     100 "), "got: {plain}");
     }
 
     #[test]
@@ -471,6 +594,61 @@ mod tests {
         let parsed: threelc_net::NetReport = serde_json::from_str(&dumped).expect("parse report");
         assert_eq!(parsed.connections.len(), 2);
         assert_eq!(parsed.result.trace.steps.len(), 3);
+    }
+
+    #[test]
+    fn metrics_command_scrapes_a_live_server() {
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().expect("addr").to_string()
+        };
+        let serve_args = s(&[
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+            "--steps",
+            "2",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args).map_err(|e| e.to_string()));
+
+        // Scrape during the handshake phase (no worker yet), retrying
+        // until the server thread has bound the port.
+        let mut text = None;
+        for _ in 0..250 {
+            match run(&s(&["metrics", &addr])) {
+                Ok(t) => {
+                    text = Some(t);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let text = text.expect("metrics scrape against a live server");
+        assert!(!text.is_empty());
+        let json = run(&s(&["metrics", &addr, "--json"])).expect("json scrape");
+        let snap: threelc_obs::Snapshot = serde_json::from_str(&json).expect("parse snapshot");
+        assert!(!snap.render_text().is_empty());
+
+        // Let the run finish.
+        let worker = run(&s(&["worker", "--addr", &addr, "--id", "0"])).expect("worker run");
+        assert!(worker.contains("finished 2 steps"), "got: {worker}");
+        server.join().expect("server thread").expect("serve run");
+    }
+
+    #[test]
+    fn metrics_command_flags_are_validated() {
+        assert!(run(&s(&["metrics"])).is_err()); // addr missing
+        assert!(run(&s(&["metrics", "a", "b"])).is_err()); // two addrs
+        assert!(run(&s(&["metrics", "127.0.0.1:1", "--bogus"])).is_err());
+        assert!(run(&s(&["metrics", "not an address"])).is_err());
     }
 
     #[test]

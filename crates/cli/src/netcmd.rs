@@ -8,10 +8,11 @@
 use std::error::Error;
 use std::fmt::Write as _;
 use std::net::TcpListener;
+use std::time::Duration;
 use threelc::SparsityMultiplier;
 use threelc_baselines::SchemeKind;
 use threelc_distsim::ExperimentConfig;
-use threelc_net::{run_worker, serve, ServeOptions, WorkerOptions};
+use threelc_net::{run_worker, scrape_metrics, serve, ServeOptions, WorkerOptions};
 
 type CliResult = Result<String, Box<dyn Error>>;
 
@@ -164,6 +165,37 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         )?;
     }
     Ok(out)
+}
+
+/// `threelc metrics <addr>`: scrape a live metrics snapshot from a
+/// serving parameter server and print it (text by default, `--json` for
+/// the raw snapshot).
+pub fn metrics_cmd(args: &[String]) -> CliResult {
+    let mut addr: Option<&str> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`").into());
+            }
+            other => {
+                if addr.replace(other).is_some() {
+                    return Err("metrics takes exactly one server address".into());
+                }
+            }
+        }
+    }
+    let addr =
+        addr.ok_or("metrics requires a server address (e.g. threelc metrics 127.0.0.1:7171)")?;
+    let snapshot = scrape_metrics(addr, Duration::from_secs(5))?;
+    if json {
+        let mut out = serde_json::to_string_pretty(&snapshot)?;
+        out.push('\n');
+        Ok(out)
+    } else {
+        Ok(snapshot.render_text())
+    }
 }
 
 /// `threelc worker`: join a serving parameter server and train.

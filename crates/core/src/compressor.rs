@@ -1,7 +1,10 @@
 //! The stateful 3LC compression context and its wire format.
 
+use crate::telemetry::{l2_norm, CompressTelemetry};
 use crate::tlq::{SparsityMultiplier, TernaryTensor};
 use crate::{quartic, zrle, CompressError, Compressor, DecodeError};
+use std::time::Instant;
+use threelc_obs::{log_enabled, Level};
 use threelc_tensor::{Shape, Tensor};
 
 /// Wire-format header: 1 flags byte + 4-byte `f32` scale + 4-byte `u32`
@@ -9,7 +12,7 @@ use threelc_tensor::{Shape, Tensor};
 const HEADER_LEN: usize = 9;
 
 /// Flags bit: the body is zero-run encoded.
-const FLAG_ZRE: u8 = 0b0000_0001;
+const FLAG_ZRE: u8 = crate::sizing::WIRE_FLAG_ZRE;
 
 /// Configuration for a [`ThreeLcCompressor`].
 ///
@@ -80,6 +83,8 @@ pub struct ThreeLcCompressor {
     options: ThreeLcOptions,
     /// Error accumulation buffer (zeros when `error_accumulation` is off).
     buffer: Tensor,
+    /// Cached handles to the global `threelc.*` metrics.
+    telemetry: CompressTelemetry,
 }
 
 impl ThreeLcCompressor {
@@ -96,6 +101,7 @@ impl ThreeLcCompressor {
             shape,
             options,
             buffer,
+            telemetry: CompressTelemetry::from_global(),
         }
     }
 
@@ -153,13 +159,36 @@ impl Compressor for ThreeLcCompressor {
             TernaryTensor::quantize(input, self.options.sparsity)?
         };
 
+        // The expensive probes (an O(n) residual pass and a per-run
+        // closure) only run when debug logging is enabled; the always-on
+        // telemetry below is a few relaxed atomic adds per call.
+        let debug_probes = log_enabled(Level::Debug);
+        if debug_probes && self.options.error_accumulation {
+            self.telemetry
+                .residual_l2
+                .record(l2_norm(self.buffer.as_slice()));
+        }
+
         // Step (3): quartic encoding.
+        let quartic_start = Instant::now();
         let quartic_bytes = quartic::encode(quantized.values());
+        self.telemetry
+            .quartic_seconds
+            .record(quartic_start.elapsed().as_secs_f64());
 
         // Step (4): zero-run encoding.
         let (body, flags) = if self.options.zero_run_encoding {
-            let zre =
-                zrle::encode(&quartic_bytes).expect("quartic output is always in range 0..=242");
+            let zre_start = Instant::now();
+            let zre = if debug_probes {
+                let run_hist = &self.telemetry.zero_run_length;
+                zrle::encode_with_runs(&quartic_bytes, |run| run_hist.record(run as f64))
+            } else {
+                zrle::encode(&quartic_bytes)
+            }
+            .expect("quartic output is always in range 0..=242");
+            self.telemetry
+                .zre_seconds
+                .record(zre_start.elapsed().as_secs_f64());
             (zre, FLAG_ZRE)
         } else {
             (quartic_bytes, 0)
@@ -170,10 +199,33 @@ impl Compressor for ThreeLcCompressor {
         wire.extend_from_slice(&quantized.scale().to_le_bytes());
         wire.extend_from_slice(&(quantized.len() as u32).to_le_bytes());
         wire.extend_from_slice(&body);
+        let raw_bytes = quantized.len() * std::mem::size_of::<f32>();
+        self.telemetry
+            .ratio
+            .record(raw_bytes as f64 / wire.len() as f64);
         Ok(wire)
     }
 
     fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        let start = Instant::now();
+        let out = self.decompress_inner(payload);
+        self.telemetry
+            .decompress_seconds
+            .record(start.elapsed().as_secs_f64());
+        out
+    }
+
+    fn residual(&self) -> Option<&Tensor> {
+        if self.options.error_accumulation {
+            Some(&self.buffer)
+        } else {
+            None
+        }
+    }
+}
+
+impl ThreeLcCompressor {
+    fn decompress_inner(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
         if payload.len() < HEADER_LEN {
             return Err(DecodeError::TruncatedHeader {
                 have: payload.len(),
@@ -210,14 +262,6 @@ impl Compressor for ThreeLcCompressor {
         };
         let ternary = quartic::decode(&quartic_bytes, count)?;
         Ok(TernaryTensor::from_parts(self.shape.clone(), ternary, scale).dequantize())
-    }
-
-    fn residual(&self) -> Option<&Tensor> {
-        if self.options.error_accumulation {
-            Some(&self.buffer)
-        } else {
-            None
-        }
     }
 }
 
@@ -432,6 +476,38 @@ mod tests {
             },
         );
         assert_eq!(cx.name(), "3LC (s=1.75) no-ZRE no-EA");
+    }
+
+    #[test]
+    fn compress_records_global_telemetry() {
+        // The registry is process-global and shared with concurrently
+        // running tests, so assert deltas and presence, not exact totals.
+        let reg = threelc_obs::global();
+        let ratio_before = reg.histogram("threelc.compress.ratio").count();
+        let decomp_before = reg.histogram("threelc.decompress.seconds").count();
+        let n = 70 * 100;
+        let mut cx = ctx(n, 1.0);
+        let wire = cx.compress(&Tensor::zeros([n])).unwrap();
+        cx.decompress(&wire).unwrap();
+        let snap = reg.snapshot();
+        let ratio = snap.histogram("threelc.compress.ratio").unwrap();
+        assert!(ratio.count > ratio_before);
+        // The all-zero tensor compressed ~280× on the body (~257× with
+        // the 9-byte header); the histogram's max must have seen it.
+        assert!(ratio.max >= 250.0, "max ratio {}", ratio.max);
+        assert!(
+            snap.histogram("threelc.compress.quartic_seconds")
+                .unwrap()
+                .count
+                > 0
+        );
+        assert!(
+            snap.histogram("threelc.compress.zre_seconds")
+                .unwrap()
+                .count
+                > 0
+        );
+        assert!(snap.histogram("threelc.decompress.seconds").unwrap().count > decomp_before);
     }
 
     #[test]

@@ -47,11 +47,13 @@ mod error;
 pub mod huffman;
 pub mod quartic;
 pub mod sizing;
+pub mod telemetry;
 pub mod tlq;
 mod traits;
 pub mod zrle;
 
 pub use compressor::{ThreeLcCompressor, ThreeLcOptions};
 pub use error::{CompressError, DecodeError};
+pub use telemetry::CompressTelemetry;
 pub use tlq::{SparsityMultiplier, TernaryTensor};
 pub use traits::{CompressionStats, Compressor};

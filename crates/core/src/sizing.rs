@@ -19,6 +19,9 @@ use crate::zrle;
 /// Bytes of the 3LC wire header: flags (u8), scale (f32 LE), count (u32 LE).
 pub const WIRE_HEADER_LEN: usize = 9;
 
+/// Header flag bit set when the body is zero-run encoded.
+pub const WIRE_FLAG_ZRE: u8 = 0b0000_0001;
+
 /// Bytes of quartic encoding for `values` ternary values (fixed-rate).
 pub fn quartic_len(values: usize) -> usize {
     values.div_ceil(quartic::VALUES_PER_BYTE)

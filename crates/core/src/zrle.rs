@@ -39,6 +39,24 @@ pub const ESCAPE_BASE: u8 = 243;
 /// # Ok::<(), threelc::DecodeError>(())
 /// ```
 pub fn encode(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    encode_with_runs(input, |_| {})
+}
+
+/// [`encode`], reporting each zero-byte run it consumes to `on_run`.
+///
+/// The callback receives run lengths exactly as the encoder emits them —
+/// runs longer than [`MAX_RUN`] appear as multiple chunks of at most
+/// [`MAX_RUN`], and lone zero bytes are reported as runs of 1. This lets
+/// telemetry observe the run-length distribution from the encoding pass
+/// itself, with no second scan over the data.
+///
+/// # Errors
+///
+/// Same as [`encode`].
+pub fn encode_with_runs(
+    input: &[u8],
+    mut on_run: impl FnMut(usize),
+) -> Result<Vec<u8>, DecodeError> {
     if let Some(offset) = input.iter().position(|&b| b > MAX_QUARTIC_BYTE) {
         return Err(DecodeError::InvalidQuarticByte {
             byte: input[offset],
@@ -58,6 +76,7 @@ pub fn encode(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
         while run < MAX_RUN && i + run < input.len() && input[i + run] == ZERO_BYTE {
             run += 1;
         }
+        on_run(run);
         if run >= MIN_RUN {
             out.push(ESCAPE_BASE + (run - MIN_RUN) as u8);
         } else {
@@ -204,5 +223,22 @@ mod tests {
     fn empty_stream() {
         assert!(encode(&[]).unwrap().is_empty());
         assert!(decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn encode_with_runs_reports_the_emitted_chunks() {
+        // 17 zeros split at MAX_RUN: chunks of 14 and 3; the lone trailing
+        // zero after a non-zero byte is a run of 1.
+        let mut input = vec![121u8; 17];
+        input.push(7);
+        input.push(121);
+        let mut runs = Vec::new();
+        let enc = encode_with_runs(&input, |r| runs.push(r)).unwrap();
+        assert_eq!(runs, vec![14, 3, 1]);
+        assert_eq!(
+            enc,
+            encode(&input).unwrap(),
+            "callback must not change output"
+        );
     }
 }

@@ -22,10 +22,12 @@
 //! (error-accumulation buffers, RNG draws) only affects `compress`.
 
 use crate::config::ExperimentConfig;
+use std::sync::Arc;
 use std::time::Instant;
 use threelc::{CompressionStats, Compressor};
 use threelc_baselines::build_compressor;
 use threelc_learning::{models, Batch, LrSchedule, Network, SgdMomentum, SyntheticImages};
+use threelc_obs::Histogram;
 use threelc_tensor::{Rng, Shape, Tensor};
 
 /// Seed of the synthetic dataset (shared by every node).
@@ -163,6 +165,9 @@ pub struct WorkerReplica {
     model: Network,
     rng: Rng,
     push_ctxs: Vec<Option<Box<dyn Compressor>>>,
+    /// Cached handle into the global registry — the sharded registry lock
+    /// is only touched here, at construction, never per step.
+    encode_seconds: Arc<Histogram>,
 }
 
 impl WorkerReplica {
@@ -172,6 +177,7 @@ impl WorkerReplica {
             model: problem.init.clone(),
             rng: threelc_tensor::rng(worker_rng_seed(&problem.config, w)),
             push_ctxs: problem.push_ctxs(w),
+            encode_seconds: threelc_obs::global().histogram("engine.encode_push_seconds"),
         }
     }
 
@@ -211,6 +217,7 @@ impl WorkerReplica {
                 None => payloads.push(TensorPayload::Raw(grad)),
             }
         }
+        self.encode_seconds.record(codec_seconds);
         EncodedPush {
             payloads,
             codec_seconds,
@@ -262,6 +269,8 @@ pub struct ServerCore {
     push_stats: CompressionStats,
     pull_stats: CompressionStats,
     step: u64,
+    /// Cached handle into the global registry (see [`WorkerReplica`]).
+    apply_seconds: Arc<Histogram>,
 }
 
 impl ServerCore {
@@ -279,6 +288,7 @@ impl ServerCore {
             push_stats: CompressionStats::new(),
             pull_stats: CompressionStats::new(),
             step: 0,
+            apply_seconds: threelc_obs::global().histogram("engine.apply_step_seconds"),
             config,
         }
     }
@@ -334,6 +344,7 @@ impl ServerCore {
         payloads: &[Vec<TensorPayload>],
         accepted_count: usize,
     ) -> ServerStepOutput {
+        let step_start = Instant::now();
         let lr = self.lr();
         let n_params = self.shapes.len();
         let workers = self.config.workers;
@@ -408,6 +419,8 @@ impl ServerCore {
         }
         self.prev_global = global_now;
         self.step += 1;
+        self.apply_seconds
+            .record(step_start.elapsed().as_secs_f64());
 
         ServerStepOutput {
             lr,

@@ -68,7 +68,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     let mut cluster = Cluster::new(*config);
     let mut trace = TrainingTrace::default();
     for step in 0..config.total_steps {
-        trace.steps.push(cluster.step());
+        trace.record_step(cluster.step());
         let due = config.eval_every > 0 && (step + 1) % config.eval_every == 0;
         if due && step + 1 < config.total_steps {
             trace.evals.push(EvalRecord {

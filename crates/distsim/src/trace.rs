@@ -118,6 +118,23 @@ pub struct TrainingTrace {
 }
 
 impl TrainingTrace {
+    /// Appends one step record and mirrors it into the global metrics
+    /// registry (`trace.*` histograms, the `trace.loss` gauge, and the
+    /// `trace.steps` counter), so simulated and networked runs feed the
+    /// same observability surface.
+    pub fn record_step(&mut self, rec: StepRecord) {
+        let reg = threelc_obs::global();
+        reg.histogram("trace.push_bytes")
+            .record(rec.push_bytes as f64);
+        reg.histogram("trace.pull_bytes")
+            .record(rec.pull_bytes as f64);
+        reg.histogram("trace.raw_bytes")
+            .record(rec.raw_bytes as f64);
+        reg.gauge("trace.loss").set(rec.loss as f64);
+        reg.counter("trace.steps").add(1);
+        self.steps.push(rec);
+    }
+
     /// Total compressed+raw traffic in bytes over the run.
     pub fn total_bytes(&self) -> u64 {
         self.steps
@@ -249,6 +266,20 @@ mod tests {
         assert_eq!(t.total_bytes(), 0);
         assert_eq!(t.average_bits_per_value(10), 0.0);
         assert!(t.final_eval().is_none());
+    }
+
+    #[test]
+    fn record_step_feeds_trace_and_global_metrics() {
+        // Other tests in the process share the global registry, so assert
+        // deltas rather than absolute values.
+        let reg = threelc_obs::global();
+        let steps_before = reg.counter("trace.steps").get();
+        let push_before = reg.histogram("trace.push_bytes").count();
+        let mut trace = TrainingTrace::default();
+        trace.record_step(record(1000, 500, 100, 100));
+        assert_eq!(trace.steps.len(), 1);
+        assert_eq!(reg.counter("trace.steps").get(), steps_before + 1);
+        assert_eq!(reg.histogram("trace.push_bytes").count(), push_before + 1);
     }
 
     #[test]

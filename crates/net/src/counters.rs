@@ -22,6 +22,11 @@ pub struct ConnCounters {
     pub codec_seconds: f64,
     /// Seconds spent blocked on socket reads/writes.
     pub socket_seconds: f64,
+    /// Seconds spent sleeping in connect-retry backoff. Defaults to zero
+    /// when absent, so reports written before this field existed still
+    /// parse.
+    #[serde(default)]
+    pub backoff_seconds: f64,
 }
 
 impl ConnCounters {
@@ -41,6 +46,13 @@ impl ConnCounters {
         self.socket_seconds += seconds;
     }
 
+    /// Records one failed connection attempt and the backoff sleep that
+    /// preceded it.
+    pub fn note_retry(&mut self, backoff_seconds: f64) {
+        self.retries += 1;
+        self.backoff_seconds += backoff_seconds;
+    }
+
     /// Accumulates another counter set (e.g. across reconnects).
     pub fn merge(&mut self, other: &ConnCounters) {
         self.frames_in += other.frames_in;
@@ -50,6 +62,7 @@ impl ConnCounters {
         self.retries += other.retries;
         self.codec_seconds += other.codec_seconds;
         self.socket_seconds += other.socket_seconds;
+        self.backoff_seconds += other.backoff_seconds;
     }
 }
 
@@ -79,6 +92,7 @@ mod tests {
             retries: 5,
             codec_seconds: 0.5,
             socket_seconds: 0.25,
+            backoff_seconds: 0.125,
         };
         a.merge(&a.clone());
         assert_eq!(a.frames_in, 2);
@@ -87,6 +101,16 @@ mod tests {
         assert_eq!(a.bytes_out, 8);
         assert_eq!(a.retries, 10);
         assert!((a.codec_seconds - 1.0).abs() < 1e-12);
+        assert!((a.backoff_seconds - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn note_retry_counts_attempts_and_sleep_time() {
+        let mut c = ConnCounters::default();
+        c.note_retry(0.1);
+        c.note_retry(0.2);
+        assert_eq!(c.retries, 2);
+        assert!((c.backoff_seconds - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -95,10 +119,21 @@ mod tests {
             frames_in: 7,
             retries: 1,
             codec_seconds: 0.125,
+            backoff_seconds: 0.5,
             ..Default::default()
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: ConnCounters = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn reports_without_backoff_field_still_parse() {
+        // A report written before `backoff_seconds` existed.
+        let old = r#"{"frames_in":1,"frames_out":2,"bytes_in":3,"bytes_out":4,
+                      "retries":0,"codec_seconds":0.5,"socket_seconds":0.25}"#;
+        let c: ConnCounters = serde_json::from_str(old).unwrap();
+        assert_eq!(c.frames_in, 1);
+        assert_eq!(c.backoff_seconds, 0.0);
     }
 }

@@ -64,6 +64,10 @@ pub enum MsgType {
     Shutdown = 9,
     /// Worker → server: shutdown acknowledged.
     ShutdownAck = 10,
+    /// Scraper → server: request a metrics snapshot (empty payload).
+    MetricsRequest = 11,
+    /// Server → scraper: `payload = threelc_obs::Snapshot JSON`.
+    MetricsSnapshot = 12,
 }
 
 impl MsgType {
@@ -80,6 +84,8 @@ impl MsgType {
             8 => Some(MsgType::PullDone),
             9 => Some(MsgType::Shutdown),
             10 => Some(MsgType::ShutdownAck),
+            11 => Some(MsgType::MetricsRequest),
+            12 => Some(MsgType::MetricsSnapshot),
             _ => None,
         }
     }
@@ -476,11 +482,11 @@ mod tests {
 
     #[test]
     fn msg_type_roundtrip() {
-        for v in 1..=10u8 {
+        for v in 1..=12u8 {
             let m = MsgType::from_u8(v).expect("valid discriminant");
             assert_eq!(m as u8, v);
         }
         assert!(MsgType::from_u8(0).is_none());
-        assert!(MsgType::from_u8(11).is_none());
+        assert!(MsgType::from_u8(13).is_none());
     }
 }

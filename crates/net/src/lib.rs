@@ -29,6 +29,7 @@
 pub mod counters;
 pub mod crc32;
 pub mod frame;
+pub mod metrics;
 pub mod protocol;
 pub mod report;
 pub mod server;
@@ -36,6 +37,7 @@ pub mod worker;
 
 pub use counters::ConnCounters;
 pub use frame::{Frame, FrameError, MsgType, HEADER_LEN, MAX_PAYLOAD};
+pub use metrics::{scrape_metrics, Conn, NetMetrics};
 pub use protocol::NetError;
 pub use report::{ConnReport, NetReport};
 pub use server::{serve, ServeOptions};

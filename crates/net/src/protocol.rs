@@ -108,6 +108,30 @@ pub fn encode_push_done(loss: f32, codec_seconds: f64) -> Vec<u8> {
     out
 }
 
+/// Encodes the `MetricsSnapshot` payload: the snapshot as JSON.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] if the snapshot does not serialize
+/// (which would indicate a non-finite value slipped into a metric).
+pub fn encode_metrics_snapshot(snapshot: &threelc_obs::Snapshot) -> Result<Vec<u8>, NetError> {
+    serde_json::to_string(snapshot)
+        .map(String::into_bytes)
+        .map_err(|e| NetError::Protocol(format!("snapshot does not serialize: {e}")))
+}
+
+/// Decodes the `MetricsSnapshot` payload.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload.
+pub fn decode_metrics_snapshot(payload: &[u8]) -> Result<threelc_obs::Snapshot, NetError> {
+    let json = std::str::from_utf8(payload)
+        .map_err(|_| NetError::Protocol("metrics snapshot payload is not UTF-8".into()))?;
+    serde_json::from_str(json)
+        .map_err(|e| NetError::Protocol(format!("metrics snapshot does not parse: {e}")))
+}
+
 /// Decodes the `PushDone` payload.
 ///
 /// # Errors
@@ -142,6 +166,19 @@ mod tests {
         let shape = Shape::new(&[3]);
         assert!(bytes_to_tensor(&[0u8; 11], &shape).is_err());
         assert!(bytes_to_tensor(&[0u8; 16], &shape).is_err());
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrip() {
+        let reg = threelc_obs::Registry::new();
+        reg.counter("frames").add(4);
+        reg.histogram("seconds").record(0.5);
+        let snap = reg.snapshot();
+        let bytes = encode_metrics_snapshot(&snap).unwrap();
+        let back = decode_metrics_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert!(decode_metrics_snapshot(b"not json").is_err());
+        assert!(decode_metrics_snapshot(&[0xFF, 0xFE]).is_err());
     }
 
     #[test]

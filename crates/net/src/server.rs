@@ -16,10 +16,15 @@
 
 use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
-use crate::protocol::{bytes_to_tensor, decode_hello, decode_push_done, tensor_to_bytes, NetError};
+use crate::metrics::{Conn, NetMetrics};
+use crate::protocol::{
+    bytes_to_tensor, decode_hello, decode_push_done, encode_metrics_snapshot, tensor_to_bytes,
+    NetError,
+};
 use crate::report::{ConnReport, NetReport};
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -27,6 +32,7 @@ use threelc_distsim::engine::{self, Problem, ServerCore, TensorPayload};
 use threelc_distsim::trace::{EvalRecord, StepRecord, TrainingTrace};
 use threelc_distsim::{ExperimentConfig, ExperimentResult};
 use threelc_learning::Evaluation;
+use threelc_obs::{Level, SpanGuard};
 use threelc_tensor::Shape;
 
 /// Server tuning knobs.
@@ -112,14 +118,19 @@ pub fn serve(
     let config_json = serde_json::to_string(config)
         .map_err(|e| NetError::Config(format!("config does not serialize: {e}")))?;
 
-    // ---- Handshake: fill every worker slot.
+    // ---- Handshake: fill every worker slot. Metrics scrapes arriving in
+    // this phase are answered inline without consuming a slot.
     let (to_coord, from_handlers) = mpsc::channel::<ToCoord>();
     let mut pull_txs: Vec<Option<mpsc::Sender<FromCoord>>> = (0..workers).map(|_| None).collect();
     let mut handles = Vec::with_capacity(workers);
     while handles.len() < workers {
         let (stream, _) = listener.accept().map_err(NetError::Io)?;
         let (worker, handshake_counters) =
-            handshake(&stream, opts.io_timeout, workers, &pull_txs, &config_json)?;
+            match handshake(&stream, opts.io_timeout, workers, &pull_txs, &config_json)? {
+                Handshake::Worker(worker, counters) => (worker, counters),
+                Handshake::Scrape => continue,
+            };
+        threelc_obs::event!(Level::Info, "server.worker_connected", worker = worker);
         let (tx, rx) = mpsc::channel::<FromCoord>();
         pull_txs[worker] = Some(tx);
         let to_coord = to_coord.clone();
@@ -131,7 +142,7 @@ pub fn serve(
                 .peer_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| "unknown".into());
-            let mut counters = handshake_counters;
+            let mut conn = Conn::new(handshake_counters, NetMetrics::server());
             let error = run_handler(
                 stream,
                 worker,
@@ -139,7 +150,7 @@ pub fn serve(
                 &shapes,
                 &to_coord,
                 rx,
-                &mut counters,
+                &mut conn,
                 step_timeout,
             )
             .err()
@@ -148,12 +159,19 @@ pub fn serve(
             let _ = to_coord.send(ToCoord::Finished {
                 worker,
                 peer,
-                counters,
+                counters: conn.counters,
                 error,
             });
         }));
     }
     drop(to_coord);
+
+    // Training phase: the main thread no longer accepts, so hand the
+    // listener to a background scraper that keeps answering
+    // `MetricsRequest` connections. Dropped (stopping the thread and
+    // restoring the listener) on every exit path.
+    let _scraper = MetricsScraper::start(listener, opts.io_timeout)?;
+    let server_metrics = NetMetrics::server();
 
     // ---- Barrier-synchronized BSP training loop.
     let mut trace = TrainingTrace::default();
@@ -161,6 +179,7 @@ pub fn serve(
     let compressible_values = problem.compressible_values();
     let servers = config.servers.max(1);
     for step in 0..config.total_steps {
+        let step_span = SpanGuard::on(Arc::clone(&server_metrics.step_seconds));
         let (_accepted, compute_multiplier) = engine::sample_stragglers(config, &mut straggler_rng);
 
         // Collect every worker's push batch (the barrier).
@@ -250,7 +269,7 @@ pub fn serve(
                 .map_err(|_| NetError::Protocol("a handler thread died".into()))?;
         }
 
-        trace.steps.push(StepRecord {
+        trace.record_step(StepRecord {
             step,
             lr: out.lr,
             loss: (loss_sum / workers as f64) as f32,
@@ -264,6 +283,7 @@ pub fn serve(
             pull_overlapped: false,
             critical_bytes: server_bytes.iter().copied().max().unwrap_or(0),
         });
+        step_span.finish();
         let due = config.eval_every > 0 && (step + 1) % config.eval_every == 0;
         if due && step + 1 < config.total_steps {
             trace.evals.push(EvalRecord {
@@ -359,16 +379,24 @@ fn validate_config(config: &ExperimentConfig) -> Result<(), NetError> {
     Ok(())
 }
 
-/// Performs the server side of the Hello/HelloAck handshake on a fresh
-/// connection, returning the validated worker id and the counters for the
-/// two handshake frames (carried into the handler's accounting).
+/// What a fresh connection's first frame turned out to be.
+enum Handshake {
+    /// A worker joined: validated id plus the handshake-frame counters
+    /// (carried into the handler's accounting).
+    Worker(usize, ConnCounters),
+    /// A metrics scrape, already answered; the connection is done.
+    Scrape,
+}
+
+/// Dispatches the first frame of a fresh connection: either the worker
+/// Hello/HelloAck handshake, or a one-shot metrics scrape.
 fn handshake(
     stream: &TcpStream,
     io_timeout: Duration,
     workers: usize,
     taken: &[Option<mpsc::Sender<FromCoord>>],
     config_json: &str,
-) -> Result<(usize, ConnCounters), NetError> {
+) -> Result<Handshake, NetError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(io_timeout))?;
     stream.set_write_timeout(Some(io_timeout))?;
@@ -376,6 +404,10 @@ fn handshake(
     let t0 = Instant::now();
     let hello = read_frame(&mut &*stream)?;
     counters.note_read(hello.payload.len(), t0.elapsed().as_secs_f64());
+    if hello.msg == MsgType::MetricsRequest {
+        answer_scrape(stream)?;
+        return Ok(Handshake::Scrape);
+    }
     if hello.msg != MsgType::Hello {
         return Err(NetError::Protocol(format!(
             "expected Hello, got {:?}",
@@ -402,7 +434,88 @@ fn handshake(
         config_json.as_bytes(),
     )?;
     counters.note_write(config_json.len(), t0.elapsed().as_secs_f64());
-    Ok((worker, counters))
+    Ok(Handshake::Worker(worker, counters))
+}
+
+/// Replies to a `MetricsRequest` with a snapshot of the global registry.
+fn answer_scrape(stream: &TcpStream) -> Result<(), NetError> {
+    let payload = encode_metrics_snapshot(&threelc_obs::global().snapshot())?;
+    write_frame(&mut &*stream, MsgType::MetricsSnapshot, 0, 0, &payload)?;
+    (&*stream).flush()?;
+    threelc_obs::event!(Level::Info, "server.metrics_scraped", bytes = payload.len());
+    Ok(())
+}
+
+/// Background thread answering metrics scrapes while the coordinator is
+/// busy training (the main accept loop only runs during the handshake
+/// phase).
+///
+/// The listener clone shares its file description with the original, so
+/// switching it to non-blocking affects both — safe here precisely
+/// because the main thread is done accepting. Dropping the scraper stops
+/// the thread and restores blocking mode, covering early-error returns
+/// from `serve` too.
+struct MetricsScraper<'a> {
+    listener: &'a TcpListener,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl<'a> MetricsScraper<'a> {
+    fn start(listener: &'a TcpListener, io_timeout: Duration) -> Result<Self, NetError> {
+        let clone = listener.try_clone().map_err(NetError::Io)?;
+        clone.set_nonblocking(true).map_err(NetError::Io)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                match clone.accept() {
+                    Ok((stream, _)) => {
+                        // Anything other than a well-formed scrape on a
+                        // mid-training connection is dropped; workers all
+                        // joined during the handshake phase.
+                        let _ = serve_one_scrape(stream, io_timeout);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        });
+        Ok(MetricsScraper {
+            listener,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for MetricsScraper<'_> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let _ = self.listener.set_nonblocking(false);
+    }
+}
+
+/// Handles one connection accepted by the scraper thread.
+fn serve_one_scrape(stream: TcpStream, io_timeout: Duration) -> Result<(), NetError> {
+    // The accepting listener is non-blocking and the stream inherits
+    // that; scrape I/O should block (bounded by the timeouts).
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let frame = read_frame(&mut &stream)?;
+    if frame.msg != MsgType::MetricsRequest {
+        return Err(NetError::Protocol(format!(
+            "unexpected {:?} on a mid-training connection",
+            frame.msg
+        )));
+    }
+    answer_scrape(&stream)
 }
 
 /// One connection's framing loop: collect pushes, forward to the
@@ -416,7 +529,7 @@ fn run_handler(
     shapes: &[Shape],
     to_coord: &mpsc::Sender<ToCoord>,
     pulls: mpsc::Receiver<FromCoord>,
-    counters: &mut ConnCounters,
+    conn: &mut Conn,
     step_timeout: Duration,
 ) -> Result<(), NetError> {
     let n_params = shapes.len();
@@ -426,9 +539,12 @@ fn run_handler(
         // ---- Gather this worker's push batch.
         let mut payloads: Vec<TensorPayload> = Vec::with_capacity(n_params);
         let (loss, codec_seconds) = loop {
+            // One span per incoming frame: read plus dispatch (dropped at
+            // the end of the iteration, including on break/error).
+            let _frame_span = SpanGuard::on(Arc::clone(&conn.metrics.frame_seconds));
             let t0 = Instant::now();
             let frame = read_frame(&mut reader)?;
-            counters.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
+            conn.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
             if frame.step != step {
                 return Err(NetError::Protocol(format!(
                     "worker {worker} sent step {} during step {step}",
@@ -449,7 +565,7 @@ fn run_handler(
                     } else {
                         let t1 = Instant::now();
                         let tensor = bytes_to_tensor(&frame.payload, &shapes[i])?;
-                        counters.codec_seconds += t1.elapsed().as_secs_f64();
+                        conn.note_codec(t1.elapsed().as_secs_f64());
                         payloads.push(TensorPayload::Raw(tensor));
                     }
                 }
@@ -491,24 +607,25 @@ fn run_handler(
             )));
         }
         for (i, (msg, payload)) in batch.frames.iter().enumerate() {
+            let _frame_span = SpanGuard::on(Arc::clone(&conn.metrics.frame_seconds));
             let t0 = Instant::now();
             write_frame(&mut writer, *msg, i as u16, step, payload)?;
-            counters.note_write(payload.len(), t0.elapsed().as_secs_f64());
+            conn.note_write(payload.len(), t0.elapsed().as_secs_f64());
         }
         let t0 = Instant::now();
         write_frame(&mut writer, MsgType::PullDone, 0, step, &[])?;
         writer.flush()?;
-        counters.note_write(0, t0.elapsed().as_secs_f64());
+        conn.note_write(0, t0.elapsed().as_secs_f64());
     }
 
     // ---- Graceful shutdown handshake.
     let t0 = Instant::now();
     write_frame(&mut writer, MsgType::Shutdown, 0, total_steps, &[])?;
     writer.flush()?;
-    counters.note_write(0, t0.elapsed().as_secs_f64());
+    conn.note_write(0, t0.elapsed().as_secs_f64());
     let t0 = Instant::now();
     let ack = read_frame(&mut reader)?;
-    counters.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
+    conn.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
     if ack.msg != MsgType::ShutdownAck {
         return Err(NetError::Protocol(format!(
             "worker {worker} answered shutdown with {:?}",

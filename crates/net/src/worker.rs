@@ -8,14 +8,17 @@
 
 use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
+use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{bytes_to_tensor, encode_hello, encode_push_done, tensor_to_bytes, NetError};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use threelc_distsim::engine::{Problem, TensorPayload, WorkerReplica};
 use threelc_distsim::ExperimentConfig;
 use threelc_learning::Network;
+use threelc_obs::{Level, SpanGuard};
 
 /// Worker connection and retry knobs.
 #[derive(Debug, Clone)]
@@ -66,11 +69,8 @@ pub struct WorkerOutcome {
 const BACKOFF_CAP: Duration = Duration::from_secs(10);
 
 /// Connects with per-attempt timeout and bounded exponential backoff,
-/// counting failed attempts in `counters.retries`.
-fn connect_with_retry(
-    opts: &WorkerOptions,
-    counters: &mut ConnCounters,
-) -> Result<TcpStream, NetError> {
+/// counting failed attempts and the measured backoff sleep time.
+fn connect_with_retry(opts: &WorkerOptions, conn: &mut Conn) -> Result<TcpStream, NetError> {
     let addrs: Vec<SocketAddr> = opts
         .addr
         .to_socket_addrs()
@@ -86,8 +86,17 @@ fn connect_with_retry(
     let mut last_err: Option<std::io::Error> = None;
     for attempt in 0..=opts.max_retries {
         if attempt > 0 {
-            counters.retries += 1;
+            // Measure the sleep that actually happened, not the nominal
+            // backoff — the OS may oversleep.
+            let slept = Instant::now();
             thread::sleep(backoff);
+            conn.note_retry(slept.elapsed().as_secs_f64());
+            threelc_obs::event!(
+                Level::Warn,
+                "worker.connect_retry",
+                attempt = attempt,
+                backoff_ms = backoff.as_millis()
+            );
             backoff = (backoff * 2).min(BACKOFF_CAP);
         }
         match TcpStream::connect_timeout(&addrs[0], opts.connect_timeout) {
@@ -105,8 +114,8 @@ fn connect_with_retry(
 /// Returns an error if the connection cannot be established within the
 /// retry budget, the server misbehaves, or any frame fails validation.
 pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
-    let mut counters = ConnCounters::default();
-    let stream = connect_with_retry(opts, &mut counters)?;
+    let mut conn = Conn::new(ConnCounters::default(), NetMetrics::worker());
+    let stream = connect_with_retry(opts, &mut conn)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(opts.io_timeout))?;
     stream.set_write_timeout(Some(opts.io_timeout))?;
@@ -124,10 +133,10 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
         &encode_hello(opts.worker),
     )?;
     writer.flush()?;
-    counters.note_write(2, t0.elapsed().as_secs_f64());
+    conn.note_write(2, t0.elapsed().as_secs_f64());
     let t0 = Instant::now();
     let ack = read_frame(&mut reader)?;
-    counters.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
+    conn.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
     if ack.msg != MsgType::HelloAck {
         return Err(NetError::Protocol(format!(
             "expected HelloAck, got {:?}",
@@ -154,6 +163,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
 
     // ---- The BSP loop.
     for step in 0..config.total_steps {
+        let _step_span = SpanGuard::on(Arc::clone(&conn.metrics.step_seconds));
         let (loss, grads) = replica.compute(&problem.data, config.batch_per_worker);
         let encoded = replica.encode_push(grads);
         let mut codec_seconds = encoded.codec_seconds;
@@ -169,21 +179,21 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
             };
             let t0 = Instant::now();
             write_frame(&mut writer, msg, i as u16, step, &bytes)?;
-            counters.note_write(bytes.len(), t0.elapsed().as_secs_f64());
+            conn.note_write(bytes.len(), t0.elapsed().as_secs_f64());
         }
-        counters.codec_seconds += codec_seconds;
+        conn.note_codec(codec_seconds);
         let done = encode_push_done(loss, codec_seconds);
         let t0 = Instant::now();
         write_frame(&mut writer, MsgType::PushDone, 0, step, &done)?;
         writer.flush()?;
-        counters.note_write(done.len(), t0.elapsed().as_secs_f64());
+        conn.note_write(done.len(), t0.elapsed().as_secs_f64());
 
         // Pull the shared model delta and apply it.
         let mut deltas = Vec::with_capacity(n_params);
         loop {
             let t0 = Instant::now();
             let frame = read_frame(&mut reader)?;
-            counters.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
+            conn.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
             if frame.step != step {
                 return Err(NetError::Protocol(format!(
                     "server sent step {} during step {step}",
@@ -215,7 +225,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
                     } else {
                         bytes_to_tensor(&frame.payload, &problem.shapes[i])?
                     };
-                    counters.codec_seconds += t1.elapsed().as_secs_f64();
+                    conn.note_codec(t1.elapsed().as_secs_f64());
                     deltas.push(delta);
                 }
                 MsgType::PullDone => {
@@ -240,7 +250,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
     // ---- Graceful shutdown handshake.
     let t0 = Instant::now();
     let fin = read_frame(&mut reader)?;
-    counters.note_read(fin.payload.len(), t0.elapsed().as_secs_f64());
+    conn.note_read(fin.payload.len(), t0.elapsed().as_secs_f64());
     if fin.msg != MsgType::Shutdown {
         return Err(NetError::Protocol(format!(
             "expected Shutdown, got {:?}",
@@ -256,12 +266,12 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
         &[],
     )?;
     writer.flush()?;
-    counters.note_write(0, t0.elapsed().as_secs_f64());
+    conn.note_write(0, t0.elapsed().as_secs_f64());
 
     Ok(WorkerOutcome {
         config,
         steps: config.total_steps,
-        counters,
+        counters: conn.counters,
         model: replica.into_model(),
     })
 }

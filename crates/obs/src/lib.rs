@@ -1,0 +1,53 @@
+//! `threelc-obs`: the observability substrate of the 3LC stack.
+//!
+//! 3LC's whole argument is quantitative — traffic ratio vs. accuracy vs.
+//! wall-clock — so every layer of this workspace reports into one shared
+//! instrumentation layer instead of growing its own ad-hoc counters. The
+//! crate is std-only (the vendored `serde` stubs are its only
+//! dependencies) and provides four pieces:
+//!
+//! 1. **A metrics registry** ([`Registry`]) of named [`Counter`]s,
+//!    [`Gauge`]s, and log-bucketed [`Histogram`]s. Metrics are lock-free
+//!    atomics; the name → metric map is a sharded mutex, so hot paths
+//!    cache the returned `Arc` handles and never touch a lock again.
+//! 2. **Hierarchical spans** ([`SpanGuard`], the [`span!`] macro) with
+//!    monotonic timing that feed the histograms — `span!("compress")`
+//!    records into the `span.compress.seconds` histogram when the guard
+//!    drops.
+//! 3. **A structured JSONL event sink** ([`sink`], the [`event!`] macro)
+//!    with level filtering via the `THREELC_LOG` environment variable
+//!    (`off` by default). Probes are guarded by a relaxed atomic level
+//!    check, so disabled logging costs one atomic load.
+//! 4. **Snapshot exporters** ([`Snapshot`]): a point-in-time copy of every
+//!    registered metric, serializable to JSON (the payload of the network
+//!    scrape protocol in `threelc-net`) and renderable as text (the
+//!    output of `threelc metrics`).
+//!
+//! ```
+//! use threelc_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("frames").add(3);
+//! let h = reg.histogram("latency_seconds");
+//! h.record(0.004);
+//! h.record(0.009);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("frames"), Some(3));
+//! assert_eq!(snap.histogram("latency_seconds").unwrap().count, 2);
+//! ```
+//!
+//! Most call sites use the process-global registry via [`global()`]; a
+//! networked server exposes exactly that registry to `threelc metrics`
+//! scrapes.
+
+pub mod metrics;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
+pub use registry::{global, Registry};
+pub use sink::{emit, log_enabled, set_level, set_log_file, set_writer, Level};
+pub use snapshot::{CounterEntry, GaugeEntry, HistEntry, HistogramSnapshot, Snapshot};
+pub use span::SpanGuard;

@@ -1,0 +1,111 @@
+//! Timed spans: RAII guards that measure a monotonic duration and feed it
+//! into a histogram when dropped.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A live span. Created by [`Registry::span`](crate::Registry::span), the
+/// [`span!`](crate::span!) macro, or [`SpanGuard::on`] with a cached histogram handle.
+///
+/// Dropping the guard records the elapsed seconds; [`finish`](Self::finish)
+/// does the same but also returns the measured duration.
+#[must_use = "a span measures nothing unless it is held until the work completes"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Starts a span feeding `hist` on completion.
+    pub fn on(hist: Arc<Histogram>) -> Self {
+        SpanGuard {
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds so far, without ending the span.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Ends the span, records the duration, and returns it in seconds.
+    pub fn finish(mut self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if let Some(hist) = self.hist.take() {
+            hist.record(secs);
+        }
+        secs
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(hist) = self.hist.take() {
+            hist.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Opens a span on the global registry: `span!("compress")` returns a
+/// guard recording into `span.compress.seconds` when dropped.
+///
+/// Optional `key = value` fields emit a `Debug`-level structured event at
+/// span open (only when debug logging is enabled):
+/// `span!("compress", tensor = id)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        if $crate::log_enabled($crate::Level::Debug) {
+            $crate::emit(
+                $crate::Level::Debug,
+                concat!("span.", $name),
+                &[$((stringify!($key), format!("{:?}", $value))),+],
+            );
+        }
+        $crate::global().span($name)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_returns_and_records_the_duration() {
+        let hist = Arc::new(Histogram::new());
+        let guard = SpanGuard::on(Arc::clone(&hist));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let secs = guard.finish();
+        assert!(secs >= 0.002, "slept 2ms but measured {secs}");
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, secs);
+    }
+
+    #[test]
+    fn drop_records_exactly_once() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let _guard = SpanGuard::on(Arc::clone(&hist));
+        }
+        assert_eq!(hist.snapshot().count, 1);
+    }
+
+    #[test]
+    fn span_macro_uses_the_global_registry() {
+        {
+            let _guard = crate::span!("macro_test", tensor = 3usize);
+        }
+        let snap = crate::global().snapshot();
+        let h = snap
+            .histogram("span.macro_test.seconds")
+            .expect("span histogram registered globally");
+        assert!(h.count >= 1);
+    }
+}
