@@ -1,8 +1,26 @@
 #!/usr/bin/env bash
-# Repository CI gate: formatting, lints, build, and the full test suite.
-# Everything runs offline against the vendored compat/ stubs.
+# Repository CI gate: formatting, lints, build, the full test suite, and
+# the parallel-codec benchmark gate. Everything runs offline against the
+# vendored compat/ stubs.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Snapshot the tree up front; the final stage fails if any stage below
+# (tests, benches) created or modified tracked-or-untracked files.
+status_before="$(git status --porcelain)"
+
+echo "==> toolchain vs MSRV"
+msrv="$(sed -n 's/^rust-version = "\(.*\)"$/\1/p' Cargo.toml | head -n1)"
+have="$(rustc --version | sed -n 's/^rustc \([0-9][0-9.]*\).*/\1/p')"
+if [ -z "$msrv" ] || [ -z "$have" ]; then
+    echo "could not determine MSRV ($msrv) or toolchain version ($have)" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n%s\n' "$msrv" "$have" | sort -V | head -n1)" != "$msrv" ]; then
+    echo "toolchain $have is older than MSRV $msrv" >&2
+    exit 1
+fi
+echo "    rustc $have >= MSRV $msrv"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -13,10 +31,54 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 
+echo "==> cargo build --no-default-features (per crate)"
+for crate in threelc-tensor threelc threelc-baselines threelc-learning \
+    threelc-distsim threelc-net threelc-obs threelc-cli threelc-bench; do
+    echo "    $crate"
+    cargo build --offline --no-default-features -p "$crate"
+done
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
 echo "==> cargo test"
 cargo test -q --offline --workspace
+
+echo "==> cargo test --release (core + net)"
+cargo test -q --offline --release -p threelc -p threelc-net
+
+echo "==> bench smoke (criterion --test mode)"
+cargo bench --offline -p threelc-bench --bench parallel -- --test
+
+echo "==> bench gate vs BENCH_baseline.json"
+# Shared CI hosts see multi-second load spikes that best-of-N inside one
+# measurement window cannot escape, so a failed gate re-measures (up to
+# 3 attempts). Transient noise clears between attempts; a genuine
+# regression fails all of them.
+mkdir -p target/bench
+gate_ok=0
+for attempt in 1 2 3; do
+    cargo run -q --release --offline -p threelc-bench --bin bench_parallel -- \
+        target/bench/BENCH_current.json --reps 10
+    if cargo run -q --release --offline -p threelc-bench --bin bench_gate -- \
+        target/bench/BENCH_current.json BENCH_baseline.json; then
+        gate_ok=1
+        break
+    fi
+    echo "bench gate attempt $attempt failed; re-measuring" >&2
+    sleep 2
+done
+if [ "$gate_ok" != 1 ]; then
+    echo "bench gate failed on all attempts" >&2
+    exit 1
+fi
+
+echo "==> working tree must stay clean"
+status_after="$(git status --porcelain)"
+if [ "$status_before" != "$status_after" ]; then
+    echo "tests or benches dirtied the working tree:" >&2
+    diff <(printf '%s\n' "$status_before") <(printf '%s\n' "$status_after") >&2 || true
+    exit 1
+fi
 
 echo "CI OK"

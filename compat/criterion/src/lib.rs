@@ -6,10 +6,22 @@
 //! is a simple calibrated wall-clock loop: enough batches to fill the
 //! configured measurement time, reporting mean time per iteration and
 //! throughput. No statistics, plots, or comparison to saved baselines.
+//!
+//! Like real criterion, passing `--test` on the command line (i.e.
+//! `cargo bench -- --test`) switches to smoke mode: every benchmark
+//! routine runs exactly once, with no warm-up and no timing — a fast
+//! does-it-still-run check for CI.
 
 use std::fmt::{self, Display};
 use std::hint::black_box as std_black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether `--test` was passed on the command line (smoke mode).
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -183,6 +195,11 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
+        if test_mode() {
+            // Smoke mode: one untimed call proves the routine still runs.
+            std_black_box(routine());
+            return;
+        }
         // Warm up and calibrate: how many calls fit in the warm-up window?
         let warm_deadline = Instant::now() + self.config.warm_up_time;
         let mut warm_calls: u64 = 0;
@@ -220,6 +237,10 @@ where
         mean_seconds: f64::NAN,
     };
     f(&mut bencher);
+    if test_mode() {
+        println!("{name:<48} ok (test mode: 1 iteration)");
+        return;
+    }
     let per_iter = bencher.mean_seconds;
     let rate = match throughput {
         _ if !per_iter.is_finite() || per_iter <= 0.0 => String::new(),

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the chunk-parallel 3LC pipeline:
+//! serial vs parallel encode and decode across tensor sizes and thread
+//! counts.
+//!
+//! These back the PR 3 throughput claim (≥2× encode at 4 threads for
+//! tensors ≥1 MiB on a ≥4-core host) that `bench_parallel` measures and
+//! `bench_gate` enforces; the criterion versions exist for interactive
+//! profiling and as a CI smoke target (`cargo bench -- --test`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor, ThreeLcOptions};
+use threelc_tensor::{Initializer, Tensor};
+
+/// 1 MiB and 4 MiB of f32 values — both above the parallel threshold.
+const SIZES: [usize; 2] = [1 << 18, 1 << 20];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn gradient_like_tensor(n: usize, seed: u64) -> Tensor {
+    let mut rng = threelc_tensor::rng(seed);
+    Initializer::Normal {
+        mean: 0.0,
+        std_dev: 0.02,
+    }
+    .init(&mut rng, [n])
+}
+
+/// A context without error accumulation, so every iteration compresses
+/// the same effective input (EA would mutate state between iterations).
+fn context(input: &Tensor, threads: usize) -> ThreeLcCompressor {
+    let options = ThreeLcOptions {
+        sparsity: SparsityMultiplier::new(1.75).expect("in range"),
+        zero_run_encoding: true,
+        error_accumulation: false,
+    };
+    ThreeLcCompressor::with_options(input.shape().clone(), options).with_threads(threads)
+}
+
+fn bench_parallel_encode(c: &mut Criterion) {
+    for n in SIZES {
+        let input = gradient_like_tensor(n, 3);
+        let mut group = c.benchmark_group(format!("parallel-encode/{n}"));
+        group.throughput(Throughput::Elements(n as u64));
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{threads}t")),
+                &threads,
+                |b, &threads| {
+                    let mut ctx = context(&input, threads);
+                    b.iter(|| ctx.compress(&input).expect("finite input"));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_parallel_decode(c: &mut Criterion) {
+    for n in SIZES {
+        let input = gradient_like_tensor(n, 4);
+        let mut serial = context(&input, 1);
+        let wire = serial.compress(&input).expect("finite input");
+        let mut group = c.benchmark_group(format!("parallel-decode/{n}"));
+        group.throughput(Throughput::Elements(n as u64));
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{threads}t")),
+                &threads,
+                |b, &threads| {
+                    let ctx = context(&input, threads);
+                    b.iter(|| ctx.decompress(&wire).expect("valid payload"));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_parallel_encode, bench_parallel_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! CI regression gate: compares a fresh `bench_parallel` report against
+//! the checked-in baseline and exits nonzero on any violation (>15%
+//! slowdown after calibration scaling, or a missing parallel speedup on
+//! hosts with enough cores).
+//!
+//! Usage: `bench_gate <current.json> <baseline.json>`
+
+use std::process::ExitCode;
+use threelc_bench::perf::{gate, BenchReport};
+
+fn read_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: not a bench report: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [current, baseline] = args.as_slice() else {
+        eprintln!("usage: bench_gate <current.json> <baseline.json>");
+        return ExitCode::from(2);
+    };
+    let (current, baseline) = match (read_report(current), read_report(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match gate(&current, &baseline) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            eprintln!("bench gate FAILED:\n{violations}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Measures serial vs chunk-parallel 3LC codec throughput and writes a
+//! machine-readable report (`BENCH_pr3.json` by default) for
+//! `bench_gate` to compare against the checked-in baseline.
+//!
+//! Usage: `bench_parallel [output.json] [--reps N]`
+
+use std::process::ExitCode;
+use threelc_bench::perf;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_pr3.json".to_string();
+    let mut reps = 5usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => reps = n,
+                _ => {
+                    eprintln!("--reps requires an integer value");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`\nusage: bench_parallel [output.json] [--reps N]");
+                return ExitCode::from(2);
+            }
+            path => out = path.to_string(),
+        }
+    }
+
+    let report = perf::measure(&perf::SIZES, &perf::THREADS, reps);
+    print!("{}", report.render());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("{out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,7 @@
 
 pub mod cache;
 pub mod harness;
+pub mod perf;
 pub mod plot;
 pub mod schema;
 pub mod table;

@@ -1,0 +1,438 @@
+//! Parallel-codec performance measurement and the CI regression gate.
+//!
+//! [`measure`] times serial and chunk-parallel 3LC encode/decode with
+//! plain wall-clock best-of-N runs (no criterion dependency, so the
+//! release binaries can emit machine-readable JSON), producing a
+//! [`BenchReport`]. [`gate`] compares a fresh report against a
+//! checked-in baseline and fails on regressions.
+//!
+//! Cross-host comparability: absolute nanoseconds from one machine mean
+//! nothing on another, so every report carries a `calibration_ns` — the
+//! time of a fixed scalar workload on the measuring host. The gate
+//! scales the baseline by the calibration ratio before applying the
+//! regression threshold, which makes same-host comparisons exact and
+//! cross-host comparisons meaningful. The parallel-speedup criterion is
+//! only enforced when the measuring host actually has enough cores
+//! ([`REQUIRED_SPEEDUP_CORES`]); a single-core CI runner cannot exhibit
+//! a 4-thread speedup and must not fail for it.
+
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor, ThreeLcOptions};
+use threelc_tensor::{Initializer, Tensor};
+
+/// Tensor sizes measured by default: 1 MiB and 4 MiB of `f32` values.
+pub const SIZES: [usize; 2] = [1 << 18, 1 << 20];
+/// Thread counts measured by default.
+pub const THREADS: [usize; 3] = [1, 2, 4];
+/// Allowed fractional slowdown against the (calibration-scaled) baseline
+/// before the gate fails.
+pub const MAX_REGRESSION: f64 = 0.15;
+/// Required encode speedup at [`REQUIRED_SPEEDUP_THREADS`] threads for
+/// tensors of at least 1 MiB.
+pub const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Thread count at which [`REQUIRED_SPEEDUP`] must hold.
+pub const REQUIRED_SPEEDUP_THREADS: usize = 4;
+/// Minimum hardware cores before the speedup criterion is enforced.
+pub const REQUIRED_SPEEDUP_CORES: usize = 4;
+/// Tensor byte size (as f32) from which the speedup criterion applies.
+pub const SPEEDUP_MIN_BYTES: usize = 1 << 20;
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// `"encode"` or `"decode"`.
+    pub bench: String,
+    /// Tensor length in `f32` values.
+    pub values: usize,
+    /// Tensor size in bytes (`values * 4`).
+    pub bytes: usize,
+    /// Codec worker threads requested.
+    pub threads: usize,
+    /// Best-of-N wall time per operation, nanoseconds.
+    pub ns_per_op: f64,
+    /// Input throughput implied by `ns_per_op`.
+    pub mib_per_s: f64,
+}
+
+/// A full measurement run, as written to `BENCH_pr3.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Hardware parallelism of the measuring host.
+    pub host_cpus: usize,
+    /// Nanoseconds for the fixed calibration workload on this host.
+    pub calibration_ns: f64,
+    /// One entry per (bench, size, threads) combination.
+    pub results: Vec<BenchResult>,
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+/// The fixed calibration workload: a strided sum over 1 Mi `f32`s.
+/// Pure scalar arithmetic and sequential memory traffic — the same
+/// resources the codec leans on — with no allocation in the timed loop.
+fn calibrate(reps: usize) -> f64 {
+    let data: Vec<f32> = (0..1 << 20).map(|i| (i % 251) as f32 * 0.5).collect();
+    best_of(reps, || {
+        let mut acc = 0.0f32;
+        for &x in black_box(&data) {
+            acc += x;
+        }
+        black_box(acc);
+    })
+}
+
+fn gradient_like_tensor(n: usize, seed: u64) -> Tensor {
+    let mut rng = threelc_tensor::rng(seed);
+    Initializer::Normal {
+        mean: 0.0,
+        std_dev: 0.02,
+    }
+    .init(&mut rng, [n])
+}
+
+/// A context without error accumulation, so every timed iteration
+/// compresses the same effective input.
+fn context(input: &Tensor, threads: usize) -> ThreeLcCompressor {
+    let options = ThreeLcOptions {
+        sparsity: SparsityMultiplier::new(1.75).expect("in range"),
+        zero_run_encoding: true,
+        error_accumulation: false,
+    };
+    ThreeLcCompressor::with_options(input.shape().clone(), options).with_threads(threads)
+}
+
+/// Measures encode and decode over `sizes` × `threads`, best of `reps`.
+pub fn measure(sizes: &[usize], threads: &[usize], reps: usize) -> BenchReport {
+    let mut results = Vec::new();
+    for &n in sizes {
+        let input = gradient_like_tensor(n, 3);
+        let mut serial = context(&input, 1);
+        let wire = serial.compress(&input).expect("finite input");
+        for &t in threads {
+            let mut ctx = context(&input, t);
+            ctx.compress(&input).expect("finite input"); // warm-up
+            let ns = best_of(reps, || {
+                black_box(ctx.compress(black_box(&input)).expect("finite input"));
+            });
+            results.push(result("encode", n, t, ns));
+
+            let dctx = context(&input, t);
+            dctx.decompress(&wire).expect("valid payload"); // warm-up
+            let ns = best_of(reps, || {
+                black_box(dctx.decompress(black_box(&wire)).expect("valid payload"));
+            });
+            results.push(result("decode", n, t, ns));
+        }
+    }
+    BenchReport {
+        host_cpus: threelc::parallel::available_threads(),
+        calibration_ns: calibrate(reps),
+        results,
+    }
+}
+
+fn result(bench: &str, values: usize, threads: usize, ns_per_op: f64) -> BenchResult {
+    BenchResult {
+        bench: bench.to_string(),
+        values,
+        bytes: values * 4,
+        threads,
+        ns_per_op,
+        mib_per_s: (values * 4) as f64 / (1 << 20) as f64 / (ns_per_op / 1e9),
+    }
+}
+
+impl BenchReport {
+    /// The entry for `(bench, values, threads)`, if measured.
+    pub fn find(&self, bench: &str, values: usize, threads: usize) -> Option<&BenchResult> {
+        self.results
+            .iter()
+            .find(|r| r.bench == bench && r.values == values && r.threads == threads)
+    }
+
+    /// Speedup of `threads` over the serial run of the same bench/size.
+    pub fn speedup(&self, bench: &str, values: usize, threads: usize) -> Option<f64> {
+        let serial = self.find(bench, values, 1)?;
+        let parallel = self.find(bench, values, threads)?;
+        (parallel.ns_per_op > 0.0).then(|| serial.ns_per_op / parallel.ns_per_op)
+    }
+
+    /// Human-readable summary table with speedup columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "host_cpus {}  calibration {:.0} ns",
+            self.host_cpus, self.calibration_ns
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>8} {:>14} {:>12} {:>9}",
+            "bench", "values", "threads", "ns/op", "MiB/s", "speedup"
+        );
+        for r in &self.results {
+            let speedup = self
+                .speedup(&r.bench, r.values, r.threads)
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10} {:>8} {:>14.0} {:>12.1} {:>9}",
+                r.bench, r.values, r.threads, r.ns_per_op, r.mib_per_s, speedup
+            );
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline`: every matched configuration
+/// may be at most [`MAX_REGRESSION`] slower than the calibration-scaled
+/// baseline, and on hosts with at least [`REQUIRED_SPEEDUP_CORES`] cores
+/// the ≥1 MiB encode speedup at [`REQUIRED_SPEEDUP_THREADS`] threads
+/// must reach [`REQUIRED_SPEEDUP`].
+///
+/// Configurations whose thread count exceeds the cores of *either* host
+/// are skipped: timing threads that fight over too few cores is
+/// scheduler lottery, not a property of the code, and a baseline
+/// recorded oversubscribed says nothing about a wider host.
+///
+/// # Errors
+///
+/// Returns the concatenated violations (one per line) if any check
+/// fails, including the case of zero matched configurations.
+pub fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<String, String> {
+    let mut violations = Vec::new();
+    let scale = if current.calibration_ns > 0.0 && baseline.calibration_ns > 0.0 {
+        current.calibration_ns / baseline.calibration_ns
+    } else {
+        1.0
+    };
+    let core_cap = current.host_cpus.min(baseline.host_cpus).max(1);
+    let mut matched = 0usize;
+    let mut oversubscribed = 0usize;
+    for base in &baseline.results {
+        let Some(cur) = current.find(&base.bench, base.values, base.threads) else {
+            continue;
+        };
+        if base.threads > core_cap {
+            oversubscribed += 1;
+            continue;
+        }
+        matched += 1;
+        let allowed = base.ns_per_op * scale * (1.0 + MAX_REGRESSION);
+        if cur.ns_per_op > allowed {
+            violations.push(format!(
+                "{}/{}v/{}t regressed: {:.0} ns/op vs allowed {:.0} (baseline {:.0} × host scale {:.2} × {:.0}%)",
+                base.bench,
+                base.values,
+                base.threads,
+                cur.ns_per_op,
+                allowed,
+                base.ns_per_op,
+                scale,
+                (1.0 + MAX_REGRESSION) * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        violations.push("no benchmark configurations matched the baseline".to_string());
+    }
+    if current.host_cpus >= REQUIRED_SPEEDUP_CORES {
+        for r in &current.results {
+            if r.bench != "encode" || r.threads != 1 || r.bytes < SPEEDUP_MIN_BYTES {
+                continue;
+            }
+            match current.speedup("encode", r.values, REQUIRED_SPEEDUP_THREADS) {
+                Some(s) if s >= REQUIRED_SPEEDUP => {}
+                Some(s) => violations.push(format!(
+                    "encode/{}v speedup at {} threads is {s:.2}x, need >= {REQUIRED_SPEEDUP:.1}x",
+                    r.values, REQUIRED_SPEEDUP_THREADS
+                )),
+                None => violations.push(format!(
+                    "encode/{}v has no {}-thread measurement for the speedup criterion",
+                    r.values, REQUIRED_SPEEDUP_THREADS
+                )),
+            }
+        }
+    }
+    if violations.is_empty() {
+        let skipped = if oversubscribed > 0 {
+            format!(
+                ", {oversubscribed} oversubscribed configuration(s) skipped (core cap {core_cap})"
+            )
+        } else {
+            String::new()
+        };
+        Ok(format!(
+            "bench gate passed: {matched} configuration(s) within {:.0}% of baseline (host scale {scale:.2}){skipped}{}",
+            MAX_REGRESSION * 100.0,
+            if current.host_cpus >= REQUIRED_SPEEDUP_CORES {
+                format!(", speedup criterion enforced on {} cores", current.host_cpus)
+            } else {
+                format!(
+                    ", speedup criterion skipped ({} < {REQUIRED_SPEEDUP_CORES} cores)",
+                    current.host_cpus
+                )
+            }
+        ))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(
+        host_cpus: usize,
+        calibration_ns: f64,
+        entries: &[(&str, usize, usize, f64)],
+    ) -> BenchReport {
+        BenchReport {
+            host_cpus,
+            calibration_ns,
+            results: entries
+                .iter()
+                .map(|&(bench, values, threads, ns)| result(bench, values, threads, ns))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn measure_produces_all_configurations() {
+        let r = measure(&[4096], &[1, 2], 1);
+        assert_eq!(r.results.len(), 4);
+        assert!(r.host_cpus >= 1);
+        assert!(r.calibration_ns > 0.0);
+        for entry in &r.results {
+            assert!(entry.ns_per_op > 0.0, "{entry:?}");
+            assert!(entry.mib_per_s > 0.0, "{entry:?}");
+            assert_eq!(entry.bytes, entry.values * 4);
+        }
+        assert!(r.speedup("encode", 4096, 2).is_some());
+        assert!(r.render().contains("encode"));
+    }
+
+    #[test]
+    fn gate_passes_identical_reports() {
+        let base = report(1, 100.0, &[("encode", 1 << 18, 1, 5000.0)]);
+        let msg = gate(&base.clone(), &base).expect("identical reports pass");
+        assert!(msg.contains("1 configuration(s)"), "got: {msg}");
+        assert!(msg.contains("skipped"), "1-core host skips speedup: {msg}");
+    }
+
+    #[test]
+    fn gate_fails_on_regression_beyond_threshold() {
+        let base = report(1, 100.0, &[("encode", 1 << 18, 1, 5000.0)]);
+        let slow = report(1, 100.0, &[("encode", 1 << 18, 1, 6000.0)]);
+        let err = gate(&slow, &base).expect_err("20% regression must fail");
+        assert!(err.contains("regressed"), "got: {err}");
+        // 15% slower is within the threshold.
+        let ok = report(1, 100.0, &[("encode", 1 << 18, 1, 5700.0)]);
+        gate(&ok, &base).expect("14% regression passes");
+    }
+
+    #[test]
+    fn gate_scales_baseline_by_calibration() {
+        // The current host is 2x slower overall (calibration 200 vs 100),
+        // so 2x-slower benches are not a regression. Both hosts report
+        // 2 cores so the 2-thread config is not skipped as oversubscribed.
+        let base = report(2, 100.0, &[("decode", 1 << 18, 2, 5000.0)]);
+        let cur = report(2, 200.0, &[("decode", 1 << 18, 2, 10000.0)]);
+        gate(&cur, &base).expect("calibration-scaled comparison passes");
+        let too_slow = report(2, 200.0, &[("decode", 1 << 18, 2, 12000.0)]);
+        gate(&too_slow, &base).expect_err("slower than the scaled allowance");
+    }
+
+    #[test]
+    fn gate_skips_oversubscribed_configurations() {
+        // A 4-thread config on a 1-core host times the scheduler, not the
+        // codec: even a huge "regression" there must not fail the gate.
+        let base = report(
+            1,
+            100.0,
+            &[
+                ("encode", 1 << 18, 1, 5000.0),
+                ("encode", 1 << 18, 4, 5000.0),
+            ],
+        );
+        let cur = report(
+            1,
+            100.0,
+            &[
+                ("encode", 1 << 18, 1, 5000.0),
+                ("encode", 1 << 18, 4, 50000.0), // 10x slower, but oversubscribed
+            ],
+        );
+        let msg = gate(&cur, &base).expect("oversubscribed config is skipped");
+        assert!(msg.contains("1 configuration(s)"), "got: {msg}");
+        assert!(msg.contains("oversubscribed"), "got: {msg}");
+        // The same numbers with enough cores on both hosts DO fail.
+        let base4 = report(
+            4,
+            100.0,
+            &[
+                ("encode", 1 << 18, 1, 5000.0),
+                ("encode", 1 << 18, 4, 5000.0),
+            ],
+        );
+        let cur4 = report(
+            4,
+            100.0,
+            &[
+                ("encode", 1 << 18, 1, 5000.0),
+                ("encode", 1 << 18, 4, 50000.0),
+            ],
+        );
+        let err = gate(&cur4, &base4).expect_err("real regression on 4 cores fails");
+        assert!(err.contains("regressed"), "got: {err}");
+    }
+
+    #[test]
+    fn gate_fails_when_nothing_matches() {
+        let base = report(1, 100.0, &[("encode", 1 << 18, 1, 5000.0)]);
+        let other = report(1, 100.0, &[("encode", 1 << 20, 1, 5000.0)]);
+        let err = gate(&other, &base).expect_err("disjoint configs must fail");
+        assert!(err.contains("no benchmark configurations"), "got: {err}");
+    }
+
+    #[test]
+    fn gate_enforces_speedup_only_on_multicore_hosts() {
+        let entries = [
+            ("encode", 1 << 18, 1, 10000.0),
+            ("encode", 1 << 18, 4, 9000.0), // 1.11x: below the 2x bar
+        ];
+        let base = report(4, 100.0, &entries);
+        // Same numbers on a 1-core host: criterion skipped, gate passes.
+        gate(&report(1, 100.0, &entries), &base).expect("1-core host skips the speedup bar");
+        // On a 4-core host the weak speedup fails.
+        let err = gate(&report(4, 100.0, &entries), &base).expect_err("4-core host enforces");
+        assert!(err.contains("speedup"), "got: {err}");
+        // A healthy speedup passes.
+        let good = [
+            ("encode", 1 << 18, 1, 10000.0),
+            ("encode", 1 << 18, 4, 4000.0), // 2.5x
+        ];
+        gate(&report(4, 100.0, &good), &base).expect("2.5x speedup passes");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = report(4, 123.0, &[("encode", 64, 1, 10.0), ("decode", 64, 1, 5.0)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -13,15 +13,19 @@ use threelc_tensor::{Shape, Tensor, TensorStats};
 pub const USAGE: &str = "\
 usage:
   threelc compress   <input.f32> <output.3lc> [--sparsity S] [--no-zre]
-  threelc decompress <input.3lc> <output.f32>
+                     [--threads N]
+  threelc decompress <input.3lc> <output.f32> [--threads N]
   threelc inspect    <input.3lc>
   threelc stats      <input.f32> [--sparsity S]
   threelc serve      --addr A [--workers N] [--steps N] [--seed N]
                      [--scheme float32|fp16|int8|3lc] [--sparsity S]
                      [--width N] [--blocks N] [--batch N] [--eval-every N]
-                     [--json report.json]
-  threelc worker     --addr A --id N
+                     [--threads N] [--json report.json]
+  threelc worker     --addr A --id N [--threads N]
   threelc metrics    <addr> [--json]
+
+--threads N uses up to N codec/aggregation threads (0 = one per core);
+output is bit-identical at every setting.
 
 global flags (any command):
   --log-json <path>  append structured JSONL events to <path>
@@ -72,6 +76,9 @@ fn parse_sparsity(args: &[String]) -> Result<(SparsityMultiplier, bool), Box<dyn
                     SparsityMultiplier::new(v).map_err(|_| "sparsity must be in [1.0, 2.0)")?;
             }
             "--no-zre" => zre = false,
+            "--threads" => {
+                let _ = it.next(); // validated by parse_threads
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`").into());
             }
@@ -79,6 +86,20 @@ fn parse_sparsity(args: &[String]) -> Result<(SparsityMultiplier, bool), Box<dyn
         }
     }
     Ok((sparsity, zre))
+}
+
+/// Parses `--threads N` (default 1; `0` = one thread per hardware core).
+fn parse_threads(args: &[String]) -> Result<usize, Box<dyn Error>> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let v = it.next().ok_or("--threads requires a value")?;
+            return v
+                .parse()
+                .map_err(|_| format!("invalid --threads value `{v}`").into());
+        }
+    }
+    Ok(1)
 }
 
 fn read_f32_file(path: &Path) -> Result<Tensor, Box<dyn Error>> {
@@ -105,7 +126,7 @@ fn positional(args: &[String], count: usize) -> Result<Vec<&String>, Box<dyn Err
     let mut out = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--sparsity" {
+        if a == "--sparsity" || a == "--threads" {
             let _ = it.next();
         } else if !a.starts_with("--") {
             out.push(a);
@@ -120,13 +141,15 @@ fn positional(args: &[String], count: usize) -> Result<Vec<&String>, Box<dyn Err
 fn compress(args: &[String]) -> CliResult {
     let files = positional(args, 2)?;
     let (sparsity, zre) = parse_sparsity(args)?;
+    let threads = parse_threads(args)?;
     let tensor = read_f32_file(Path::new(files[0]))?;
     let options = ThreeLcOptions {
         sparsity,
         zero_run_encoding: zre,
         error_accumulation: false, // one-shot file compression has no stream
     };
-    let mut ctx = ThreeLcCompressor::with_options(tensor.shape().clone(), options);
+    let mut ctx =
+        ThreeLcCompressor::with_options(tensor.shape().clone(), options).with_threads(threads);
     let wire = ctx.compress(&tensor)?;
 
     let mut out = Vec::with_capacity(FILE_HEADER_LEN + wire.len());
@@ -196,7 +219,8 @@ fn decompress(args: &[String]) -> CliResult {
     let files = positional(args, 2)?;
     let bytes = std::fs::read(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
     let (count, wire) = parse_container(&bytes, files[0])?;
-    let ctx = ThreeLcCompressor::new(Shape::new(&[count]), SparsityMultiplier::default());
+    let ctx = ThreeLcCompressor::new(Shape::new(&[count]), SparsityMultiplier::default())
+        .with_threads(parse_threads(args)?);
     let tensor = ctx.decompress(&wire)?;
     let mut out = Vec::with_capacity(tensor.len() * 4);
     for &x in tensor.iter() {
@@ -472,6 +496,48 @@ mod tests {
         assert!(plain.contains("encoding:      quartic\n"), "got: {plain}");
         // 7000 values → 1400 quartic bytes, all zero, no run collapsing.
         assert!(plain.contains("zero runs:     100 "), "got: {plain}");
+    }
+
+    #[test]
+    fn threads_flag_changes_nothing_but_is_accepted() {
+        let input = tmp("t.f32");
+        let serial = tmp("t1.3lc");
+        let parallel = tmp("t4.3lc");
+        let data: Vec<f32> = (0..9000).map(|i| ((i as f32) * 0.11).sin() * 0.2).collect();
+        write_f32(&input, &data);
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            serial.to_str().unwrap(),
+        ]))
+        .expect("serial compress");
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            parallel.to_str().unwrap(),
+            "--threads",
+            "4",
+        ]))
+        .expect("parallel compress");
+        assert_eq!(
+            std::fs::read(&serial).unwrap(),
+            std::fs::read(&parallel).unwrap(),
+            "--threads must not change the wire bytes"
+        );
+
+        let back = tmp("t4.f32");
+        run(&s(&[
+            "decompress",
+            parallel.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--threads",
+            "0",
+        ]))
+        .expect("parallel decompress");
+        assert_eq!(read_f32_file(&back).expect("read back").len(), data.len());
+
+        assert!(run(&s(&["compress", "a", "b", "--threads"])).is_err());
+        assert!(run(&s(&["compress", "a", "b", "--threads", "x"])).is_err());
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         "--blocks",
         "--batch",
         "--eval-every",
+        "--threads",
         "--json",
     ];
     check_flags(args, FLAGS)?;
@@ -112,9 +113,13 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         config.eval_every = v;
     }
 
+    let opts = ServeOptions {
+        threads: parse_flag(args, "--threads")?.unwrap_or(1),
+        ..ServeOptions::default()
+    };
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = listener.local_addr()?;
-    let report = serve(&listener, &config, &ServeOptions::default())?;
+    let report = serve(&listener, &config, &opts)?;
 
     if let Some(path) = flag_value(args, "--json") {
         let json = serde_json::to_string(&report)?;
@@ -200,13 +205,15 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
 
 /// `threelc worker`: join a serving parameter server and train.
 pub fn worker_cmd(args: &[String]) -> CliResult {
-    const FLAGS: &[&str] = &["--addr", "--id"];
+    const FLAGS: &[&str] = &["--addr", "--id", "--threads"];
     check_flags(args, FLAGS)?;
     let addr =
         flag_value(args, "--addr").ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
     let id: u16 = parse_flag(args, "--id")?.ok_or("--id is required (0-based worker id)")?;
 
-    let outcome = run_worker(&WorkerOptions::new(addr, id))?;
+    let mut wopts = WorkerOptions::new(addr, id);
+    wopts.threads = parse_flag(args, "--threads")?.unwrap_or(1);
+    let outcome = run_worker(&wopts)?;
     let c = &outcome.counters;
     let mut out = String::new();
     writeln!(

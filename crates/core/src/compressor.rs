@@ -1,8 +1,10 @@
 //! The stateful 3LC compression context and its wire format.
 
+use crate::parallel::{self, split_off_ranges, split_ranges};
 use crate::telemetry::{l2_norm, CompressTelemetry};
 use crate::tlq::{SparsityMultiplier, TernaryTensor};
 use crate::{quartic, zrle, CompressError, Compressor, DecodeError};
+use std::ops::Range;
 use std::time::Instant;
 use threelc_obs::{log_enabled, Level};
 use threelc_tensor::{Shape, Tensor};
@@ -13,6 +15,17 @@ const HEADER_LEN: usize = 9;
 
 /// Flags bit: the body is zero-run encoded.
 const FLAG_ZRE: u8 = crate::sizing::WIRE_FLAG_ZRE;
+
+/// Default minimum element count before encode/decode go chunk-parallel.
+///
+/// Below this, thread-spawn overhead beats the win on every machine we
+/// care about; above it, the quantize+quartic pass dominates. Tests and
+/// benchmarks can lower it with
+/// [`ThreeLcCompressor::set_parallel_min_values`].
+pub const DEFAULT_PARALLEL_MIN_VALUES: usize = 32 * 1024;
+
+/// Quartic digit weights, most-significant first (`3⁴ … 3⁰`).
+const QUARTIC_WEIGHTS: [u8; 5] = [81, 27, 9, 3, 1];
 
 /// Configuration for a [`ThreeLcCompressor`].
 ///
@@ -85,6 +98,10 @@ pub struct ThreeLcCompressor {
     buffer: Tensor,
     /// Cached handles to the global `threelc.*` metrics.
     telemetry: CompressTelemetry,
+    /// Worker-thread budget for the chunk-parallel codec paths (1 = serial).
+    threads: usize,
+    /// Minimum element count before the codec paths go parallel.
+    parallel_min_values: usize,
 }
 
 impl ThreeLcCompressor {
@@ -102,7 +119,46 @@ impl ThreeLcCompressor {
             options,
             buffer,
             telemetry: CompressTelemetry::from_global(),
+            threads: 1,
+            parallel_min_values: DEFAULT_PARALLEL_MIN_VALUES,
         }
+    }
+
+    /// Returns the context configured to use up to `threads` codec worker
+    /// threads (`0` = one per hardware core).
+    ///
+    /// Purely a performance knob: the parallel paths produce bit-for-bit
+    /// the same wire payloads and decoded tensors as the serial ones (the
+    /// property tests in `tests/parallel_identity.rs` enforce this), so the
+    /// setting never affects results and can change at any time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        Compressor::set_threads(&mut self, threads);
+        self
+    }
+
+    /// The resolved codec worker-thread budget (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the element-count threshold below which the codec stays
+    /// serial. Meant for tests and benchmarks that need to force the
+    /// parallel paths onto small tensors; production code should keep
+    /// the built-in default (`DEFAULT_PARALLEL_MIN_VALUES`).
+    pub fn set_parallel_min_values(&mut self, min_values: usize) {
+        self.parallel_min_values = min_values.max(1);
+    }
+
+    /// How many chunks an `n`-element tensor is split into under the
+    /// current thread budget (1 = the serial path).
+    fn plan_parts(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < self.parallel_min_values {
+            return 1;
+        }
+        // Keep every chunk above a quarter of the threshold so a barely
+        // eligible tensor is not shredded into spawn-overhead confetti.
+        let min_per_chunk = (self.parallel_min_values / 4).max(1);
+        (n / min_per_chunk).clamp(1, self.threads)
     }
 
     /// The options this context was created with.
@@ -140,7 +196,57 @@ impl Compressor for ThreeLcCompressor {
 
     fn compress(&mut self, input: &Tensor) -> Result<Vec<u8>, CompressError> {
         self.check_shape(input)?;
+        let n = input.len();
+        let parts = self.plan_parts(n);
+        let (body, flags, scale) = if parts > 1 {
+            self.encode_parallel(input, parts)?
+        } else {
+            self.encode_serial(input)?
+        };
 
+        let mut wire = Vec::with_capacity(HEADER_LEN + body.len());
+        wire.push(flags);
+        wire.extend_from_slice(&scale.to_le_bytes());
+        wire.extend_from_slice(&(n as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        let raw_bytes = n * std::mem::size_of::<f32>();
+        self.telemetry
+            .ratio
+            .record(raw_bytes as f64 / wire.len() as f64);
+        Ok(wire)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
+        let start = Instant::now();
+        let out = self.decompress_inner(payload);
+        self.telemetry
+            .decompress_seconds
+            .record(start.elapsed().as_secs_f64());
+        out
+    }
+
+    fn residual(&self) -> Option<&Tensor> {
+        if self.options.error_accumulation {
+            Some(&self.buffer)
+        } else {
+            None
+        }
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = if threads == 0 {
+            parallel::available_threads()
+        } else {
+            threads
+        };
+    }
+}
+
+impl ThreeLcCompressor {
+    /// The serial pipeline: quantize → quartic → ZRE, exactly as the paper
+    /// lists the steps. The parallel path in [`Self::encode_parallel`] must
+    /// reproduce this output byte for byte.
+    fn encode_serial(&mut self, input: &Tensor) -> Result<(Vec<u8>, u8, f32), CompressError> {
         // Step (1): accumulate the input into the local buffer.
         let quantized = if self.options.error_accumulation {
             self.buffer
@@ -193,38 +299,205 @@ impl Compressor for ThreeLcCompressor {
         } else {
             (quartic_bytes, 0)
         };
-
-        let mut wire = Vec::with_capacity(HEADER_LEN + body.len());
-        wire.push(flags);
-        wire.extend_from_slice(&quantized.scale().to_le_bytes());
-        wire.extend_from_slice(&(quantized.len() as u32).to_le_bytes());
-        wire.extend_from_slice(&body);
-        let raw_bytes = quantized.len() * std::mem::size_of::<f32>();
-        self.telemetry
-            .ratio
-            .record(raw_bytes as f64 / wire.len() as f64);
-        Ok(wire)
+        Ok((body, flags, quantized.scale()))
     }
 
-    fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
-        let start = Instant::now();
-        let out = self.decompress_inner(payload);
-        self.telemetry
-            .decompress_seconds
-            .record(start.elapsed().as_secs_f64());
-        out
-    }
+    /// The chunk-parallel pipeline. Bit-for-bit identical to
+    /// [`Self::encode_serial`] by construction:
+    ///
+    /// - the max-magnitude reduction splits into per-chunk folds combined
+    ///   in chunk order (`f32::max` is exactly associative, so the scale
+    ///   comes out identical);
+    /// - quantization, error write-back, and quartic packing are fused and
+    ///   partitioned by *output byte* ranges — each worker owns quartic
+    ///   bytes `[lo, hi)` and therefore the five strided element ranges
+    ///   `[j·L + lo, j·L + hi) ∩ [0, n)`, which are pairwise disjoint
+    ///   across workers; every element sees the same arithmetic as the
+    ///   serial path;
+    /// - zero-run encoding splits at *serial token boundaries* (see
+    ///   [`zrle::align_token_boundary`]): the serial encoder is memoryless
+    ///   at those positions, so encoding the segments independently and
+    ///   concatenating in order reproduces the serial stream.
+    fn encode_parallel(
+        &mut self,
+        input: &Tensor,
+        parts: usize,
+    ) -> Result<(Vec<u8>, u8, f32), CompressError> {
+        let n = input.len();
+        let ea = self.options.error_accumulation;
+        let in_slice = input.as_slice();
 
-    fn residual(&self) -> Option<&Tensor> {
-        if self.options.error_accumulation {
-            Some(&self.buffer)
+        // Phase 1: accumulate (error accumulation only) and reduce
+        // max |x| + finiteness per chunk.
+        let elem_ranges = split_ranges(n, parts);
+        let max_fold = |acc: (f32, bool), &x: &f32| (acc.0.max(x.abs()), acc.1 && x.is_finite());
+        let partials: Vec<(f32, bool)> = if ea {
+            let chunks = split_off_ranges(self.buffer.as_mut_slice(), &elem_ranges);
+            let tasks: Vec<_> = chunks
+                .into_iter()
+                .zip(elem_ranges.iter().cloned())
+                .collect();
+            parallel::run_tasks(tasks, |_, (chunk, range)| {
+                for (b, &x) in chunk.iter_mut().zip(&in_slice[range]) {
+                    *b += x;
+                }
+                chunk.iter().fold((0.0f32, true), max_fold)
+            })
         } else {
-            None
+            parallel::run_ranges(&elem_ranges, |_, r| {
+                in_slice[r].iter().fold((0.0f32, true), max_fold)
+            })
+        };
+        let (max_abs, finite) = partials
+            .into_iter()
+            .fold((0.0f32, true), |(m, ok), (cm, cok)| (m.max(cm), ok && cok));
+        if !finite {
+            return Err(CompressError::NonFiniteInput);
         }
-    }
-}
+        let scale = max_abs * self.options.sparsity.value();
 
-impl ThreeLcCompressor {
+        // Phase 2: fused quantize + error write-back + quartic pack, one
+        // worker per quartic byte range.
+        let quartic_start = Instant::now();
+        let bl = n.div_ceil(quartic::VALUES_PER_BYTE); // partition length L
+        let byte_ranges = split_ranges(bl, parts);
+        let mut quartic_bytes = vec![0u8; bl];
+        let out_chunks = split_off_ranges(&mut quartic_bytes, &byte_ranges);
+        let scale_nonzero = scale != 0.0;
+        let inv = if scale_nonzero { 1.0 / scale } else { 0.0 };
+
+        // chunk_info[k] = (last non-zero byte index in chunk k, busy secs).
+        let chunk_info: Vec<(Option<usize>, f64)> = if ea {
+            // The 5 · parts strided element ranges, ascending in (j, chunk)
+            // order, so the buffer splits into disjoint mutable views.
+            let pw = byte_ranges.len();
+            let mut strided: Vec<Range<usize>> = Vec::with_capacity(5 * pw);
+            for j in 0..quartic::VALUES_PER_BYTE {
+                for r in &byte_ranges {
+                    strided.push((j * bl + r.start).min(n)..(j * bl + r.end).min(n));
+                }
+            }
+            let srcs = split_off_ranges(self.buffer.as_mut_slice(), &strided);
+            let mut groups: Vec<Vec<&mut [f32]>> = (0..pw).map(|_| Vec::with_capacity(5)).collect();
+            for (idx, s) in srcs.into_iter().enumerate() {
+                groups[idx % pw].push(s); // idx = j · pw + chunk
+            }
+            let tasks: Vec<_> = groups
+                .into_iter()
+                .zip(byte_ranges.iter().cloned())
+                .zip(out_chunks)
+                .collect();
+            parallel::run_tasks(tasks, |_, ((mut srcs, range), out)| {
+                let t0 = Instant::now();
+                let mut last_nonzero = None;
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut byte = 0u8;
+                    for (j, w) in QUARTIC_WEIGHTS.into_iter().enumerate() {
+                        let s = &mut *srcs[j];
+                        let digit = if i < s.len() && scale_nonzero {
+                            let x = s[i];
+                            let q = (x * inv).round() as i8;
+                            s[i] = x - q as f32 * scale;
+                            (q + 1) as u8
+                        } else {
+                            1
+                        };
+                        byte += digit * w;
+                    }
+                    *o = byte;
+                    if byte != quartic::ZERO_BYTE {
+                        last_nonzero = Some(range.start + i);
+                    }
+                }
+                (last_nonzero, t0.elapsed().as_secs_f64())
+            })
+        } else {
+            let tasks: Vec<_> = byte_ranges.iter().cloned().zip(out_chunks).collect();
+            parallel::run_tasks(tasks, |_, (range, out)| {
+                let t0 = Instant::now();
+                let mut last_nonzero = None;
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut byte = 0u8;
+                    for (j, w) in QUARTIC_WEIGHTS.into_iter().enumerate() {
+                        let idx = j * bl + range.start + i;
+                        let digit = if idx < n && scale_nonzero {
+                            ((in_slice[idx] * inv).round() as i8 + 1) as u8
+                        } else {
+                            1
+                        };
+                        byte += digit * w;
+                    }
+                    *o = byte;
+                    if byte != quartic::ZERO_BYTE {
+                        last_nonzero = Some(range.start + i);
+                    }
+                }
+                (last_nonzero, t0.elapsed().as_secs_f64())
+            })
+        };
+        let wall = quartic_start.elapsed().as_secs_f64();
+        self.telemetry.quartic_seconds.record(wall);
+        let mut busy_total = 0.0;
+        for &(_, busy) in &chunk_info {
+            self.telemetry.chunk_seconds.record(busy);
+            busy_total += busy;
+        }
+        if wall > 0.0 {
+            self.telemetry.parallel_speedup.record(busy_total / wall);
+        }
+
+        let debug_probes = log_enabled(Level::Debug);
+        if debug_probes && ea {
+            self.telemetry
+                .residual_l2
+                .record(l2_norm(self.buffer.as_slice()));
+        }
+
+        // Phase 3: zero-run encoding of token-aligned segments.
+        let (body, flags) = if self.options.zero_run_encoding {
+            let zre_start = Instant::now();
+            let mut bounds = Vec::with_capacity(byte_ranges.len() + 1);
+            bounds.push(0usize);
+            let mut last_nz: Option<usize> = None;
+            for k in 1..byte_ranges.len() {
+                if let Some(i) = chunk_info[k - 1].0 {
+                    last_nz = Some(i);
+                }
+                let b = zrle::align_token_boundary(&quartic_bytes, byte_ranges[k].start, last_nz);
+                // Tiny chunks can align past a later chunk's start; clamping
+                // to the previous boundary keeps segments well-formed (the
+                // clamped value is itself a token boundary).
+                bounds.push(b.max(*bounds.last().expect("non-empty")));
+            }
+            bounds.push(bl);
+            let segments: Vec<&[u8]> = bounds
+                .windows(2)
+                .map(|w| &quartic_bytes[w[0]..w[1]])
+                .collect();
+            let run_hist = &self.telemetry.zero_run_length;
+            let encoded: Vec<Vec<u8>> = parallel::run_tasks(segments, |_, seg| {
+                if debug_probes {
+                    zrle::encode_with_runs(seg, |run| run_hist.record(run as f64))
+                } else {
+                    zrle::encode(seg)
+                }
+                .expect("quartic output is always in range 0..=242")
+            });
+            let total: usize = encoded.iter().map(Vec::len).sum();
+            let mut body = Vec::with_capacity(total);
+            for seg in &encoded {
+                body.extend_from_slice(seg);
+            }
+            self.telemetry
+                .zre_seconds
+                .record(zre_start.elapsed().as_secs_f64());
+            (body, FLAG_ZRE)
+        } else {
+            (quartic_bytes, 0)
+        };
+        Ok((body, flags, scale))
+    }
+
     fn decompress_inner(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {
         if payload.len() < HEADER_LEN {
             return Err(DecodeError::TruncatedHeader {
@@ -249,6 +522,10 @@ impl ThreeLcCompressor {
         }
         let body = &payload[HEADER_LEN..];
         let quartic_len = count.div_ceil(quartic::VALUES_PER_BYTE);
+        let parts = self.plan_parts(count);
+        if parts > 1 {
+            return self.decode_parallel(body, flags, scale, count, quartic_len, parts);
+        }
         let quartic_bytes = if flags & FLAG_ZRE != 0 {
             zrle::decode_exact(body, quartic_len)?
         } else {
@@ -262,6 +539,101 @@ impl ThreeLcCompressor {
         };
         let ternary = quartic::decode(&quartic_bytes, count)?;
         Ok(TernaryTensor::from_parts(self.shape.clone(), ternary, scale).dequantize())
+    }
+
+    /// Chunk-parallel body decode: ZRE expansion in a sizing pass plus a
+    /// scatter pass, then a fused quartic-decode + dequantize over disjoint
+    /// output ranges. Returns exactly what the serial path returns —
+    /// including identical error values at identical offsets for malformed
+    /// bodies (length mismatches and the *first* invalid quartic byte).
+    fn decode_parallel(
+        &self,
+        body: &[u8],
+        flags: u8,
+        scale: f32,
+        count: usize,
+        quartic_len: usize,
+        parts: usize,
+    ) -> Result<Tensor, DecodeError> {
+        let quartic_owned: Vec<u8>;
+        let quartic_bytes: &[u8] = if flags & FLAG_ZRE != 0 {
+            // Pass 1: per-segment decoded lengths; a serial prefix sum
+            // fixes each segment's output offset.
+            let body_ranges = split_ranges(body.len(), parts);
+            let lens = parallel::run_ranges(&body_ranges, |_, r| zrle::decoded_len(&body[r]));
+            let total: usize = lens.iter().sum();
+            if total != quartic_len {
+                return Err(DecodeError::BodyLengthMismatch {
+                    decoded: total,
+                    expected: quartic_len,
+                });
+            }
+            // Pass 2: decode every segment into its disjoint output slice.
+            let mut out = vec![0u8; total];
+            let mut out_ranges = Vec::with_capacity(lens.len());
+            let mut offset = 0;
+            for &len in &lens {
+                out_ranges.push(offset..offset + len);
+                offset += len;
+            }
+            let chunks = split_off_ranges(&mut out, &out_ranges);
+            let tasks: Vec<_> = body_ranges.into_iter().zip(chunks).collect();
+            parallel::run_tasks(tasks, |_, (r, chunk)| zrle::decode_into(&body[r], chunk));
+            quartic_owned = out;
+            &quartic_owned
+        } else {
+            if body.len() != quartic_len {
+                return Err(DecodeError::BodyLengthMismatch {
+                    decoded: body.len() * quartic::VALUES_PER_BYTE,
+                    expected: count,
+                });
+            }
+            body
+        };
+
+        // Validate in parallel, reporting the first bad offset (chunks are
+        // ascending, so the first hit is the global first) like the serial
+        // decoder does.
+        let bl = quartic_bytes.len();
+        let byte_ranges = split_ranges(bl, parts);
+        let bad = parallel::run_ranges(&byte_ranges, |_, r| {
+            let start = r.start;
+            quartic_bytes[r]
+                .iter()
+                .position(|&b| b > quartic::MAX_QUARTIC_BYTE)
+                .map(|d| start + d)
+        });
+        if let Some(offset) = bad.into_iter().flatten().next() {
+            return Err(DecodeError::InvalidQuarticByte {
+                byte: quartic_bytes[offset],
+                offset,
+            });
+        }
+
+        // Fused quartic decode + dequantize over disjoint element ranges.
+        // Element idx decodes from byte idx % bl at stride-partition digit
+        // j = idx / bl; iterating j-outer keeps the divisor a constant per
+        // inner loop (strength-reduced by the compiler, like the serial
+        // `quartic::decode`) instead of a per-element division by `bl`.
+        let mut values = vec![0f32; count];
+        let elem_ranges = split_ranges(count, parts);
+        let chunks = split_off_ranges(&mut values, &elem_ranges);
+        let tasks: Vec<_> = elem_ranges.iter().cloned().zip(chunks).collect();
+        parallel::run_tasks(tasks, |_, (r, chunk)| {
+            for (j, weight) in [81u16, 27, 9, 3, 1].into_iter().enumerate() {
+                let lo = r.start.max(j * bl);
+                let hi = r.end.min((j + 1) * bl);
+                if lo >= hi {
+                    continue; // partition j does not intersect this range
+                }
+                let out = &mut chunk[lo - r.start..hi - r.start];
+                for (&b, o) in quartic_bytes[lo - j * bl..hi - j * bl].iter().zip(out) {
+                    let digit = (b as u16 / weight) % 3;
+                    *o = (digit as i8 - 1) as f32 * scale;
+                }
+            }
+        });
+        Ok(Tensor::from_vec(values, self.shape.clone()))
     }
 }
 

@@ -45,6 +45,7 @@ mod compressor;
 pub mod elias;
 mod error;
 pub mod huffman;
+pub mod parallel;
 pub mod quartic;
 pub mod sizing;
 pub mod telemetry;

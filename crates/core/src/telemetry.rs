@@ -35,6 +35,15 @@ pub struct CompressTelemetry {
     /// error-accumulation buffer after each compress. Only recorded under
     /// `THREELC_LOG=debug`.
     pub residual_l2: Arc<Histogram>,
+    /// `threelc.compress.parallel_speedup` — effective speedup of each
+    /// chunk-parallel encode: summed per-chunk busy seconds divided by the
+    /// wall time of the parallel section. 1.0 means no win; the upper
+    /// bound is the chunk count. Only recorded on the parallel path.
+    pub parallel_speedup: Arc<Histogram>,
+    /// `threelc.compress.chunk_seconds` — busy seconds of each parallel
+    /// encode chunk (one sample per chunk), exposing stragglers among the
+    /// codec workers. Only recorded on the parallel path.
+    pub chunk_seconds: Arc<Histogram>,
 }
 
 impl CompressTelemetry {
@@ -48,6 +57,8 @@ impl CompressTelemetry {
             decompress_seconds: reg.histogram("threelc.decompress.seconds"),
             zero_run_length: reg.histogram("threelc.compress.zero_run_length"),
             residual_l2: reg.histogram("threelc.compress.residual_l2"),
+            parallel_speedup: reg.histogram("threelc.compress.parallel_speedup"),
+            chunk_seconds: reg.histogram("threelc.compress.chunk_seconds"),
         }
     }
 }

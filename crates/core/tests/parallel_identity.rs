@@ -1,0 +1,177 @@
+//! Property tests pinning the parallel codec paths to the serial ones.
+//!
+//! The contract (DESIGN.md §9): at every thread count, chunk-parallel
+//! compress produces byte-identical wire payloads, leaves a bit-identical
+//! error-accumulation buffer, and chunk-parallel decompress returns a
+//! bit-identical tensor — for any input, any options, and any step count.
+//! `set_parallel_min_values(1)` forces the parallel paths onto tiny
+//! tensors, which also stresses the degenerate partitions (more threads
+//! than bytes, empty chunks, runs crossing every boundary).
+
+use proptest::prelude::*;
+use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor, ThreeLcOptions};
+use threelc_tensor::Tensor;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Gradient-like values with enough zeros and near-zeros to produce long
+/// zero runs (the interesting case for parallel ZRE boundaries).
+fn sparse_float_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        // Unweighted arms: repeating the zero arm biases toward zeros.
+        prop_oneof![
+            Just(0.0f32),
+            Just(0.0f32),
+            Just(0.0f32),
+            -1.0f32..1.0,
+            -0.01f32..0.01,
+        ],
+        1..700,
+    )
+}
+
+fn options() -> impl Strategy<Value = ThreeLcOptions> {
+    ((1.0f32..1.999), any::<bool>(), any::<bool>()).prop_map(|(s, zre, ea)| ThreeLcOptions {
+        sparsity: SparsityMultiplier::new(s).expect("in range"),
+        zero_run_encoding: zre,
+        error_accumulation: ea,
+    })
+}
+
+fn forced_parallel(input: &Tensor, opts: ThreeLcOptions, threads: usize) -> ThreeLcCompressor {
+    let mut cx = ThreeLcCompressor::with_options(input.shape().clone(), opts).with_threads(threads);
+    cx.set_parallel_min_values(1);
+    cx
+}
+
+proptest! {
+    #[test]
+    fn parallel_encode_is_byte_identical_to_serial(
+        v in sparse_float_vec(),
+        opts in options(),
+    ) {
+        let input = Tensor::from_slice(&v);
+        // Three error-accumulation steps: boundary effects compound across
+        // steps only if the buffers diverge, so this also pins the buffer.
+        for threads in THREAD_COUNTS {
+            let mut serial = ThreeLcCompressor::with_options(input.shape().clone(), opts);
+            let mut par = forced_parallel(&input, opts, threads);
+            for step in 0..3 {
+                let a = serial.compress(&input).expect("finite input");
+                let b = par.compress(&input).expect("finite input");
+                prop_assert!(a == b, "wire diverged: threads={} step={}", threads, step);
+                match (serial.residual(), par.residual()) {
+                    (Some(ra), Some(rb)) => prop_assert!(
+                        ra.as_slice() == rb.as_slice(),
+                        "residual diverged: threads={} step={}", threads, step
+                    ),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "residual presence diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decode_is_bit_identical_to_serial(
+        v in sparse_float_vec(),
+        opts in options(),
+        ti in 0usize..THREAD_COUNTS.len(),
+    ) {
+        let threads = THREAD_COUNTS[ti];
+        let input = Tensor::from_slice(&v);
+        let mut serial = ThreeLcCompressor::with_options(input.shape().clone(), opts);
+        let wire = serial.compress(&input).expect("finite input");
+        let want = serial.decompress(&wire).expect("valid payload");
+        let par = forced_parallel(&input, opts, threads);
+        let got = par.decompress(&wire).expect("valid payload");
+        prop_assert_eq!(want.as_slice(), got.as_slice());
+        prop_assert_eq!(want.shape(), got.shape());
+    }
+
+    #[test]
+    fn parallel_decode_rejects_malformed_like_serial(
+        payload in prop::collection::vec(any::<u8>(), 0..80),
+        n in 1usize..64,
+        ti in 0usize..THREAD_COUNTS.len(),
+    ) {
+        let threads = THREAD_COUNTS[ti];
+        let serial = ThreeLcCompressor::new(
+            threelc_tensor::Shape::new(&[n]),
+            SparsityMultiplier::default(),
+        );
+        let mut par = ThreeLcCompressor::new(
+            threelc_tensor::Shape::new(&[n]),
+            SparsityMultiplier::default(),
+        )
+        .with_threads(threads);
+        par.set_parallel_min_values(1);
+        match (serial.decompress(&payload), par.decompress(&payload)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.as_slice(), b.as_slice()),
+            (Err(a), Err(b)) => prop_assert!(a == b, "errors must match: {a:?} vs {b:?}"),
+            (a, b) => prop_assert!(false, "divergent outcomes: serial={a:?} parallel={b:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_zero_megatensor_matches_serial_at_every_thread_count() {
+    // The paper's 280× case: one escape byte per 70 values. Large enough
+    // to clear DEFAULT_PARALLEL_MIN_VALUES without the test knob.
+    let n = 70 * 1000;
+    let input = Tensor::zeros([n]);
+    let mut serial = ThreeLcCompressor::new(input.shape().clone(), SparsityMultiplier::default());
+    let want = serial.compress(&input).unwrap();
+    for threads in THREAD_COUNTS {
+        let mut par = ThreeLcCompressor::new(input.shape().clone(), SparsityMultiplier::default())
+            .with_threads(threads);
+        assert_eq!(par.compress(&input).unwrap(), want, "threads={threads}");
+    }
+}
+
+#[test]
+fn large_gradient_tensor_roundtrips_identically() {
+    // A realistic dense-ish gradient above the default parallel threshold,
+    // exercised end to end without the test knob.
+    let mut r = threelc_tensor::rng(17);
+    let input = threelc_tensor::Initializer::Normal {
+        mean: 0.0,
+        std_dev: 0.02,
+    }
+    .init(&mut r, [48 * 1024]);
+    let mut serial = ThreeLcCompressor::new(
+        input.shape().clone(),
+        SparsityMultiplier::new(1.75).unwrap(),
+    );
+    let mut wires = Vec::new();
+    for _ in 0..3 {
+        wires.push(serial.compress(&input).unwrap());
+    }
+    for threads in THREAD_COUNTS {
+        let mut par = ThreeLcCompressor::new(
+            input.shape().clone(),
+            SparsityMultiplier::new(1.75).unwrap(),
+        )
+        .with_threads(threads);
+        for (step, want) in wires.iter().enumerate() {
+            let got = par.compress(&input).unwrap();
+            assert_eq!(&got, want, "threads={threads} step={step}");
+            assert_eq!(
+                par.decompress(&got).unwrap().as_slice(),
+                serial.decompress(want).unwrap().as_slice(),
+            );
+        }
+    }
+}
+
+#[test]
+fn set_threads_zero_means_auto_and_stays_positive() {
+    let mut cx = ThreeLcCompressor::new(
+        threelc_tensor::Shape::new(&[8]),
+        SparsityMultiplier::default(),
+    );
+    Compressor::set_threads(&mut cx, 0);
+    assert!(cx.threads() >= 1);
+    Compressor::set_threads(&mut cx, 3);
+    assert_eq!(cx.threads(), 3);
+}

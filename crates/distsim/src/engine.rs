@@ -22,8 +22,9 @@
 //! (error-accumulation buffers, RNG draws) only affects `compress`.
 
 use crate::config::ExperimentConfig;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use threelc::parallel::{self, split_off_ranges, split_ranges};
 use threelc::{CompressionStats, Compressor};
 use threelc_baselines::build_compressor;
 use threelc_learning::{models, Batch, LrSchedule, Network, SgdMomentum, SyntheticImages};
@@ -224,6 +225,15 @@ impl WorkerReplica {
         }
     }
 
+    /// Requests up to `threads` codec worker threads for this replica's
+    /// push compression contexts (`0` = one per hardware core). A pure
+    /// performance hint: payloads stay bit-identical at any setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        for ctx in self.push_ctxs.iter_mut().flatten() {
+            ctx.set_threads(threads);
+        }
+    }
+
     /// Applies decoded model deltas to the local replica.
     ///
     /// # Panics
@@ -258,9 +268,10 @@ pub struct ServerCore {
     config: ExperimentConfig,
     global: Network,
     prev_global: Vec<Tensor>,
-    /// Per-worker, per-tensor push decode contexts (mirrors of the
+    /// Per-*tensor*, per-worker push decode contexts (mirrors of the
     /// workers' compression contexts; decode is pure, so mirrors decode
-    /// identically).
+    /// identically). Tensor-major so sharded aggregation can hand each
+    /// shard a disjoint `&mut` block of tensor rows.
     decode_ctxs: Vec<Vec<Option<Box<dyn Compressor>>>>,
     pull_ctxs: Vec<Option<Box<dyn Compressor>>>,
     optimizer: SgdMomentum,
@@ -269,18 +280,50 @@ pub struct ServerCore {
     push_stats: CompressionStats,
     pull_stats: CompressionStats,
     step: u64,
+    /// Shard-thread budget for [`Self::apply_step`] (1 = serial).
+    threads: usize,
     /// Cached handle into the global registry (see [`WorkerReplica`]).
     apply_seconds: Arc<Histogram>,
+    /// `engine.shard.busy_seconds` — per-shard busy time of sharded steps.
+    shard_busy: Arc<Histogram>,
+    /// `engine.shard.lock_wait_seconds` — time shards spent waiting on the
+    /// striped stats accumulators (the contention signal).
+    shard_lock_wait: Arc<Histogram>,
+}
+
+/// A striped accumulator for the bookkeeping shards must share: traffic
+/// statistics (order-insensitive `u64` sums) and measured codec seconds.
+/// Stripes are deliberately fewer than shards so the lock-wait histogram
+/// actually observes contention; the model tensors themselves are never
+/// behind a lock — each shard owns a disjoint tensor range.
+type StatsStripe = Mutex<(CompressionStats, f64)>;
+
+fn stats_stripes(shards: usize) -> Vec<StatsStripe> {
+    (0..shards.div_ceil(2).max(1))
+        .map(|_| Mutex::new((CompressionStats::new(), 0.0)))
+        .collect()
 }
 
 impl ServerCore {
     /// Builds the server state from the shared problem instance.
     pub fn new(problem: &Problem) -> Self {
         let config = problem.config;
+        // Build per-worker context rows, then transpose to tensor-major.
+        let mut by_worker: Vec<Vec<Option<Box<dyn Compressor>>>> =
+            (0..config.workers).map(|w| problem.push_ctxs(w)).collect();
+        let mut decode_ctxs: Vec<Vec<Option<Box<dyn Compressor>>>> = (0..problem.num_tensors())
+            .map(|_| Vec::with_capacity(config.workers))
+            .collect();
+        for row in by_worker.drain(..) {
+            for (i, ctx) in row.into_iter().enumerate() {
+                decode_ctxs[i].push(ctx);
+            }
+        }
+        let reg = threelc_obs::global();
         ServerCore {
             global: problem.init.clone(),
             prev_global: problem.init.snapshot(),
-            decode_ctxs: (0..config.workers).map(|w| problem.push_ctxs(w)).collect(),
+            decode_ctxs,
             pull_ctxs: problem.pull_ctxs(),
             optimizer: SgdMomentum::new(config.momentum, config.weight_decay),
             schedule: LrSchedule::cosine(config.lr_max, config.lr_min, config.total_steps),
@@ -288,8 +331,41 @@ impl ServerCore {
             push_stats: CompressionStats::new(),
             pull_stats: CompressionStats::new(),
             step: 0,
-            apply_seconds: threelc_obs::global().histogram("engine.apply_step_seconds"),
+            threads: 1,
+            apply_seconds: reg.histogram("engine.apply_step_seconds"),
+            shard_busy: reg.histogram("engine.shard.busy_seconds"),
+            shard_lock_wait: reg.histogram("engine.shard.lock_wait_seconds"),
             config,
+        }
+    }
+
+    /// Requests up to `threads` aggregation shards for [`Self::apply_step`]
+    /// (`0` = one per hardware core). The budget is also forwarded to every
+    /// decode and pull compression context. A pure performance hint: the
+    /// sharded step is bit-identical to the serial one (each shard owns a
+    /// disjoint tensor range, and per-tensor arithmetic keeps worker-id
+    /// order).
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = if threads == 0 {
+            parallel::available_threads()
+        } else {
+            threads
+        };
+        self.threads = threads;
+        for ctx in self.decode_ctxs.iter_mut().flatten().flatten() {
+            ctx.set_threads(threads);
+        }
+        for ctx in self.pull_ctxs.iter_mut().flatten() {
+            ctx.set_threads(threads);
+        }
+    }
+
+    /// Shard count for a step over `n` tensors.
+    fn plan_shards(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < 2 {
+            1
+        } else {
+            self.threads.min(n)
         }
     }
 
@@ -347,10 +423,44 @@ impl ServerCore {
         let step_start = Instant::now();
         let lr = self.lr();
         let n_params = self.shapes.len();
-        let workers = self.config.workers;
+        let shards = self.plan_shards(n_params);
         let mut server_codec = 0.0f64;
 
-        // Decode + aggregate in worker-id order.
+        let aggregated = if shards > 1 {
+            self.decode_aggregate_sharded(payloads, accepted_count, shards, &mut server_codec)
+        } else {
+            self.decode_aggregate_serial(payloads, accepted_count, &mut server_codec)
+        };
+        self.optimizer.apply(&mut self.global, &aggregated, lr);
+
+        // Compress model deltas (shared pull contexts, Fig. 2b).
+        let global_now = self.global.snapshot();
+        let (pulls, step_deltas) = if shards > 1 {
+            self.compress_pulls_sharded(&global_now, shards, &mut server_codec)
+        } else {
+            self.compress_pulls_serial(&global_now, &mut server_codec)
+        };
+        self.prev_global = global_now;
+        self.step += 1;
+        self.apply_seconds
+            .record(step_start.elapsed().as_secs_f64());
+
+        ServerStepOutput {
+            lr,
+            pulls,
+            step_deltas,
+            server_codec_seconds: server_codec,
+        }
+    }
+
+    /// Decode + aggregate in worker-id order, one tensor at a time.
+    fn decode_aggregate_serial(
+        &mut self,
+        payloads: &[Vec<TensorPayload>],
+        accepted_count: usize,
+        server_codec: &mut f64,
+    ) -> Vec<Tensor> {
+        let n_params = self.shapes.len();
         let mut aggregated: Vec<Tensor> = Vec::with_capacity(n_params);
         for i in 0..n_params {
             let mut sum: Option<Tensor> = None;
@@ -361,12 +471,12 @@ impl ServerCore {
                 let grad = match &worker_payloads[i] {
                     TensorPayload::Compressed(wire) => {
                         let t0 = Instant::now();
-                        let g = self.decode_ctxs[w][i]
+                        let g = self.decode_ctxs[i][w]
                             .as_ref()
                             .expect("compressed payload implies a context")
                             .decompress(wire)
                             .expect("payload produced by matching context");
-                        server_codec += t0.elapsed().as_secs_f64();
+                        *server_codec += t0.elapsed().as_secs_f64();
                         self.push_stats
                             .record(self.shapes[i].num_elements(), wire.len());
                         g
@@ -382,10 +492,89 @@ impl ServerCore {
             avg.scale_inplace(1.0 / accepted_count as f32);
             aggregated.push(avg);
         }
-        self.optimizer.apply(&mut self.global, &aggregated, lr);
+        aggregated
+    }
 
-        // Compress model deltas (shared pull contexts, Fig. 2b).
-        let global_now = self.global.snapshot();
+    /// The sharded twin of [`Self::decode_aggregate_serial`]: tensors are
+    /// split into `shards` contiguous index ranges, each shard decoding and
+    /// averaging its range on its own thread. Bit-identical to the serial
+    /// path because tensors are independent and the worker-id summation
+    /// order within each tensor is unchanged; only the (order-insensitive)
+    /// `u64` traffic counters and measured codec seconds flow through the
+    /// striped locks.
+    fn decode_aggregate_sharded(
+        &mut self,
+        payloads: &[Vec<TensorPayload>],
+        accepted_count: usize,
+        shards: usize,
+        server_codec: &mut f64,
+    ) -> Vec<Tensor> {
+        let ranges = split_ranges(self.shapes.len(), shards);
+        let ctx_chunks = split_off_ranges(self.decode_ctxs.as_mut_slice(), &ranges);
+        let stripes = stats_stripes(shards);
+        let shapes = &self.shapes;
+        let shard_busy = &self.shard_busy;
+        let shard_lock_wait = &self.shard_lock_wait;
+        let tasks: Vec<_> = ranges.iter().cloned().zip(ctx_chunks).collect();
+        let results = parallel::run_tasks(tasks, |k, (range, ctx_rows)| {
+            let t0 = Instant::now();
+            let mut local_stats = CompressionStats::new();
+            let mut local_codec = 0.0f64;
+            let mut out = Vec::with_capacity(range.len());
+            for (ctx_row, i) in ctx_rows.iter_mut().zip(range) {
+                let mut sum: Option<Tensor> = None;
+                for (w, worker_payloads) in payloads.iter().enumerate() {
+                    if worker_payloads.is_empty() {
+                        continue; // dropped straggler
+                    }
+                    let grad = match &worker_payloads[i] {
+                        TensorPayload::Compressed(wire) => {
+                            let c0 = Instant::now();
+                            let g = ctx_row[w]
+                                .as_ref()
+                                .expect("compressed payload implies a context")
+                                .decompress(wire)
+                                .expect("payload produced by matching context");
+                            local_codec += c0.elapsed().as_secs_f64();
+                            local_stats.record(shapes[i].num_elements(), wire.len());
+                            g
+                        }
+                        TensorPayload::Raw(grad) => grad.clone(),
+                    };
+                    match &mut sum {
+                        Some(s) => s.add_assign(&grad).expect("same shapes"),
+                        None => sum = Some(grad),
+                    }
+                }
+                let mut avg = sum.expect("at least one accepted worker");
+                avg.scale_inplace(1.0 / accepted_count as f32);
+                out.push(avg);
+            }
+            let w0 = Instant::now();
+            let mut stripe = stripes[k % stripes.len()].lock().expect("stripe poisoned");
+            shard_lock_wait.record(w0.elapsed().as_secs_f64());
+            stripe.0.merge(&local_stats);
+            stripe.1 += local_codec;
+            drop(stripe);
+            shard_busy.record(t0.elapsed().as_secs_f64());
+            out
+        });
+        for stripe in &stripes {
+            let stripe = stripe.lock().expect("stripe poisoned");
+            self.push_stats.merge(&stripe.0);
+            *server_codec += stripe.1;
+        }
+        results.into_iter().flatten().collect()
+    }
+
+    /// Compress this step's model deltas through the shared pull contexts.
+    fn compress_pulls_serial(
+        &mut self,
+        global_now: &[Tensor],
+        server_codec: &mut f64,
+    ) -> (Vec<TensorPayload>, Vec<Tensor>) {
+        let workers = self.config.workers;
+        let n_params = self.shapes.len();
         let mut pulls = Vec::with_capacity(n_params);
         let mut step_deltas = Vec::with_capacity(n_params);
         for (i, now) in global_now.iter().enumerate() {
@@ -400,11 +589,11 @@ impl ServerCore {
                         .decompress(&wire)
                         .expect("payload produced by this context");
                     let elapsed = t0.elapsed().as_secs_f64();
-                    server_codec += elapsed;
+                    *server_codec += elapsed;
                     if !self.config.shared_pull_compression {
                         // Ablation: without sharing, the server pays the
                         // codec cost once per worker.
-                        server_codec += elapsed * (workers as f64 - 1.0);
+                        *server_codec += elapsed * (workers as f64 - 1.0);
                     }
                     self.pull_stats
                         .record(delta.len() * workers, wire.len() * workers);
@@ -417,17 +606,81 @@ impl ServerCore {
                 }
             }
         }
-        self.prev_global = global_now;
-        self.step += 1;
-        self.apply_seconds
-            .record(step_start.elapsed().as_secs_f64());
+        (pulls, step_deltas)
+    }
 
-        ServerStepOutput {
-            lr,
-            pulls,
-            step_deltas,
-            server_codec_seconds: server_codec,
+    /// The sharded twin of [`Self::compress_pulls_serial`]. Pull contexts
+    /// are per tensor, so each shard owns the contexts of its tensor range
+    /// exclusively; compression state never crosses a shard boundary and
+    /// the payloads are bit-identical to the serial path.
+    fn compress_pulls_sharded(
+        &mut self,
+        global_now: &[Tensor],
+        shards: usize,
+        server_codec: &mut f64,
+    ) -> (Vec<TensorPayload>, Vec<Tensor>) {
+        let workers = self.config.workers;
+        let shared_pull = self.config.shared_pull_compression;
+        let ranges = split_ranges(self.shapes.len(), shards);
+        let ctx_chunks = split_off_ranges(self.pull_ctxs.as_mut_slice(), &ranges);
+        let stripes = stats_stripes(shards);
+        let prev_global = &self.prev_global;
+        let shard_busy = &self.shard_busy;
+        let shard_lock_wait = &self.shard_lock_wait;
+        let tasks: Vec<_> = ranges.iter().cloned().zip(ctx_chunks).collect();
+        let results = parallel::run_tasks(tasks, |k, (range, ctxs)| {
+            let t0 = Instant::now();
+            let mut local_stats = CompressionStats::new();
+            let mut local_codec = 0.0f64;
+            let mut pulls = Vec::with_capacity(range.len());
+            let mut deltas = Vec::with_capacity(range.len());
+            for (ctx, i) in ctxs.iter_mut().zip(range) {
+                let delta = global_now[i]
+                    .sub(&prev_global[i])
+                    .expect("snapshots share shapes");
+                match ctx {
+                    Some(ctx) => {
+                        let c0 = Instant::now();
+                        let wire = ctx.compress(&delta).expect("delta shape matches context");
+                        let decoded = ctx
+                            .decompress(&wire)
+                            .expect("payload produced by this context");
+                        let elapsed = c0.elapsed().as_secs_f64();
+                        local_codec += elapsed;
+                        if !shared_pull {
+                            local_codec += elapsed * (workers as f64 - 1.0);
+                        }
+                        local_stats.record(delta.len() * workers, wire.len() * workers);
+                        pulls.push(TensorPayload::Compressed(wire));
+                        deltas.push(decoded);
+                    }
+                    None => {
+                        pulls.push(TensorPayload::Raw(delta.clone()));
+                        deltas.push(delta);
+                    }
+                }
+            }
+            let w0 = Instant::now();
+            let mut stripe = stripes[k % stripes.len()].lock().expect("stripe poisoned");
+            shard_lock_wait.record(w0.elapsed().as_secs_f64());
+            stripe.0.merge(&local_stats);
+            stripe.1 += local_codec;
+            drop(stripe);
+            shard_busy.record(t0.elapsed().as_secs_f64());
+            (pulls, deltas)
+        });
+        for stripe in &stripes {
+            let stripe = stripe.lock().expect("stripe poisoned");
+            self.pull_stats.merge(&stripe.0);
+            *server_codec += stripe.1;
         }
+        let mut pulls = Vec::with_capacity(self.shapes.len());
+        let mut step_deltas = Vec::with_capacity(self.shapes.len());
+        for (p, d) in results {
+            pulls.extend(p);
+            step_deltas.extend(d);
+        }
+        (pulls, step_deltas)
     }
 }
 
@@ -534,6 +787,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sharded_server_matches_serial_bit_for_bit() {
+        for scheme in [SchemeKind::three_lc(1.5), SchemeKind::Float32] {
+            let config = tiny(scheme);
+            let problem = Problem::build(&config);
+            let mut serial_workers: Vec<WorkerReplica> = (0..config.workers)
+                .map(|w| WorkerReplica::new(&problem, w))
+                .collect();
+            let mut serial = ServerCore::new(&problem);
+            let mut sharded_workers: Vec<WorkerReplica> = (0..config.workers)
+                .map(|w| {
+                    let mut r = WorkerReplica::new(&problem, w);
+                    r.set_threads(2);
+                    r
+                })
+                .collect();
+            let mut sharded = ServerCore::new(&problem);
+            sharded.set_threads(4);
+            for step in 0..4 {
+                let a = engine_step(&problem, &mut serial_workers, &mut serial);
+                let b = engine_step(&problem, &mut sharded_workers, &mut sharded);
+                assert_eq!(a.pulls.len(), b.pulls.len());
+                for (i, (x, y)) in a.pulls.iter().zip(&b.pulls).enumerate() {
+                    match (x, y) {
+                        (TensorPayload::Compressed(wa), TensorPayload::Compressed(wb)) => {
+                            assert_eq!(wa, wb, "pull wire diverged: step={step} tensor={i}");
+                        }
+                        (TensorPayload::Raw(ta), TensorPayload::Raw(tb)) => {
+                            assert_eq!(ta, tb, "raw pull diverged: step={step} tensor={i}");
+                        }
+                        _ => panic!("payload kind diverged: step={step} tensor={i}"),
+                    }
+                }
+                assert_eq!(a.step_deltas, b.step_deltas, "deltas diverged: step={step}");
+            }
+            assert_eq!(
+                serial.global().snapshot(),
+                sharded.global().snapshot(),
+                "global model diverged under {scheme}"
+            );
+            assert_eq!(serial.push_stats(), sharded.push_stats());
+            assert_eq!(serial.pull_stats(), sharded.pull_stats());
+        }
+    }
+
+    #[test]
+    fn set_threads_zero_resolves_to_hardware_cores() {
+        let config = tiny(SchemeKind::Float32);
+        let problem = Problem::build(&config);
+        let mut server = ServerCore::new(&problem);
+        server.set_threads(0);
+        assert!(server.threads >= 1);
     }
 
     #[test]

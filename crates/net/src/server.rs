@@ -43,6 +43,10 @@ pub struct ServeOptions {
     /// How long the coordinator waits at a barrier (for all pushes to
     /// arrive, or for handlers to finish) before declaring the run dead.
     pub step_timeout: Duration,
+    /// Codec/aggregation threads for the server core (`0` = one per
+    /// hardware core). A performance hint only: the trained model is
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for ServeOptions {
@@ -50,6 +54,7 @@ impl Default for ServeOptions {
         ServeOptions {
             io_timeout: Duration::from_secs(30),
             step_timeout: Duration::from_secs(300),
+            threads: 1,
         }
     }
 }
@@ -113,6 +118,7 @@ pub fn serve(
         )));
     }
     let mut server = ServerCore::new(&problem);
+    server.set_threads(opts.threads);
     let shapes: Arc<Vec<Shape>> = Arc::new(problem.shapes.clone());
     let workers = config.workers;
     let config_json = serde_json::to_string(config)

@@ -36,6 +36,9 @@ pub struct WorkerOptions {
     pub max_retries: u32,
     /// Backoff before the first retry; doubles each retry, capped at 10 s.
     pub initial_backoff: Duration,
+    /// Codec threads for push compression (`0` = one per hardware core).
+    /// A performance hint only: payloads are bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl WorkerOptions {
@@ -49,6 +52,7 @@ impl WorkerOptions {
             io_timeout: Duration::from_secs(30),
             max_retries: 5,
             initial_backoff: Duration::from_millis(100),
+            threads: 1,
         }
     }
 }
@@ -158,6 +162,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
     let problem = Problem::build(&config);
     let n_params = problem.num_tensors();
     let mut replica = WorkerReplica::new(&problem, usize::from(opts.worker));
+    replica.set_threads(opts.threads);
     // Decode-only mirrors of the server's pull contexts (decode is pure).
     let pull_ctxs = problem.pull_ctxs();
 

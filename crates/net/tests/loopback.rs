@@ -145,6 +145,59 @@ fn loopback_run_matches_simulator_bit_for_bit() {
 }
 
 #[test]
+fn sharded_loopback_matches_simulator_bit_for_bit() {
+    // Server with sharded aggregation (2 shards) and chunk-parallel codec
+    // workers on both roles: the trained model must still be bit-identical
+    // to the (serial) in-process simulator.
+    let config = ExperimentConfig {
+        total_steps: 6,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::three_lc(1.0))
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let opts = ServeOptions {
+        threads: 2,
+        ..ServeOptions::default()
+    };
+    let server = thread::spawn(move || serve(&listener, &config, &opts));
+    let clients: Vec<_> = (0..config.workers as u16)
+        .map(|w| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut wopts = WorkerOptions::new(addr, w);
+                wopts.threads = 2;
+                run_worker(&wopts)
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread").expect("worker run"))
+        .collect();
+    let report = server.join().expect("server thread").expect("serve run");
+
+    let simulated = run_experiment(&config);
+    assert_eq!(report.result.final_eval, simulated.final_eval);
+    for (net, sim) in report.result.trace.steps.iter().zip(&simulated.trace.steps) {
+        assert_eq!(net.loss.to_bits(), sim.loss.to_bits(), "step {}", sim.step);
+        assert_eq!(net.push_bytes, sim.push_bytes, "step {}", sim.step);
+        assert_eq!(net.pull_bytes, sim.pull_bytes, "step {}", sim.step);
+    }
+    let mut cluster = Cluster::new(config);
+    for _ in 0..config.total_steps {
+        cluster.step();
+    }
+    for (w, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(
+            outcome.model.snapshot(),
+            cluster.worker_model(w).snapshot(),
+            "worker {w} replica diverged from the serial simulator"
+        );
+    }
+}
+
+#[test]
 fn loopback_uncompressed_scheme_also_matches() {
     let config = ExperimentConfig {
         total_steps: 6,
@@ -191,6 +244,7 @@ fn server_rejects_a_garbage_hello() {
     let opts = ServeOptions {
         io_timeout: Duration::from_secs(2),
         step_timeout: Duration::from_secs(2),
+        ..ServeOptions::default()
     };
     let server = thread::spawn(move || serve(&listener, &config, &opts));
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -244,6 +298,7 @@ fn metrics_scrape_works_mid_training() {
     let opts = ServeOptions {
         io_timeout: Duration::from_secs(5),
         step_timeout: Duration::from_secs(5),
+        ..ServeOptions::default()
     };
     let server = thread::spawn(move || serve(&listener, &config, &opts));
 
