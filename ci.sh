@@ -47,6 +47,58 @@ cargo test -q --offline --workspace
 echo "==> cargo test --release (core + net)"
 cargo test -q --offline --release -p threelc -p threelc-net
 
+echo "==> trace smoke (loopback 2-worker collect -> merge -> export)"
+threelc=target/release/threelc
+smokedir=target/trace-smoke
+rm -rf "$smokedir"
+mkdir -p "$smokedir"
+# Run a traced loopback cluster through the real binaries. Workers retry
+# with backoff, so starting them alongside the server is fine.
+run_traced_loopback() { # <report.json> <events.jsonl> <worker0-env...>
+    local report="$1" events="$2" straggle="${3:-}"
+    local port addr
+    port=$((20000 + RANDOM % 20000))
+    addr="127.0.0.1:$port"
+    THREELC_TRACE=1 "$threelc" serve --addr "$addr" --workers 2 --steps 4 \
+        --width 16 --blocks 1 --batch 8 --scheme 3lc --sparsity 1.5 \
+        --json "$report" --log-json "$events" >"$report.log" &
+    local serve_pid=$!
+    THREELC_TRACE=1 THREELC_STRAGGLE_MS="$straggle" \
+        "$threelc" worker --addr "$addr" --id 0 >"$report.w0.log" &
+    local w0=$!
+    THREELC_TRACE=1 "$threelc" worker --addr "$addr" --id 1 >"$report.w1.log" &
+    local w1=$!
+    # Waited individually: a multi-pid `wait` only reports the last
+    # pid's status, which would mask a failed worker.
+    wait "$w0"
+    wait "$w1"
+    wait "$serve_pid"
+}
+run_traced_loopback "$smokedir/report.json" "$smokedir/events.jsonl"
+"$threelc" trace "$smokedir/report.json" --chrome "$smokedir/trace.json" \
+    >"$smokedir/trace.txt"
+for phase in quantize encode serialize network server-decode aggregate \
+    re-encode pull; do
+    if ! grep -q "\"name\":\"$phase\"" "$smokedir/trace.json"; then
+        echo "phase $phase missing from Chrome trace export" >&2
+        exit 1
+    fi
+done
+"$threelc" trace "$smokedir/report.json" --check >/dev/null
+"$threelc" metrics --from "$smokedir/events.jsonl" >"$smokedir/metrics.txt"
+grep -q net.server "$smokedir/metrics.txt"
+echo "    all eight phases exported; --check clean; offline metrics render"
+
+echo "==> trace gate (injected straggler must fail --check)"
+run_traced_loopback "$smokedir/straggle.json" "$smokedir/straggle-events.jsonl" 250
+if "$threelc" trace "$smokedir/straggle.json" --check \
+    >"$smokedir/straggle.txt" 2>&1; then
+    echo "trace --check passed despite an injected 250 ms straggler" >&2
+    exit 1
+fi
+grep -q straggler "$smokedir/straggle.txt"
+echo "    straggler detected; --check exits nonzero"
+
 echo "==> bench smoke (criterion --test mode)"
 cargo bench --offline -p threelc-bench --bench parallel -- --test
 

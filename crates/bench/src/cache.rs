@@ -52,7 +52,20 @@ fn cache_path(root: &Path, config: &ExperimentConfig) -> PathBuf {
 /// exact configuration.
 ///
 /// Set `fresh` to ignore (and overwrite) any cached result.
+///
+/// If the run's telemetry watchdog flagged anomalies (compression-ratio
+/// drift, residual-L2 blowups), a warning goes to stderr: figures and
+/// tables built on a pathological run should say so, whether the run was
+/// fresh or replayed from the cache.
 pub fn run_cached(config: &ExperimentConfig, fresh: bool) -> ExperimentResult {
+    let result = run_cached_inner(config, fresh);
+    if let Some(summary) = anomaly_summary(&result) {
+        eprintln!("warning: watchdog flagged {summary}");
+    }
+    result
+}
+
+fn run_cached_inner(config: &ExperimentConfig, fresh: bool) -> ExperimentResult {
     let root = workspace_root();
     let path = cache_path(&root, config);
     if !fresh {
@@ -72,6 +85,19 @@ pub fn run_cached(config: &ExperimentConfig, fresh: bool) -> ExperimentResult {
         let _ = std::fs::write(&path, json);
     }
     result
+}
+
+/// One-line summary of a result's watchdog findings, or `None` for a
+/// clean run.
+pub fn anomaly_summary(result: &ExperimentResult) -> Option<String> {
+    let anomalies = &result.trace.anomalies;
+    let first = anomalies.first()?;
+    Some(format!(
+        "{} anomaly(ies) in run [{}], first: {}",
+        anomalies.len(),
+        result.scheme_label,
+        first.detail
+    ))
 }
 
 /// Writes a figure/table data file under `results/` and returns its path.
@@ -122,5 +148,23 @@ mod tests {
     #[test]
     fn workspace_root_has_manifest() {
         assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn anomaly_summary_reports_flagged_runs_only() {
+        let mut result = run_cached(&tiny(), true);
+        assert_eq!(anomaly_summary(&result), None, "tiny run should be clean");
+        result.trace.anomalies.push(threelc_obs::Anomaly {
+            kind: "residual-blowup".into(),
+            step: 1,
+            node: String::new(),
+            phase: String::new(),
+            value: 25.0,
+            threshold: 2.5,
+            detail: "step 1: residual L2 25.0 exceeded 2.5".into(),
+        });
+        let summary = anomaly_summary(&result).expect("flagged run summarizes");
+        assert!(summary.contains("1 anomaly(ies)"), "got: {summary}");
+        assert!(summary.contains("residual L2"), "got: {summary}");
     }
 }

@@ -23,9 +23,17 @@ usage:
                      [--threads N] [--json report.json]
   threelc worker     --addr A --id N [--threads N]
   threelc metrics    <addr> [--json]
+  threelc metrics    --from <log.jsonl> [--json]
+  threelc trace      <report.json|addr> [--chrome out.json] [--check]
+                     [--steps N]
 
 --threads N uses up to N codec/aggregation threads (0 = one per core);
 output is bit-identical at every setting.
+
+trace renders the cross-node step timeline of a THREELC_TRACE=1 run from
+a `serve --json` report (or a live server's own spans), exports Chrome/
+Perfetto JSON with --chrome, and with --check exits nonzero on watchdog
+anomalies (stragglers, ratio drift, residual blowups).
 
 global flags (any command):
   --log-json <path>  append structured JSONL events to <path>
@@ -55,6 +63,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("serve") => crate::netcmd::serve_cmd(&args[1..]),
         Some("worker") => crate::netcmd::worker_cmd(&args[1..]),
         Some("metrics") => crate::netcmd::metrics_cmd(&args[1..]),
+        Some("trace") => crate::tracecmd::trace_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("missing command".into()),
     }
@@ -734,5 +743,187 @@ mod tests {
         let input = tmp("odd.f32");
         std::fs::write(&input, [1u8, 2, 3]).unwrap();
         assert!(run(&s(&["stats", input.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn metrics_from_renders_the_checked_in_fixture() {
+        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/metrics.jsonl");
+        let text = run(&s(&["metrics", "--from", fixture])).expect("offline render");
+        assert!(text.contains("net.server.bytes_in"), "got: {text}");
+        assert!(text.contains("4096"), "got: {text}");
+        assert!(text.contains("net.server.frame_seconds"), "got: {text}");
+
+        let json = run(&s(&["metrics", "--from", fixture, "--json"])).expect("json render");
+        let snap: threelc_obs::Snapshot = serde_json::from_str(&json).expect("parse snapshot");
+        assert_eq!(snap.counter("net.server.bytes_in"), Some(4096));
+        assert_eq!(snap.counter("trace.steps"), Some(4));
+        assert_eq!(snap.gauge("trace.loss"), Some(0.75));
+        assert_eq!(
+            snap.histogram("net.server.frame_seconds")
+                .expect("histogram")
+                .count,
+            2
+        );
+
+        // Flag validation and failure modes.
+        assert!(run(&s(&["metrics", "--from"])).is_err()); // path missing
+        assert!(run(&s(&["metrics", "127.0.0.1:1", "--from", fixture])).is_err()); // both sources
+        assert!(run(&s(&["metrics", "--from", "/nonexistent/log.jsonl"])).is_err());
+        // A log with events but no snapshot fails with a pointed message.
+        let empty = tmp("nosnap.jsonl");
+        std::fs::write(&empty, "{\"ts_ms\":1,\"level\":\"info\",\"event\":\"x\"}\n").unwrap();
+        let err = run(&s(&["metrics", "--from", empty.to_str().unwrap()]))
+            .expect_err("no snapshot event");
+        assert!(
+            err.to_string().contains("no metrics.snapshot"),
+            "got: {err}"
+        );
+        // Garbage lines are rejected with the line number.
+        let junk = tmp("junk.jsonl");
+        std::fs::write(&junk, "not json\n").unwrap();
+        assert!(run(&s(&["metrics", "--from", junk.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn trace_command_flags_are_validated() {
+        assert!(run(&s(&["trace"])).is_err()); // source missing
+        assert!(run(&s(&["trace", "a", "b"])).is_err()); // two sources
+        assert!(run(&s(&["trace", "a", "--bogus"])).is_err());
+        assert!(run(&s(&["trace", "a", "--chrome"])).is_err()); // path missing
+        assert!(run(&s(&["trace", "a", "--steps", "x"])).is_err());
+        // Not a file → treated as a live address → unreachable.
+        assert!(run(&s(&["trace", "not-an-address-or-file"])).is_err());
+        // A report file without trace data points at THREELC_TRACE.
+        let report = threelc_net::NetReport {
+            result: threelc_distsim::run_experiment(&threelc_distsim::ExperimentConfig {
+                workers: 1,
+                batch_per_worker: 4,
+                total_steps: 2,
+                model_width: 8,
+                model_blocks: 1,
+                ..threelc_distsim::ExperimentConfig::for_scheme(
+                    threelc_baselines::SchemeKind::Float32,
+                )
+            }),
+            connections: vec![],
+            node_traces: vec![],
+            anomalies: vec![],
+        };
+        let path = tmp("untraced-report.json");
+        std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();
+        let err = run(&s(&["trace", path.to_str().unwrap()])).expect_err("no trace data");
+        assert!(err.to_string().contains("THREELC_TRACE"), "got: {err}");
+    }
+
+    #[test]
+    fn trace_command_renders_checks_and_exports_a_traced_loopback() {
+        // End-to-end: a traced loopback serve/worker run through the CLI,
+        // then `threelc trace` on the dumped report.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().expect("addr").to_string()
+        };
+        let json = tmp("traced-report.json");
+        let serve_args = s(&[
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--steps",
+            "4",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--sparsity",
+            "1.5",
+            "--json",
+            json.to_str().unwrap(),
+        ]);
+        threelc_obs::set_trace_enabled(true);
+        let server = std::thread::spawn(move || run(&serve_args).map_err(|e| e.to_string()));
+        let workers: Vec<_> = (0..2)
+            .map(|id| {
+                let args = s(&["worker", "--addr", &addr, "--id", &id.to_string()]);
+                std::thread::spawn(move || run(&args).map_err(|e| e.to_string()))
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker thread").expect("worker run");
+        }
+        let report = server.join().expect("server thread").expect("serve run");
+        threelc_obs::set_trace_enabled(false);
+        assert!(
+            report.contains("collected 3 node trace(s)"),
+            "got: {report}"
+        );
+
+        // Render + export. The phase table and every phase name must show.
+        let chrome = tmp("trace.chrome.json");
+        let text = run(&s(&[
+            "trace",
+            json.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ]))
+        .expect("trace render");
+        assert!(text.contains("3 node(s), 4 step(s)"), "got: {text}");
+        assert!(text.contains("clock worker0"), "got: {text}");
+        assert!(text.contains("wrote Chrome trace"), "got: {text}");
+        let exported = std::fs::read_to_string(&chrome).expect("chrome file");
+        let parsed: serde_json::Value = serde_json::from_str(&exported).expect("chrome parses");
+        assert!(parsed.get("traceEvents").is_some());
+        for phase in threelc_obs::PHASES {
+            assert!(
+                exported.contains(&format!("\"name\":\"{phase}\"")),
+                "phase {phase} missing from Chrome export"
+            );
+        }
+
+        // --check must pass on a healthy run. Debug-build warm-up on a
+        // loaded host can make the worker-local `compute` phase a genuine
+        // 4x-median outlier, so check a copy with compute spans removed —
+        // the eight wire phases (all sub-millisecond at this width, below
+        // the watchdog floor) and the deterministic step statistics are
+        // what this asserts on.
+        let mut parsed: threelc_net::NetReport =
+            serde_json::from_str(&std::fs::read_to_string(&json).expect("report"))
+                .expect("parse report");
+        for lane in &mut parsed.node_traces {
+            lane.spans.retain(|s| s.name != "compute");
+        }
+        let clean = tmp("clean-report.json");
+        std::fs::write(&clean, serde_json::to_string(&parsed).unwrap()).unwrap();
+        let ok = run(&s(&["trace", clean.to_str().unwrap(), "--check"])).expect("clean check");
+        assert!(ok.contains("no anomalies"), "got: {ok}");
+
+        // … and an injected synthetic straggler fails it: make worker1's
+        // step-0 encode two seconds long (the median is microseconds).
+        let lane = parsed
+            .node_traces
+            .iter_mut()
+            .find(|n| n.clock == "worker1")
+            .expect("worker1 trace");
+        lane.spans.push(threelc_obs::SpanRecord {
+            trace: 1,
+            span: u64::MAX,
+            parent: 0,
+            name: "encode".into(),
+            node: "worker1".into(),
+            step: 0,
+            worker: 1,
+            start_ns: 0,
+            end_ns: 2_000_000_000,
+        });
+        let straggled = tmp("straggled-report.json");
+        std::fs::write(&straggled, serde_json::to_string(&parsed).unwrap()).unwrap();
+        let err = run(&s(&["trace", straggled.to_str().unwrap(), "--check"]))
+            .expect_err("straggler must fail --check");
+        assert!(err.to_string().contains("straggler"), "got: {err}");
     }
 }

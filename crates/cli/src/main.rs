@@ -8,6 +8,8 @@
 //! threelc serve      --addr A [--workers N] [--steps N] [...]
 //! threelc worker     --addr A --id N
 //! threelc metrics    <addr> [--json]
+//! threelc metrics    --from <log.jsonl> [--json]
+//! threelc trace      <report.json|addr> [--chrome out.json] [--check]
 //! ```
 //!
 //! Every command accepts a global `--log-json <path>` flag that appends
@@ -22,6 +24,7 @@ use std::process::ExitCode;
 
 mod cli;
 mod netcmd;
+mod tracecmd;
 
 /// Strips the global `--log-json <path>` flag (valid before or after the
 /// subcommand) and, when present, routes structured events to that file.

@@ -13,6 +13,7 @@ use threelc::SparsityMultiplier;
 use threelc_baselines::SchemeKind;
 use threelc_distsim::ExperimentConfig;
 use threelc_net::{run_worker, scrape_metrics, serve, ServeOptions, WorkerOptions};
+use threelc_obs::{Level, Snapshot};
 
 type CliResult = Result<String, Box<dyn Error>>;
 
@@ -121,6 +122,14 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
     let bound = listener.local_addr()?;
     let report = serve(&listener, &config, &opts)?;
 
+    // Leave the final metrics state in the structured log (when one is
+    // enabled), so `threelc metrics --from <jsonl>` can render the run
+    // offline after the server is gone.
+    if threelc_obs::log_enabled(Level::Info) {
+        let snapshot = serde_json::to_string(&threelc_obs::global().snapshot())?;
+        threelc_obs::emit(Level::Info, "metrics.snapshot", &[("snapshot", snapshot)]);
+    }
+
     if let Some(path) = flag_value(args, "--json") {
         let json = serde_json::to_string(&report)?;
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
@@ -169,18 +178,39 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
             c.socket_seconds
         )?;
     }
+    for a in report.anomalies.iter().chain(&result.trace.anomalies) {
+        writeln!(out, "anomaly [{}]: {}", a.kind, a.detail)?;
+    }
+    if !report.node_traces.is_empty() {
+        writeln!(
+            out,
+            "collected {} node trace(s); render with `threelc trace <report.json>`",
+            report.node_traces.len()
+        )?;
+    }
     Ok(out)
 }
 
 /// `threelc metrics <addr>`: scrape a live metrics snapshot from a
 /// serving parameter server and print it (text by default, `--json` for
-/// the raw snapshot).
+/// the raw snapshot). `--from <jsonl>` instead renders the last
+/// `metrics.snapshot` event recorded in a `--log-json` file, so a
+/// finished run stays inspectable offline.
 pub fn metrics_cmd(args: &[String]) -> CliResult {
     let mut addr: Option<&str> = None;
+    let mut from: Option<&str> = None;
     let mut json = false;
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--from" => {
+                from = Some(
+                    it.next()
+                        .ok_or("--from requires a JSONL file path")?
+                        .as_str(),
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown argument `{other}`").into());
             }
@@ -191,9 +221,18 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
             }
         }
     }
-    let addr =
-        addr.ok_or("metrics requires a server address (e.g. threelc metrics 127.0.0.1:7171)")?;
-    let snapshot = scrape_metrics(addr, Duration::from_secs(5))?;
+    let snapshot = match (addr, from) {
+        (Some(_), Some(_)) => {
+            return Err("pass either a server address or --from <jsonl>, not both".into());
+        }
+        (Some(addr), None) => scrape_metrics(addr, Duration::from_secs(5))?,
+        (None, Some(path)) => snapshot_from_log(path)?,
+        (None, None) => {
+            return Err("metrics requires a server address (e.g. threelc metrics \
+                 127.0.0.1:7171) or --from <jsonl>"
+                .into());
+        }
+    };
     if json {
         let mut out = serde_json::to_string_pretty(&snapshot)?;
         out.push('\n');
@@ -201,6 +240,43 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
     } else {
         Ok(snapshot.render_text())
     }
+}
+
+/// Reconstructs the last `metrics.snapshot` event from a structured
+/// `--log-json` file. The server writes one at the end of every run (at
+/// `info` level, which `--log-json` enables by default).
+fn snapshot_from_log(path: &str) -> Result<Snapshot, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut snapshot: Option<Snapshot> = None;
+    let mut events = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let event: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{lineno}: not a JSONL event: {e}"))?;
+        events += 1;
+        if event.get("event").and_then(|e| e.as_str()) != Some("metrics.snapshot") {
+            continue;
+        }
+        let payload = event
+            .get("snapshot")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| format!("{path}:{lineno}: metrics.snapshot has no snapshot field"))?;
+        snapshot = Some(
+            serde_json::from_str(payload)
+                .map_err(|e| format!("{path}:{lineno}: bad snapshot payload: {e}"))?,
+        );
+    }
+    snapshot.ok_or_else(|| {
+        format!(
+            "{path}: no metrics.snapshot event among {events} log line(s); \
+             produce one with `threelc serve --log-json {path} ...`"
+        )
+        .into()
+    })
 }
 
 /// `threelc worker`: join a serving parameter server and train.

@@ -1,0 +1,146 @@
+//! The `trace` subcommand: cross-node timeline reconstruction, Chrome
+//! trace export, and the watchdog gate.
+//!
+//! Reads either a `threelc serve --json` report (the usual path: the
+//! server collects every node's span buffer at shutdown) or a live server
+//! address (a non-draining snapshot of the server's own buffer). The
+//! per-node buffers merge onto one clock-aligned axis via the barrier
+//! round-trip offset estimate in `threelc_obs::timeline`, render as a
+//! per-step phase breakdown, and optionally export Chrome-trace JSON for
+//! `chrome://tracing` / Perfetto (`--chrome out.json`). With `--check`
+//! the command exits nonzero when the anomaly watchdog flags stragglers,
+//! compression-ratio drift, or residual-L2 blowups — the CI gate.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::time::Duration;
+use threelc_net::NetReport;
+use threelc_obs::{watchdog, MergedTimeline, NodeTrace, StepStats, WatchdogConfig};
+
+type CliResult = Result<String, Box<dyn Error>>;
+
+/// Default row cap of the per-step phase table (`--steps 0` = all).
+const DEFAULT_MAX_STEPS: usize = 20;
+
+/// `threelc trace <report.json|addr> [--chrome out.json] [--check]
+/// [--steps N]`.
+pub fn trace_cmd(args: &[String]) -> CliResult {
+    let mut source: Option<&str> = None;
+    let mut chrome: Option<&str> = None;
+    let mut check = false;
+    let mut max_steps = DEFAULT_MAX_STEPS;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => {
+                chrome = Some(
+                    it.next()
+                        .ok_or("--chrome requires an output path")?
+                        .as_str(),
+                );
+            }
+            "--check" => check = true,
+            "--steps" => {
+                let v = it.next().ok_or("--steps requires a value")?;
+                max_steps = v
+                    .parse()
+                    .map_err(|_| format!("invalid value `{v}` for --steps"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`").into());
+            }
+            other => {
+                if source.replace(other).is_some() {
+                    return Err("trace takes exactly one report file or server address".into());
+                }
+            }
+        }
+    }
+    let source = source
+        .ok_or("trace requires a `threelc serve --json` report file or a live server address")?;
+
+    let (node_traces, step_stats) = load_traces(source)?;
+    let span_count: usize = node_traces.iter().map(|n| n.spans.len()).sum();
+    if span_count == 0 {
+        return Err(format!(
+            "{source}: no trace data; run the server and workers with THREELC_TRACE=1"
+        )
+        .into());
+    }
+
+    let timeline = MergedTimeline::build(&node_traces);
+    let anomalies = watchdog::check(&timeline, &step_stats, &WatchdogConfig::default());
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{span_count} spans from {} node(s), {} step(s)",
+        node_traces.len(),
+        timeline.steps().len()
+    )?;
+    out.push_str(&timeline.render_text(max_steps));
+
+    if let Some(path) = chrome {
+        let json = timeline.chrome_json();
+        // Validate the export before writing: a Chrome trace that does
+        // not parse is worse than no file.
+        serde_json::from_str::<serde_json::Value>(&json)
+            .map_err(|e| format!("internal error: Chrome export is not valid JSON: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(
+            out,
+            "wrote Chrome trace ({} aligned spans) to {path}; open in chrome://tracing or https://ui.perfetto.dev",
+            timeline.spans.len()
+        )?;
+    }
+
+    if anomalies.is_empty() {
+        if check {
+            writeln!(out, "trace check passed: no anomalies")?;
+        }
+    } else {
+        for a in &anomalies {
+            writeln!(out, "anomaly [{}]: {}", a.kind, a.detail)?;
+        }
+        if check {
+            let mut msg = format!("trace check failed: {} anomaly(ies)\n", anomalies.len());
+            for a in &anomalies {
+                let _ = writeln!(msg, "  [{}] {}", a.kind, a.detail);
+            }
+            return Err(msg.into());
+        }
+    }
+    Ok(out)
+}
+
+/// Loads per-node span buffers and per-step compression statistics from a
+/// report file, or scrapes a live server when `source` is not a file.
+fn load_traces(source: &str) -> Result<(Vec<NodeTrace>, Vec<StepStats>), Box<dyn Error>> {
+    if std::path::Path::new(source).is_file() {
+        let text = std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?;
+        let report: NetReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{source}: not a `threelc serve --json` report: {e}"))?;
+        let workers = report.result.config.workers as u64;
+        let stats = report
+            .result
+            .trace
+            .steps
+            .iter()
+            .map(|s| {
+                let bits = s.push_bits_per_value(workers);
+                StepStats {
+                    step: s.step,
+                    compression_ratio: if bits > 0.0 { 32.0 / bits } else { 0.0 },
+                    residual_l2: s.residual_l2,
+                }
+            })
+            .collect();
+        Ok((report.node_traces, stats))
+    } else {
+        // Live mode: one snapshot of the server's own clock domain. Step
+        // statistics only exist in the final report, so the step-level
+        // checks have nothing to chew on here.
+        let node = threelc_net::scrape_trace(source, Duration::from_secs(5))?;
+        Ok((vec![node], Vec::new()))
+    }
+}

@@ -6,7 +6,7 @@ use crate::tlq::{SparsityMultiplier, TernaryTensor};
 use crate::{quartic, zrle, CompressError, Compressor, DecodeError};
 use std::ops::Range;
 use std::time::Instant;
-use threelc_obs::{log_enabled, Level};
+use threelc_obs::{log_enabled, Level, TraceSpan};
 use threelc_tensor::{Shape, Tensor};
 
 /// Wire-format header: 1 flags byte + 4-byte `f32` scale + 4-byte `u32`
@@ -247,6 +247,9 @@ impl ThreeLcCompressor {
     /// lists the steps. The parallel path in [`Self::encode_parallel`] must
     /// reproduce this output byte for byte.
     fn encode_serial(&mut self, input: &Tensor) -> Result<(Vec<u8>, u8, f32), CompressError> {
+        // Distributed-tracing phase spans: inert unless the caller
+        // installed a `TraceScope` (see `threelc_obs::trace`).
+        let quantize_span = TraceSpan::start("quantize");
         // Step (1): accumulate the input into the local buffer.
         let quantized = if self.options.error_accumulation {
             self.buffer
@@ -264,6 +267,7 @@ impl ThreeLcCompressor {
         } else {
             TernaryTensor::quantize(input, self.options.sparsity)?
         };
+        quantize_span.finish();
 
         // The expensive probes (an O(n) residual pass and a per-run
         // closure) only run when debug logging is enabled; the always-on
@@ -275,6 +279,7 @@ impl ThreeLcCompressor {
                 .record(l2_norm(self.buffer.as_slice()));
         }
 
+        let encode_span = TraceSpan::start("encode");
         // Step (3): quartic encoding.
         let quartic_start = Instant::now();
         let quartic_bytes = quartic::encode(quantized.values());
@@ -299,6 +304,7 @@ impl ThreeLcCompressor {
         } else {
             (quartic_bytes, 0)
         };
+        encode_span.finish();
         Ok((body, flags, quantized.scale()))
     }
 
@@ -326,6 +332,12 @@ impl ThreeLcCompressor {
         let n = input.len();
         let ea = self.options.error_accumulation;
         let in_slice = input.as_slice();
+
+        // Tracing caveat: the parallel pipeline fuses the per-element
+        // quantization into the quartic pack, so the "quantize" span here
+        // covers only the accumulate + scale reduction (phase 1) and
+        // "encode" covers the fused pack + ZRE (phases 2-3).
+        let quantize_span = TraceSpan::start("quantize");
 
         // Phase 1: accumulate (error accumulation only) and reduce
         // max |x| + finiteness per chunk.
@@ -355,7 +367,9 @@ impl ThreeLcCompressor {
             return Err(CompressError::NonFiniteInput);
         }
         let scale = max_abs * self.options.sparsity.value();
+        quantize_span.finish();
 
+        let encode_span = TraceSpan::start("encode");
         // Phase 2: fused quantize + error write-back + quartic pack, one
         // worker per quartic byte range.
         let quartic_start = Instant::now();
@@ -495,6 +509,7 @@ impl ThreeLcCompressor {
         } else {
             (quartic_bytes, 0)
         };
+        encode_span.finish();
         Ok((body, flags, scale))
     }
 

@@ -50,6 +50,17 @@ pub trait Compressor: Send {
         None
     }
 
+    /// The squared L2 norm of the residual buffer (0.0 for stateless
+    /// schemes). A cheap O(n) read the telemetry watchdog sums across a
+    /// replica's contexts each step to track residual blowups; kept
+    /// separate from [`residual`](Self::residual) so implementations can
+    /// answer without materializing a tensor view.
+    fn residual_sq(&self) -> f64 {
+        self.residual().map_or(0.0, |r| {
+            r.as_slice().iter().map(|&x| x as f64 * x as f64).sum()
+        })
+    }
+
     /// Requests that this context use up to `threads` worker threads for
     /// large tensors (`0` means one thread per hardware core).
     ///

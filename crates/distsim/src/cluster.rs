@@ -5,6 +5,7 @@ use crate::engine::{self, Problem, ServerCore, TensorPayload, WorkerReplica};
 use crate::trace::StepRecord;
 use threelc::CompressionStats;
 use threelc_learning::{Batch, Evaluation, Network, SyntheticImages};
+use threelc_obs::trace::{self, TraceScope, TraceSpan};
 use threelc_tensor::{Rng, Tensor};
 
 /// An in-process parameter-server cluster (paper Figures 1–2).
@@ -134,6 +135,24 @@ impl Cluster {
             engine::sample_stragglers(&self.config, &mut self.straggler_rng);
         let accepted_count = accepted.iter().filter(|&&a| a).count();
 
+        // All simulated lanes share one process (one clock domain), so
+        // trace scopes record into the global buffer with per-lane node
+        // labels. Gated up front to keep the label formatting off the hot
+        // path when tracing is disabled.
+        let tracing = trace::trace_enabled();
+        let trace_id = trace::run_trace_id(self.config.seed);
+        let worker_scope = |w: usize| {
+            tracing.then(|| {
+                TraceScope::enter(
+                    trace::global_buffer(),
+                    &format!("worker{w}"),
+                    trace_id,
+                    step,
+                    w as i64,
+                )
+            })
+        };
+
         // ---- Worker phase: local compute + gradient push compression.
         // Workers dropped as stragglers skip the step entirely: their
         // gradients never reach the server (backup-worker semantics).
@@ -146,14 +165,21 @@ impl Cluster {
         // tensor i lives on server i mod servers).
         let servers = self.config.servers.max(1);
         let mut server_bytes = vec![0u64; servers];
-        for (w, &participating) in self.workers.iter_mut().zip(&accepted) {
+        let mut residual_l2 = 0.0f64;
+        for (wi, (w, &participating)) in self.workers.iter_mut().zip(&accepted).enumerate() {
             if !participating {
                 payloads.push(Vec::new());
                 continue;
             }
+            let _scope = worker_scope(wi);
+            let compute_span = TraceSpan::start("compute");
             let (loss, grads) = w.compute(&self.data, self.config.batch_per_worker);
+            compute_span.finish();
             loss_sum += loss as f64;
+            // quantize/encode spans are recorded inside the compression
+            // contexts under this worker's scope.
             let encoded = w.encode_push(grads);
+            residual_l2 = residual_l2.max(w.residual_l2());
             worker_codec_max = worker_codec_max.max(encoded.codec_seconds);
             for (i, payload) in encoded.payloads.iter().enumerate() {
                 let bytes = payload.wire_len();
@@ -168,7 +194,17 @@ impl Cluster {
 
         // ---- Server phase: decompress, aggregate, update global model,
         // then compress the model deltas for the pull path.
+        let server_scope = tracing.then(|| {
+            TraceScope::enter(
+                trace::global_buffer(),
+                "server",
+                trace_id,
+                step,
+                trace::NO_WORKER,
+            )
+        });
         let out = self.server.apply_step(&payloads, accepted_count);
+        drop(server_scope);
 
         let mut pull_bytes = 0u64;
         for (i, payload) in out.pulls.iter().enumerate() {
@@ -189,8 +225,11 @@ impl Cluster {
         self.pending_deltas.push_back(out.step_deltas);
         while self.pending_deltas.len() > self.config.staleness as usize {
             let deltas = self.pending_deltas.pop_front().expect("nonempty");
-            for w in &mut self.workers {
+            for (wi, w) in self.workers.iter_mut().enumerate() {
+                let _scope = worker_scope(wi);
+                let pull_span = TraceSpan::start("pull");
                 w.apply_deltas(&deltas);
+                pull_span.finish();
             }
         }
 
@@ -207,6 +246,7 @@ impl Cluster {
             compute_multiplier,
             pull_overlapped: self.config.staleness > 0,
             critical_bytes: server_bytes.iter().copied().max().unwrap_or(0),
+            residual_l2,
         }
     }
 }

@@ -28,7 +28,7 @@ use threelc::parallel::{self, split_off_ranges, split_ranges};
 use threelc::{CompressionStats, Compressor};
 use threelc_baselines::build_compressor;
 use threelc_learning::{models, Batch, LrSchedule, Network, SgdMomentum, SyntheticImages};
-use threelc_obs::Histogram;
+use threelc_obs::{trace, Histogram};
 use threelc_tensor::{Rng, Shape, Tensor};
 
 /// Seed of the synthetic dataset (shared by every node).
@@ -234,6 +234,19 @@ impl WorkerReplica {
         }
     }
 
+    /// The L2 norm of this replica's error-accumulation residual, summed
+    /// over its push compression contexts (0.0 for stateless schemes).
+    /// Feeds the per-step `residual_l2` trace field the anomaly watchdog
+    /// monitors for blowups.
+    pub fn residual_l2(&self) -> f64 {
+        self.push_ctxs
+            .iter()
+            .flatten()
+            .map(|ctx| ctx.residual_sq())
+            .sum::<f64>()
+            .sqrt()
+    }
+
     /// Applies decoded model deltas to the local replica.
     ///
     /// # Panics
@@ -426,20 +439,43 @@ impl ServerCore {
         let shards = self.plan_shards(n_params);
         let mut server_codec = 0.0f64;
 
+        // Trace the three server phases by measured boundaries rather than
+        // RAII guards: the sharded twins run on pool threads that carry no
+        // trace scope, so the spans are recorded here on the calling
+        // thread (a no-op unless a `TraceScope` is active).
+        let tracing = trace::scope_active();
+        let t_decode = if tracing { trace::now_ns() } else { 0 };
         let aggregated = if shards > 1 {
             self.decode_aggregate_sharded(payloads, accepted_count, shards, &mut server_codec)
         } else {
             self.decode_aggregate_serial(payloads, accepted_count, &mut server_codec)
         };
+        let t_aggregate = if tracing {
+            let t = trace::now_ns();
+            trace::record_span("server-decode", t_decode, t);
+            t
+        } else {
+            0
+        };
         self.optimizer.apply(&mut self.global, &aggregated, lr);
 
         // Compress model deltas (shared pull contexts, Fig. 2b).
         let global_now = self.global.snapshot();
+        let t_reencode = if tracing {
+            let t = trace::now_ns();
+            trace::record_span("aggregate", t_aggregate, t);
+            t
+        } else {
+            0
+        };
         let (pulls, step_deltas) = if shards > 1 {
             self.compress_pulls_sharded(&global_now, shards, &mut server_codec)
         } else {
             self.compress_pulls_serial(&global_now, &mut server_codec)
         };
+        if tracing {
+            trace::record_span("re-encode", t_reencode, trace::now_ns());
+        }
         self.prev_global = global_now;
         self.step += 1;
         self.apply_seconds

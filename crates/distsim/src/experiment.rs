@@ -82,6 +82,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         step: config.total_steps,
         eval: final_eval,
     });
+    trace.run_watchdog(config.workers as u64);
     ExperimentResult {
         config: *config,
         scheme_label: config.scheme.label(),

@@ -47,6 +47,11 @@ pub struct StepRecord {
     /// totals are used instead.
     #[serde(default)]
     pub critical_bytes: u64,
+    /// Largest per-worker error-accumulation residual L2 norm after this
+    /// step's pushes (0.0 for stateless schemes or old traces). The
+    /// anomaly watchdog flags blowups against the run median.
+    #[serde(default)]
+    pub residual_l2: f64,
 }
 
 fn default_multiplier() -> f64 {
@@ -115,6 +120,10 @@ pub struct TrainingTrace {
     /// Periodic test evaluations (always includes the final step when the
     /// run was produced by [`run_experiment`](crate::run_experiment)).
     pub evals: Vec<EvalRecord>,
+    /// Anomalies the telemetry watchdog detected over the step records
+    /// (see [`run_watchdog`](Self::run_watchdog)). Empty on old traces.
+    #[serde(default)]
+    pub anomalies: Vec<threelc_obs::Anomaly>,
 }
 
 impl TrainingTrace {
@@ -182,6 +191,28 @@ impl TrainingTrace {
     pub fn final_eval(&self) -> Option<&EvalRecord> {
         self.evals.last()
     }
+
+    /// Runs the step-level anomaly watchdog (compression-ratio drift and
+    /// residual-L2 blowups against the run median) over the recorded
+    /// steps and stores the findings in [`anomalies`](Self::anomalies).
+    /// Deterministic: a simulated and a networked run of the same
+    /// configuration flag the same steps.
+    pub fn run_watchdog(&mut self, workers: u64) {
+        let stats: Vec<threelc_obs::StepStats> = self
+            .steps
+            .iter()
+            .map(|s| {
+                let bits = s.push_bits_per_value(workers);
+                threelc_obs::StepStats {
+                    step: s.step,
+                    compression_ratio: if bits > 0.0 { 32.0 / bits } else { 0.0 },
+                    residual_l2: s.residual_l2,
+                }
+            })
+            .collect();
+        self.anomalies =
+            threelc_obs::watchdog::check_steps(&stats, &threelc_obs::WatchdogConfig::default());
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +233,7 @@ mod tests {
             compute_multiplier: 1.0,
             pull_overlapped: false,
             critical_bytes: 0,
+            residual_l2: 0.0,
         }
     }
 
@@ -252,7 +284,7 @@ mod tests {
     fn trace_aggregates() {
         let trace = TrainingTrace {
             steps: vec![record(1000, 1000, 100, 100), record(3000, 1000, 100, 100)],
-            evals: Vec::new(),
+            ..Default::default()
         };
         assert_eq!(trace.total_bytes(), 6200);
         // bytes = 6000, values = 100·10·2·2 = 4000 → 12 bits/value.
@@ -280,6 +312,31 @@ mod tests {
         assert_eq!(trace.steps.len(), 1);
         assert_eq!(reg.counter("trace.steps").get(), steps_before + 1);
         assert_eq!(reg.histogram("trace.push_bytes").count(), push_before + 1);
+    }
+
+    #[test]
+    fn watchdog_flags_drift_and_blowup_and_is_deterministic() {
+        let mut trace = TrainingTrace::default();
+        for step in 0..6 {
+            let mut r = record(1000, 500, 0, 1000);
+            r.step = step;
+            r.residual_l2 = if step == 4 { 50.0 } else { 1.0 };
+            if step == 2 {
+                r.push_bytes = 5000; // ratio 40x → 8x, past the 2x drift floor
+            }
+            trace.steps.push(r);
+        }
+        trace.run_watchdog(10);
+        let kinds: Vec<&str> = trace.anomalies.iter().map(|a| a.kind.as_str()).collect();
+        assert_eq!(kinds, ["ratio-drift", "residual-blowup"]);
+        assert_eq!(trace.anomalies[0].step, 2);
+        assert_eq!(trace.anomalies[1].step, 4);
+        let again = {
+            let mut t = trace.clone();
+            t.run_watchdog(10);
+            t.anomalies
+        };
+        assert_eq!(again, trace.anomalies);
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn any_record() -> impl Strategy<Value = StepRecord> {
                 compute_multiplier: mult,
                 pull_overlapped: false,
                 critical_bytes: 0,
+                residual_l2: 0.0,
             },
         )
 }

@@ -5,22 +5,32 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic        b"3LCN"
-//!      4     1  version      protocol version (currently 1)
+//!      4     1  version      protocol version (1 or 2)
 //!      5     1  msg type     MsgType discriminant
 //!      6     2  tensor id    u16 LE (0 where not applicable)
 //!      8     8  step         u64 LE training step (0 during handshake)
-//!     16     4  payload len  u32 LE
-//!     20     4  crc32        u32 LE over bytes 0..20 and the payload
-//!     24     …  payload      `len` bytes (a `threelc` wire payload,
+//!     16     4  payload len  u32 LE (payload only, extension excluded)
+//!     20     4  crc32        u32 LE over bytes 0..20, the extension
+//!                            (if any), and the payload
+//!     24    16  trace ext    version 2 only: trace id (u64 LE) +
+//!                            span id (u64 LE) — the sender's trace
+//!                            context ([`TraceContext`])
+//!      …     …  payload      `len` bytes (a `threelc` wire payload,
 //!                            raw f32 LE values, or protocol metadata)
 //! ```
 //!
-//! The CRC covers the header fields *and* the payload, so any single
-//! corrupted byte anywhere in the frame is rejected. Decoding validates
-//! the magic, version, message type, and length cap before allocating or
-//! reading payload bytes, so a malicious length field cannot trigger a
-//! huge allocation and a truncated stream yields a clean error — never a
-//! panic, never an over-read.
+//! Version 1 frames have no extension; version 2 frames carry the 16-byte
+//! trace-context extension between header and payload. The encoder emits
+//! version 1 whenever the trace context is [`TraceContext::NONE`] (so a
+//! run without tracing is byte-identical to the pre-trace protocol) and
+//! version 2 only when context is present; the decoder accepts both.
+//!
+//! The CRC covers the header fields, the extension, *and* the payload, so
+//! any single corrupted byte anywhere in the frame is rejected. Decoding
+//! validates the magic, version, message type, and length cap before
+//! allocating or reading payload bytes, so a malicious length field
+//! cannot trigger a huge allocation and a truncated stream yields a clean
+//! error — never a panic, never an over-read.
 
 use crate::crc32::Crc32;
 use std::io::{self, Read, Write};
@@ -28,11 +38,17 @@ use std::io::{self, Read, Write};
 /// Frame magic: distinguishes the network protocol from `.3lc` files.
 pub const MAGIC: [u8; 4] = *b"3LCN";
 
-/// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Highest protocol version this build emits (2 = trace-context frames).
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Lowest protocol version this build still decodes.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 24;
+
+/// Length of the version-2 trace-context extension.
+pub const TRACE_EXT_LEN: usize = 16;
 
 /// Hard cap on payload length (64 MiB) — far above any tensor this
 /// workspace trains, low enough that a corrupted length field cannot
@@ -68,6 +84,11 @@ pub enum MsgType {
     MetricsRequest = 11,
     /// Server → scraper: `payload = threelc_obs::Snapshot JSON`.
     MetricsSnapshot = 12,
+    /// Server → worker (or scraper → server): request the peer's span
+    /// buffer (empty payload).
+    TraceDumpRequest = 13,
+    /// Reply: `payload = threelc_obs::NodeTrace JSON`.
+    TraceDump = 14,
 }
 
 impl MsgType {
@@ -86,7 +107,77 @@ impl MsgType {
             10 => Some(MsgType::ShutdownAck),
             11 => Some(MsgType::MetricsRequest),
             12 => Some(MsgType::MetricsSnapshot),
+            13 => Some(MsgType::TraceDumpRequest),
+            14 => Some(MsgType::TraceDump),
             _ => None,
+        }
+    }
+}
+
+/// The trace context a frame carries in its version-2 extension: the
+/// sender's run-wide trace id plus the span under which the frame was
+/// sent, letting the receiver parent its own spans under the sender's.
+///
+/// The all-zero value means "no context" and is never emitted on the
+/// wire — such frames encode as version 1 instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Run-wide trace identifier (0 = none).
+    pub trace_id: u64,
+    /// Sending span identifier (0 = none).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The absent context; frames with this context encode as version 1.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether this is the absent context.
+    pub fn is_none(&self) -> bool {
+        *self == TraceContext::NONE
+    }
+
+    /// Captures the calling thread's active trace scope (if tracing is
+    /// enabled and a [`threelc_obs::TraceScope`] is live), else
+    /// [`TraceContext::NONE`].
+    pub fn current() -> TraceContext {
+        match threelc_obs::current_ctx() {
+            Some(ctx) => TraceContext {
+                trace_id: ctx.trace,
+                span_id: ctx.span,
+            },
+            None => TraceContext::NONE,
+        }
+    }
+
+    /// The obs-side view of this context, or `None` if absent.
+    pub fn to_obs(self) -> Option<threelc_obs::TraceCtx> {
+        if self.is_none() {
+            None
+        } else {
+            Some(threelc_obs::TraceCtx {
+                trace: self.trace_id,
+                span: self.span_id,
+            })
+        }
+    }
+
+    /// Serializes the 16-byte wire extension.
+    fn to_bytes(self) -> [u8; TRACE_EXT_LEN] {
+        let mut b = [0u8; TRACE_EXT_LEN];
+        b[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        b[8..16].copy_from_slice(&self.span_id.to_le_bytes());
+        b
+    }
+
+    /// Parses the 16-byte wire extension.
+    fn from_bytes(b: &[u8]) -> TraceContext {
+        TraceContext {
+            trace_id: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            span_id: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
         }
     }
 }
@@ -100,6 +191,9 @@ pub struct Frame {
     pub tensor: u16,
     /// Training step (0 during handshake).
     pub step: u64,
+    /// Trace context carried in the version-2 extension
+    /// ([`TraceContext::NONE`] for version-1 frames).
+    pub trace: TraceContext,
     /// Message payload.
     pub payload: Vec<u8>,
 }
@@ -177,24 +271,47 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Builds the 24-byte header (including the CRC over header and payload).
-fn header_bytes(msg: MsgType, tensor: u16, step: u64, payload: &[u8]) -> [u8; HEADER_LEN] {
+/// Builds the 24-byte header (including the CRC over header, extension,
+/// and payload). An empty `ext` selects version 1; a 16-byte trace
+/// extension selects version 2.
+fn header_bytes(
+    msg: MsgType,
+    tensor: u16,
+    step: u64,
+    ext: &[u8],
+    payload: &[u8],
+) -> [u8; HEADER_LEN] {
+    debug_assert!(ext.is_empty() || ext.len() == TRACE_EXT_LEN);
     let mut h = [0u8; HEADER_LEN];
     h[0..4].copy_from_slice(&MAGIC);
-    h[4] = PROTOCOL_VERSION;
+    h[4] = if ext.is_empty() {
+        MIN_PROTOCOL_VERSION
+    } else {
+        PROTOCOL_VERSION
+    };
     h[5] = msg as u8;
     h[6..8].copy_from_slice(&tensor.to_le_bytes());
     h[8..16].copy_from_slice(&step.to_le_bytes());
     h[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     let mut crc = Crc32::new();
     crc.update(&h[..20]);
+    crc.update(ext);
     crc.update(payload);
     h[20..24].copy_from_slice(&crc.finish().to_le_bytes());
     h
 }
 
+/// Extension length implied by a (validated) version byte.
+fn ext_len_for(version: u8) -> usize {
+    if version >= 2 {
+        TRACE_EXT_LEN
+    } else {
+        0
+    }
+}
+
 impl Frame {
-    /// Constructs a frame.
+    /// Constructs a frame with no trace context (encodes as version 1).
     ///
     /// # Panics
     ///
@@ -206,24 +323,40 @@ impl Frame {
             msg,
             tensor,
             step,
+            trace: TraceContext::NONE,
             payload,
         }
     }
 
+    /// Attaches a trace context (a non-NONE context encodes as version 2).
+    pub fn with_trace(mut self, trace: TraceContext) -> Frame {
+        self.trace = trace;
+        self
+    }
+
     /// Total encoded length.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + self.payload.len()
+        let ext = if self.trace.is_none() {
+            0
+        } else {
+            TRACE_EXT_LEN
+        };
+        HEADER_LEN + ext + self.payload.len()
     }
 
     /// Serializes the frame.
     pub fn encode(&self) -> Vec<u8> {
+        let ext_buf = self.trace.to_bytes();
+        let ext: &[u8] = if self.trace.is_none() { &[] } else { &ext_buf };
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&header_bytes(
             self.msg,
             self.tensor,
             self.step,
+            ext,
             &self.payload,
         ));
+        out.extend_from_slice(ext);
         out.extend_from_slice(&self.payload);
         out
     }
@@ -245,24 +378,31 @@ impl Frame {
         }
         let header = &bytes[..HEADER_LEN];
         validate_fixed_header(header)?;
+        let ext_len = ext_len_for(header[4]);
         let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
         if len > MAX_PAYLOAD {
             return Err(FrameError::Oversize { len });
         }
-        let total = HEADER_LEN + len;
+        let total = HEADER_LEN + ext_len + len;
         if bytes.len() < total {
             return Err(FrameError::Truncated {
                 have: bytes.len(),
                 need: total,
             });
         }
-        let payload = &bytes[HEADER_LEN..total];
-        check_crc(header, payload)?;
+        let ext = &bytes[HEADER_LEN..HEADER_LEN + ext_len];
+        let payload = &bytes[HEADER_LEN + ext_len..total];
+        check_crc(header, ext, payload)?;
         Ok((
             Frame {
                 msg: MsgType::from_u8(header[5]).expect("validated above"),
                 tensor: u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")),
                 step: u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")),
+                trace: if ext.is_empty() {
+                    TraceContext::NONE
+                } else {
+                    TraceContext::from_bytes(ext)
+                },
                 payload: payload.to_vec(),
             },
             total,
@@ -278,7 +418,7 @@ fn validate_fixed_header(header: &[u8]) -> Result<(), FrameError> {
             header[0..4].try_into().expect("4 bytes"),
         ));
     }
-    if header[4] != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&header[4]) {
         return Err(FrameError::BadVersion(header[4]));
     }
     if MsgType::from_u8(header[5]).is_none() {
@@ -287,11 +427,13 @@ fn validate_fixed_header(header: &[u8]) -> Result<(), FrameError> {
     Ok(())
 }
 
-/// Verifies the header CRC against header bytes 0..20 plus the payload.
-fn check_crc(header: &[u8], payload: &[u8]) -> Result<(), FrameError> {
+/// Verifies the header CRC against header bytes 0..20 plus the extension
+/// and payload.
+fn check_crc(header: &[u8], ext: &[u8], payload: &[u8]) -> Result<(), FrameError> {
     let expected = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
     let mut crc = Crc32::new();
     crc.update(&header[..20]);
+    crc.update(ext);
     crc.update(payload);
     let actual = crc.finish();
     if actual != expected {
@@ -300,8 +442,11 @@ fn check_crc(header: &[u8], payload: &[u8]) -> Result<(), FrameError> {
     Ok(())
 }
 
-/// Writes one frame without copying the payload into an owned [`Frame`].
-/// Returns the number of bytes written.
+/// Writes one frame without copying the payload into an owned [`Frame`],
+/// stamping it with the calling thread's current trace context (a live
+/// [`threelc_obs::TraceScope`] makes every outgoing frame a version-2
+/// frame automatically; with tracing off the wire bytes are identical to
+/// protocol version 1). Returns the number of bytes written.
 ///
 /// # Errors
 ///
@@ -313,19 +458,39 @@ pub fn write_frame<W: Write>(
     step: u64,
     payload: &[u8],
 ) -> io::Result<usize> {
+    write_frame_traced(w, msg, tensor, step, payload, TraceContext::current())
+}
+
+/// [`write_frame`] with an explicit trace context instead of the
+/// thread-ambient one.
+///
+/// # Errors
+///
+/// Propagates stream write failures (including write timeouts).
+pub fn write_frame_traced<W: Write>(
+    w: &mut W,
+    msg: MsgType,
+    tensor: u16,
+    step: u64,
+    payload: &[u8],
+    trace: TraceContext,
+) -> io::Result<usize> {
     assert!(payload.len() <= MAX_PAYLOAD, "payload above MAX_PAYLOAD");
-    w.write_all(&header_bytes(msg, tensor, step, payload))?;
+    let ext_buf = trace.to_bytes();
+    let ext: &[u8] = if trace.is_none() { &[] } else { &ext_buf };
+    w.write_all(&header_bytes(msg, tensor, step, ext, payload))?;
+    w.write_all(ext)?;
     w.write_all(payload)?;
-    Ok(HEADER_LEN + payload.len())
+    Ok(HEADER_LEN + ext.len() + payload.len())
 }
 
 /// Reads exactly one frame from a stream.
 ///
 /// Reads the fixed header first, validates it (so a bogus length is
-/// rejected before any allocation), then reads exactly the declared
-/// payload. A peer that closes mid-frame produces
-/// [`FrameError::Io`]/[`FrameError::Truncated`]-style errors via
-/// `read_exact`, never a panic.
+/// rejected before any allocation), then reads the version-implied
+/// extension and exactly the declared payload. A peer that closes
+/// mid-frame produces [`FrameError::Io`]/[`FrameError::Truncated`]-style
+/// errors via `read_exact`, never a panic.
 ///
 /// # Errors
 ///
@@ -335,17 +500,26 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     validate_fixed_header(&header)?;
+    let ext_len = ext_len_for(header[4]);
     let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
     if len > MAX_PAYLOAD {
         return Err(FrameError::Oversize { len });
     }
+    let mut ext = [0u8; TRACE_EXT_LEN];
+    let ext = &mut ext[..ext_len];
+    r.read_exact(ext)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    check_crc(&header, &payload)?;
+    check_crc(&header, ext, &payload)?;
     Ok(Frame {
         msg: MsgType::from_u8(header[5]).expect("validated above"),
         tensor: u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")),
         step: u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")),
+        trace: if ext.is_empty() {
+            TraceContext::NONE
+        } else {
+            TraceContext::from_bytes(ext)
+        },
         payload,
     })
 }
@@ -356,6 +530,31 @@ mod tests {
 
     fn sample() -> Frame {
         Frame::new(MsgType::PushTensor, 7, 42, vec![1, 2, 3, 4, 5])
+    }
+
+    fn sample_traced() -> Frame {
+        sample().with_trace(TraceContext {
+            trace_id: 0xDEAD_BEEF_0BAD_CAFE,
+            span_id: 0x0123_4567_89AB_CDEF,
+        })
+    }
+
+    /// Hand-builds a version-1 frame the way a pre-trace peer would.
+    fn v1_bytes(msg: MsgType, tensor: u16, step: u64, payload: &[u8]) -> Vec<u8> {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..4].copy_from_slice(&MAGIC);
+        h[4] = 1;
+        h[5] = msg as u8;
+        h[6..8].copy_from_slice(&tensor.to_le_bytes());
+        h[8..16].copy_from_slice(&step.to_le_bytes());
+        h[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&h[..20]);
+        crc.update(payload);
+        h[20..24].copy_from_slice(&crc.finish().to_le_bytes());
+        let mut out = h.to_vec();
+        out.extend_from_slice(payload);
+        out
     }
 
     #[test]
@@ -482,11 +681,86 @@ mod tests {
 
     #[test]
     fn msg_type_roundtrip() {
-        for v in 1..=12u8 {
+        for v in 1..=14u8 {
             let m = MsgType::from_u8(v).expect("valid discriminant");
             assert_eq!(m as u8, v);
         }
         assert!(MsgType::from_u8(0).is_none());
-        assert!(MsgType::from_u8(13).is_none());
+        assert!(MsgType::from_u8(15).is_none());
+    }
+
+    #[test]
+    fn contextless_frames_stay_version_1_on_the_wire() {
+        // A trace-free frame must be byte-identical to what a pre-trace
+        // build would emit: old peers keep decoding us.
+        let f = sample();
+        let bytes = f.encode();
+        assert_eq!(bytes[4], 1, "contextless frames must carry version 1");
+        assert_eq!(bytes, v1_bytes(f.msg, f.tensor, f.step, &f.payload));
+    }
+
+    #[test]
+    fn version_1_frames_from_old_peers_decode() {
+        let bytes = v1_bytes(MsgType::PushDone, 0, 9, &[7, 8, 9]);
+        let (f, used) = Frame::decode(&bytes).expect("v1 decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(f.msg, MsgType::PushDone);
+        assert_eq!(f.step, 9);
+        assert!(f.trace.is_none());
+        assert_eq!(f.payload, vec![7, 8, 9]);
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).expect("v1 stream"), f);
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_with_context() {
+        let f = sample_traced();
+        let bytes = f.encode();
+        assert_eq!(bytes[4], 2, "traced frames must carry version 2");
+        assert_eq!(bytes.len(), HEADER_LEN + TRACE_EXT_LEN + f.payload.len());
+        let (back, used) = Frame::decode(&bytes).expect("decode");
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).expect("read"), f);
+    }
+
+    #[test]
+    fn write_frame_traced_matches_encode() {
+        let f = sample_traced();
+        let mut out = Vec::new();
+        let n = write_frame_traced(&mut out, f.msg, f.tensor, f.step, &f.payload, f.trace)
+            .expect("write");
+        assert_eq!(out, f.encode());
+        assert_eq!(n, f.encoded_len());
+    }
+
+    #[test]
+    fn traced_frame_corruption_and_truncation_error() {
+        // The CRC must cover the trace extension too: flipping any byte
+        // of a v2 frame — header, extension, or payload — is rejected,
+        // and so is every truncated prefix.
+        let bytes = sample_traced().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(Frame::decode(&corrupt).is_err(), "flip at byte {i} decoded");
+        }
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut bytes = sample_traced().encode();
+        bytes[4] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::BadVersion(_))
+        ));
     }
 }

@@ -14,14 +14,19 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic "3LCN"
-//!      4     1  protocol version (1)
+//!      4     1  protocol version (1 = no trace context, 2 = 16-byte ext)
 //!      5     1  message type
 //!      6     2  tensor id
 //!      8     8  step number
 //!     16     4  payload length
-//!     20     4  CRC-32 (IEEE) over header bytes 0..20 + payload
-//!     24     n  payload (the 3LC wire format, raw f32s, or control data)
+//!     20     4  CRC-32 (IEEE) over header bytes 0..20 + ext + payload
+//!     24    16  [version 2 only] trace context: trace id + span id
+//!   24/40     n  payload (the 3LC wire format, raw f32s, or control data)
 //! ```
+//!
+//! Frames without a trace context are emitted as version 1, byte-for-byte
+//! identical to the pre-trace protocol, so old and new peers interoperate
+//! whenever tracing is off (see [`frame`]).
 //!
 //! See [`frame`] for the codec, [`server::serve`] and
 //! [`worker::run_worker`] for the two runtime roles.
@@ -37,7 +42,7 @@ pub mod worker;
 
 pub use counters::ConnCounters;
 pub use frame::{Frame, FrameError, MsgType, HEADER_LEN, MAX_PAYLOAD};
-pub use metrics::{scrape_metrics, Conn, NetMetrics};
+pub use metrics::{scrape_metrics, scrape_trace, Conn, NetMetrics};
 pub use protocol::NetError;
 pub use report::{ConnReport, NetReport};
 pub use server::{serve, ServeOptions};

@@ -10,11 +10,11 @@
 
 use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
-use crate::protocol::{decode_metrics_snapshot, NetError};
+use crate::protocol::{decode_metrics_snapshot, decode_trace_dump, NetError};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
-use threelc_obs::{global, Counter, Histogram, Snapshot};
+use threelc_obs::{global, Counter, Histogram, NodeTrace, Snapshot};
 
 /// Cached handles to one role's `net.*` metrics. Resolved once per
 /// connection; recording is then a few relaxed atomics per frame.
@@ -133,6 +133,47 @@ impl Conn {
 /// `timeout`, and [`NetError::Protocol`]/[`NetError::Frame`] if the reply
 /// is not a well-formed snapshot.
 pub fn scrape_metrics(addr: &str, timeout: Duration) -> Result<Snapshot, NetError> {
+    let stream = connect_scrape(addr, timeout)?;
+    write_frame(&mut &stream, MsgType::MetricsRequest, 0, 0, &[])?;
+    let reply = read_frame(&mut &stream)?;
+    if reply.msg != MsgType::MetricsSnapshot {
+        return Err(NetError::Protocol(format!(
+            "expected MetricsSnapshot, got {:?}",
+            reply.msg
+        )));
+    }
+    decode_metrics_snapshot(&reply.payload)
+}
+
+/// Scrapes a live (non-draining) snapshot of the server's own span buffer
+/// from a serving parameter server.
+///
+/// Like [`scrape_metrics`] this opens a fresh connection, so it works at
+/// any point in the server's lifetime without disturbing workers. Only
+/// the server's clock domain is visible live; worker buffers are
+/// collected at shutdown into [`NetReport`](crate::NetReport). Empty
+/// unless the server runs with `THREELC_TRACE=1`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] if the server is unreachable within
+/// `timeout`, and [`NetError::Protocol`]/[`NetError::Frame`] if the reply
+/// is not a well-formed trace dump.
+pub fn scrape_trace(addr: &str, timeout: Duration) -> Result<NodeTrace, NetError> {
+    let stream = connect_scrape(addr, timeout)?;
+    write_frame(&mut &stream, MsgType::TraceDumpRequest, 0, 0, &[])?;
+    let reply = read_frame(&mut &stream)?;
+    if reply.msg != MsgType::TraceDump {
+        return Err(NetError::Protocol(format!(
+            "expected TraceDump, got {:?}",
+            reply.msg
+        )));
+    }
+    decode_trace_dump(&reply.payload)
+}
+
+/// Opens the short-lived connection both scrape clients use.
+fn connect_scrape(addr: &str, timeout: Duration) -> Result<TcpStream, NetError> {
     let addrs: Vec<SocketAddr> = addr
         .to_socket_addrs()
         .map_err(|e| NetError::Protocol(format!("bad address {addr:?}: {e}")))?
@@ -144,15 +185,7 @@ pub fn scrape_metrics(addr: &str, timeout: Duration) -> Result<Snapshot, NetErro
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    write_frame(&mut &stream, MsgType::MetricsRequest, 0, 0, &[])?;
-    let reply = read_frame(&mut &stream)?;
-    if reply.msg != MsgType::MetricsSnapshot {
-        return Err(NetError::Protocol(format!(
-            "expected MetricsSnapshot, got {:?}",
-            reply.msg
-        )));
-    }
-    decode_metrics_snapshot(&reply.payload)
+    Ok(stream)
 }
 
 #[cfg(test)]
@@ -194,6 +227,10 @@ mod tests {
     fn scrape_rejects_unresolvable_addresses() {
         assert!(matches!(
             scrape_metrics("not an address", Duration::from_millis(100)),
+            Err(NetError::Protocol(_))
+        ));
+        assert!(matches!(
+            scrape_trace("not an address", Duration::from_millis(100)),
             Err(NetError::Protocol(_))
         ));
     }

@@ -100,11 +100,13 @@ pub fn decode_hello(payload: &[u8]) -> Result<u16, NetError> {
     Ok(u16::from_le_bytes(bytes))
 }
 
-/// Encodes the `PushDone` payload: local loss and worker codec seconds.
-pub fn encode_push_done(loss: f32, codec_seconds: f64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12);
+/// Encodes the `PushDone` payload: local loss, worker codec seconds, and
+/// the L2 norm of the worker's accumulated quantization residual.
+pub fn encode_push_done(loss: f32, codec_seconds: f64, residual_l2: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
     out.extend_from_slice(&loss.to_le_bytes());
     out.extend_from_slice(&codec_seconds.to_le_bytes());
+    out.extend_from_slice(&residual_l2.to_le_bytes());
     out
 }
 
@@ -134,19 +136,51 @@ pub fn decode_metrics_snapshot(payload: &[u8]) -> Result<threelc_obs::Snapshot, 
 
 /// Decodes the `PushDone` payload.
 ///
+/// Accepts both the current 20-byte form and the pre-residual 12-byte
+/// form (whose residual reads as 0.0), so a newer server keeps working
+/// with older workers.
+///
 /// # Errors
 ///
 /// Returns [`NetError::Protocol`] on a malformed payload.
-pub fn decode_push_done(payload: &[u8]) -> Result<(f32, f64), NetError> {
-    if payload.len() != 12 {
+pub fn decode_push_done(payload: &[u8]) -> Result<(f32, f64, f64), NetError> {
+    if payload.len() != 12 && payload.len() != 20 {
         return Err(NetError::Protocol(format!(
-            "push-done payload is {} bytes, want 12",
+            "push-done payload is {} bytes, want 12 or 20",
             payload.len()
         )));
     }
     let loss = f32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
     let codec = f64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
-    Ok((loss, codec))
+    let residual = if payload.len() == 20 {
+        f64::from_le_bytes(payload[12..20].try_into().expect("8 bytes"))
+    } else {
+        0.0
+    };
+    Ok((loss, codec, residual))
+}
+
+/// Encodes the `TraceDump` payload: one node's span buffer as JSON.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] if the trace does not serialize.
+pub fn encode_trace_dump(trace: &threelc_obs::NodeTrace) -> Result<Vec<u8>, NetError> {
+    serde_json::to_string(trace)
+        .map(String::into_bytes)
+        .map_err(|e| NetError::Protocol(format!("trace dump does not serialize: {e}")))
+}
+
+/// Decodes the `TraceDump` payload.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload.
+pub fn decode_trace_dump(payload: &[u8]) -> Result<threelc_obs::NodeTrace, NetError> {
+    let json = std::str::from_utf8(payload)
+        .map_err(|_| NetError::Protocol("trace dump payload is not UTF-8".into()))?;
+    serde_json::from_str(json)
+        .map_err(|e| NetError::Protocol(format!("trace dump does not parse: {e}")))
 }
 
 #[cfg(test)]
@@ -185,9 +219,48 @@ mod tests {
     fn hello_and_push_done_roundtrip() {
         assert_eq!(decode_hello(&encode_hello(513)).unwrap(), 513);
         assert!(decode_hello(&[1, 2, 3]).is_err());
-        let (loss, codec) = decode_push_done(&encode_push_done(0.75, 1.5)).unwrap();
+        let (loss, codec, residual) = decode_push_done(&encode_push_done(0.75, 1.5, 2.25)).unwrap();
         assert_eq!(loss, 0.75);
         assert_eq!(codec, 1.5);
+        assert_eq!(residual, 2.25);
         assert!(decode_push_done(&[0u8; 11]).is_err());
+        assert!(decode_push_done(&[0u8; 16]).is_err());
+        assert!(decode_push_done(&[0u8; 21]).is_err());
+    }
+
+    #[test]
+    fn legacy_12_byte_push_done_still_decodes() {
+        // A pre-residual worker sends loss + codec seconds only.
+        let mut old = Vec::new();
+        old.extend_from_slice(&0.5f32.to_le_bytes());
+        old.extend_from_slice(&3.0f64.to_le_bytes());
+        let (loss, codec, residual) = decode_push_done(&old).unwrap();
+        assert_eq!(loss, 0.5);
+        assert_eq!(codec, 3.0);
+        assert_eq!(residual, 0.0);
+    }
+
+    #[test]
+    fn trace_dump_roundtrip() {
+        let node = threelc_obs::NodeTrace {
+            clock: "worker3".into(),
+            spans: vec![threelc_obs::SpanRecord {
+                trace: 7,
+                span: 1,
+                parent: 0,
+                name: "network".into(),
+                node: "worker3".into(),
+                step: 4,
+                worker: 3,
+                start_ns: 100,
+                end_ns: 250,
+            }],
+            dropped: 2,
+        };
+        let bytes = encode_trace_dump(&node).unwrap();
+        let back = decode_trace_dump(&bytes).unwrap();
+        assert_eq!(back, node);
+        assert!(decode_trace_dump(b"not json").is_err());
+        assert!(decode_trace_dump(&[0xFF, 0xFE]).is_err());
     }
 }

@@ -3,6 +3,7 @@
 use crate::counters::ConnCounters;
 use serde::{Deserialize, Serialize};
 use threelc_distsim::ExperimentResult;
+use threelc_obs::{Anomaly, NodeTrace};
 
 /// One connection's summary in the final report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +25,17 @@ pub struct NetReport {
     pub result: ExperimentResult,
     /// Per-connection transport counters, in worker-id order.
     pub connections: Vec<ConnReport>,
+    /// Per-node span buffers collected at shutdown (server first, then
+    /// workers in id order). Empty unless the run traced
+    /// (`THREELC_TRACE=1`); `threelc trace` rebuilds the cross-node
+    /// timeline from these.
+    #[serde(default)]
+    pub node_traces: Vec<NodeTrace>,
+    /// Cross-node anomalies (stragglers) the watchdog flagged in the
+    /// merged timeline. Step-level anomalies (compression-ratio drift,
+    /// residual blowups) live in `result.trace.anomalies`.
+    #[serde(default)]
+    pub anomalies: Vec<Anomaly>,
 }
 
 #[cfg(test)]
@@ -49,10 +61,28 @@ mod tests {
                 peer: "127.0.0.1:9".into(),
                 counters: ConnCounters::default(),
             }],
+            node_traces: vec![NodeTrace {
+                clock: "server".into(),
+                spans: Vec::new(),
+                dropped: 0,
+            }],
+            anomalies: Vec::new(),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: NetReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+        // Reports from pre-trace builds (no node_traces/anomalies keys)
+        // still parse.
+        let stripped = json
+            .replace(
+                ",\"node_traces\":[{\"clock\":\"server\",\"spans\":[],\"dropped\":0}]",
+                "",
+            )
+            .replace(",\"anomalies\":[]", "");
+        assert_ne!(stripped, json);
+        let old: NetReport = serde_json::from_str(&stripped).unwrap();
+        assert!(old.node_traces.is_empty());
+        assert!(old.anomalies.is_empty());
         // The embedded result stays readable by ExperimentResult readers
         // (bench's cache schema).
         let embedded = serde_json::to_string(&report.result).unwrap();

@@ -18,8 +18,8 @@ use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
 use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{
-    bytes_to_tensor, decode_hello, decode_push_done, encode_metrics_snapshot, tensor_to_bytes,
-    NetError,
+    bytes_to_tensor, decode_hello, decode_push_done, decode_trace_dump, encode_metrics_snapshot,
+    encode_trace_dump, tensor_to_bytes, NetError,
 };
 use crate::report::{ConnReport, NetReport};
 use std::io::{self, BufReader, BufWriter, Write as _};
@@ -32,7 +32,10 @@ use threelc_distsim::engine::{self, Problem, ServerCore, TensorPayload};
 use threelc_distsim::trace::{EvalRecord, StepRecord, TrainingTrace};
 use threelc_distsim::{ExperimentConfig, ExperimentResult};
 use threelc_learning::Evaluation;
-use threelc_obs::{Level, SpanGuard};
+use threelc_obs::{
+    trace, Level, MergedTimeline, NodeTrace, SpanGuard, TraceBuffer, TraceScope, TraceSpan,
+    WatchdogConfig,
+};
 use threelc_tensor::Shape;
 
 /// Server tuning knobs.
@@ -68,15 +71,23 @@ enum ToCoord {
         payloads: Vec<TensorPayload>,
         loss: f32,
         codec_seconds: f64,
+        residual_l2: f64,
     },
     /// The handler finished (cleanly or with an error).
     Finished {
         worker: usize,
         peer: String,
         counters: ConnCounters,
+        /// The worker's span buffer, if the shutdown trace-dump exchange
+        /// ran (tracing on, clean finish).
+        trace: Option<NodeTrace>,
         error: Option<String>,
     },
 }
+
+/// One worker's contribution at the push barrier: tensor payloads, local
+/// loss, codec seconds, residual L2.
+type PushSlot = (Vec<TensorPayload>, f32, f64, f64);
 
 /// One step's shared pull batch, encoded once and broadcast to every
 /// handler (shared pull compression, paper Fig. 2b).
@@ -124,18 +135,31 @@ pub fn serve(
     let config_json = serde_json::to_string(config)
         .map_err(|e| NetError::Config(format!("config does not serialize: {e}")))?;
 
-    // ---- Handshake: fill every worker slot. Metrics scrapes arriving in
-    // this phase are answered inline without consuming a slot.
+    // Tracing: the server's own span buffer (its clock domain is the
+    // reference the timeline aligns every worker against). The run-wide
+    // trace id is derived from the seed, identically on every node.
+    let tracing = trace::trace_enabled();
+    let trace_id = trace::run_trace_id(config.seed);
+    let server_buf = Arc::new(TraceBuffer::default());
+
+    // ---- Handshake: fill every worker slot. Metrics/trace scrapes
+    // arriving in this phase are answered inline without consuming a slot.
     let (to_coord, from_handlers) = mpsc::channel::<ToCoord>();
     let mut pull_txs: Vec<Option<mpsc::Sender<FromCoord>>> = (0..workers).map(|_| None).collect();
     let mut handles = Vec::with_capacity(workers);
     while handles.len() < workers {
         let (stream, _) = listener.accept().map_err(NetError::Io)?;
-        let (worker, handshake_counters) =
-            match handshake(&stream, opts.io_timeout, workers, &pull_txs, &config_json)? {
-                Handshake::Worker(worker, counters) => (worker, counters),
-                Handshake::Scrape => continue,
-            };
+        let (worker, handshake_counters) = match handshake(
+            &stream,
+            opts.io_timeout,
+            workers,
+            &pull_txs,
+            &config_json,
+            &server_buf,
+        )? {
+            Handshake::Worker(worker, counters) => (worker, counters),
+            Handshake::Scrape => continue,
+        };
         threelc_obs::event!(Level::Info, "server.worker_connected", worker = worker);
         let (tx, rx) = mpsc::channel::<FromCoord>();
         pull_txs[worker] = Some(tx);
@@ -143,13 +167,14 @@ pub fn serve(
         let shapes = Arc::clone(&shapes);
         let total_steps = config.total_steps;
         let step_timeout = opts.step_timeout;
+        let buf = Arc::clone(&server_buf);
         handles.push(thread::spawn(move || {
             let peer = stream
                 .peer_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| "unknown".into());
             let mut conn = Conn::new(handshake_counters, NetMetrics::server());
-            let error = run_handler(
+            let (trace_dump, error) = match run_handler(
                 stream,
                 worker,
                 total_steps,
@@ -158,14 +183,18 @@ pub fn serve(
                 rx,
                 &mut conn,
                 step_timeout,
-            )
-            .err()
-            .map(|e| e.to_string());
+                &buf,
+                trace_id,
+            ) {
+                Ok(dump) => (dump, None),
+                Err(e) => (None, Some(e.to_string())),
+            };
             // The coordinator may already be gone on abort; ignore.
             let _ = to_coord.send(ToCoord::Finished {
                 worker,
                 peer,
                 counters: conn.counters,
+                trace: trace_dump,
                 error,
             });
         }));
@@ -174,9 +203,9 @@ pub fn serve(
 
     // Training phase: the main thread no longer accepts, so hand the
     // listener to a background scraper that keeps answering
-    // `MetricsRequest` connections. Dropped (stopping the thread and
-    // restoring the listener) on every exit path.
-    let _scraper = MetricsScraper::start(listener, opts.io_timeout)?;
+    // `MetricsRequest`/`TraceDumpRequest` connections. Dropped (stopping
+    // the thread and restoring the listener) on every exit path.
+    let _scraper = MetricsScraper::start(listener, opts.io_timeout, Arc::clone(&server_buf))?;
     let server_metrics = NetMetrics::server();
 
     // ---- Barrier-synchronized BSP training loop.
@@ -186,11 +215,13 @@ pub fn serve(
     let servers = config.servers.max(1);
     for step in 0..config.total_steps {
         let step_span = SpanGuard::on(Arc::clone(&server_metrics.step_seconds));
+        let _coord_scope = tracing
+            .then(|| TraceScope::enter(&server_buf, "server", trace_id, step, trace::NO_WORKER));
         let (_accepted, compute_multiplier) = engine::sample_stragglers(config, &mut straggler_rng);
 
         // Collect every worker's push batch (the barrier).
-        let mut slots: Vec<Option<(Vec<TensorPayload>, f32, f64)>> =
-            (0..workers).map(|_| None).collect();
+        let barrier_span = TraceSpan::start("barrier");
+        let mut slots: Vec<Option<PushSlot>> = (0..workers).map(|_| None).collect();
         let mut missing = workers;
         while missing > 0 {
             match from_handlers.recv_timeout(opts.step_timeout) {
@@ -200,6 +231,7 @@ pub fn serve(
                     payloads,
                     loss,
                     codec_seconds,
+                    residual_l2,
                 }) => {
                     if s != step {
                         return Err(NetError::Protocol(format!(
@@ -211,7 +243,7 @@ pub fn serve(
                             "worker {worker} pushed twice in step {step}"
                         )));
                     }
-                    slots[worker] = Some((payloads, loss, codec_seconds));
+                    slots[worker] = Some((payloads, loss, codec_seconds, residual_l2));
                     missing -= 1;
                 }
                 Ok(ToCoord::Finished { worker, error, .. }) => {
@@ -227,18 +259,21 @@ pub fn serve(
                 }
             }
         }
+        barrier_span.finish();
 
         // Worker-order accounting, exactly as the simulator does it.
         let mut payloads_by_worker = Vec::with_capacity(workers);
         let mut loss_sum = 0.0f64;
         let mut worker_codec_max = 0.0f64;
+        let mut residual_l2 = 0.0f64;
         let mut push_bytes = 0u64;
         let mut raw_bytes = 0u64;
         let mut server_bytes = vec![0u64; servers];
         for slot in &mut slots {
-            let (payloads, loss, codec) = slot.take().expect("barrier filled every slot");
+            let (payloads, loss, codec, residual) = slot.take().expect("barrier filled every slot");
             loss_sum += loss as f64;
             worker_codec_max = worker_codec_max.max(codec);
+            residual_l2 = residual_l2.max(residual);
             for (i, payload) in payloads.iter().enumerate() {
                 let bytes = payload.wire_len();
                 server_bytes[i % servers] += bytes;
@@ -288,6 +323,7 @@ pub fn serve(
             compute_multiplier,
             pull_overlapped: false,
             critical_bytes: server_bytes.iter().copied().max().unwrap_or(0),
+            residual_l2,
         });
         step_span.finish();
         let due = config.eval_every > 0 && (step + 1) % config.eval_every == 0;
@@ -299,15 +335,18 @@ pub fn serve(
         }
     }
 
-    // ---- Graceful shutdown: handlers run the Shutdown/ShutdownAck
-    // handshake on their own after the last pull, then report in.
+    // ---- Graceful shutdown: handlers collect each worker's span buffer
+    // (when tracing) and run the Shutdown/ShutdownAck handshake on their
+    // own after the last pull, then report in.
     let mut connections: Vec<Option<ConnReport>> = (0..workers).map(|_| None).collect();
+    let mut worker_traces: Vec<Option<NodeTrace>> = (0..workers).map(|_| None).collect();
     for _ in 0..workers {
         match from_handlers.recv_timeout(opts.step_timeout) {
             Ok(ToCoord::Finished {
                 worker,
                 peer,
                 counters,
+                trace,
                 error: None,
             }) => {
                 connections[worker] = Some(ConnReport {
@@ -315,6 +354,7 @@ pub fn serve(
                     peer,
                     counters,
                 });
+                worker_traces[worker] = trace;
             }
             Ok(ToCoord::Finished {
                 worker,
@@ -346,6 +386,26 @@ pub fn serve(
         step: config.total_steps,
         eval: final_eval,
     });
+    // Step-level anomalies (ratio drift, residual blowups) go into the
+    // embedded trace; cross-node stragglers come from the merged timeline.
+    trace.run_watchdog(workers as u64);
+    let mut node_traces = Vec::new();
+    let mut anomalies = Vec::new();
+    if tracing {
+        node_traces.push(server_buf.drain("server"));
+        node_traces.extend(worker_traces.into_iter().flatten());
+        let timeline = MergedTimeline::build(&node_traces);
+        anomalies = threelc_obs::watchdog::check_timeline(&timeline, &WatchdogConfig::default());
+        for a in &anomalies {
+            threelc_obs::event!(
+                Level::Warn,
+                "server.trace_anomaly",
+                kind = a.kind,
+                step = a.step,
+                node = a.node
+            );
+        }
+    }
     Ok(NetReport {
         result: ExperimentResult {
             config: *config,
@@ -358,6 +418,8 @@ pub fn serve(
             .into_iter()
             .map(|c| c.expect("every slot reported"))
             .collect(),
+        node_traces,
+        anomalies,
     })
 }
 
@@ -395,13 +457,14 @@ enum Handshake {
 }
 
 /// Dispatches the first frame of a fresh connection: either the worker
-/// Hello/HelloAck handshake, or a one-shot metrics scrape.
+/// Hello/HelloAck handshake, or a one-shot metrics/trace scrape.
 fn handshake(
     stream: &TcpStream,
     io_timeout: Duration,
     workers: usize,
     taken: &[Option<mpsc::Sender<FromCoord>>],
     config_json: &str,
+    server_buf: &Arc<TraceBuffer>,
 ) -> Result<Handshake, NetError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(io_timeout))?;
@@ -412,6 +475,10 @@ fn handshake(
     counters.note_read(hello.payload.len(), t0.elapsed().as_secs_f64());
     if hello.msg == MsgType::MetricsRequest {
         answer_scrape(stream)?;
+        return Ok(Handshake::Scrape);
+    }
+    if hello.msg == MsgType::TraceDumpRequest {
+        answer_trace_scrape(stream, server_buf)?;
         return Ok(Handshake::Scrape);
     }
     if hello.msg != MsgType::Hello {
@@ -452,6 +519,16 @@ fn answer_scrape(stream: &TcpStream) -> Result<(), NetError> {
     Ok(())
 }
 
+/// Replies to a `TraceDumpRequest` with a (non-draining) snapshot of the
+/// server's span buffer, so a live run can be inspected mid-training.
+fn answer_trace_scrape(stream: &TcpStream, buf: &Arc<TraceBuffer>) -> Result<(), NetError> {
+    let payload = encode_trace_dump(&buf.snapshot("server"))?;
+    write_frame(&mut &*stream, MsgType::TraceDump, 0, 0, &payload)?;
+    (&*stream).flush()?;
+    threelc_obs::event!(Level::Info, "server.trace_scraped", bytes = payload.len());
+    Ok(())
+}
+
 /// Background thread answering metrics scrapes while the coordinator is
 /// busy training (the main accept loop only runs during the handshake
 /// phase).
@@ -468,7 +545,11 @@ struct MetricsScraper<'a> {
 }
 
 impl<'a> MetricsScraper<'a> {
-    fn start(listener: &'a TcpListener, io_timeout: Duration) -> Result<Self, NetError> {
+    fn start(
+        listener: &'a TcpListener,
+        io_timeout: Duration,
+        server_buf: Arc<TraceBuffer>,
+    ) -> Result<Self, NetError> {
         let clone = listener.try_clone().map_err(NetError::Io)?;
         clone.set_nonblocking(true).map_err(NetError::Io)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -480,7 +561,7 @@ impl<'a> MetricsScraper<'a> {
                         // Anything other than a well-formed scrape on a
                         // mid-training connection is dropped; workers all
                         // joined during the handshake phase.
-                        let _ = serve_one_scrape(stream, io_timeout);
+                        let _ = serve_one_scrape(stream, io_timeout, &server_buf);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(20));
@@ -508,25 +589,32 @@ impl Drop for MetricsScraper<'_> {
 }
 
 /// Handles one connection accepted by the scraper thread.
-fn serve_one_scrape(stream: TcpStream, io_timeout: Duration) -> Result<(), NetError> {
+fn serve_one_scrape(
+    stream: TcpStream,
+    io_timeout: Duration,
+    server_buf: &Arc<TraceBuffer>,
+) -> Result<(), NetError> {
     // The accepting listener is non-blocking and the stream inherits
     // that; scrape I/O should block (bounded by the timeouts).
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(io_timeout))?;
     stream.set_write_timeout(Some(io_timeout))?;
     let frame = read_frame(&mut &stream)?;
-    if frame.msg != MsgType::MetricsRequest {
-        return Err(NetError::Protocol(format!(
-            "unexpected {:?} on a mid-training connection",
-            frame.msg
-        )));
+    match frame.msg {
+        MsgType::MetricsRequest => answer_scrape(&stream),
+        MsgType::TraceDumpRequest => answer_trace_scrape(&stream, server_buf),
+        other => Err(NetError::Protocol(format!(
+            "unexpected {other:?} on a mid-training connection"
+        ))),
     }
-    answer_scrape(&stream)
 }
 
 /// One connection's framing loop: collect pushes, forward to the
-/// coordinator, fan the shared pull batch back out, and finally run the
-/// shutdown handshake.
+/// coordinator, fan the shared pull batch back out, and finally collect
+/// the worker's trace dump (when tracing) and run the shutdown handshake.
+///
+/// On success, returns the worker's span buffer if the trace-dump
+/// exchange ran.
 #[allow(clippy::too_many_arguments)]
 fn run_handler(
     stream: TcpStream,
@@ -537,14 +625,26 @@ fn run_handler(
     pulls: mpsc::Receiver<FromCoord>,
     conn: &mut Conn,
     step_timeout: Duration,
-) -> Result<(), NetError> {
+    server_buf: &Arc<TraceBuffer>,
+    trace_id: u64,
+) -> Result<Option<NodeTrace>, NetError> {
+    let tracing = trace::trace_enabled();
     let n_params = shapes.len();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     for step in 0..total_steps {
-        // ---- Gather this worker's push batch.
+        // Handler spans land in the server's buffer (server clock), tagged
+        // with this worker's id — the timeline pairs them with the worker's
+        // own network span to estimate the worker clock's offset.
+        let _scope =
+            tracing.then(|| TraceScope::enter(server_buf, "server", trace_id, step, worker as i64));
+
+        // ---- Gather this worker's push batch. The recv_push span closes
+        // when the worker's PushDone lands, and is re-parented onto the
+        // span that sent it (carried by the frame's trace context).
+        let mut recv_span = TraceSpan::start("recv_push");
         let mut payloads: Vec<TensorPayload> = Vec::with_capacity(n_params);
-        let (loss, codec_seconds) = loop {
+        let (loss, codec_seconds, residual_l2) = loop {
             // One span per incoming frame: read plus dispatch (dropped at
             // the end of the iteration, including on break/error).
             let _frame_span = SpanGuard::on(Arc::clone(&conn.metrics.frame_seconds));
@@ -582,6 +682,9 @@ fn run_handler(
                             payloads.len()
                         )));
                     }
+                    if let Some(ctx) = frame.trace.to_obs() {
+                        recv_span.set_remote_parent(ctx);
+                    }
                     break decode_push_done(&frame.payload)?;
                 }
                 other => {
@@ -591,6 +694,7 @@ fn run_handler(
                 }
             }
         };
+        recv_span.finish();
         to_coord
             .send(ToCoord::Pushed {
                 worker,
@@ -598,6 +702,7 @@ fn run_handler(
                 payloads,
                 loss,
                 codec_seconds,
+                residual_l2,
             })
             .map_err(|_| NetError::Protocol("coordinator is gone".into()))?;
 
@@ -612,6 +717,7 @@ fn run_handler(
                 batch.step
             )));
         }
+        let send_span = TraceSpan::start("send_pull");
         for (i, (msg, payload)) in batch.frames.iter().enumerate() {
             let _frame_span = SpanGuard::on(Arc::clone(&conn.metrics.frame_seconds));
             let t0 = Instant::now();
@@ -622,7 +728,28 @@ fn run_handler(
         write_frame(&mut writer, MsgType::PullDone, 0, step, &[])?;
         writer.flush()?;
         conn.note_write(0, t0.elapsed().as_secs_f64());
+        send_span.finish();
     }
+
+    // ---- Collect the worker's span buffer before shutting it down.
+    let worker_trace = if tracing {
+        let t0 = Instant::now();
+        write_frame(&mut writer, MsgType::TraceDumpRequest, 0, total_steps, &[])?;
+        writer.flush()?;
+        conn.note_write(0, t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let dump = read_frame(&mut reader)?;
+        conn.note_read(dump.payload.len(), t0.elapsed().as_secs_f64());
+        if dump.msg != MsgType::TraceDump {
+            return Err(NetError::Protocol(format!(
+                "worker {worker} answered TraceDumpRequest with {:?}",
+                dump.msg
+            )));
+        }
+        Some(decode_trace_dump(&dump.payload)?)
+    } else {
+        None
+    };
 
     // ---- Graceful shutdown handshake.
     let t0 = Instant::now();
@@ -638,5 +765,5 @@ fn run_handler(
             ack.msg
         )));
     }
-    Ok(())
+    Ok(worker_trace)
 }

@@ -9,7 +9,9 @@
 use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
 use crate::metrics::{Conn, NetMetrics};
-use crate::protocol::{bytes_to_tensor, encode_hello, encode_push_done, tensor_to_bytes, NetError};
+use crate::protocol::{
+    bytes_to_tensor, encode_hello, encode_push_done, encode_trace_dump, tensor_to_bytes, NetError,
+};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -18,7 +20,7 @@ use std::time::{Duration, Instant};
 use threelc_distsim::engine::{Problem, TensorPayload, WorkerReplica};
 use threelc_distsim::ExperimentConfig;
 use threelc_learning::Network;
-use threelc_obs::{Level, SpanGuard};
+use threelc_obs::{trace, Level, SpanGuard, TraceBuffer, TraceScope, TraceSpan};
 
 /// Worker connection and retry knobs.
 #[derive(Debug, Clone)]
@@ -166,12 +168,41 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
     // Decode-only mirrors of the server's pull contexts (decode is pure).
     let pull_ctxs = problem.pull_ctxs();
 
+    // Tracing: a worker-local span buffer (its own clock domain — in a
+    // loopback run every node shares one process, so node identity must
+    // live in the buffer, not in process globals). The run-wide trace id
+    // is derived from the seed, identically on every node, so it never
+    // needs to cross the wire. Drained into the server's TraceDumpRequest
+    // at shutdown.
+    let tracing = trace::trace_enabled();
+    let node = format!("worker{}", opts.worker);
+    let buffer = Arc::new(TraceBuffer::default());
+    let trace_id = trace::run_trace_id(config.seed);
+    // Fault injection for exercising the straggler watchdog end to end:
+    // sleep this many milliseconds inside every compute span.
+    let straggle = std::env::var("THREELC_STRAGGLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+
     // ---- The BSP loop.
     for step in 0..config.total_steps {
         let _step_span = SpanGuard::on(Arc::clone(&conn.metrics.step_seconds));
+        let _scope =
+            tracing.then(|| TraceScope::enter(&buffer, &node, trace_id, step, opts.worker as i64));
+
+        let compute_span = TraceSpan::start("compute");
+        if straggle > 0 {
+            thread::sleep(Duration::from_millis(straggle));
+        }
         let (loss, grads) = replica.compute(&problem.data, config.batch_per_worker);
+        compute_span.finish();
+
+        // encode_push emits the quantize/encode spans from inside the codec.
         let encoded = replica.encode_push(grads);
+        let residual_l2 = replica.residual_l2();
         let mut codec_seconds = encoded.codec_seconds;
+        let serialize_span = TraceSpan::start("serialize");
         for (i, payload) in encoded.payloads.iter().enumerate() {
             let (msg, bytes) = match payload {
                 TensorPayload::Compressed(wire) => (MsgType::PushTensor, wire.clone()),
@@ -187,14 +218,22 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
             conn.note_write(bytes.len(), t0.elapsed().as_secs_f64());
         }
         conn.note_codec(codec_seconds);
-        let done = encode_push_done(loss, codec_seconds);
+        serialize_span.finish();
+
+        // The network span runs from flushing the push batch until the
+        // barrier releases us with a complete pull batch. Decoding is
+        // deliberately excluded (it happens below, under "pull"): the
+        // clock-offset estimator pairs this span's endpoints with the
+        // server's recv_push/send_pull spans.
+        let network_span = TraceSpan::start("network");
+        let done = encode_push_done(loss, codec_seconds, residual_l2);
         let t0 = Instant::now();
         write_frame(&mut writer, MsgType::PushDone, 0, step, &done)?;
         writer.flush()?;
         conn.note_write(done.len(), t0.elapsed().as_secs_f64());
 
-        // Pull the shared model delta and apply it.
-        let mut deltas = Vec::with_capacity(n_params);
+        // Read the shared pull batch.
+        let mut pull_frames = Vec::with_capacity(n_params);
         loop {
             let t0 = Instant::now();
             let frame = read_frame(&mut reader)?;
@@ -207,37 +246,20 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
             }
             match frame.msg {
                 MsgType::PullTensor | MsgType::PullRaw => {
-                    let i = deltas.len();
+                    let i = pull_frames.len();
                     if i >= n_params || usize::from(frame.tensor) != i {
                         return Err(NetError::Protocol(format!(
                             "server pulled tensor {} out of order (expected {i})",
                             frame.tensor
                         )));
                     }
-                    let t1 = Instant::now();
-                    let delta = if frame.msg == MsgType::PullTensor {
-                        pull_ctxs[i]
-                            .as_ref()
-                            .ok_or_else(|| {
-                                NetError::Protocol(format!(
-                                    "server compressed tensor {i}, which is below the threshold"
-                                ))
-                            })?
-                            .decompress(&frame.payload)
-                            .map_err(|e| {
-                                NetError::Protocol(format!("pull payload {i} does not decode: {e}"))
-                            })?
-                    } else {
-                        bytes_to_tensor(&frame.payload, &problem.shapes[i])?
-                    };
-                    conn.note_codec(t1.elapsed().as_secs_f64());
-                    deltas.push(delta);
+                    pull_frames.push((frame.msg, frame.payload));
                 }
                 MsgType::PullDone => {
-                    if deltas.len() != n_params {
+                    if pull_frames.len() != n_params {
                         return Err(NetError::Protocol(format!(
                             "server pulled {} of {n_params} tensors",
-                            deltas.len()
+                            pull_frames.len()
                         )));
                     }
                     break;
@@ -249,18 +271,64 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
                 }
             }
         }
+        network_span.finish();
+
+        // Decode the shared model delta and apply it.
+        let pull_span = TraceSpan::start("pull");
+        let mut deltas = Vec::with_capacity(n_params);
+        for (i, (msg, payload)) in pull_frames.into_iter().enumerate() {
+            let t1 = Instant::now();
+            let delta = if msg == MsgType::PullTensor {
+                pull_ctxs[i]
+                    .as_ref()
+                    .ok_or_else(|| {
+                        NetError::Protocol(format!(
+                            "server compressed tensor {i}, which is below the threshold"
+                        ))
+                    })?
+                    .decompress(&payload)
+                    .map_err(|e| {
+                        NetError::Protocol(format!("pull payload {i} does not decode: {e}"))
+                    })?
+            } else {
+                bytes_to_tensor(&payload, &problem.shapes[i])?
+            };
+            conn.note_codec(t1.elapsed().as_secs_f64());
+            deltas.push(delta);
+        }
         replica.apply_deltas(&deltas);
+        pull_span.finish();
     }
 
-    // ---- Graceful shutdown handshake.
-    let t0 = Instant::now();
-    let fin = read_frame(&mut reader)?;
-    conn.note_read(fin.payload.len(), t0.elapsed().as_secs_f64());
-    if fin.msg != MsgType::Shutdown {
-        return Err(NetError::Protocol(format!(
-            "expected Shutdown, got {:?}",
-            fin.msg
-        )));
+    // ---- Graceful shutdown handshake. The server may first ask for this
+    // worker's span buffer (TraceDumpRequest); answer any number of those
+    // — even with tracing off the reply is just an empty buffer — then
+    // ack the Shutdown.
+    loop {
+        let t0 = Instant::now();
+        let fin = read_frame(&mut reader)?;
+        conn.note_read(fin.payload.len(), t0.elapsed().as_secs_f64());
+        match fin.msg {
+            MsgType::TraceDumpRequest => {
+                let dump = encode_trace_dump(&buffer.drain(&node))?;
+                let t0 = Instant::now();
+                write_frame(
+                    &mut writer,
+                    MsgType::TraceDump,
+                    0,
+                    config.total_steps,
+                    &dump,
+                )?;
+                writer.flush()?;
+                conn.note_write(dump.len(), t0.elapsed().as_secs_f64());
+            }
+            MsgType::Shutdown => break,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected Shutdown, got {other:?}"
+                )));
+            }
+        }
     }
     let t0 = Instant::now();
     write_frame(

@@ -3,10 +3,16 @@
 //! over-read, never over-allocate).
 
 use proptest::prelude::*;
-use threelc_net::frame::{self, Frame, MsgType, HEADER_LEN};
+use threelc_net::frame::{self, Frame, MsgType, TraceContext, HEADER_LEN};
 
 fn arb_msg() -> impl Strategy<Value = MsgType> {
-    (1u8..=10).prop_map(|b| MsgType::from_u8(b).expect("1..=10 are valid"))
+    (1u8..=14).prop_map(|b| MsgType::from_u8(b).expect("1..=14 are valid"))
+}
+
+/// Any trace context, including the absent one (which makes the frame a
+/// version-1 frame on the wire).
+fn arb_trace() -> impl Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>()).prop_map(|(trace_id, span_id)| TraceContext { trace_id, span_id })
 }
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
@@ -15,8 +21,11 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         any::<u16>(),
         any::<u64>(),
         prop::collection::vec(any::<u8>(), 0..600),
+        arb_trace(),
     )
-        .prop_map(|(msg, tensor, step, payload)| Frame::new(msg, tensor, step, payload))
+        .prop_map(|(msg, tensor, step, payload, trace)| {
+            Frame::new(msg, tensor, step, payload).with_trace(trace)
+        })
 }
 
 proptest! {
@@ -66,9 +75,44 @@ proptest! {
     fn garbage_never_panics_and_never_over_reads(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
         if let Ok((frame, consumed)) = Frame::decode(&bytes) {
             prop_assert!(consumed <= bytes.len());
-            prop_assert_eq!(consumed, HEADER_LEN + frame.payload.len());
+            prop_assert_eq!(consumed, frame.encoded_len());
+            prop_assert!(consumed >= HEADER_LEN + frame.payload.len());
         }
         let _ = frame::read_frame(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn trace_dump_payloads_roundtrip(
+        clock_i in 0usize..4,
+        dropped in any::<u64>(),
+        spans in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), 0usize..8, any::<u64>(), -1i64..64, any::<u64>(), any::<u64>()),
+            0..20,
+        ),
+    ) {
+        let names = ["quantize", "encode", "serialize", "network", "pull", "recv_push", "send_pull", "barrier"];
+        let clock: String = ["server", "worker0", "worker1", "sim"][clock_i].into();
+        let node = threelc_obs::NodeTrace {
+            clock: clock.clone(),
+            spans: spans
+                .into_iter()
+                .map(|(trace, span, parent, name, step, worker, start, dur)| threelc_obs::SpanRecord {
+                    trace,
+                    span,
+                    parent,
+                    name: names[name].into(),
+                    node: clock.clone(),
+                    step,
+                    worker,
+                    start_ns: start,
+                    end_ns: start.saturating_add(dur % 1_000_000),
+                })
+                .collect(),
+            dropped,
+        };
+        let payload = threelc_net::protocol::encode_trace_dump(&node).expect("serializes");
+        let back = threelc_net::protocol::decode_trace_dump(&payload).expect("parses");
+        prop_assert_eq!(back, node);
     }
 
     #[test]

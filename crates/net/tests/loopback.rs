@@ -218,6 +218,121 @@ fn loopback_uncompressed_scheme_also_matches() {
 }
 
 #[test]
+fn traced_loopback_produces_a_complete_cross_node_timeline() {
+    // THREELC_TRACE=1 equivalent: enable span recording for this run.
+    threelc_obs::set_trace_enabled(true);
+    let config = ExperimentConfig {
+        total_steps: 4,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::three_lc(1.0))
+    };
+    let (report, _outcomes) = run_loopback(config);
+    threelc_obs::set_trace_enabled(false);
+
+    // One span buffer per node: the server's, then each worker's
+    // (collected over the wire via TraceDumpRequest at shutdown).
+    assert_eq!(report.node_traces.len(), 1 + config.workers);
+    assert_eq!(report.node_traces[0].clock, "server");
+    assert_eq!(report.node_traces.iter().map(|n| n.dropped).sum::<u64>(), 0);
+
+    // The merged timeline covers every step with all eight phases.
+    let timeline = threelc_obs::MergedTimeline::build(&report.node_traces);
+    let steps = timeline.steps();
+    assert_eq!(steps.len(), config.total_steps as usize);
+    for &step in &steps {
+        for phase in threelc_obs::PHASES {
+            assert!(
+                timeline.phase_seconds(step, phase) > 0.0,
+                "step {step} is missing phase {phase:?}"
+            );
+        }
+    }
+
+    // Worker-side phases appear in every worker's lane, server-side
+    // phases in the server's, for every step.
+    for &step in &steps {
+        for w in 0..config.workers {
+            let lane = format!("worker{w}");
+            for phase in ["quantize", "encode", "serialize", "network", "pull"] {
+                assert!(
+                    timeline
+                        .spans
+                        .iter()
+                        .any(|s| s.node == lane && s.name == phase && s.step == step),
+                    "step {step}: lane {lane} is missing {phase:?}"
+                );
+            }
+        }
+        for phase in ["server-decode", "aggregate", "re-encode"] {
+            assert!(
+                timeline
+                    .spans
+                    .iter()
+                    .any(|s| s.node == "server" && s.name == phase && s.step == step),
+                "step {step}: server lane is missing {phase:?}"
+            );
+        }
+    }
+
+    // Cross-node parenting: the server's recv_push spans point at worker
+    // spans carried by the wire's trace context.
+    let worker_ids: std::collections::HashSet<u64> = timeline
+        .spans
+        .iter()
+        .filter(|s| s.node.starts_with("worker"))
+        .map(|s| s.span)
+        .collect();
+    let linked = timeline
+        .spans
+        .iter()
+        .filter(|s| s.name == "recv_push")
+        .filter(|s| worker_ids.contains(&s.parent))
+        .count();
+    assert!(
+        linked > 0,
+        "no recv_push span is parented onto a worker span"
+    );
+
+    // All nodes share one process here, so every estimated clock offset
+    // must be tiny (well under one barrier round-trip of slack).
+    assert_eq!(timeline.offsets.len(), config.workers);
+    for off in &timeline.offsets {
+        assert!(off.samples > 0, "{}: no barrier samples", off.clock);
+    }
+
+    // The residual norm crossed the wire into the step records.
+    assert!(report
+        .result
+        .trace
+        .steps
+        .iter()
+        .all(|s| s.residual_l2 > 0.0));
+
+    // The Chrome export names every phase.
+    let chrome = timeline.chrome_json();
+    for phase in threelc_obs::PHASES {
+        assert!(
+            chrome.contains(&format!("\"name\":\"{phase}\"")),
+            "chrome trace is missing {phase:?} events"
+        );
+    }
+
+    // A healthy loopback run must not trip the watchdog on any wire
+    // phase. The worker-local `compute` phase is exempt: debug-build
+    // step-0 warm-up on a loaded host can genuinely exceed 4x the median
+    // (a true straggler by the definition, just not a codec bug).
+    let unexpected: Vec<_> = report
+        .anomalies
+        .iter()
+        .filter(|a| a.phase != "compute")
+        .collect();
+    assert!(
+        unexpected.is_empty(),
+        "unexpected anomalies: {unexpected:?}"
+    );
+}
+
+#[test]
 fn worker_retry_budget_is_bounded() {
     // Grab an ephemeral port, then close it: connections get refused.
     let dead_addr = {

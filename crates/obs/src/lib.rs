@@ -4,7 +4,7 @@
 //! wall-clock — so every layer of this workspace reports into one shared
 //! instrumentation layer instead of growing its own ad-hoc counters. The
 //! crate is std-only (the vendored `serde` stubs are its only
-//! dependencies) and provides four pieces:
+//! dependencies) and provides seven pieces:
 //!
 //! 1. **A metrics registry** ([`Registry`]) of named [`Counter`]s,
 //!    [`Gauge`]s, and log-bucketed [`Histogram`]s. Metrics are lock-free
@@ -22,6 +22,18 @@
 //!    registered metric, serializable to JSON (the payload of the network
 //!    scrape protocol in `threelc-net`) and renderable as text (the
 //!    output of `threelc metrics`).
+//! 5. **Distributed tracing** ([`trace`]): per-node ring buffers of
+//!    [`SpanRecord`]s with parent links and a run-wide
+//!    trace id, off by default via `THREELC_TRACE`. Trace context rides
+//!    the `threelc-net` wire format so a step's spans connect across
+//!    nodes.
+//! 6. **Timeline reconstruction** ([`timeline`]): merges per-node buffers
+//!    onto one axis — estimating per-worker clock offsets from barrier
+//!    round-trips — and exports Chrome-trace JSON or a terminal per-step
+//!    phase breakdown (`threelc trace`).
+//! 7. **An anomaly watchdog** ([`watchdog`]): flags straggler workers,
+//!    compression-ratio drift, and residual-L2 blowups from collected
+//!    telemetry (`threelc trace --check`).
 //!
 //! ```
 //! use threelc_obs::Registry;
@@ -45,9 +57,18 @@ pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod timeline;
+pub mod trace;
+pub mod watchdog;
 
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry};
 pub use sink::{emit, log_enabled, set_level, set_log_file, set_writer, Level};
 pub use snapshot::{CounterEntry, GaugeEntry, HistEntry, HistogramSnapshot, Snapshot};
 pub use span::SpanGuard;
+pub use timeline::{AlignedSpan, ClockOffset, MergedTimeline, PHASES};
+pub use trace::{
+    current_ctx, global_buffer, now_ns, run_trace_id, set_trace_enabled, trace_enabled, NodeTrace,
+    SpanRecord, TraceBuffer, TraceCtx, TraceScope, TraceSpan, NO_WORKER,
+};
+pub use watchdog::{Anomaly, StepStats, WatchdogConfig};

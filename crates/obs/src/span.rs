@@ -13,16 +13,21 @@ use std::time::Instant;
 #[must_use = "a span measures nothing unless it is held until the work completes"]
 #[derive(Debug)]
 pub struct SpanGuard {
-    hist: Option<Arc<Histogram>>,
+    hist: Arc<Histogram>,
     start: Instant,
+    /// Set by [`finish`](Self::finish) so the `Drop` impl records the
+    /// duration only when `finish()` was never called — each span feeds
+    /// its histogram exactly once.
+    finished: bool,
 }
 
 impl SpanGuard {
     /// Starts a span feeding `hist` on completion.
     pub fn on(hist: Arc<Histogram>) -> Self {
         SpanGuard {
-            hist: Some(hist),
+            hist,
             start: Instant::now(),
+            finished: false,
         }
     }
 
@@ -34,17 +39,16 @@ impl SpanGuard {
     /// Ends the span, records the duration, and returns it in seconds.
     pub fn finish(mut self) -> f64 {
         let secs = self.start.elapsed().as_secs_f64();
-        if let Some(hist) = self.hist.take() {
-            hist.record(secs);
-        }
+        self.finished = true;
+        self.hist.record(secs);
         secs
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(hist) = self.hist.take() {
-            hist.record(self.start.elapsed().as_secs_f64());
+        if !self.finished {
+            self.hist.record(self.start.elapsed().as_secs_f64());
         }
     }
 }
@@ -95,6 +99,18 @@ mod tests {
             let _guard = SpanGuard::on(Arc::clone(&hist));
         }
         assert_eq!(hist.snapshot().count, 1);
+    }
+
+    #[test]
+    fn finish_then_drop_records_exactly_once() {
+        // Regression: `finish()` consumes self, so its drop still runs —
+        // the guard must not feed the histogram a second time.
+        let hist = Arc::new(Histogram::new());
+        let guard = SpanGuard::on(Arc::clone(&hist));
+        let secs = guard.finish();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, secs);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Telemetry anomaly watchdog: flags straggler workers, compression-ratio
+//! drift, and residual-L2 blowups from a merged timeline and per-step
+//! compression statistics.
+//!
+//! The watchdog is deterministic and purely analytical — it looks at
+//! collected data, never at live clocks — so the simulator and a TCP run
+//! over the same data produce the same anomaly list.
+
+use crate::timeline::MergedTimeline;
+use crate::trace::NO_WORKER;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Detection thresholds. Defaults are deliberately loose: the watchdog is
+/// a tripwire for pathology (a 4× straggler, a 10× residual blowup), not
+/// a micro-benchmark regression gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// A worker's phase is a straggler when its duration exceeds
+    /// `straggler_k` × the median duration of that phase across workers
+    /// in the same step (strictly greater; exactly k·median passes).
+    pub straggler_k: f64,
+    /// Phases shorter than this (seconds) are never stragglers, however
+    /// skewed — guards against flagging microsecond noise.
+    pub straggler_min_seconds: f64,
+    /// A step's compression ratio drifts when it falls below
+    /// median ratio / `ratio_drift_factor`.
+    pub ratio_drift_factor: f64,
+    /// A step's residual L2 blows up when it exceeds
+    /// `residual_blowup_factor` × the median residual.
+    pub residual_blowup_factor: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            straggler_k: 4.0,
+            straggler_min_seconds: 0.005,
+            ratio_drift_factor: 2.0,
+            residual_blowup_factor: 10.0,
+        }
+    }
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// `straggler`, `ratio-drift`, or `residual-blowup`.
+    pub kind: String,
+    /// Step the anomaly occurred at.
+    pub step: u64,
+    /// Lane involved (stragglers), empty otherwise.
+    #[serde(default)]
+    pub node: String,
+    /// Phase involved (stragglers), empty otherwise.
+    #[serde(default)]
+    pub phase: String,
+    /// The observed value (seconds, ratio, or L2 norm).
+    pub value: f64,
+    /// The threshold the value crossed.
+    pub threshold: f64,
+    /// Human-readable summary.
+    pub detail: String,
+}
+
+/// Per-step compression statistics the step-level checks consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Training step.
+    pub step: u64,
+    /// Compression ratio (raw bytes / compressed bytes); 0 when unknown.
+    pub compression_ratio: f64,
+    /// Residual (error-accumulation buffer) L2 norm; 0 when unknown.
+    pub residual_l2: f64,
+}
+
+/// Phases excluded from straggler comparison. `network` and the barrier
+/// spans mostly measure *waiting at the barrier*, which is longest for
+/// the **fastest** worker — flagging it would invert the signal. `step`
+/// envelopes are compared through their constituent phases instead.
+const STRAGGLER_SKIP: [&str; 5] = ["network", "step", "recv_push", "send_pull", "barrier"];
+
+/// Flags worker phases that exceed `k` × the per-step cross-worker median
+/// (lower-middle median, so with two workers the baseline is the faster
+/// one). Requires at least two worker lanes per phase — a single worker
+/// has no peers to lag behind.
+pub fn check_timeline(timeline: &MergedTimeline, cfg: &WatchdogConfig) -> Vec<Anomaly> {
+    // (step, phase) → per-(node,worker) total seconds.
+    let mut groups: BTreeMap<(u64, String), BTreeMap<(String, i64), f64>> = BTreeMap::new();
+    for s in &timeline.spans {
+        if s.worker == NO_WORKER || STRAGGLER_SKIP.contains(&s.name.as_str()) {
+            continue;
+        }
+        // Server-side phases carry the server lane name but a worker id;
+        // group by the lane that did the work.
+        *groups
+            .entry((s.step, s.name.clone()))
+            .or_default()
+            .entry((s.node.clone(), s.worker))
+            .or_insert(0.0) += s.dur_ns as f64 / 1e9;
+    }
+
+    let mut anomalies = Vec::new();
+    for ((step, phase), lanes) in &groups {
+        if lanes.len() < 2 {
+            continue;
+        }
+        let mut durs: Vec<f64> = lanes.values().copied().collect();
+        durs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = durs[(durs.len() - 1) / 2];
+        let threshold = cfg.straggler_k * median;
+        for ((node, worker), &dur) in lanes {
+            if dur > threshold && dur > cfg.straggler_min_seconds {
+                anomalies.push(Anomaly {
+                    kind: "straggler".into(),
+                    step: *step,
+                    node: node.clone(),
+                    phase: phase.clone(),
+                    value: dur,
+                    threshold,
+                    detail: format!(
+                        "step {step}: worker {worker} ({node}) spent {:.3} ms in {phase}, \
+                         > {:.1}x the {:.3} ms median",
+                        dur * 1e3,
+                        cfg.straggler_k,
+                        median * 1e3
+                    ),
+                });
+            }
+        }
+    }
+    anomalies
+}
+
+/// Flags compression-ratio drift and residual-L2 blowups against the
+/// run's median (lower-middle). Steps with zero/unknown values are
+/// excluded from both the baseline and the checks.
+pub fn check_steps(stats: &[StepStats], cfg: &WatchdogConfig) -> Vec<Anomaly> {
+    let mut anomalies = Vec::new();
+
+    let mut ratios: Vec<f64> = stats
+        .iter()
+        .map(|s| s.compression_ratio)
+        .filter(|&r| r > 0.0)
+        .collect();
+    if ratios.len() >= 2 {
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let median = ratios[(ratios.len() - 1) / 2];
+        let floor = median / cfg.ratio_drift_factor;
+        for s in stats {
+            if s.compression_ratio > 0.0 && s.compression_ratio < floor {
+                anomalies.push(Anomaly {
+                    kind: "ratio-drift".into(),
+                    step: s.step,
+                    node: String::new(),
+                    phase: String::new(),
+                    value: s.compression_ratio,
+                    threshold: floor,
+                    detail: format!(
+                        "step {}: compression ratio {:.2}x fell below {:.2}x \
+                         (median {:.2}x / {:.1})",
+                        s.step, s.compression_ratio, floor, median, cfg.ratio_drift_factor
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut residuals: Vec<f64> = stats
+        .iter()
+        .map(|s| s.residual_l2)
+        .filter(|&r| r > 0.0)
+        .collect();
+    if residuals.len() >= 2 {
+        residuals.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
+        let median = residuals[(residuals.len() - 1) / 2];
+        let ceil = median * cfg.residual_blowup_factor;
+        for s in stats {
+            if s.residual_l2 > ceil {
+                anomalies.push(Anomaly {
+                    kind: "residual-blowup".into(),
+                    step: s.step,
+                    node: String::new(),
+                    phase: String::new(),
+                    value: s.residual_l2,
+                    threshold: ceil,
+                    detail: format!(
+                        "step {}: residual L2 {:.4} exceeded {:.4} \
+                         ({:.1}x the {:.4} median)",
+                        s.step, s.residual_l2, ceil, cfg.residual_blowup_factor, median
+                    ),
+                });
+            }
+        }
+    }
+
+    anomalies.sort_by(|a, b| a.step.cmp(&b.step).then(a.kind.cmp(&b.kind)));
+    anomalies
+}
+
+/// Runs both the timeline and step-level checks.
+pub fn check(timeline: &MergedTimeline, stats: &[StepStats], cfg: &WatchdogConfig) -> Vec<Anomaly> {
+    let mut anomalies = check_timeline(timeline, cfg);
+    anomalies.extend(check_steps(stats, cfg));
+    anomalies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::MergedTimeline;
+    use crate::trace::{NodeTrace, SpanRecord};
+
+    fn span(
+        name: &str,
+        node: &str,
+        step: u64,
+        worker: i64,
+        start_ms: u64,
+        dur_ms: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace: 1,
+            span: (step + 1) * 1000 + start_ms,
+            parent: 0,
+            name: name.into(),
+            node: node.into(),
+            step,
+            worker,
+            start_ns: start_ms * 1_000_000,
+            end_ns: (start_ms + dur_ms) * 1_000_000,
+        }
+    }
+
+    fn timeline_with(spans: Vec<SpanRecord>) -> MergedTimeline {
+        MergedTimeline::build(&[NodeTrace {
+            clock: "server".into(),
+            spans,
+            dropped: 0,
+        }])
+    }
+
+    #[test]
+    fn a_true_straggler_is_flagged() {
+        // Three workers: two take 10 ms to encode, one takes 100 ms
+        // (> 4 × 10 ms median and > 5 ms floor).
+        let tl = timeline_with(vec![
+            span("encode", "worker0", 1, 0, 0, 10),
+            span("encode", "worker1", 1, 1, 0, 10),
+            span("encode", "worker2", 1, 2, 0, 100),
+        ]);
+        let found = check_timeline(&tl, &WatchdogConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, "straggler");
+        assert_eq!(found[0].node, "worker2");
+        assert_eq!(found[0].phase, "encode");
+        assert_eq!(found[0].step, 1);
+        assert!((found[0].value - 0.100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exactly_k_times_median_is_not_a_straggler() {
+        // The comparison is strict: 40 ms == 4 × 10 ms passes.
+        let tl = timeline_with(vec![
+            span("encode", "worker0", 0, 0, 0, 10),
+            span("encode", "worker1", 0, 1, 0, 10),
+            span("encode", "worker2", 0, 2, 0, 40),
+        ]);
+        assert!(check_timeline(&tl, &WatchdogConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn sub_floor_skew_is_not_a_straggler() {
+        // 100× skew, but 2 ms < the 5 ms floor.
+        let tl = timeline_with(vec![
+            span("quantize", "worker0", 0, 0, 0, 0),
+            span("quantize", "worker1", 0, 1, 0, 2),
+        ]);
+        assert!(check_timeline(&tl, &WatchdogConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn two_workers_use_the_faster_as_baseline() {
+        // Lower-middle median of {10, 100} is 10: the slow worker of a
+        // pair is still detectable.
+        let tl = timeline_with(vec![
+            span("compute", "worker0", 2, 0, 0, 10),
+            span("compute", "worker1", 2, 1, 0, 100),
+        ]);
+        let found = check_timeline(&tl, &WatchdogConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].node, "worker1");
+    }
+
+    #[test]
+    fn barrier_like_phases_and_single_lanes_are_skipped() {
+        let tl = timeline_with(vec![
+            // network measures barrier waiting; never compared.
+            span("network", "worker0", 0, 0, 0, 10),
+            span("network", "worker1", 0, 1, 0, 500),
+            // one lane only: no peers, no comparison.
+            span("encode", "worker0", 0, 0, 0, 500),
+        ]);
+        assert!(check_timeline(&tl, &WatchdogConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn ratio_drift_is_flagged_below_half_median() {
+        let stats: Vec<StepStats> = (0..6)
+            .map(|step| StepStats {
+                step,
+                compression_ratio: if step == 4 { 3.0 } else { 12.0 },
+                residual_l2: 1.0,
+            })
+            .collect();
+        let found = check_steps(&stats, &WatchdogConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, "ratio-drift");
+        assert_eq!(found[0].step, 4);
+    }
+
+    #[test]
+    fn residual_blowup_is_flagged_above_ten_times_median() {
+        let stats: Vec<StepStats> = (0..5)
+            .map(|step| StepStats {
+                step,
+                compression_ratio: 10.0,
+                residual_l2: if step == 3 { 25.0 } else { 2.0 },
+            })
+            .collect();
+        let found = check_steps(&stats, &WatchdogConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, "residual-blowup");
+        assert_eq!(found[0].step, 3);
+        assert!((found[0].value - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_runs_produce_no_anomalies() {
+        let tl = timeline_with(vec![
+            span("encode", "worker0", 0, 0, 0, 10),
+            span("encode", "worker1", 0, 1, 0, 12),
+        ]);
+        let stats: Vec<StepStats> = (0..4)
+            .map(|step| StepStats {
+                step,
+                compression_ratio: 12.0 + step as f64 * 0.1,
+                residual_l2: 1.0 + step as f64 * 0.05,
+            })
+            .collect();
+        assert!(check(&tl, &stats, &WatchdogConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn anomaly_serde_roundtrip() {
+        let a = Anomaly {
+            kind: "straggler".into(),
+            step: 7,
+            node: "worker3".into(),
+            phase: "encode".into(),
+            value: 0.25,
+            threshold: 0.04,
+            detail: "slow".into(),
+        };
+        let json = serde_json::to_string(&a).expect("serialize");
+        let back: Anomaly = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, a);
+    }
+}
