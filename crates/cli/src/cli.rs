@@ -21,7 +21,12 @@ usage:
                      [--scheme float32|fp16|int8|3lc] [--sparsity S]
                      [--width N] [--blocks N] [--batch N] [--eval-every N]
                      [--threads N] [--json report.json]
-  threelc worker     --addr A --id N [--threads N]
+                     [--rejoin-timeout SECS] [--max-rejoins N]
+  threelc worker     --addr A --id N [--threads N] [--max-rejoins N]
+                     [--inject-fault SPEC] [--rejoin]
+  threelc simulate   [--workers N] [--steps N] [--seed N] [--scheme ...]
+                     [--sparsity S] [--width N] [--blocks N] [--batch N]
+                     [--eval-every N] [--threads N]
   threelc metrics    <addr> [--json]
   threelc metrics    --from <log.jsonl> [--json]
   threelc trace      <report.json|addr> [--chrome out.json] [--check]
@@ -29,6 +34,14 @@ usage:
 
 --threads N uses up to N codec/aggregation threads (0 = one per core);
 output is bit-identical at every setting.
+
+serve tolerates worker disconnects: a worker may reconnect and resume
+mid-run (up to --max-rejoins times, waiting --rejoin-timeout seconds per
+barrier; --max-rejoins 0 restores fail-stop). worker --inject-fault arms
+a deterministic fault (disconnect@N, drop-after-push@N, kill@N, crc@N[:S],
+delay@N:MS; also via THREELC_FAULT); --rejoin resumes a previous worker's
+run after a kill. simulate runs the same experiment in-process and prints
+the same `final model crc32` line a fault-free or recovered serve prints.
 
 trace renders the cross-node step timeline of a THREELC_TRACE=1 run from
 a `serve --json` report (or a live server's own spans), exports Chrome/
@@ -62,6 +75,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("stats") => stats(&args[1..]),
         Some("serve") => crate::netcmd::serve_cmd(&args[1..]),
         Some("worker") => crate::netcmd::worker_cmd(&args[1..]),
+        Some("simulate") => crate::netcmd::simulate_cmd(&args[1..]),
         Some("metrics") => crate::netcmd::metrics_cmd(&args[1..]),
         Some("trace") => crate::tracecmd::trace_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`").into()),
@@ -669,6 +683,36 @@ mod tests {
         let parsed: threelc_net::NetReport = serde_json::from_str(&dumped).expect("parse report");
         assert_eq!(parsed.connections.len(), 2);
         assert_eq!(parsed.result.trace.steps.len(), 3);
+
+        // `threelc simulate` with the same experiment flags prints the
+        // exact same final-model fingerprint line — the equality the CI
+        // chaos smoke greps for.
+        let crc_line = report
+            .lines()
+            .find(|l| l.starts_with("final model crc32: "))
+            .expect("serve prints the fingerprint line");
+        let sim = run(&s(&[
+            "simulate",
+            "--workers",
+            "2",
+            "--steps",
+            "3",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--sparsity",
+            "1.5",
+        ]))
+        .expect("simulate run");
+        assert!(
+            sim.contains(crc_line),
+            "simulate fingerprint diverged:\nserve: {report}\nsimulate: {sim}"
+        );
     }
 
     #[test]
@@ -736,6 +780,44 @@ mod tests {
         assert!(run(&s(&["worker", "--addr", "127.0.0.1:1"])).is_err()); // --id missing
         assert!(run(&s(&["worker", "--id", "0"])).is_err()); // --addr missing
         assert!(run(&s(&["worker", "--addr", "not-an-address", "--id", "0"])).is_err());
+        // Fault-tolerance flags are validated up front.
+        assert!(run(&s(&["serve", "--addr", "x", "--max-rejoins", "many"])).is_err());
+        assert!(run(&s(&["serve", "--addr", "x", "--rejoin-timeout"])).is_err());
+        let bad_fault = run(&s(&[
+            "worker",
+            "--addr",
+            "127.0.0.1:1",
+            "--id",
+            "0",
+            "--inject-fault",
+            "meteor@3",
+        ]))
+        .expect_err("unknown fault kind");
+        assert!(bad_fault.to_string().contains("meteor"), "got: {bad_fault}");
+        assert!(run(&s(&["simulate", "--bogus", "1"])).is_err());
+        assert!(run(&s(&["simulate", "--scheme", "zstd"])).is_err());
+    }
+
+    #[test]
+    fn simulate_command_is_deterministic() {
+        let args = s(&[
+            "simulate",
+            "--workers",
+            "2",
+            "--steps",
+            "2",
+            "--width",
+            "8",
+            "--blocks",
+            "1",
+            "--batch",
+            "4",
+        ]);
+        let a = run(&args).expect("first simulate");
+        let b = run(&args).expect("second simulate");
+        assert_eq!(a, b);
+        assert!(a.contains("final model crc32: "), "got: {a}");
+        assert!(a.contains("simulated 2 worker(s) for 2 steps"), "got: {a}");
     }
 
     #[test]
@@ -808,6 +890,8 @@ mod tests {
             connections: vec![],
             node_traces: vec![],
             anomalies: vec![],
+            final_model_crc32: 0,
+            faults: threelc_net::FaultsReport::default(),
         };
         let path = tmp("untraced-report.json");
         std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();

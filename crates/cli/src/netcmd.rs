@@ -11,17 +11,22 @@ use std::net::TcpListener;
 use std::time::Duration;
 use threelc::SparsityMultiplier;
 use threelc_baselines::SchemeKind;
-use threelc_distsim::ExperimentConfig;
-use threelc_net::{run_worker, scrape_metrics, serve, ServeOptions, WorkerOptions};
+use threelc_distsim::{Cluster, ExperimentConfig};
+use threelc_net::{
+    model_crc32, run_worker, scrape_metrics, serve, FaultPlan, ServeOptions, WorkerOptions,
+};
 use threelc_obs::{Level, Snapshot};
 
 type CliResult = Result<String, Box<dyn Error>>;
 
-/// Rejects unknown flags and flags missing their value (every flag of
-/// these subcommands takes exactly one value).
-fn check_flags(args: &[String], known: &[&str]) -> Result<(), Box<dyn Error>> {
+/// Rejects unknown flags and flags missing their value. Flags in `known`
+/// take exactly one value; flags in `boolean` take none.
+fn check_flags(args: &[String], known: &[&str], boolean: &[&str]) -> Result<(), Box<dyn Error>> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if boolean.contains(&a.as_str()) {
+            continue;
+        }
         if !known.contains(&a.as_str()) {
             return Err(format!("unknown argument `{a}`").into());
         }
@@ -64,27 +69,23 @@ fn parse_scheme(name: &str, sparsity: f32) -> Result<SchemeKind, Box<dyn Error>>
     }
 }
 
-/// `threelc serve`: bind, run a full experiment as the parameter server,
-/// and report (optionally dumping the full JSON report).
-pub fn serve_cmd(args: &[String]) -> CliResult {
-    const FLAGS: &[&str] = &[
-        "--addr",
-        "--workers",
-        "--steps",
-        "--scheme",
-        "--sparsity",
-        "--seed",
-        "--width",
-        "--blocks",
-        "--batch",
-        "--eval-every",
-        "--threads",
-        "--json",
-    ];
-    check_flags(args, FLAGS)?;
-    let addr =
-        flag_value(args, "--addr").ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
+/// The experiment-shape flags shared by `serve` and `simulate`.
+const CONFIG_FLAGS: &[&str] = &[
+    "--workers",
+    "--steps",
+    "--scheme",
+    "--sparsity",
+    "--seed",
+    "--width",
+    "--blocks",
+    "--batch",
+    "--eval-every",
+];
 
+/// Builds the experiment configuration from the shared [`CONFIG_FLAGS`],
+/// so `serve` and `simulate` agree byte-for-byte on what a given command
+/// line trains.
+fn config_from_flags(args: &[String]) -> Result<ExperimentConfig, Box<dyn Error>> {
     let sparsity: f32 = parse_flag(args, "--sparsity")?.unwrap_or(1.0);
     SparsityMultiplier::new(sparsity).map_err(|_| "sparsity must be in [1.0, 2.0)")?;
     let scheme = match flag_value(args, "--scheme") {
@@ -113,11 +114,43 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
     if let Some(v) = parse_flag(args, "--eval-every")? {
         config.eval_every = v;
     }
+    Ok(config)
+}
 
-    let opts = ServeOptions {
+/// `threelc serve`: bind, run a full experiment as the parameter server,
+/// and report (optionally dumping the full JSON report).
+pub fn serve_cmd(args: &[String]) -> CliResult {
+    const FLAGS: &[&str] = &[
+        "--addr",
+        "--workers",
+        "--steps",
+        "--scheme",
+        "--sparsity",
+        "--seed",
+        "--width",
+        "--blocks",
+        "--batch",
+        "--eval-every",
+        "--threads",
+        "--json",
+        "--rejoin-timeout",
+        "--max-rejoins",
+    ];
+    check_flags(args, FLAGS, &[])?;
+    let addr =
+        flag_value(args, "--addr").ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
+    let config = config_from_flags(args)?;
+
+    let mut opts = ServeOptions {
         threads: parse_flag(args, "--threads")?.unwrap_or(1),
         ..ServeOptions::default()
     };
+    if let Some(secs) = parse_flag::<u64>(args, "--rejoin-timeout")? {
+        opts.rejoin_timeout = Duration::from_secs(secs);
+    }
+    if let Some(v) = parse_flag(args, "--max-rejoins")? {
+        opts.max_rejoins = v;
+    }
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = listener.local_addr()?;
     let report = serve(&listener, &config, &opts)?;
@@ -159,6 +192,21 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         result.final_eval.loss,
         result.final_eval.accuracy * 100.0
     )?;
+    writeln!(out, "final model crc32: {:08x}", report.final_model_crc32)?;
+    if report.faults.disconnects > 0 || report.faults.rejoins > 0 {
+        writeln!(
+            out,
+            "faults: {} disconnect(s), {} rejoin(s)",
+            report.faults.disconnects, report.faults.rejoins
+        )?;
+        for e in &report.faults.events {
+            writeln!(
+                out,
+                "fault [{}] step {} worker {}: {}",
+                e.kind, e.step, e.worker, e.detail
+            )?;
+        }
+    }
     writeln!(
         out,
         "traffic: push {push} B, pull {pull} B, raw {raw} B (payloads, all workers)"
@@ -279,16 +327,69 @@ fn snapshot_from_log(path: &str) -> Result<Snapshot, Box<dyn Error>> {
     })
 }
 
+/// `threelc simulate`: run the same experiment a `serve`/`worker` pair
+/// would, entirely in-process, and print the same final-model fingerprint
+/// line. The chaos smoke in CI compares this line against a faulted
+/// networked run's — bit-identical recovery, checked from the shell.
+pub fn simulate_cmd(args: &[String]) -> CliResult {
+    let mut flags: Vec<&str> = CONFIG_FLAGS.to_vec();
+    flags.push("--threads");
+    check_flags(args, &flags, &[])?;
+    let config = config_from_flags(args)?;
+
+    let mut cluster = Cluster::new(config);
+    cluster.set_threads(parse_flag(args, "--threads")?.unwrap_or(1));
+    for _ in 0..config.total_steps {
+        cluster.step();
+    }
+    let eval = cluster.evaluate();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "simulated {} worker(s) for {} steps [{}]",
+        config.workers,
+        config.total_steps,
+        config.scheme.label()
+    )?;
+    writeln!(
+        out,
+        "final eval: loss {:.4}, accuracy {:.2}%",
+        eval.loss,
+        eval.accuracy * 100.0
+    )?;
+    writeln!(
+        out,
+        "final model crc32: {:08x}",
+        model_crc32(cluster.global_model())
+    )?;
+    Ok(out)
+}
+
 /// `threelc worker`: join a serving parameter server and train.
 pub fn worker_cmd(args: &[String]) -> CliResult {
-    const FLAGS: &[&str] = &["--addr", "--id", "--threads"];
-    check_flags(args, FLAGS)?;
+    const FLAGS: &[&str] = &[
+        "--addr",
+        "--id",
+        "--threads",
+        "--max-rejoins",
+        "--inject-fault",
+    ];
+    const BOOL_FLAGS: &[&str] = &["--rejoin"];
+    check_flags(args, FLAGS, BOOL_FLAGS)?;
     let addr =
         flag_value(args, "--addr").ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
     let id: u16 = parse_flag(args, "--id")?.ok_or("--id is required (0-based worker id)")?;
 
     let mut wopts = WorkerOptions::new(addr, id);
     wopts.threads = parse_flag(args, "--threads")?.unwrap_or(1);
+    if let Some(v) = parse_flag(args, "--max-rejoins")? {
+        wopts.max_rejoins = v;
+    }
+    wopts.start_rejoined = args.iter().any(|a| a == "--rejoin");
+    wopts.fault = match flag_value(args, "--inject-fault") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => FaultPlan::from_env()?,
+    };
     let outcome = run_worker(&wopts)?;
     let c = &outcome.counters;
     let mut out = String::new();
@@ -298,6 +399,13 @@ pub fn worker_cmd(args: &[String]) -> CliResult {
         outcome.steps,
         outcome.config.scheme.label()
     )?;
+    if outcome.rejoins > 0 {
+        writeln!(
+            out,
+            "rejoined {} time(s) after losing the server",
+            outcome.rejoins
+        )?;
+    }
     writeln!(
         out,
         "traffic: in {} B / {} frames, out {} B / {} frames, {} retries",

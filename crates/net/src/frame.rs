@@ -89,6 +89,12 @@ pub enum MsgType {
     TraceDumpRequest = 13,
     /// Reply: `payload = threelc_obs::NodeTrace JSON`.
     TraceDump = 14,
+    /// Worker → server: reconnect mid-run; `payload = worker id (u16 LE)`.
+    Rejoin = 15,
+    /// Server → worker: resume grant; `payload = resume step (u64 LE) +
+    /// ExperimentConfig JSON`. Followed by a replay of every completed
+    /// step's pull batch.
+    RejoinAck = 16,
 }
 
 impl MsgType {
@@ -109,6 +115,8 @@ impl MsgType {
             12 => Some(MsgType::MetricsSnapshot),
             13 => Some(MsgType::TraceDumpRequest),
             14 => Some(MsgType::TraceDump),
+            15 => Some(MsgType::Rejoin),
+            16 => Some(MsgType::RejoinAck),
             _ => None,
         }
     }
@@ -681,12 +689,12 @@ mod tests {
 
     #[test]
     fn msg_type_roundtrip() {
-        for v in 1..=14u8 {
+        for v in 1..=16u8 {
             let m = MsgType::from_u8(v).expect("valid discriminant");
             assert_eq!(m as u8, v);
         }
         assert!(MsgType::from_u8(0).is_none());
-        assert!(MsgType::from_u8(15).is_none());
+        assert!(MsgType::from_u8(17).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod counters;
 pub mod crc32;
+pub mod faults;
 pub mod frame;
 pub mod metrics;
 pub mod protocol;
@@ -41,9 +42,10 @@ pub mod server;
 pub mod worker;
 
 pub use counters::ConnCounters;
+pub use faults::{FaultAction, FaultInjector, FaultKind, FaultPlan, FAULT_ENV, KILL_EXIT_CODE};
 pub use frame::{Frame, FrameError, MsgType, HEADER_LEN, MAX_PAYLOAD};
 pub use metrics::{scrape_metrics, scrape_trace, Conn, NetMetrics};
-pub use protocol::NetError;
-pub use report::{ConnReport, NetReport};
+pub use protocol::{model_crc32, NetError};
+pub use report::{ConnReport, FaultEvent, FaultsReport, NetReport};
 pub use server::{serve, ServeOptions};
 pub use worker::{run_worker, WorkerOptions, WorkerOutcome};

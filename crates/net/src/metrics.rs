@@ -34,6 +34,11 @@ pub struct NetMetrics {
     pub bytes_in: Arc<Counter>,
     /// Total bytes sent (headers + payloads).
     pub bytes_out: Arc<Counter>,
+    /// Mid-run connection losses survived (server: worker disconnects
+    /// tolerated; worker: sessions lost and retried).
+    pub disconnects: Arc<Counter>,
+    /// Successful mid-run rejoins.
+    pub rejoins: Arc<Counter>,
 }
 
 impl NetMetrics {
@@ -47,6 +52,8 @@ impl NetMetrics {
             backoff_seconds: reg.histogram(&format!("{prefix}.backoff_seconds")),
             bytes_in: reg.counter(&format!("{prefix}.bytes_in")),
             bytes_out: reg.counter(&format!("{prefix}.bytes_out")),
+            disconnects: reg.counter(&format!("{prefix}.disconnects")),
+            rejoins: reg.counter(&format!("{prefix}.rejoins")),
         }
     }
 

@@ -100,6 +100,51 @@ pub fn decode_hello(payload: &[u8]) -> Result<u16, NetError> {
     Ok(u16::from_le_bytes(bytes))
 }
 
+/// Encodes the `RejoinAck` payload: the step the rejoining worker must
+/// resume at (u64 LE), followed by the `ExperimentConfig` JSON — so a
+/// freshly started replacement process needs nothing beyond the ack to
+/// rebuild its replica.
+pub fn encode_rejoin_ack(resume_step: u64, config_json: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + config_json.len());
+    out.extend_from_slice(&resume_step.to_le_bytes());
+    out.extend_from_slice(config_json.as_bytes());
+    out
+}
+
+/// Decodes the `RejoinAck` payload into the resume step and the config
+/// JSON.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload.
+pub fn decode_rejoin_ack(payload: &[u8]) -> Result<(u64, &str), NetError> {
+    if payload.len() < 8 {
+        return Err(NetError::Protocol(format!(
+            "rejoin-ack payload is {} bytes, want at least 8",
+            payload.len()
+        )));
+    }
+    let resume_step = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let json = std::str::from_utf8(&payload[8..])
+        .map_err(|_| NetError::Protocol("rejoin-ack config is not UTF-8".into()))?;
+    Ok((resume_step, json))
+}
+
+/// A stable fingerprint of a model: CRC-32 (IEEE) over every parameter
+/// tensor's little-endian `f32` bytes, in parameter order. Bit-identical
+/// models hash identically, so a networked run — even one that survived
+/// worker faults — can be compared against the in-process simulator with
+/// a single number (the chaos gate in `ci.sh` does exactly that).
+pub fn model_crc32(model: &threelc_learning::Network) -> u32 {
+    let mut crc = crate::crc32::Crc32::new();
+    for param in model.params() {
+        for &x in param.iter() {
+            crc.update(&x.to_le_bytes());
+        }
+    }
+    crc.finish()
+}
+
 /// Encodes the `PushDone` payload: local loss, worker codec seconds, and
 /// the L2 norm of the worker's accumulated quantization residual.
 pub fn encode_push_done(loss: f32, codec_seconds: f64, residual_l2: f64) -> Vec<u8> {
@@ -226,6 +271,40 @@ mod tests {
         assert!(decode_push_done(&[0u8; 11]).is_err());
         assert!(decode_push_done(&[0u8; 16]).is_err());
         assert!(decode_push_done(&[0u8; 21]).is_err());
+    }
+
+    #[test]
+    fn rejoin_ack_roundtrip() {
+        let payload = encode_rejoin_ack(17, "{\"workers\":2}");
+        let (step, json) = decode_rejoin_ack(&payload).unwrap();
+        assert_eq!(step, 17);
+        assert_eq!(json, "{\"workers\":2}");
+        // An empty config is structurally valid at this layer.
+        let empty = encode_rejoin_ack(0, "");
+        let (step, json) = decode_rejoin_ack(&empty).unwrap();
+        assert_eq!(step, 0);
+        assert_eq!(json, "");
+        assert!(decode_rejoin_ack(&[0u8; 7]).is_err());
+        let mut bad = encode_rejoin_ack(3, "");
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_rejoin_ack(&bad).is_err());
+    }
+
+    #[test]
+    fn model_crc32_distinguishes_models() {
+        use threelc_learning::{models, DataSpec};
+        let spec = DataSpec {
+            channels: 1,
+            height: 4,
+            width: 4,
+            classes: 3,
+        };
+        let a = models::mlp(&spec, &[8], 11);
+        let b = models::mlp(&spec, &[8], 11);
+        let c = models::mlp(&spec, &[8], 12);
+        // Same seed, same bits, same hash; a different seed changes it.
+        assert_eq!(model_crc32(&a), model_crc32(&b));
+        assert_ne!(model_crc32(&a), model_crc32(&c));
     }
 
     #[test]

@@ -16,6 +16,35 @@ pub struct ConnReport {
     pub counters: ConnCounters,
 }
 
+/// One server-visible fault during a run: a worker disconnect or a
+/// successful rejoin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Step the coordinator was at when the event happened.
+    pub step: u64,
+    /// Worker involved.
+    pub worker: usize,
+    /// `disconnect` or `rejoin`.
+    pub kind: String,
+    /// Human-readable cause (the handler error for disconnects).
+    pub detail: String,
+}
+
+/// The fault-tolerance section of the report: how turbulent the run was.
+///
+/// A fault-free run reports all zeros, and old reports without the
+/// section parse as that.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultsReport {
+    /// Mid-run worker disconnects the coordinator survived.
+    pub disconnects: u64,
+    /// Successful rejoins (each pairs with one disconnect).
+    pub rejoins: u64,
+    /// The event log, in coordinator order.
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+}
+
 /// The networked run's final report: the standard [`ExperimentResult`]
 /// (the same schema the `bench` harness caches and plots from), plus the
 /// transport-level per-connection counters only a real network run has.
@@ -23,8 +52,20 @@ pub struct ConnReport {
 pub struct NetReport {
     /// The training outcome in the simulator's result schema.
     pub result: ExperimentResult,
-    /// Per-connection transport counters, in worker-id order.
+    /// CRC-32 fingerprint of the final global model's parameter bytes
+    /// ([`crate::protocol::model_crc32`]); `threelc simulate` prints the
+    /// same fingerprint for the same configuration, so "did the networked
+    /// run converge to the simulator's exact model" is one string compare.
+    /// Zero in reports written before the field existed.
+    #[serde(default)]
+    pub final_model_crc32: u32,
+    /// Per-connection transport counters, in worker-id order. Workers
+    /// that reconnected mid-run report the totals across all their
+    /// connections.
     pub connections: Vec<ConnReport>,
+    /// Disconnect/rejoin accounting for the run.
+    #[serde(default)]
+    pub faults: FaultsReport,
     /// Per-node span buffers collected at shutdown (server first, then
     /// workers in id order). Empty unless the run traced
     /// (`THREELC_TRACE=1`); `threelc trace` rebuilds the cross-node
@@ -56,11 +97,22 @@ mod tests {
         });
         let report = NetReport {
             result: result.clone(),
+            final_model_crc32: 0xDEAD_BEEF,
             connections: vec![ConnReport {
                 worker: 0,
                 peer: "127.0.0.1:9".into(),
                 counters: ConnCounters::default(),
             }],
+            faults: FaultsReport {
+                disconnects: 1,
+                rejoins: 1,
+                events: vec![FaultEvent {
+                    step: 3,
+                    worker: 0,
+                    kind: "rejoin".into(),
+                    detail: "replayed 3 step(s)".into(),
+                }],
+            },
             node_traces: vec![NodeTrace {
                 clock: "server".into(),
                 spans: Vec::new(),
@@ -71,18 +123,32 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: NetReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
-        // Reports from pre-trace builds (no node_traces/anomalies keys)
-        // still parse.
+        // Reports from pre-trace, pre-fault-tolerance builds (no
+        // node_traces/anomalies/faults/final_model_crc32 keys) still parse.
         let stripped = json
             .replace(
                 ",\"node_traces\":[{\"clock\":\"server\",\"spans\":[],\"dropped\":0}]",
                 "",
             )
-            .replace(",\"anomalies\":[]", "");
+            .replace(",\"anomalies\":[]", "")
+            .replace("\"final_model_crc32\":3735928559,", "")
+            .replace(
+                ",\"faults\":{\"disconnects\":1,\"rejoins\":1,\"events\":\
+                 [{\"step\":3,\"worker\":0,\"kind\":\"rejoin\",\
+                 \"detail\":\"replayed 3 step(s)\"}]}",
+                "",
+            );
         assert_ne!(stripped, json);
+        assert!(!stripped.contains("faults"), "faults key not stripped");
+        assert!(
+            !stripped.contains("final_model_crc32"),
+            "crc key not stripped"
+        );
         let old: NetReport = serde_json::from_str(&stripped).unwrap();
         assert!(old.node_traces.is_empty());
         assert!(old.anomalies.is_empty());
+        assert_eq!(old.final_model_crc32, 0);
+        assert_eq!(old.faults, FaultsReport::default());
         // The embedded result stays readable by ExperimentResult readers
         // (bench's cache schema).
         let embedded = serde_json::to_string(&report.result).unwrap();

@@ -7,23 +7,32 @@
 //! is exactly [`threelc_distsim::engine`]'s, so a networked run matches
 //! the in-process simulator bit for bit.
 //!
-//! Failure semantics are fail-stop: a protocol violation, checksum
-//! mismatch, timeout, or dropped connection on any worker aborts the run
-//! with an error. Every blocking socket operation is bounded by
+//! Failure semantics are fault-tolerant by default: when a worker's
+//! connection dies mid-run (timeout, checksum mismatch, reset), the
+//! coordinator parks the barrier for up to [`ServeOptions::rejoin_timeout`]
+//! and lets the worker reconnect with a `Rejoin` frame. The rejoined
+//! worker is granted the current step and a replay of every completed
+//! pull batch, from which it deterministically rebuilds a bit-identical
+//! replica (see `DESIGN.md` §11). With [`ServeOptions::max_rejoins`] `= 0`
+//! the runtime is strictly fail-stop, as it was before rejoin existed:
+//! any mid-run disconnect aborts the run. Protocol violations (wrong
+//! step, out-of-order tensors) always abort — those are bugs, not faults.
+//! Every blocking socket operation is bounded by
 //! [`ServeOptions::io_timeout`], and every barrier wait by
-//! [`ServeOptions::step_timeout`], so a dead peer cannot wedge the
-//! server.
+//! [`ServeOptions::step_timeout`] (or the rejoin timeout while a worker
+//! is out), so a dead peer cannot wedge the server.
 
 use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
 use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{
     bytes_to_tensor, decode_hello, decode_push_done, decode_trace_dump, encode_metrics_snapshot,
-    encode_trace_dump, tensor_to_bytes, NetError,
+    encode_rejoin_ack, encode_trace_dump, model_crc32, tensor_to_bytes, NetError,
 };
-use crate::report::{ConnReport, NetReport};
+use crate::report::{ConnReport, FaultEvent, FaultsReport, NetReport};
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -33,8 +42,8 @@ use threelc_distsim::trace::{EvalRecord, StepRecord, TrainingTrace};
 use threelc_distsim::{ExperimentConfig, ExperimentResult};
 use threelc_learning::Evaluation;
 use threelc_obs::{
-    trace, Level, MergedTimeline, NodeTrace, SpanGuard, TraceBuffer, TraceScope, TraceSpan,
-    WatchdogConfig,
+    trace, FaultSample, Level, MergedTimeline, NodeTrace, SpanGuard, TraceBuffer, TraceScope,
+    TraceSpan, WatchdogConfig,
 };
 use threelc_tensor::Shape;
 
@@ -46,6 +55,14 @@ pub struct ServeOptions {
     /// How long the coordinator waits at a barrier (for all pushes to
     /// arrive, or for handlers to finish) before declaring the run dead.
     pub step_timeout: Duration,
+    /// How long the coordinator parks a barrier waiting for a
+    /// disconnected worker to rejoin (which includes the worker's replay
+    /// of every completed step) before declaring the run dead.
+    pub rejoin_timeout: Duration,
+    /// Mid-run rejoins tolerated across the whole run. `0` restores the
+    /// original fail-stop semantics: any mid-run disconnect aborts, and
+    /// no pull-batch history is retained.
+    pub max_rejoins: u32,
     /// Codec/aggregation threads for the server core (`0` = one per
     /// hardware core). A performance hint only: the trained model is
     /// bit-identical at any setting.
@@ -57,31 +74,47 @@ impl Default for ServeOptions {
         ServeOptions {
             io_timeout: Duration::from_secs(30),
             step_timeout: Duration::from_secs(300),
+            rejoin_timeout: Duration::from_secs(60),
+            max_rejoins: 4,
             threads: 1,
         }
     }
 }
 
-/// Handler → coordinator messages.
+/// Handler → coordinator messages. Every message carries the sender's
+/// per-worker generation, so messages from a superseded connection (one
+/// the worker already rejoined past) are recognizably stale.
 enum ToCoord {
     /// One worker's complete push batch for a step.
     Pushed {
         worker: usize,
+        gen: u64,
         step: u64,
         payloads: Vec<TensorPayload>,
         loss: f32,
         codec_seconds: f64,
         residual_l2: f64,
     },
-    /// The handler finished (cleanly or with an error).
+    /// The handler finished (cleanly or with an error). Handler panics
+    /// arrive here too, converted to an error by the catch-unwind wrapper
+    /// in [`spawn_handler`] — a panicked handler can never silently
+    /// vanish and wedge the barrier.
     Finished {
         worker: usize,
+        gen: u64,
         peer: String,
         counters: ConnCounters,
         /// The worker's span buffer, if the shutdown trace-dump exchange
         /// ran (tracing on, clean finish).
         trace: Option<NodeTrace>,
         error: Option<String>,
+    },
+    /// A worker reconnected mid-run through the side door; the stream has
+    /// consumed its `Rejoin` frame and awaits a `RejoinAck`.
+    Rejoin {
+        worker: usize,
+        stream: TcpStream,
+        counters: ConnCounters,
     },
 }
 
@@ -90,7 +123,9 @@ enum ToCoord {
 type PushSlot = (Vec<TensorPayload>, f32, f64, f64);
 
 /// One step's shared pull batch, encoded once and broadcast to every
-/// handler (shared pull compression, paper Fig. 2b).
+/// handler (shared pull compression, paper Fig. 2b). Retained in the
+/// coordinator's history (when rejoins are enabled) so a rejoining worker
+/// can replay the run's full pull sequence.
 struct PullBatch {
     step: u64,
     /// `(message type, payload bytes)` per tensor, in parameter order.
@@ -102,19 +137,31 @@ enum FromCoord {
     Pulls(Arc<PullBatch>),
 }
 
+/// Everything a handler spawned for a rejoined worker must send before
+/// entering the normal per-step loop: the resume grant and the replay of
+/// every completed step's pull batch.
+struct RejoinTask {
+    resume_step: u64,
+    config_json: Arc<String>,
+    replay: Vec<Arc<PullBatch>>,
+}
+
 /// Runs a full training experiment as the parameter server.
 ///
 /// Accepts `config.workers` connections on `listener`, drives
-/// `config.total_steps` barrier-synchronized BSP steps, shuts the workers
-/// down gracefully, and returns the final report (the standard
-/// [`ExperimentResult`] plus per-connection transport counters).
+/// `config.total_steps` barrier-synchronized BSP steps (surviving up to
+/// [`ServeOptions::max_rejoins`] mid-run worker reconnects), shuts the
+/// workers down gracefully, and returns the final report (the standard
+/// [`ExperimentResult`] plus per-connection transport counters and the
+/// run's fault log).
 ///
 /// # Errors
 ///
 /// Returns [`NetError::Config`] for configurations the networked runtime
 /// does not support (staleness, backup workers), and
 /// [`NetError::Protocol`]/[`NetError::Frame`]/[`NetError::Io`] when any
-/// worker misbehaves, times out, or disconnects.
+/// worker violates the protocol, exhausts the rejoin budget, or fails to
+/// rejoin in time.
 pub fn serve(
     listener: &TcpListener,
     config: &ExperimentConfig,
@@ -132,8 +179,10 @@ pub fn serve(
     server.set_threads(opts.threads);
     let shapes: Arc<Vec<Shape>> = Arc::new(problem.shapes.clone());
     let workers = config.workers;
-    let config_json = serde_json::to_string(config)
-        .map_err(|e| NetError::Config(format!("config does not serialize: {e}")))?;
+    let config_json = Arc::new(
+        serde_json::to_string(config)
+            .map_err(|e| NetError::Config(format!("config does not serialize: {e}")))?,
+    );
 
     // Tracing: the server's own span buffer (its clock domain is the
     // reference the timeline aligns every worker against). The run-wide
@@ -147,6 +196,9 @@ pub fn serve(
     let (to_coord, from_handlers) = mpsc::channel::<ToCoord>();
     let mut pull_txs: Vec<Option<mpsc::Sender<FromCoord>>> = (0..workers).map(|_| None).collect();
     let mut handles = Vec::with_capacity(workers);
+    // A barrier wait while any worker is out covers both a normal step
+    // and a rejoin-plus-replay, whichever is longer.
+    let park_timeout = opts.step_timeout.max(opts.rejoin_timeout);
     while handles.len() < workers {
         let (stream, _) = listener.accept().map_err(NetError::Io)?;
         let (worker, handshake_counters) = match handshake(
@@ -163,50 +215,49 @@ pub fn serve(
         threelc_obs::event!(Level::Info, "server.worker_connected", worker = worker);
         let (tx, rx) = mpsc::channel::<FromCoord>();
         pull_txs[worker] = Some(tx);
-        let to_coord = to_coord.clone();
-        let shapes = Arc::clone(&shapes);
-        let total_steps = config.total_steps;
-        let step_timeout = opts.step_timeout;
-        let buf = Arc::clone(&server_buf);
-        handles.push(thread::spawn(move || {
-            let peer = stream
-                .peer_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "unknown".into());
-            let mut conn = Conn::new(handshake_counters, NetMetrics::server());
-            let (trace_dump, error) = match run_handler(
-                stream,
-                worker,
-                total_steps,
-                &shapes,
-                &to_coord,
-                rx,
-                &mut conn,
-                step_timeout,
-                &buf,
-                trace_id,
-            ) {
-                Ok(dump) => (dump, None),
-                Err(e) => (None, Some(e.to_string())),
-            };
-            // The coordinator may already be gone on abort; ignore.
-            let _ = to_coord.send(ToCoord::Finished {
-                worker,
-                peer,
-                counters: conn.counters,
-                trace: trace_dump,
-                error,
-            });
-        }));
+        handles.push(spawn_handler(
+            stream,
+            worker,
+            0,
+            0,
+            config.total_steps,
+            Arc::clone(&shapes),
+            to_coord.clone(),
+            rx,
+            handshake_counters,
+            park_timeout,
+            Arc::clone(&server_buf),
+            trace_id,
+            None,
+        ));
     }
-    drop(to_coord);
 
     // Training phase: the main thread no longer accepts, so hand the
-    // listener to a background scraper that keeps answering
-    // `MetricsRequest`/`TraceDumpRequest` connections. Dropped (stopping
+    // listener to a background side-door thread that keeps answering
+    // `MetricsRequest`/`TraceDumpRequest` connections and forwards
+    // mid-run `Rejoin` connections to the coordinator. Dropped (stopping
     // the thread and restoring the listener) on every exit path.
-    let _scraper = MetricsScraper::start(listener, opts.io_timeout, Arc::clone(&server_buf))?;
+    let _scraper = MetricsScraper::start(
+        listener,
+        opts.io_timeout,
+        Arc::clone(&server_buf),
+        to_coord.clone(),
+    )?;
     let server_metrics = NetMetrics::server();
+
+    // ---- Fault-tolerance state.
+    let max_rejoins = u64::from(opts.max_rejoins);
+    // Per-worker connection generation; bumped on every admitted rejoin.
+    let mut gens: Vec<u64> = vec![0; workers];
+    let mut connected: Vec<bool> = vec![true; workers];
+    // Traffic of a worker's finished (lost or superseded) connections,
+    // folded into its final ConnReport.
+    let mut lost: Vec<ConnCounters> = vec![ConnCounters::default(); workers];
+    let mut faults = FaultsReport::default();
+    // Every completed step's pull batch, the replay a rejoiner resyncs
+    // from. Arc'd frames, so the history costs one encoded copy per step;
+    // disabled (empty) in fail-stop mode.
+    let mut history: Vec<Arc<PullBatch>> = Vec::new();
 
     // ---- Barrier-synchronized BSP training loop.
     let mut trace = TrainingTrace::default();
@@ -219,20 +270,42 @@ pub fn serve(
             .then(|| TraceScope::enter(&server_buf, "server", trace_id, step, trace::NO_WORKER));
         let (_accepted, compute_multiplier) = engine::sample_stragglers(config, &mut straggler_rng);
 
-        // Collect every worker's push batch (the barrier).
+        // Collect every worker's push batch (the barrier). The deadline
+        // extends when a worker disconnects or rejoins, parking the
+        // barrier instead of aborting.
         let barrier_span = TraceSpan::start("barrier");
         let mut slots: Vec<Option<PushSlot>> = (0..workers).map(|_| None).collect();
         let mut missing = workers;
+        let mut deadline = Instant::now()
+            + if connected.iter().all(|&c| c) {
+                opts.step_timeout
+            } else {
+                park_timeout
+            };
         while missing > 0 {
-            match from_handlers.recv_timeout(opts.step_timeout) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                let out: Vec<usize> = (0..workers).filter(|&w| !connected[w]).collect();
+                return Err(NetError::Protocol(if out.is_empty() {
+                    format!("timed out waiting for pushes in step {step}")
+                } else {
+                    format!("timed out waiting for worker(s) {out:?} to rejoin in step {step}")
+                }));
+            }
+            match from_handlers.recv_timeout(remaining) {
                 Ok(ToCoord::Pushed {
                     worker,
+                    gen,
                     step: s,
                     payloads,
                     loss,
                     codec_seconds,
                     residual_l2,
                 }) => {
+                    if gen != gens[worker] {
+                        // A superseded connection's push raced its death.
+                        continue;
+                    }
                     if s != step {
                         return Err(NetError::Protocol(format!(
                             "worker {worker} pushed step {s} during step {step}"
@@ -246,17 +319,125 @@ pub fn serve(
                     slots[worker] = Some((payloads, loss, codec_seconds, residual_l2));
                     missing -= 1;
                 }
-                Ok(ToCoord::Finished { worker, error, .. }) => {
+                Ok(ToCoord::Finished {
+                    worker,
+                    gen,
+                    counters,
+                    error,
+                    ..
+                }) => {
+                    lost[worker].merge(&counters);
+                    if gen != gens[worker] || !connected[worker] {
+                        // A superseded or already-noted connection winding
+                        // down; its traffic is kept, nothing else changes.
+                        continue;
+                    }
                     let detail = error.unwrap_or_else(|| "closed early".into());
-                    return Err(NetError::Protocol(format!(
-                        "worker {worker} left during step {step}: {detail}"
-                    )));
+                    note_disconnect(
+                        worker,
+                        step,
+                        detail,
+                        max_rejoins,
+                        &mut faults,
+                        &mut connected,
+                        &mut pull_txs,
+                        &server_metrics,
+                    )?;
+                    // The dead connection's push (if it landed) is
+                    // discarded: the rejoined worker re-pushes this step,
+                    // and deterministic replay makes the re-push
+                    // byte-identical.
+                    if slots[worker].take().is_some() {
+                        missing += 1;
+                    }
+                    deadline = deadline.max(Instant::now() + opts.rejoin_timeout);
                 }
-                Err(_) => {
-                    return Err(NetError::Protocol(format!(
-                        "timed out waiting for pushes in step {step}"
-                    )));
+                Ok(ToCoord::Rejoin {
+                    worker,
+                    stream,
+                    counters,
+                }) => {
+                    if worker >= workers {
+                        threelc_obs::event!(
+                            Level::Warn,
+                            "server.rejoin_refused",
+                            worker = worker,
+                            reason = "id out of range"
+                        );
+                        continue; // dropping the stream refuses the rejoin
+                    }
+                    if faults.rejoins >= max_rejoins {
+                        threelc_obs::event!(
+                            Level::Warn,
+                            "server.rejoin_refused",
+                            worker = worker,
+                            reason = "rejoin budget exhausted"
+                        );
+                        continue;
+                    }
+                    if connected[worker] {
+                        // The old connection is half-dead (its Finished
+                        // has not landed yet). Retire it; the generation
+                        // bump below makes its remaining messages stale.
+                        note_disconnect(
+                            worker,
+                            step,
+                            "superseded by a rejoin".into(),
+                            max_rejoins,
+                            &mut faults,
+                            &mut connected,
+                            &mut pull_txs,
+                            &server_metrics,
+                        )?;
+                        if slots[worker].take().is_some() {
+                            missing += 1;
+                        }
+                    }
+                    gens[worker] += 1;
+                    faults.rejoins += 1;
+                    faults.events.push(FaultEvent {
+                        step,
+                        worker,
+                        kind: "rejoin".into(),
+                        detail: format!(
+                            "resumed at step {step} after a replay of {} step(s)",
+                            history.len()
+                        ),
+                    });
+                    server_metrics.rejoins.add(1);
+                    threelc_obs::event!(
+                        Level::Info,
+                        "server.worker_rejoined",
+                        worker = worker,
+                        step = step,
+                        gen = gens[worker]
+                    );
+                    debug_assert_eq!(history.len() as u64, step);
+                    let (tx, rx) = mpsc::channel::<FromCoord>();
+                    pull_txs[worker] = Some(tx);
+                    connected[worker] = true;
+                    handles.push(spawn_handler(
+                        stream,
+                        worker,
+                        gens[worker],
+                        step,
+                        config.total_steps,
+                        Arc::clone(&shapes),
+                        to_coord.clone(),
+                        rx,
+                        counters,
+                        park_timeout,
+                        Arc::clone(&server_buf),
+                        trace_id,
+                        Some(RejoinTask {
+                            resume_step: step,
+                            config_json: Arc::clone(&config_json),
+                            replay: history.clone(),
+                        }),
+                    ));
+                    deadline = deadline.max(Instant::now() + park_timeout);
                 }
+                Err(_) => continue, // the deadline check above decides
             }
         }
         barrier_span.finish();
@@ -305,9 +486,29 @@ pub fn serve(
             }
         }
         let batch = Arc::new(PullBatch { step, frames });
-        for tx in pull_txs.iter().flatten() {
-            tx.send(FromCoord::Pulls(Arc::clone(&batch)))
-                .map_err(|_| NetError::Protocol("a handler thread died".into()))?;
+        if max_rejoins > 0 {
+            history.push(Arc::clone(&batch));
+        }
+        for w in 0..workers {
+            let alive = match &pull_txs[w] {
+                Some(tx) => tx.send(FromCoord::Pulls(Arc::clone(&batch))).is_ok(),
+                None => true, // already marked disconnected
+            };
+            if !alive {
+                // The handler died between its push and our broadcast. Its
+                // Finished message (with the underlying error) is still in
+                // the channel; the connected[] check deduplicates it.
+                note_disconnect(
+                    w,
+                    step,
+                    "pull channel closed".into(),
+                    max_rejoins,
+                    &mut faults,
+                    &mut connected,
+                    &mut pull_txs,
+                    &server_metrics,
+                )?;
+            }
         }
 
         trace.record_step(StepRecord {
@@ -337,48 +538,79 @@ pub fn serve(
 
     // ---- Graceful shutdown: handlers collect each worker's span buffer
     // (when tracing) and run the Shutdown/ShutdownAck handshake on their
-    // own after the last pull, then report in.
+    // own after the last pull, then report in. A disconnect in this phase
+    // aborts — rejoin is a mid-run mechanism; there are no steps left to
+    // resume into.
     let mut connections: Vec<Option<ConnReport>> = (0..workers).map(|_| None).collect();
     let mut worker_traces: Vec<Option<NodeTrace>> = (0..workers).map(|_| None).collect();
-    for _ in 0..workers {
-        match from_handlers.recv_timeout(opts.step_timeout) {
+    let mut remaining = workers;
+    let shutdown_deadline = Instant::now() + opts.step_timeout;
+    while remaining > 0 {
+        let left = shutdown_deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(NetError::Protocol(
+                "timed out waiting for workers to shut down".into(),
+            ));
+        }
+        match from_handlers.recv_timeout(left) {
             Ok(ToCoord::Finished {
                 worker,
+                gen,
                 peer,
                 counters,
                 trace,
-                error: None,
+                error,
             }) => {
+                if gen != gens[worker] {
+                    lost[worker].merge(&counters);
+                    continue;
+                }
+                if let Some(e) = error {
+                    return Err(NetError::Protocol(format!(
+                        "worker {worker} failed to shut down cleanly: {e}"
+                    )));
+                }
+                let mut total = lost[worker];
+                total.merge(&counters);
                 connections[worker] = Some(ConnReport {
                     worker,
                     peer,
-                    counters,
+                    counters: total,
                 });
                 worker_traces[worker] = trace;
+                remaining -= 1;
             }
-            Ok(ToCoord::Finished {
-                worker,
-                error: Some(e),
-                ..
+            Ok(ToCoord::Pushed {
+                worker, gen, step, ..
             }) => {
-                return Err(NetError::Protocol(format!(
-                    "worker {worker} failed to shut down cleanly: {e}"
-                )));
-            }
-            Ok(ToCoord::Pushed { worker, step, .. }) => {
+                if gen != gens[worker] {
+                    continue;
+                }
                 return Err(NetError::Protocol(format!(
                     "worker {worker} pushed step {step} after training ended"
                 )));
             }
-            Err(_) => {
-                return Err(NetError::Protocol(
-                    "timed out waiting for workers to shut down".into(),
-                ));
+            Ok(ToCoord::Rejoin { worker, .. }) => {
+                threelc_obs::event!(
+                    Level::Warn,
+                    "server.rejoin_refused",
+                    worker = worker,
+                    reason = "training already ended"
+                );
+                continue;
             }
+            Err(_) => continue, // the deadline check above decides
         }
     }
     for handle in handles {
-        let _ = handle.join();
+        if handle.join().is_err() {
+            // run_handler panics are caught and reported as Finished
+            // errors; a join failure means the reporting wrapper itself
+            // blew up. Surface it — never misreport the run as clean.
+            return Err(NetError::Protocol(
+                "a handler thread panicked outside the run loop".into(),
+            ));
+        }
     }
 
     let final_eval = Evaluation::of(server.global(), &problem.test);
@@ -396,15 +628,30 @@ pub fn serve(
         node_traces.extend(worker_traces.into_iter().flatten());
         let timeline = MergedTimeline::build(&node_traces);
         anomalies = threelc_obs::watchdog::check_timeline(&timeline, &WatchdogConfig::default());
-        for a in &anomalies {
-            threelc_obs::event!(
-                Level::Warn,
-                "server.trace_anomaly",
-                kind = a.kind,
-                step = a.step,
-                node = a.node
-            );
-        }
+    }
+    // Fault anomalies (rejoin flapping) need no tracing — the coordinator
+    // saw every disconnect itself.
+    let samples: Vec<FaultSample> = faults
+        .events
+        .iter()
+        .map(|e| FaultSample {
+            step: e.step,
+            node: format!("worker{}", e.worker),
+            kind: e.kind.clone(),
+        })
+        .collect();
+    anomalies.extend(threelc_obs::watchdog::check_faults(
+        &samples,
+        &WatchdogConfig::default(),
+    ));
+    for a in &anomalies {
+        threelc_obs::event!(
+            Level::Warn,
+            "server.trace_anomaly",
+            kind = a.kind,
+            step = a.step,
+            node = a.node
+        );
     }
     Ok(NetReport {
         result: ExperimentResult {
@@ -414,13 +661,131 @@ pub fn serve(
             final_eval,
             trace,
         },
+        final_model_crc32: model_crc32(server.global()),
         connections: connections
             .into_iter()
             .map(|c| c.expect("every slot reported"))
             .collect(),
+        faults,
         node_traces,
         anomalies,
     })
+}
+
+/// Marks a worker's connection dead: closes its pull channel, records the
+/// fault, and — when the rejoin budget is already spent (or rejoins are
+/// disabled) — aborts the run with the fail-stop error.
+#[allow(clippy::too_many_arguments)]
+fn note_disconnect(
+    worker: usize,
+    step: u64,
+    detail: String,
+    max_rejoins: u64,
+    faults: &mut FaultsReport,
+    connected: &mut [bool],
+    pull_txs: &mut [Option<mpsc::Sender<FromCoord>>],
+    metrics: &NetMetrics,
+) -> Result<(), NetError> {
+    connected[worker] = false;
+    pull_txs[worker] = None;
+    metrics.disconnects.add(1);
+    threelc_obs::event!(
+        Level::Warn,
+        "server.worker_disconnected",
+        worker = worker,
+        step = step,
+        detail = detail
+    );
+    faults.disconnects += 1;
+    faults.events.push(FaultEvent {
+        step,
+        worker,
+        kind: "disconnect".into(),
+        detail: detail.clone(),
+    });
+    if faults.rejoins >= max_rejoins {
+        return Err(NetError::Protocol(format!(
+            "worker {worker} left during step {step}: {detail}"
+        )));
+    }
+    Ok(())
+}
+
+/// Spawns one connection's handler thread. The handler body runs under
+/// `catch_unwind`, so a panic is reported to the coordinator as a
+/// `Finished { error }` exactly like any other handler failure — the
+/// barrier sees it immediately instead of timing out, and the run is
+/// never misreported as clean.
+#[allow(clippy::too_many_arguments)]
+fn spawn_handler(
+    stream: TcpStream,
+    worker: usize,
+    gen: u64,
+    start_step: u64,
+    total_steps: u64,
+    shapes: Arc<Vec<Shape>>,
+    to_coord: mpsc::Sender<ToCoord>,
+    pulls: mpsc::Receiver<FromCoord>,
+    handshake_counters: ConnCounters,
+    pull_timeout: Duration,
+    server_buf: Arc<TraceBuffer>,
+    trace_id: u64,
+    rejoin: Option<RejoinTask>,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".into());
+        let mut conn = Conn::new(handshake_counters, NetMetrics::server());
+        let (trace_dump, error) = match catch_unwind(AssertUnwindSafe(|| {
+            run_handler(
+                stream,
+                worker,
+                gen,
+                start_step,
+                total_steps,
+                &shapes,
+                &to_coord,
+                pulls,
+                &mut conn,
+                pull_timeout,
+                &server_buf,
+                trace_id,
+                rejoin,
+            )
+        })) {
+            Ok(Ok(dump)) => (dump, None),
+            Ok(Err(e)) => (None, Some(e.to_string())),
+            Err(panic) => (
+                None,
+                Some(format!(
+                    "handler thread panicked: {}",
+                    panic_message(panic.as_ref())
+                )),
+            ),
+        };
+        // The coordinator may already be gone on abort; ignore.
+        let _ = to_coord.send(ToCoord::Finished {
+            worker,
+            gen,
+            peer,
+            counters: conn.counters,
+            trace: trace_dump,
+            error,
+        });
+    })
+}
+
+/// Renders a caught panic payload (the `&str`/`String` most panics carry).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 /// Rejects configurations the barrier-synchronized runtime cannot honor.
@@ -457,7 +822,9 @@ enum Handshake {
 }
 
 /// Dispatches the first frame of a fresh connection: either the worker
-/// Hello/HelloAck handshake, or a one-shot metrics/trace scrape.
+/// Hello/HelloAck handshake, or a one-shot metrics/trace scrape. A
+/// `Rejoin` in this phase (a leftover from some earlier run) is refused
+/// by dropping the connection.
 fn handshake(
     stream: &TcpStream,
     io_timeout: Duration,
@@ -479,6 +846,14 @@ fn handshake(
     }
     if hello.msg == MsgType::TraceDumpRequest {
         answer_trace_scrape(stream, server_buf)?;
+        return Ok(Handshake::Scrape);
+    }
+    if hello.msg == MsgType::Rejoin {
+        threelc_obs::event!(
+            Level::Warn,
+            "server.rejoin_refused",
+            reason = "run has not started"
+        );
         return Ok(Handshake::Scrape);
     }
     if hello.msg != MsgType::Hello {
@@ -529,9 +904,10 @@ fn answer_trace_scrape(stream: &TcpStream, buf: &Arc<TraceBuffer>) -> Result<(),
     Ok(())
 }
 
-/// Background thread answering metrics scrapes while the coordinator is
-/// busy training (the main accept loop only runs during the handshake
-/// phase).
+/// Background thread owning the listener while the coordinator is busy
+/// training (the main accept loop only runs during the handshake phase):
+/// answers metrics/trace scrapes itself and forwards mid-run `Rejoin`
+/// connections — stream and all — to the coordinator.
 ///
 /// The listener clone shares its file description with the original, so
 /// switching it to non-blocking affects both — safe here precisely
@@ -549,6 +925,7 @@ impl<'a> MetricsScraper<'a> {
         listener: &'a TcpListener,
         io_timeout: Duration,
         server_buf: Arc<TraceBuffer>,
+        to_coord: mpsc::Sender<ToCoord>,
     ) -> Result<Self, NetError> {
         let clone = listener.try_clone().map_err(NetError::Io)?;
         clone.set_nonblocking(true).map_err(NetError::Io)?;
@@ -558,10 +935,9 @@ impl<'a> MetricsScraper<'a> {
             while !thread_stop.load(Ordering::Relaxed) {
                 match clone.accept() {
                     Ok((stream, _)) => {
-                        // Anything other than a well-formed scrape on a
-                        // mid-training connection is dropped; workers all
-                        // joined during the handshake phase.
-                        let _ = serve_one_scrape(stream, io_timeout, &server_buf);
+                        // Anything other than a well-formed scrape or
+                        // rejoin on a mid-training connection is dropped.
+                        let _ = serve_side_door(stream, io_timeout, &server_buf, &to_coord);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(20));
@@ -582,27 +958,50 @@ impl Drop for MetricsScraper<'_> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                // Nothing to propagate from a Drop; say it loudly instead
+                // of swallowing it — scrapes and rejoins were unavailable
+                // for some part of the run.
+                threelc_obs::event!(Level::Warn, "server.side_door_panicked");
+            }
         }
         let _ = self.listener.set_nonblocking(false);
     }
 }
 
-/// Handles one connection accepted by the scraper thread.
-fn serve_one_scrape(
+/// Handles one connection accepted by the side-door thread: scrapes are
+/// answered inline; a `Rejoin` hands the prepared stream (plus the
+/// counters of the frame just read) to the coordinator for admission at
+/// the current barrier.
+fn serve_side_door(
     stream: TcpStream,
     io_timeout: Duration,
     server_buf: &Arc<TraceBuffer>,
+    to_coord: &mpsc::Sender<ToCoord>,
 ) -> Result<(), NetError> {
     // The accepting listener is non-blocking and the stream inherits
-    // that; scrape I/O should block (bounded by the timeouts).
+    // that; side-door I/O should block (bounded by the timeouts).
     stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(io_timeout))?;
     stream.set_write_timeout(Some(io_timeout))?;
+    let mut counters = ConnCounters::default();
+    let t0 = Instant::now();
     let frame = read_frame(&mut &stream)?;
+    counters.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
     match frame.msg {
         MsgType::MetricsRequest => answer_scrape(&stream),
         MsgType::TraceDumpRequest => answer_trace_scrape(&stream, server_buf),
+        MsgType::Rejoin => {
+            let worker = usize::from(decode_hello(&frame.payload)?);
+            to_coord
+                .send(ToCoord::Rejoin {
+                    worker,
+                    stream,
+                    counters,
+                })
+                .map_err(|_| NetError::Protocol("coordinator is gone".into()))
+        }
         other => Err(NetError::Protocol(format!(
             "unexpected {other:?} on a mid-training connection"
         ))),
@@ -613,26 +1012,63 @@ fn serve_one_scrape(
 /// coordinator, fan the shared pull batch back out, and finally collect
 /// the worker's trace dump (when tracing) and run the shutdown handshake.
 ///
+/// For a rejoined worker the loop is preceded by the `RejoinAck` and a
+/// replay of every completed step's pull batch (the resync the worker
+/// rebuilds its replica from), and starts at `start_step` instead of 0.
+///
 /// On success, returns the worker's span buffer if the trace-dump
 /// exchange ran.
 #[allow(clippy::too_many_arguments)]
 fn run_handler(
     stream: TcpStream,
     worker: usize,
+    gen: u64,
+    start_step: u64,
     total_steps: u64,
     shapes: &[Shape],
     to_coord: &mpsc::Sender<ToCoord>,
     pulls: mpsc::Receiver<FromCoord>,
     conn: &mut Conn,
-    step_timeout: Duration,
+    pull_timeout: Duration,
     server_buf: &Arc<TraceBuffer>,
     trace_id: u64,
+    rejoin: Option<RejoinTask>,
 ) -> Result<Option<NodeTrace>, NetError> {
     let tracing = trace::trace_enabled();
     let n_params = shapes.len();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for step in 0..total_steps {
+
+    if let Some(task) = &rejoin {
+        // Resume grant: the step to resume at plus the configuration (a
+        // replacement process joins with nothing but an address and id).
+        let payload = encode_rejoin_ack(task.resume_step, &task.config_json);
+        let t0 = Instant::now();
+        write_frame(
+            &mut writer,
+            MsgType::RejoinAck,
+            0,
+            task.resume_step,
+            &payload,
+        )?;
+        conn.note_write(payload.len(), t0.elapsed().as_secs_f64());
+        // Replay the full pull history. The worker interleaves reading
+        // these with recomputing each step, so the stream drains as fast
+        // as the worker replays.
+        for batch in &task.replay {
+            for (i, (msg, payload)) in batch.frames.iter().enumerate() {
+                let t0 = Instant::now();
+                write_frame(&mut writer, *msg, i as u16, batch.step, payload)?;
+                conn.note_write(payload.len(), t0.elapsed().as_secs_f64());
+            }
+            let t0 = Instant::now();
+            write_frame(&mut writer, MsgType::PullDone, 0, batch.step, &[])?;
+            conn.note_write(0, t0.elapsed().as_secs_f64());
+        }
+        writer.flush()?;
+    }
+
+    for step in start_step..total_steps {
         // Handler spans land in the server's buffer (server clock), tagged
         // with this worker's id — the timeline pairs them with the worker's
         // own network span to estimate the worker clock's offset.
@@ -698,6 +1134,7 @@ fn run_handler(
         to_coord
             .send(ToCoord::Pushed {
                 worker,
+                gen,
                 step,
                 payloads,
                 loss,
@@ -706,8 +1143,9 @@ fn run_handler(
             })
             .map_err(|_| NetError::Protocol("coordinator is gone".into()))?;
 
-        // ---- Wait at the barrier, then fan out the shared pulls.
-        let batch = match pulls.recv_timeout(step_timeout) {
+        // ---- Wait at the barrier, then fan out the shared pulls. The
+        // wait covers a sibling worker's rejoin-plus-replay too.
+        let batch = match pulls.recv_timeout(pull_timeout) {
             Ok(FromCoord::Pulls(batch)) => batch,
             Err(_) => return Err(NetError::Protocol("no pull batch from coordinator".into())),
         };
@@ -766,4 +1204,63 @@ fn run_handler(
         )));
     }
     Ok(worker_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_messages_render_str_string_and_other_payloads() {
+        let caught = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "plain str");
+        let caught = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn a_panicking_handler_body_reports_finished_with_an_error() {
+        // The same catch-unwind + Finished path spawn_handler uses, driven
+        // with a body that panics: the coordinator must receive a named
+        // error, not silence.
+        let (tx, rx) = mpsc::channel::<ToCoord>();
+        let handle = thread::spawn(move || {
+            let result: Result<Option<NodeTrace>, NetError> = match catch_unwind(AssertUnwindSafe(
+                || -> Result<Option<NodeTrace>, NetError> {
+                    panic!("handler blew up");
+                },
+            )) {
+                Ok(r) => r,
+                Err(p) => Err(NetError::Protocol(format!(
+                    "handler thread panicked: {}",
+                    panic_message(p.as_ref())
+                ))),
+            };
+            let error = result.err().map(|e| e.to_string());
+            let _ = tx.send(ToCoord::Finished {
+                worker: 0,
+                gen: 0,
+                peer: "test".into(),
+                counters: ConnCounters::default(),
+                trace: None,
+                error,
+            });
+        });
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(ToCoord::Finished { error: Some(e), .. }) => {
+                assert!(e.contains("panicked"), "error should name the panic: {e}");
+                assert!(e.contains("handler blew up"), "panic text lost: {e}");
+            }
+            other => panic!(
+                "expected Finished with an error, got {:?}",
+                match other {
+                    Ok(_) => "a different message",
+                    Err(_) => "a timeout",
+                }
+            ),
+        }
+        handle.join().expect("test thread");
+    }
 }

@@ -5,14 +5,31 @@
 //! derives the identical [`Problem`] instance locally, and then runs the
 //! BSP loop: compute → compress → push, pull → decode → apply. Every
 //! blocking socket operation is bounded by [`WorkerOptions::io_timeout`].
+//!
+//! The BSP loop runs inside a reconnect-and-resume outer loop: when an
+//! established connection dies mid-run (and the rejoin budget allows),
+//! the worker dials back, sends a `Rejoin` frame, and resynchronizes from
+//! the server's `RejoinAck` — rebuilding a fresh replica and replaying
+//! every completed step (recomputing gradients to advance its RNG and
+//! residual state, applying the server's replayed pull batches) so its
+//! state is bit-identical to an undisturbed worker's before it resumes
+//! live training (see `DESIGN.md` §11). A replacement process for a
+//! worker that died outright starts the same way via
+//! [`WorkerOptions::start_rejoined`].
+//!
+//! The [`crate::faults`] injector hooks into the loop at fixed points
+//! (before the push, while writing it, after flushing it), so chaos tests
+//! can produce each failure mode deterministically.
 
 use crate::counters::ConnCounters;
-use crate::frame::{read_frame, write_frame, MsgType};
+use crate::faults::{FaultAction, FaultInjector, FaultPlan, KILL_EXIT_CODE};
+use crate::frame::{read_frame, write_frame, Frame, FrameError, MsgType, HEADER_LEN};
 use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{
-    bytes_to_tensor, encode_hello, encode_push_done, encode_trace_dump, tensor_to_bytes, NetError,
+    bytes_to_tensor, decode_rejoin_ack, encode_hello, encode_push_done, encode_trace_dump,
+    tensor_to_bytes, NetError,
 };
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread;
@@ -41,11 +58,24 @@ pub struct WorkerOptions {
     /// Codec threads for push compression (`0` = one per hardware core).
     /// A performance hint only: payloads are bit-identical at any setting.
     pub threads: usize,
+    /// Mid-run reconnect-and-resume attempts after an established
+    /// connection dies. `0` restores strict fail-stop behavior. Must not
+    /// exceed the server's budget, or late rejoins are refused and time
+    /// out.
+    pub max_rejoins: u32,
+    /// Deterministic fault to inject into the BSP loop (chaos testing);
+    /// `None` for a normal run.
+    pub fault: Option<FaultPlan>,
+    /// Open with a `Rejoin` handshake instead of `Hello`: this process
+    /// replaces a worker that died mid-run (e.g. after an injected kill),
+    /// and resynchronizes from the server's replay before training live.
+    pub start_rejoined: bool,
 }
 
 impl WorkerOptions {
     /// Sensible defaults for `addr` and `worker`: 5 s connect timeout,
-    /// 30 s I/O timeout, 5 retries starting at 100 ms backoff.
+    /// 30 s I/O timeout, 5 retries starting at 100 ms backoff, 4 rejoins,
+    /// no fault injection.
     pub fn new(addr: impl Into<String>, worker: u16) -> Self {
         WorkerOptions {
             addr: addr.into(),
@@ -55,6 +85,9 @@ impl WorkerOptions {
             max_retries: 5,
             initial_backoff: Duration::from_millis(100),
             threads: 1,
+            max_rejoins: 4,
+            fault: None,
+            start_rejoined: false,
         }
     }
 }
@@ -65,8 +98,11 @@ pub struct WorkerOutcome {
     pub config: ExperimentConfig,
     /// BSP steps completed.
     pub steps: u64,
-    /// Transport counters for this connection.
+    /// Transport counters, totalled across every connection the run used
+    /// (one for an undisturbed run, more after rejoins).
     pub counters: ConnCounters,
+    /// Mid-run rejoins this worker performed.
+    pub rejoins: u32,
     /// The final local model replica (bit-identical to the simulator's
     /// replica for the same configuration).
     pub model: Network,
@@ -74,8 +110,25 @@ pub struct WorkerOutcome {
 
 const BACKOFF_CAP: Duration = Duration::from_secs(10);
 
+/// Dials the resolved addresses in order, returning the first stream that
+/// connects within `timeout` (per attempt). Multi-homed hostnames — e.g.
+/// `localhost` resolving to both `127.0.0.1` and `::1` — reach the server
+/// even when it listens on only one of them.
+fn connect_any(addrs: &[SocketAddr], timeout: Duration) -> io::Result<TcpStream> {
+    let mut last_err: Option<io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect_timeout(addr, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to dial")))
+}
+
 /// Connects with per-attempt timeout and bounded exponential backoff,
-/// counting failed attempts and the measured backoff sleep time.
+/// counting failed attempts and the measured backoff sleep time. Each
+/// attempt tries every resolved address.
 fn connect_with_retry(opts: &WorkerOptions, conn: &mut Conn) -> Result<TcpStream, NetError> {
     let addrs: Vec<SocketAddr> = opts
         .addr
@@ -89,7 +142,7 @@ fn connect_with_retry(opts: &WorkerOptions, conn: &mut Conn) -> Result<TcpStream
         )));
     }
     let mut backoff = opts.initial_backoff;
-    let mut last_err: Option<std::io::Error> = None;
+    let mut last_err: Option<io::Error> = None;
     for attempt in 0..=opts.max_retries {
         if attempt > 0 {
             // Measure the sleep that actually happened, not the nominal
@@ -105,7 +158,7 @@ fn connect_with_retry(opts: &WorkerOptions, conn: &mut Conn) -> Result<TcpStream
             );
             backoff = (backoff * 2).min(BACKOFF_CAP);
         }
-        match TcpStream::connect_timeout(&addrs[0], opts.connect_timeout) {
+        match connect_any(&addrs, opts.connect_timeout) {
             Ok(stream) => return Ok(stream),
             Err(e) => last_err = Some(e),
         }
@@ -113,44 +166,115 @@ fn connect_with_retry(opts: &WorkerOptions, conn: &mut Conn) -> Result<TcpStream
     Err(NetError::Io(last_err.expect("at least one attempt failed")))
 }
 
-/// Runs one worker to completion against a serving parameter server.
+/// Whether a session failure is the kind a rejoin can recover from: a
+/// transport-level loss (reset, EOF, timeout), as opposed to a protocol
+/// violation or bad configuration, which would just recur.
+fn is_recoverable(error: &NetError) -> bool {
+    matches!(error, NetError::Io(_) | NetError::Frame(FrameError::Io(_)))
+}
+
+/// Runs one worker to completion against a serving parameter server,
+/// surviving up to [`WorkerOptions::max_rejoins`] mid-run connection
+/// losses by reconnecting and resuming (see the module docs).
 ///
 /// # Errors
 ///
 /// Returns an error if the connection cannot be established within the
-/// retry budget, the server misbehaves, or any frame fails validation.
+/// retry budget, the server misbehaves, any frame fails validation, or a
+/// connection dies with the rejoin budget exhausted.
 pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
-    let mut conn = Conn::new(ConnCounters::default(), NetMetrics::worker());
-    let stream = connect_with_retry(opts, &mut conn)?;
+    // One injector for the whole run: a fault that already fired stays
+    // fired across the rejoin it caused.
+    let mut injector = FaultInjector::new(opts.fault);
+    // Counters of connections already lost, folded into the final total.
+    let mut carried = ConnCounters::default();
+    let mut rejoins_used: u32 = 0;
+    let mut rejoining = opts.start_rejoined;
+    loop {
+        let mut conn = Conn::new(ConnCounters::default(), NetMetrics::worker());
+        let mut established = false;
+        match run_session(opts, rejoining, &mut injector, &mut conn, &mut established) {
+            Ok((config, model)) => {
+                let mut counters = carried;
+                counters.merge(&conn.counters);
+                return Ok(WorkerOutcome {
+                    steps: config.total_steps,
+                    config,
+                    counters,
+                    rejoins: rejoins_used,
+                    model,
+                });
+            }
+            Err(error) => {
+                carried.merge(&conn.counters);
+                // Only established sessions rejoin: a handshake that never
+                // completed (wrong server, bad id) is not a mid-run fault.
+                if !established || !is_recoverable(&error) || rejoins_used >= opts.max_rejoins {
+                    return Err(error);
+                }
+                rejoins_used += 1;
+                conn.metrics.disconnects.add(1);
+                conn.metrics.rejoins.add(1);
+                threelc_obs::event!(
+                    Level::Warn,
+                    "worker.rejoining",
+                    worker = opts.worker,
+                    attempt = rejoins_used,
+                    cause = error.to_string()
+                );
+                rejoining = true;
+            }
+        }
+    }
+}
+
+/// One connection's lifetime: handshake (or rejoin resync), the BSP loop,
+/// and the shutdown handshake. Returns the configuration and the final
+/// model on a clean run; `established` reports whether the handshake
+/// completed (the rejoin-eligibility line).
+fn run_session(
+    opts: &WorkerOptions,
+    rejoining: bool,
+    injector: &mut FaultInjector,
+    conn: &mut Conn,
+    established: &mut bool,
+) -> Result<(ExperimentConfig, Network), NetError> {
+    let stream = connect_with_retry(opts, conn)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(opts.io_timeout))?;
     stream.set_write_timeout(Some(opts.io_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
-    // ---- Hello / HelloAck: the server distributes the configuration, so
-    // a worker needs nothing but an address and an id.
+    // ---- Hello / HelloAck (or Rejoin / RejoinAck): the server
+    // distributes the configuration either way, so a worker — or a
+    // replacement for a dead one — needs nothing but an address and an id.
+    let hello_payload = encode_hello(opts.worker);
+    let (open_msg, ack_msg) = if rejoining {
+        (MsgType::Rejoin, MsgType::RejoinAck)
+    } else {
+        (MsgType::Hello, MsgType::HelloAck)
+    };
     let t0 = Instant::now();
-    write_frame(
-        &mut writer,
-        MsgType::Hello,
-        0,
-        0,
-        &encode_hello(opts.worker),
-    )?;
+    write_frame(&mut writer, open_msg, 0, 0, &hello_payload)?;
     writer.flush()?;
-    conn.note_write(2, t0.elapsed().as_secs_f64());
+    conn.note_write(hello_payload.len(), t0.elapsed().as_secs_f64());
     let t0 = Instant::now();
     let ack = read_frame(&mut reader)?;
     conn.note_read(ack.payload.len(), t0.elapsed().as_secs_f64());
-    if ack.msg != MsgType::HelloAck {
+    if ack.msg != ack_msg {
         return Err(NetError::Protocol(format!(
-            "expected HelloAck, got {:?}",
+            "expected {ack_msg:?}, got {:?}",
             ack.msg
         )));
     }
-    let config_json = std::str::from_utf8(&ack.payload)
-        .map_err(|_| NetError::Protocol("config payload is not UTF-8".into()))?;
+    let (resume_step, config_json) = if rejoining {
+        decode_rejoin_ack(&ack.payload)?
+    } else {
+        let json = std::str::from_utf8(&ack.payload)
+            .map_err(|_| NetError::Protocol("config payload is not UTF-8".into()))?;
+        (0, json)
+    };
     let config: ExperimentConfig = serde_json::from_str(config_json)
         .map_err(|e| NetError::Protocol(format!("config does not parse: {e}")))?;
     if usize::from(opts.worker) >= config.workers {
@@ -159,6 +283,13 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
             config.workers, opts.worker
         )));
     }
+    if resume_step > config.total_steps {
+        return Err(NetError::Protocol(format!(
+            "resume step {resume_step} beyond the {}-step run",
+            config.total_steps
+        )));
+    }
+    *established = true;
 
     // ---- Derive the identical problem instance locally.
     let problem = Problem::build(&config);
@@ -173,7 +304,8 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
     // live in the buffer, not in process globals). The run-wide trace id
     // is derived from the seed, identically on every node, so it never
     // needs to cross the wire. Drained into the server's TraceDumpRequest
-    // at shutdown.
+    // at shutdown. A rejoined session starts a fresh buffer: spans from
+    // the lost connection die with it.
     let tracing = trace::trace_enabled();
     let node = format!("worker{}", opts.worker);
     let buffer = Arc::new(TraceBuffer::default());
@@ -185,11 +317,48 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(0);
 
+    // ---- Replay: resynchronize a rejoined replica by re-running every
+    // completed step against the server's replayed pull batches. Compute
+    // and encode_push run for their *state* (RNG draws, residual
+    // accumulation) — the payloads go nowhere. After the last replayed
+    // step the replica is bit-identical to one that never disconnected.
+    // Replayed steps record no trace spans; the timeline shows only live
+    // work.
+    for step in 0..resume_step {
+        let (_loss, grads) = replica.compute(&problem.data, config.batch_per_worker);
+        let _ = replica.encode_push(grads);
+        let pull_frames = read_pull_batch(&mut reader, conn, step, n_params)?;
+        decode_and_apply(pull_frames, &pull_ctxs, &problem, &mut replica, conn)?;
+    }
+    if rejoining {
+        threelc_obs::event!(
+            Level::Info,
+            "worker.resynced",
+            worker = opts.worker,
+            resume_step = resume_step
+        );
+    }
+
     // ---- The BSP loop.
-    for step in 0..config.total_steps {
+    for step in resume_step..config.total_steps {
         let _step_span = SpanGuard::on(Arc::clone(&conn.metrics.step_seconds));
         let _scope =
             tracing.then(|| TraceScope::enter(&buffer, &node, trace_id, step, opts.worker as i64));
+
+        match injector.before_push(step) {
+            Some(FaultAction::Delay(d)) => {
+                threelc_obs::event!(
+                    Level::Warn,
+                    "worker.fault_injected",
+                    kind = "delay",
+                    step = step,
+                    ms = d.as_millis()
+                );
+                thread::sleep(d);
+            }
+            Some(FaultAction::Disconnect) => return Err(injected_disconnect("disconnect", step)),
+            Some(FaultAction::Kill) | None => {}
+        }
 
         let compute_span = TraceSpan::start("compute");
         if straggle > 0 {
@@ -213,6 +382,25 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
                     (MsgType::PushRaw, bytes)
                 }
             };
+            if i == 0 && injector.crc_due(step) {
+                // Injected corruption: encode the frame (a version-1
+                // frame, so the byte layout is fixed), flip one
+                // deterministically chosen payload byte, and send it raw.
+                // The server's CRC check rejects it and drops us.
+                let len = bytes.len();
+                let mut raw = Frame::new(msg, 0, step, bytes).encode();
+                injector.corrupt_push(step, &mut raw, HEADER_LEN);
+                threelc_obs::event!(
+                    Level::Warn,
+                    "worker.fault_injected",
+                    kind = "crc",
+                    step = step
+                );
+                let t0 = Instant::now();
+                writer.write_all(&raw)?;
+                conn.note_write(len, t0.elapsed().as_secs_f64());
+                continue;
+            }
             let t0 = Instant::now();
             write_frame(&mut writer, msg, i as u16, step, &bytes)?;
             conn.note_write(bytes.len(), t0.elapsed().as_secs_f64());
@@ -232,71 +420,32 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
         writer.flush()?;
         conn.note_write(done.len(), t0.elapsed().as_secs_f64());
 
-        // Read the shared pull batch.
-        let mut pull_frames = Vec::with_capacity(n_params);
-        loop {
-            let t0 = Instant::now();
-            let frame = read_frame(&mut reader)?;
-            conn.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
-            if frame.step != step {
-                return Err(NetError::Protocol(format!(
-                    "server sent step {} during step {step}",
-                    frame.step
-                )));
+        match injector.after_push(step) {
+            Some(FaultAction::Kill) => {
+                threelc_obs::event!(
+                    Level::Warn,
+                    "worker.fault_injected",
+                    kind = "kill",
+                    step = step
+                );
+                // A real death, not an error path: the replacement process
+                // rejoins via --rejoin (ci.sh's chaos stage does exactly
+                // that, keying on this exit code).
+                std::process::exit(KILL_EXIT_CODE);
             }
-            match frame.msg {
-                MsgType::PullTensor | MsgType::PullRaw => {
-                    let i = pull_frames.len();
-                    if i >= n_params || usize::from(frame.tensor) != i {
-                        return Err(NetError::Protocol(format!(
-                            "server pulled tensor {} out of order (expected {i})",
-                            frame.tensor
-                        )));
-                    }
-                    pull_frames.push((frame.msg, frame.payload));
-                }
-                MsgType::PullDone => {
-                    if pull_frames.len() != n_params {
-                        return Err(NetError::Protocol(format!(
-                            "server pulled {} of {n_params} tensors",
-                            pull_frames.len()
-                        )));
-                    }
-                    break;
-                }
-                other => {
-                    return Err(NetError::Protocol(format!(
-                        "server sent {other:?} during the pull phase"
-                    )));
-                }
+            Some(FaultAction::Disconnect) => {
+                return Err(injected_disconnect("drop-after-push", step));
             }
+            Some(FaultAction::Delay(_)) | None => {}
         }
+
+        // Read the shared pull batch.
+        let pull_frames = read_pull_batch(&mut reader, conn, step, n_params)?;
         network_span.finish();
 
         // Decode the shared model delta and apply it.
         let pull_span = TraceSpan::start("pull");
-        let mut deltas = Vec::with_capacity(n_params);
-        for (i, (msg, payload)) in pull_frames.into_iter().enumerate() {
-            let t1 = Instant::now();
-            let delta = if msg == MsgType::PullTensor {
-                pull_ctxs[i]
-                    .as_ref()
-                    .ok_or_else(|| {
-                        NetError::Protocol(format!(
-                            "server compressed tensor {i}, which is below the threshold"
-                        ))
-                    })?
-                    .decompress(&payload)
-                    .map_err(|e| {
-                        NetError::Protocol(format!("pull payload {i} does not decode: {e}"))
-                    })?
-            } else {
-                bytes_to_tensor(&payload, &problem.shapes[i])?
-            };
-            conn.note_codec(t1.elapsed().as_secs_f64());
-            deltas.push(delta);
-        }
-        replica.apply_deltas(&deltas);
+        decode_and_apply(pull_frames, &pull_ctxs, &problem, &mut replica, conn)?;
         pull_span.finish();
     }
 
@@ -341,10 +490,144 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerOutcome, NetError> {
     writer.flush()?;
     conn.note_write(0, t0.elapsed().as_secs_f64());
 
-    Ok(WorkerOutcome {
-        config,
-        steps: config.total_steps,
-        counters: conn.counters,
-        model: replica.into_model(),
-    })
+    Ok((config, replica.into_model()))
+}
+
+/// The recoverable error an injected connection fault surfaces as — shaped
+/// exactly like a real peer reset, so the rejoin path under test is the
+/// production one.
+fn injected_disconnect(kind: &str, step: u64) -> NetError {
+    threelc_obs::event!(
+        Level::Warn,
+        "worker.fault_injected",
+        kind = kind,
+        step = step
+    );
+    NetError::Io(io::Error::new(
+        io::ErrorKind::ConnectionReset,
+        format!("injected {kind} fault at step {step}"),
+    ))
+}
+
+/// Reads one step's complete pull batch (`PullTensor`/`PullRaw`* then
+/// `PullDone`), validating step and tensor order. Shared by the live BSP
+/// loop and the rejoin replay.
+fn read_pull_batch<R: io::Read>(
+    reader: &mut R,
+    conn: &mut Conn,
+    step: u64,
+    n_params: usize,
+) -> Result<Vec<(MsgType, Vec<u8>)>, NetError> {
+    let mut pull_frames = Vec::with_capacity(n_params);
+    loop {
+        let t0 = Instant::now();
+        let frame = read_frame(reader)?;
+        conn.note_read(frame.payload.len(), t0.elapsed().as_secs_f64());
+        if frame.step != step {
+            return Err(NetError::Protocol(format!(
+                "server sent step {} during step {step}",
+                frame.step
+            )));
+        }
+        match frame.msg {
+            MsgType::PullTensor | MsgType::PullRaw => {
+                let i = pull_frames.len();
+                if i >= n_params || usize::from(frame.tensor) != i {
+                    return Err(NetError::Protocol(format!(
+                        "server pulled tensor {} out of order (expected {i})",
+                        frame.tensor
+                    )));
+                }
+                pull_frames.push((frame.msg, frame.payload));
+            }
+            MsgType::PullDone => {
+                if pull_frames.len() != n_params {
+                    return Err(NetError::Protocol(format!(
+                        "server pulled {} of {n_params} tensors",
+                        pull_frames.len()
+                    )));
+                }
+                return Ok(pull_frames);
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "server sent {other:?} during the pull phase"
+                )));
+            }
+        }
+    }
+}
+
+/// Decodes one step's pull batch and applies the shared delta to the
+/// replica.
+fn decode_and_apply(
+    pull_frames: Vec<(MsgType, Vec<u8>)>,
+    pull_ctxs: &[Option<Box<dyn threelc::Compressor>>],
+    problem: &Problem,
+    replica: &mut WorkerReplica,
+    conn: &mut Conn,
+) -> Result<(), NetError> {
+    let mut deltas = Vec::with_capacity(pull_frames.len());
+    for (i, (msg, payload)) in pull_frames.into_iter().enumerate() {
+        let t1 = Instant::now();
+        let delta = if msg == MsgType::PullTensor {
+            pull_ctxs[i]
+                .as_ref()
+                .ok_or_else(|| {
+                    NetError::Protocol(format!(
+                        "server compressed tensor {i}, which is below the threshold"
+                    ))
+                })?
+                .decompress(&payload)
+                .map_err(|e| NetError::Protocol(format!("pull payload {i} does not decode: {e}")))?
+        } else {
+            bytes_to_tensor(&payload, &problem.shapes[i])?
+        };
+        conn.note_codec(t1.elapsed().as_secs_f64());
+        deltas.push(delta);
+    }
+    replica.apply_deltas(&deltas);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_any_falls_through_dead_addresses() {
+        let live = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let live_addr = live.local_addr().expect("addr");
+        // A port that was bound and released: connecting to it is refused
+        // immediately on loopback.
+        let dead_addr = {
+            let tmp = TcpListener::bind("127.0.0.1:0").expect("bind");
+            tmp.local_addr().expect("addr")
+        };
+        // The regression: dialing only the first address fails here.
+        let stream = connect_any(&[dead_addr, live_addr], Duration::from_secs(1))
+            .expect("second address is live");
+        assert_eq!(stream.peer_addr().expect("peer"), live_addr);
+        // All-dead still errors, with the last failure.
+        assert!(connect_any(&[dead_addr], Duration::from_secs(1)).is_err());
+        assert!(connect_any(&[], Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn recoverable_errors_are_transport_level_only() {
+        assert!(is_recoverable(&NetError::Io(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "reset"
+        ))));
+        assert!(is_recoverable(&NetError::Frame(FrameError::Io(
+            io::Error::new(io::ErrorKind::UnexpectedEof, "eof")
+        ))));
+        assert!(!is_recoverable(&NetError::Protocol("bad".into())));
+        assert!(!is_recoverable(&NetError::Config("bad".into())));
+        assert!(!is_recoverable(&NetError::Frame(FrameError::CrcMismatch {
+            expected: 1,
+            actual: 2
+        })));
+    }
 }

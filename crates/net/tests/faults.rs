@@ -1,0 +1,221 @@
+//! Chaos integration tests: runs with deterministically injected
+//! transport faults must converge to the *exact* final model of an
+//! undisturbed in-process simulation — the whole point of the rejoin
+//! protocol's replay-based resync.
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::Duration;
+use threelc_baselines::SchemeKind;
+use threelc_distsim::{Cluster, ExperimentConfig};
+use threelc_net::{
+    model_crc32, run_worker, serve, FaultPlan, NetReport, ServeOptions, WorkerOptions,
+    WorkerOutcome,
+};
+
+fn chaos_config(total_steps: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        scheme: SchemeKind::three_lc(1.0),
+        workers: 2,
+        batch_per_worker: 8,
+        total_steps,
+        model_width: 16,
+        model_blocks: 1,
+        eval_every: 0,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+/// Serves `config` on an ephemeral loopback port and runs one client per
+/// worker, arming worker `w` with `faults[w]`. Returns the report and the
+/// outcomes in worker-id order.
+fn run_faulted(
+    config: ExperimentConfig,
+    serve_opts: ServeOptions,
+    faults: &[Option<FaultPlan>],
+    threads: usize,
+) -> (
+    Result<NetReport, threelc_net::NetError>,
+    Vec<Result<WorkerOutcome, threelc_net::NetError>>,
+) {
+    assert_eq!(faults.len(), config.workers);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = thread::spawn(move || serve(&listener, &config, &serve_opts));
+    let clients: Vec<_> = (0..config.workers as u16)
+        .map(|w| {
+            let addr = addr.clone();
+            let fault = faults[usize::from(w)];
+            thread::spawn(move || {
+                let mut opts = WorkerOptions::new(addr, w);
+                opts.threads = threads;
+                opts.fault = fault;
+                opts.max_rejoins = serve_opts.max_rejoins;
+                run_worker(&opts)
+            })
+        })
+        .collect();
+    let outcomes = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    (server.join().expect("server thread"), outcomes)
+}
+
+/// The simulator's ground truth for `config`: the global model fingerprint
+/// and each worker's replica snapshot.
+fn simulate(config: &ExperimentConfig) -> (u32, Vec<Vec<threelc_tensor::Tensor>>) {
+    let mut cluster = Cluster::new(*config);
+    for _ in 0..config.total_steps {
+        cluster.step();
+    }
+    let replicas = (0..config.workers)
+        .map(|w| cluster.worker_model(w).snapshot())
+        .collect();
+    (model_crc32(cluster.global_model()), replicas)
+}
+
+/// Asserts the faulted run produced exactly the simulator's models and the
+/// expected disconnect/rejoin accounting.
+fn assert_bit_identical(
+    config: &ExperimentConfig,
+    report: &NetReport,
+    outcomes: &[Result<WorkerOutcome, threelc_net::NetError>],
+    faulted_worker: usize,
+) {
+    let (sim_crc, sim_replicas) = simulate(config);
+    assert_eq!(
+        report.final_model_crc32, sim_crc,
+        "faulted run diverged from the simulator's global model"
+    );
+    assert_eq!(report.faults.disconnects, 1, "{:?}", report.faults.events);
+    assert_eq!(report.faults.rejoins, 1, "{:?}", report.faults.events);
+    for (w, outcome) in outcomes.iter().enumerate() {
+        let outcome = outcome.as_ref().expect("worker survived the fault");
+        assert_eq!(outcome.steps, config.total_steps);
+        assert_eq!(
+            outcome.rejoins,
+            u32::from(w == faulted_worker),
+            "worker {w} rejoin count"
+        );
+        assert_eq!(
+            outcome.model.snapshot(),
+            sim_replicas[w],
+            "worker {w} replica diverged after the fault"
+        );
+    }
+    // The faulted worker's connection report folds every session together.
+    assert_eq!(report.connections.len(), config.workers);
+    assert!(report.connections[faulted_worker].counters.bytes_in > 0);
+}
+
+#[test]
+fn disconnect_fault_rejoins_and_matches_simulator() {
+    let config = chaos_config(8);
+    let fault = FaultPlan::parse("disconnect@3").expect("spec");
+    let (report, outcomes) = run_faulted(config, ServeOptions::default(), &[Some(fault), None], 1);
+    let report = report.expect("server survived the fault");
+    assert_bit_identical(&config, &report, &outcomes, 0);
+    // The disconnect and the rejoin both happened at the armed step: the
+    // coordinator parked that barrier instead of aborting.
+    for event in &report.faults.events {
+        assert_eq!(event.step, 3, "{event:?}");
+        assert_eq!(event.worker, 0, "{event:?}");
+    }
+}
+
+#[test]
+fn disconnect_fault_matches_simulator_with_four_codec_threads() {
+    // Same fault, 4 codec threads on every node: replay and resync are
+    // thread-count-invariant, like everything else in the stack.
+    let config = chaos_config(8);
+    let fault = FaultPlan::parse("disconnect@3").expect("spec");
+    let serve_opts = ServeOptions {
+        threads: 4,
+        ..ServeOptions::default()
+    };
+    let (report, outcomes) = run_faulted(config, serve_opts, &[Some(fault), None], 4);
+    let report = report.expect("server survived the fault");
+    assert_bit_identical(&config, &report, &outcomes, 0);
+}
+
+#[test]
+fn drop_after_push_fault_rejoins_and_matches_simulator() {
+    // The nastier window: the fault fires after the push batch is flushed,
+    // so the server may have already accepted the dying connection's push
+    // for that step. The re-pushed batch must be byte-identical, and the
+    // final model must still match the simulator.
+    let config = chaos_config(8);
+    let fault = FaultPlan::parse("drop-after-push@2").expect("spec");
+    let (report, outcomes) = run_faulted(config, ServeOptions::default(), &[Some(fault), None], 1);
+    let report = report.expect("server survived the fault");
+    assert_bit_identical(&config, &report, &outcomes, 0);
+}
+
+#[test]
+fn crc_corruption_fault_rejoins_and_matches_simulator() {
+    // A corrupted push frame: the server's CRC check rejects the frame and
+    // drops the connection; the worker rejoins and re-pushes clean bytes.
+    let config = chaos_config(8);
+    let fault = FaultPlan::parse("crc@2:7").expect("spec");
+    let (report, outcomes) = run_faulted(config, ServeOptions::default(), &[None, Some(fault)], 1);
+    let report = report.expect("server survived the fault");
+    assert_bit_identical(&config, &report, &outcomes, 1);
+}
+
+#[test]
+fn fail_stop_mode_aborts_on_the_same_fault() {
+    // The inverted gate: with the rejoin budget at zero the very same
+    // injected fault must abort the run — proving the chaos tests would
+    // catch a silently non-tolerant server.
+    let config = chaos_config(8);
+    let fault = FaultPlan::parse("disconnect@3").expect("spec");
+    let serve_opts = ServeOptions {
+        max_rejoins: 0,
+        step_timeout: Duration::from_secs(30),
+        ..ServeOptions::default()
+    };
+    let (report, outcomes) = run_faulted(config, serve_opts, &[Some(fault), None], 1);
+    assert!(report.is_err(), "fail-stop server must abort");
+    assert!(
+        outcomes[0].is_err(),
+        "faulted worker has no rejoin budget and must fail"
+    );
+}
+
+#[test]
+fn fault_injection_is_fully_deterministic() {
+    // Two identical faulted runs: same fault sequence (step, worker,
+    // kind), same final model bits. Event detail strings are exempt —
+    // which side detects a disconnect first is a scheduling race; what
+    // happened and what it converged to are not.
+    let config = chaos_config(6);
+    let fault = FaultPlan::parse("crc@2:9").expect("spec");
+    let run = || {
+        let (report, outcomes) =
+            run_faulted(config, ServeOptions::default(), &[Some(fault), None], 1);
+        let report = report.expect("server survived the fault");
+        let models: Vec<Vec<threelc_tensor::Tensor>> = outcomes
+            .into_iter()
+            .map(|o| o.expect("worker survived").model.snapshot())
+            .collect();
+        (report, models)
+    };
+    let (report_a, models_a) = run();
+    let (report_b, models_b) = run();
+    assert_eq!(report_a.final_model_crc32, report_b.final_model_crc32);
+    assert_eq!(report_a.result.final_eval, report_b.result.final_eval);
+    let key = |r: &NetReport| -> Vec<(u64, usize, String)> {
+        r.faults
+            .events
+            .iter()
+            .map(|e| (e.step, e.worker, e.kind.clone()))
+            .collect()
+    };
+    assert_eq!(key(&report_a), key(&report_b));
+    assert_eq!(models_a, models_b);
+    // And the faulted run still equals the undisturbed simulation.
+    let (sim_crc, _) = simulate(&config);
+    assert_eq!(report_a.final_model_crc32, sim_crc);
+}

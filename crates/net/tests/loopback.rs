@@ -77,11 +77,20 @@ fn loopback_run_matches_simulator_bit_for_bit() {
         assert_eq!(net.pull_overlapped, sim.pull_overlapped);
     }
 
+    // An undisturbed run reports a clean fault section, and the model
+    // fingerprint matches what `threelc simulate` would print.
+    assert_eq!(report.faults, threelc_net::FaultsReport::default());
+
     // Worker replicas end up bit-identical to the simulator's replicas.
     let mut cluster = Cluster::new(config);
     for _ in 0..config.total_steps {
         cluster.step();
     }
+    assert_eq!(
+        report.final_model_crc32,
+        threelc_net::model_crc32(cluster.global_model()),
+        "final-model fingerprint diverged from the simulator"
+    );
     for (w, outcome) in outcomes.iter().enumerate() {
         assert_eq!(outcome.steps, config.total_steps);
         assert_eq!(
@@ -413,6 +422,9 @@ fn metrics_scrape_works_mid_training() {
     let opts = ServeOptions {
         io_timeout: Duration::from_secs(5),
         step_timeout: Duration::from_secs(5),
+        // Fail-stop mode: the abandoned run below must abort promptly
+        // instead of parking the barrier for a rejoin.
+        max_rejoins: 0,
         ..ServeOptions::default()
     };
     let server = thread::spawn(move || serve(&listener, &config, &opts));

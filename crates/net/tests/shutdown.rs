@@ -1,0 +1,146 @@
+//! Shutdown-handshake edge cases, driven by a hand-rolled server against
+//! the real `run_worker`: the worker must answer any number of trace-dump
+//! requests (with an empty buffer when tracing is off), and answer an
+//! unexpected message with a protocol error — never a hang.
+
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+use threelc_baselines::SchemeKind;
+use threelc_distsim::ExperimentConfig;
+use threelc_net::frame::{read_frame, write_frame};
+use threelc_net::protocol::decode_trace_dump;
+use threelc_net::{run_worker, MsgType, NetError, WorkerOptions};
+
+/// A zero-step run: the worker handshakes, skips the BSP loop entirely,
+/// and goes straight to the shutdown phase — the phase under test.
+fn shutdown_only_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scheme: SchemeKind::Float32,
+        workers: 1,
+        batch_per_worker: 4,
+        total_steps: 0,
+        model_width: 8,
+        model_blocks: 1,
+        eval_every: 0,
+        seed: 9,
+        ..Default::default()
+    }
+}
+
+/// Accepts one worker and completes the Hello/HelloAck handshake,
+/// returning the connected stream.
+fn accept_worker(listener: &TcpListener, config: &ExperimentConfig) -> TcpStream {
+    let (stream, _) = listener.accept().expect("accept worker");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let hello = read_frame(&mut &stream).expect("hello frame");
+    assert_eq!(hello.msg, MsgType::Hello);
+    let json = serde_json::to_string(config).expect("config json");
+    write_frame(&mut &stream, MsgType::HelloAck, 0, 0, json.as_bytes()).expect("hello ack");
+    stream
+}
+
+/// Spawns the worker client against `addr` with no retry slack.
+fn spawn_worker(addr: String) -> thread::JoinHandle<Result<threelc_net::WorkerOutcome, NetError>> {
+    thread::spawn(move || {
+        let mut opts = WorkerOptions::new(addr, 0);
+        opts.io_timeout = Duration::from_secs(10);
+        run_worker(&opts)
+    })
+}
+
+#[test]
+fn worker_answers_repeated_trace_dump_requests() {
+    let config = shutdown_only_config();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let worker = spawn_worker(addr);
+    let stream = accept_worker(&listener, &config);
+
+    // The shutdown phase may legitimately ask for the span buffer more
+    // than once (e.g. a retried collection). Every request gets a reply.
+    for round in 0..2 {
+        write_frame(&mut &stream, MsgType::TraceDumpRequest, 0, 0, &[]).expect("request");
+        let dump = read_frame(&mut &stream).expect("dump frame");
+        assert_eq!(dump.msg, MsgType::TraceDump, "round {round}");
+        let node = decode_trace_dump(&dump.payload).expect("dump payload");
+        // Tracing is off in this process: the reply is a well-formed,
+        // empty buffer — not an error, not silence.
+        assert_eq!(node.clock, "worker0", "round {round}");
+        assert!(node.spans.is_empty(), "round {round}");
+        assert_eq!(node.dropped, 0, "round {round}");
+    }
+    write_frame(&mut &stream, MsgType::Shutdown, 0, 0, &[]).expect("shutdown");
+    let ack = read_frame(&mut &stream).expect("shutdown ack");
+    assert_eq!(ack.msg, MsgType::ShutdownAck);
+    let outcome = worker
+        .join()
+        .expect("worker thread")
+        .expect("zero-step run completes");
+    assert_eq!(outcome.steps, 0);
+    assert_eq!(outcome.rejoins, 0);
+}
+
+#[test]
+fn unexpected_message_during_shutdown_is_a_protocol_error() {
+    let config = shutdown_only_config();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let worker = spawn_worker(addr);
+    let stream = accept_worker(&listener, &config);
+
+    // A push-phase message where Shutdown/TraceDumpRequest belongs: the
+    // worker must reject it by name instead of hanging or acking.
+    write_frame(&mut &stream, MsgType::PushTensor, 0, 0, &[1, 2, 3]).expect("bogus frame");
+    let result = worker.join().expect("worker thread");
+    match result {
+        Err(NetError::Protocol(msg)) => {
+            assert!(
+                msg.contains("Shutdown"),
+                "error should name the expected message: {msg}"
+            );
+        }
+        Err(other) => panic!("expected a protocol error, got: {other}"),
+        Ok(_) => panic!("worker accepted a push frame during shutdown"),
+    }
+}
+
+#[test]
+fn tracing_enabled_worker_drains_real_spans_once() {
+    // With tracing on and a zero-step run the buffer is still empty of
+    // step spans, but the exchange must carry the worker's clock label and
+    // remain repeatable: a second request after the drain answers with an
+    // empty buffer rather than failing.
+    threelc_obs::set_trace_enabled(true);
+    let config = shutdown_only_config();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let worker = spawn_worker(addr);
+    let stream = accept_worker(&listener, &config);
+
+    write_frame(&mut &stream, MsgType::TraceDumpRequest, 0, 0, &[]).expect("request");
+    let first = read_frame(&mut &stream).expect("dump frame");
+    assert_eq!(first.msg, MsgType::TraceDump);
+    let node = decode_trace_dump(&first.payload).expect("dump payload");
+    assert_eq!(node.clock, "worker0");
+
+    // The drain emptied the buffer; a retry is still answered.
+    write_frame(&mut &stream, MsgType::TraceDumpRequest, 0, 0, &[]).expect("request");
+    let second = read_frame(&mut &stream).expect("dump frame");
+    let node = decode_trace_dump(&second.payload).expect("dump payload");
+    assert!(node.spans.is_empty());
+
+    write_frame(&mut &stream, MsgType::Shutdown, 0, 0, &[]).expect("shutdown");
+    let ack = read_frame(&mut &stream).expect("shutdown ack");
+    assert_eq!(ack.msg, MsgType::ShutdownAck);
+    worker
+        .join()
+        .expect("worker thread")
+        .expect("zero-step run completes");
+    threelc_obs::set_trace_enabled(false);
+}

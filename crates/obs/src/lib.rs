@@ -32,8 +32,8 @@
 //!    round-trips — and exports Chrome-trace JSON or a terminal per-step
 //!    phase breakdown (`threelc trace`).
 //! 7. **An anomaly watchdog** ([`watchdog`]): flags straggler workers,
-//!    compression-ratio drift, and residual-L2 blowups from collected
-//!    telemetry (`threelc trace --check`).
+//!    compression-ratio drift, residual-L2 blowups, and rejoin-flapping
+//!    nodes from collected telemetry (`threelc trace --check`).
 //!
 //! ```
 //! use threelc_obs::Registry;
@@ -71,4 +71,4 @@ pub use trace::{
     current_ctx, global_buffer, now_ns, run_trace_id, set_trace_enabled, trace_enabled, NodeTrace,
     SpanRecord, TraceBuffer, TraceCtx, TraceScope, TraceSpan, NO_WORKER,
 };
-pub use watchdog::{Anomaly, StepStats, WatchdogConfig};
+pub use watchdog::{Anomaly, FaultSample, StepStats, WatchdogConfig};

@@ -1,6 +1,6 @@
 //! Telemetry anomaly watchdog: flags straggler workers, compression-ratio
-//! drift, and residual-L2 blowups from a merged timeline and per-step
-//! compression statistics.
+//! drift, residual-L2 blowups, and rejoin-flapping nodes from a merged
+//! timeline, per-step compression statistics, and transport fault events.
 //!
 //! The watchdog is deterministic and purely analytical — it looks at
 //! collected data, never at live clocks — so the simulator and a TCP run
@@ -29,6 +29,10 @@ pub struct WatchdogConfig {
     /// A step's residual L2 blows up when it exceeds
     /// `residual_blowup_factor` × the median residual.
     pub residual_blowup_factor: f64,
+    /// A node is flapping when it rejoins at least this many times in one
+    /// run. One rejoin is recovery working as designed; repeated rejoins
+    /// of the same node point at a bad link or host.
+    pub rejoin_flap_count: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -38,6 +42,7 @@ impl Default for WatchdogConfig {
             straggler_min_seconds: 0.005,
             ratio_drift_factor: 2.0,
             residual_blowup_factor: 10.0,
+            rejoin_flap_count: 3,
         }
     }
 }
@@ -198,6 +203,51 @@ pub fn check_steps(stats: &[StepStats], cfg: &WatchdogConfig) -> Vec<Anomaly> {
     anomalies
 }
 
+/// One fault observation the rejoin-flap check consumes (the obs-side
+/// view of a transport fault event — the transport layer converts its own
+/// event type into this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSample {
+    /// Step the fault happened at.
+    pub step: u64,
+    /// Node involved (e.g. `worker3`).
+    pub node: String,
+    /// `disconnect` or `rejoin`.
+    pub kind: String,
+}
+
+/// Flags nodes that rejoined at least `rejoin_flap_count` times — one
+/// `rejoin-flap` anomaly per flapping node, anchored at its last rejoin
+/// step.
+pub fn check_faults(samples: &[FaultSample], cfg: &WatchdogConfig) -> Vec<Anomaly> {
+    let mut rejoins: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for s in samples {
+        if s.kind == "rejoin" {
+            rejoins.entry(&s.node).or_default().push(s.step);
+        }
+    }
+    let mut anomalies = Vec::new();
+    for (node, steps) in rejoins {
+        let count = steps.len() as u64;
+        if cfg.rejoin_flap_count > 0 && count >= cfg.rejoin_flap_count {
+            anomalies.push(Anomaly {
+                kind: "rejoin-flap".into(),
+                step: steps.iter().copied().max().unwrap_or(0),
+                node: node.into(),
+                phase: String::new(),
+                value: count as f64,
+                threshold: cfg.rejoin_flap_count as f64,
+                detail: format!(
+                    "{node} rejoined {count} times (>= {}); \
+                     its link or host looks unhealthy",
+                    cfg.rejoin_flap_count
+                ),
+            });
+        }
+    }
+    anomalies
+}
+
 /// Runs both the timeline and step-level checks.
 pub fn check(timeline: &MergedTimeline, stats: &[StepStats], cfg: &WatchdogConfig) -> Vec<Anomaly> {
     let mut anomalies = check_timeline(timeline, cfg);
@@ -349,6 +399,42 @@ mod tests {
             })
             .collect();
         assert!(check(&tl, &stats, &WatchdogConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn rejoin_flap_needs_the_threshold_count() {
+        let sample = |node: &str, step: u64, kind: &str| FaultSample {
+            step,
+            node: node.into(),
+            kind: kind.into(),
+        };
+        let cfg = WatchdogConfig::default();
+        // Two rejoins (threshold 3): recovery, not pathology.
+        let calm = vec![
+            sample("worker0", 2, "disconnect"),
+            sample("worker0", 2, "rejoin"),
+            sample("worker0", 5, "disconnect"),
+            sample("worker0", 5, "rejoin"),
+        ];
+        assert!(check_faults(&calm, &cfg).is_empty());
+        // A third rejoin of the same node trips the flap check; another
+        // node's single rejoin does not.
+        let mut flappy = calm.clone();
+        flappy.push(sample("worker0", 7, "rejoin"));
+        flappy.push(sample("worker1", 4, "rejoin"));
+        let found = check_faults(&flappy, &cfg);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, "rejoin-flap");
+        assert_eq!(found[0].node, "worker0");
+        assert_eq!(found[0].step, 7);
+        assert!((found[0].value - 3.0).abs() < 1e-12);
+        // Disconnect-only samples (rejoin refused/failed) never flap.
+        let lost = vec![
+            sample("worker2", 1, "disconnect"),
+            sample("worker2", 2, "disconnect"),
+            sample("worker2", 3, "disconnect"),
+        ];
+        assert!(check_faults(&lost, &cfg).is_empty());
     }
 
     #[test]
