@@ -33,7 +33,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 
 echo "==> cargo build --no-default-features (per crate)"
 for crate in threelc-tensor threelc threelc-baselines threelc-learning \
-    threelc-distsim threelc-net threelc-obs threelc-cli threelc-bench; do
+    threelc-policy threelc-distsim threelc-net threelc-obs threelc-cli \
+    threelc-bench; do
     echo "    $crate"
     cargo build --offline --no-default-features -p "$crate"
 done
@@ -192,6 +193,78 @@ rc=0
 wait "$w1" || rc=$?
 echo "    --max-rejoins 0 aborts on the injected fault; gate holds both ways"
 
+echo "==> policy smoke (adaptive multipliers: deterministic and non-constant)"
+policydir=target/policy-smoke
+rm -rf "$policydir"
+mkdir -p "$policydir"
+policy_flags=(--workers 2 --steps 6 --width 16 --blocks 1 --batch 8
+    --scheme 3lc)
+# "policy [label]: N distinct multiplier(s); ..." -> N
+distinct_of() { sed -n 's/^policy \[.*\]: \([0-9]*\) distinct.*/\1/p' "$1"; }
+for spec in "schedule:from=1.0,to=1.9,over=4" \
+    "feedback:ratio=10000,start=1.2,gain=0.05,hold=1"; do
+    "$threelc" simulate "${policy_flags[@]}" --policy "$spec" \
+        >"$policydir/a.txt"
+    "$threelc" simulate "${policy_flags[@]}" --policy "$spec" \
+        >"$policydir/b.txt"
+    crc_a="$(crc_of "$policydir/a.txt")"
+    if [ -z "$crc_a" ] || [ "$crc_a" != "$(crc_of "$policydir/b.txt")" ]; then
+        echo "policy $spec: two identical runs disagreed on the model crc" >&2
+        exit 1
+    fi
+    distinct="$(distinct_of "$policydir/a.txt")"
+    if [ -z "$distinct" ] || [ "$distinct" -lt 2 ]; then
+        echo "policy $spec produced a constant multiplier sequence" >&2
+        exit 1
+    fi
+    echo "    $spec: crc $crc_a stable, $distinct distinct multipliers"
+done
+
+# A networked feedback run — including a worker killed mid-run and
+# resumed with --rejoin — must reproduce the simulator's fingerprint AND
+# its exact decision sequence (PolicyUpdate frames replay during resync).
+spec="feedback:ratio=10000,start=1.2,gain=0.05,hold=1"
+"$threelc" simulate "${policy_flags[@]}" --policy "$spec" >"$policydir/sim.txt"
+psim_crc="$(crc_of "$policydir/sim.txt")"
+psim_policy="$(grep '^policy \[' "$policydir/sim.txt")"
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+"$threelc" serve --addr "$addr" "${policy_flags[@]}" --policy "$spec" \
+    --json "$policydir/report.json" >"$policydir/serve.log" &
+serve_pid=$!
+"$threelc" worker --addr "$addr" --id 0 --inject-fault kill@2 \
+    >"$policydir/w0.log" &
+w0=$!
+"$threelc" worker --addr "$addr" --id 1 >"$policydir/w1.log" &
+w1=$!
+rc=0
+wait "$w0" || rc=$?
+if [ "$rc" != 43 ]; then
+    echo "kill@2 policy worker exited $rc, expected the kill exit code 43" >&2
+    exit 1
+fi
+"$threelc" worker --addr "$addr" --id 0 --rejoin >"$policydir/w0b.log" &
+w0b=$!
+wait "$w0b"
+wait "$w1"
+wait "$serve_pid"
+net_crc="$(crc_of "$policydir/serve.log")"
+if [ "$net_crc" != "$psim_crc" ]; then
+    echo "adaptive run diverged: serve crc $net_crc != simulate crc $psim_crc" >&2
+    exit 1
+fi
+if ! grep -qF "$psim_policy" "$policydir/serve.log"; then
+    echo "serve printed a different decision sequence than simulate" >&2
+    exit 1
+fi
+distinct_s="$(grep -o '"s": *[0-9.eE+-]*' "$policydir/report.json" \
+    | sort -u | wc -l)"
+if [ "$distinct_s" -lt 2 ]; then
+    echo "NetReport multiplier sequence is constant ($distinct_s value)" >&2
+    exit 1
+fi
+echo "    kill@2 + --rejoin: crc and decision sequence match the simulator"
+
 echo "==> bench smoke (criterion --test mode)"
 cargo bench --offline -p threelc-bench --bench parallel -- --test
 
@@ -215,6 +288,24 @@ for attempt in 1 2 3; do
 done
 if [ "$gate_ok" != 1 ]; then
     echo "bench gate failed on all attempts" >&2
+    exit 1
+fi
+
+echo "==> policy bench gate vs BENCH_pr6.json"
+gate_ok=0
+for attempt in 1 2 3; do
+    cargo run -q --release --offline -p threelc-bench --bin bench_policy -- \
+        target/bench/BENCH_policy_current.json --reps 10
+    if cargo run -q --release --offline -p threelc-bench --bin bench_policy -- \
+        --gate target/bench/BENCH_policy_current.json BENCH_pr6.json; then
+        gate_ok=1
+        break
+    fi
+    echo "policy bench gate attempt $attempt failed; re-measuring" >&2
+    sleep 2
+done
+if [ "$gate_ok" != 1 ]; then
+    echo "policy bench gate failed on all attempts" >&2
     exit 1
 fi
 

@@ -15,6 +15,7 @@ pub mod cache;
 pub mod harness;
 pub mod perf;
 pub mod plot;
+pub mod policy_perf;
 pub mod schema;
 pub mod table;
 

@@ -68,7 +68,7 @@ pub struct BenchReport {
 }
 
 /// Best-of-`reps` wall time of `f`, in nanoseconds.
-fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+pub(crate) fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
@@ -81,7 +81,7 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 /// The fixed calibration workload: a strided sum over 1 Mi `f32`s.
 /// Pure scalar arithmetic and sequential memory traffic — the same
 /// resources the codec leans on — with no allocation in the timed loop.
-fn calibrate(reps: usize) -> f64 {
+pub(crate) fn calibrate(reps: usize) -> f64 {
     let data: Vec<f32> = (0..1 << 20).map(|i| (i % 251) as f32 * 0.5).collect();
     best_of(reps, || {
         let mut acc = 0.0f32;

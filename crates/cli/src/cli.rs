@@ -19,14 +19,15 @@ usage:
   threelc stats      <input.f32> [--sparsity S]
   threelc serve      --addr A [--workers N] [--steps N] [--seed N]
                      [--scheme float32|fp16|int8|3lc] [--sparsity S]
-                     [--width N] [--blocks N] [--batch N] [--eval-every N]
-                     [--threads N] [--json report.json]
+                     [--policy SPEC] [--width N] [--blocks N] [--batch N]
+                     [--eval-every N] [--threads N] [--json report.json]
                      [--rejoin-timeout SECS] [--max-rejoins N]
   threelc worker     --addr A --id N [--threads N] [--max-rejoins N]
-                     [--inject-fault SPEC] [--rejoin]
+                     [--inject-fault SPEC] [--rejoin] [--policy SPEC]
   threelc simulate   [--workers N] [--steps N] [--seed N] [--scheme ...]
-                     [--sparsity S] [--width N] [--blocks N] [--batch N]
-                     [--eval-every N] [--threads N]
+                     [--sparsity S] [--policy SPEC] [--width N]
+                     [--blocks N] [--batch N] [--eval-every N]
+                     [--threads N]
   threelc metrics    <addr> [--json]
   threelc metrics    --from <log.jsonl> [--json]
   threelc trace      <report.json|addr> [--chrome out.json] [--check]
@@ -43,6 +44,14 @@ delay@N:MS; also via THREELC_FAULT); --rejoin resumes a previous worker's
 run after a kill. simulate runs the same experiment in-process and prints
 the same `final model crc32` line a fault-free or recovered serve prints.
 
+--policy selects the compression-policy engine deciding the sparsity
+multiplier per tensor per step: `static` (default), `fixed:S`,
+`schedule:from=A,to=B,over=N[,layer=K]` (linear warmup ramp),
+`feedback:ratio=R|residual=E,start=S[,gain=G][,band=B][,hold=H]`
+(bounded controller chasing a target), or `@file.json`. The server
+evaluates the policy and broadcasts each decision with the pull batch,
+so serve/worker runs stay bit-identical to `simulate --policy`.
+
 trace renders the cross-node step timeline of a THREELC_TRACE=1 run from
 a `serve --json` report (or a live server's own spans), exports Chrome/
 Perfetto JSON with --chrome, and with --check exits nonzero on watchdog
@@ -54,9 +63,12 @@ global flags (any command):
 
 /// Magic bytes identifying a `.3lc` container.
 const MAGIC: &[u8; 4] = b"3LC\0";
-/// Container header: magic + u32 version + u64 element count.
-const FILE_HEADER_LEN: usize = 4 + 4 + 8;
-const VERSION: u32 = 1;
+/// Version-2 container header: magic + u32 version + u64 element count +
+/// f32 sparsity multiplier. Version-1 files lack the sparsity field and
+/// remain readable (the multiplier shows as unrecorded).
+const FILE_HEADER_LEN: usize = 4 + 4 + 8 + 4;
+const V1_HEADER_LEN: usize = 4 + 4 + 8;
+const VERSION: u32 = 2;
 
 type CliResult = Result<String, Box<dyn Error>>;
 
@@ -179,6 +191,7 @@ fn compress(args: &[String]) -> CliResult {
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
+    out.extend_from_slice(&sparsity.value().to_le_bytes());
     out.extend_from_slice(&wire);
     std::fs::write(files[1], &out).map_err(|e| format!("{}: {e}", files[1]))?;
 
@@ -198,23 +211,51 @@ fn compress(args: &[String]) -> CliResult {
     Ok(report)
 }
 
-fn parse_container(bytes: &[u8], path: &str) -> Result<(usize, Vec<u8>), Box<dyn Error>> {
+/// A parsed `.3lc` container header plus its wire payload.
+struct Container {
+    /// Claimed element count, validated against the payload size.
+    count: usize,
+    /// Multiplier recorded at compress time; `None` for v1 files.
+    sparsity: Option<f32>,
+    /// The 3LC wire payload following the header.
+    wire: Vec<u8>,
+}
+
+fn parse_container(bytes: &[u8], path: &str) -> Result<Container, Box<dyn Error>> {
     if bytes.len() < MAGIC.len() || &bytes[0..4] != MAGIC {
         return Err(format!("{path}: not a .3lc file").into());
     }
-    if bytes.len() < FILE_HEADER_LEN {
+    if bytes.len() < V1_HEADER_LEN {
         return Err(format!(
-            "{path}: truncated .3lc file ({} bytes, the header alone is {FILE_HEADER_LEN})",
+            "{path}: truncated .3lc file ({} bytes, the smallest header is {V1_HEADER_LEN})",
             bytes.len()
         )
         .into());
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != VERSION {
-        return Err(format!("{path}: unsupported version {version}").into());
-    }
+    let (header_len, sparsity) = match version {
+        1 => (V1_HEADER_LEN, None),
+        VERSION => {
+            if bytes.len() < FILE_HEADER_LEN {
+                return Err(format!(
+                    "{path}: truncated .3lc file ({} bytes, the version-{VERSION} header \
+                     alone is {FILE_HEADER_LEN})",
+                    bytes.len()
+                )
+                .into());
+            }
+            // The stored multiplier is display metadata: decode never
+            // consults it (the scale travels inside the wire payload), so
+            // an out-of-range value degrades to "unrecorded" rather than
+            // rejecting an otherwise-valid file.
+            let s = f32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+            let s = SparsityMultiplier::new(s).ok().map(|m| m.value());
+            (FILE_HEADER_LEN, s)
+        }
+        other => return Err(format!("{path}: unsupported version {other}").into()),
+    };
     let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let wire = &bytes[FILE_HEADER_LEN..];
+    let wire = &bytes[header_len..];
     if wire.len() < threelc::sizing::WIRE_HEADER_LEN {
         return Err(format!(
             "{path}: truncated .3lc file (payload is {} bytes, the wire header alone is {})",
@@ -235,13 +276,17 @@ fn parse_container(bytes: &[u8], path: &str) -> Result<(usize, Vec<u8>), Box<dyn
         )
         .into());
     }
-    Ok((count as usize, wire.to_vec()))
+    Ok(Container {
+        count: count as usize,
+        sparsity,
+        wire: wire.to_vec(),
+    })
 }
 
 fn decompress(args: &[String]) -> CliResult {
     let files = positional(args, 2)?;
     let bytes = std::fs::read(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
-    let (count, wire) = parse_container(&bytes, files[0])?;
+    let Container { count, wire, .. } = parse_container(&bytes, files[0])?;
     let ctx = ThreeLcCompressor::new(Shape::new(&[count]), SparsityMultiplier::default())
         .with_threads(parse_threads(args)?);
     let tensor = ctx.decompress(&wire)?;
@@ -304,7 +349,11 @@ fn chunk_stats(body: &[u8], zre: bool) -> Vec<ChunkStat> {
 fn inspect(args: &[String]) -> CliResult {
     let files = positional(args, 1)?;
     let bytes = std::fs::read(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
-    let (count, wire) = parse_container(&bytes, files[0])?;
+    let Container {
+        count,
+        sparsity: stored_s,
+        wire,
+    } = parse_container(&bytes, files[0])?;
     let ctx = ThreeLcCompressor::new(Shape::new(&[count]), SparsityMultiplier::default());
     let tensor = ctx.decompress(&wire)?;
     let s = TensorStats::of(&tensor);
@@ -312,6 +361,10 @@ fn inspect(args: &[String]) -> CliResult {
     writeln!(report, "{}:", files[0])?;
     writeln!(report, "  values:        {count}")?;
     writeln!(report, "  file bytes:    {}", bytes.len())?;
+    match stored_s {
+        Some(v) => writeln!(report, "  sparsity s:    {v}")?,
+        None => writeln!(report, "  sparsity s:    unrecorded (v1 container)")?,
+    }
     writeln!(
         report,
         "  ratio:         {:.1}x ({:.3} bits/value)",
@@ -337,16 +390,22 @@ fn inspect(args: &[String]) -> CliResult {
     )?;
     writeln!(
         report,
-        "    {:>5}  {:>10}  {:>10}  {:>8}  {:>9}",
-        "chunk", "bytes", "values", "ratio", "zero-run"
+        "    {:>5}  {:>10}  {:>10}  {:>8}  {:>9}  {:>6}",
+        "chunk", "bytes", "values", "ratio", "zero-run", "s"
     )?;
+    // One multiplier governs the whole file today; the column still
+    // prints per chunk so adaptive multi-tensor dumps render unchanged.
+    let s_col = match stored_s {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    };
     let mut remaining = count;
     for (idx, c) in chunk_stats(body, zre).iter().enumerate() {
         let values = (c.quartic * threelc::quartic::VALUES_PER_BYTE).min(remaining);
         remaining -= values;
         writeln!(
             report,
-            "    {:>5}  {:>10}  {:>10}  {:>7.1}x  {:>8.2}%",
+            "    {:>5}  {:>10}  {:>10}  {:>7.1}x  {:>8.2}%  {s_col:>6}",
             idx,
             c.encoded,
             values,
@@ -635,6 +694,144 @@ mod tests {
     }
 
     #[test]
+    fn container_records_the_sparsity_multiplier() {
+        let input = tmp("sv.f32");
+        let packed = tmp("sv.3lc");
+        write_f32(&input, &vec![0.125f32; 500]);
+        run(&s(&[
+            "compress",
+            input.to_str().unwrap(),
+            packed.to_str().unwrap(),
+            "--sparsity",
+            "1.75",
+        ]))
+        .expect("compress");
+        let report = run(&s(&["inspect", packed.to_str().unwrap()])).expect("inspect");
+        assert!(report.contains("sparsity s:    1.75"), "got: {report}");
+        // The chunk table carries the multiplier column.
+        assert!(report.contains("zero-run       s"), "got: {report}");
+        assert!(report.contains("  1.75\n"), "got: {report}");
+
+        // A version-1 container (no sparsity field) still parses; the
+        // multiplier shows as unrecorded.
+        let v2 = std::fs::read(&packed).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&v2[0..4]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[8..16]);
+        v1.extend_from_slice(&v2[FILE_HEADER_LEN..]);
+        let old = tmp("sv-v1.3lc");
+        std::fs::write(&old, &v1).unwrap();
+        let report = run(&s(&["inspect", old.to_str().unwrap()])).expect("v1 inspect");
+        assert!(
+            report.contains("sparsity s:    unrecorded (v1 container)"),
+            "got: {report}"
+        );
+        let back = tmp("sv-v1.f32");
+        run(&s(&[
+            "decompress",
+            old.to_str().unwrap(),
+            back.to_str().unwrap(),
+        ]))
+        .expect("v1 decompress");
+        assert_eq!(read_f32_file(&back).expect("read back").len(), 500);
+
+        // Unknown future versions are rejected up front.
+        let mut v9 = v2.clone();
+        v9[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let fut = tmp("sv-v9.3lc");
+        std::fs::write(&fut, &v9).unwrap();
+        let err = run(&s(&["inspect", fut.to_str().unwrap()])).expect_err("future version");
+        assert!(
+            err.to_string().contains("unsupported version 9"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn policy_flag_drives_an_adaptive_loopback_run() {
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().expect("addr").to_string()
+        };
+        let json = tmp("policy-report.json");
+        let spec = "schedule:from=1.0,to=1.9,over=3";
+        let serve_args = s(&[
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+            "--steps",
+            "4",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--policy",
+            spec,
+            "--json",
+            json.to_str().unwrap(),
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args).map_err(|e| e.to_string()));
+        // The worker accepts the same --policy flag (the server's config
+        // is authoritative), so symmetric launch scripts work.
+        let worker_args = s(&["worker", "--addr", &addr, "--id", "0", "--policy", spec]);
+        let worker = std::thread::spawn(move || run(&worker_args).map_err(|e| e.to_string()));
+        worker.join().expect("worker thread").expect("worker run");
+        let report = server.join().expect("server thread").expect("serve run");
+        assert!(
+            report.contains("policy [schedule:from=1,to=1.9,over=3,layer=0]"),
+            "got: {report}"
+        );
+
+        // The JSON report records every decision, and the sequence moved.
+        let dumped = std::fs::read_to_string(&json).expect("json report");
+        let parsed: threelc_net::NetReport = serde_json::from_str(&dumped).expect("parse report");
+        assert!(!parsed.result.trace.policy.records.is_empty());
+        assert!(!parsed.result.trace.policy.is_constant());
+
+        // `simulate` with the same flags prints the same fingerprint AND
+        // the same decision summary — the equality CI's policy smoke
+        // greps for.
+        let crc_line = report
+            .lines()
+            .find(|l| l.starts_with("final model crc32: "))
+            .expect("fingerprint line");
+        let policy_line = report
+            .lines()
+            .find(|l| l.starts_with("policy ["))
+            .expect("policy line");
+        let sim = run(&s(&[
+            "simulate",
+            "--workers",
+            "1",
+            "--steps",
+            "4",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--policy",
+            spec,
+        ]))
+        .expect("simulate run");
+        assert!(sim.contains(crc_line), "serve: {report}\nsimulate: {sim}");
+        assert!(
+            sim.contains(policy_line),
+            "serve: {report}\nsimulate: {sim}"
+        );
+    }
+
+    #[test]
     fn serve_and_worker_commands_run_a_loopback_experiment() {
         // Reserve an ephemeral port, then immediately reuse it. The worker
         // commands retry with backoff, so they tolerate starting first.
@@ -796,6 +993,24 @@ mod tests {
         assert!(bad_fault.to_string().contains("meteor"), "got: {bad_fault}");
         assert!(run(&s(&["simulate", "--bogus", "1"])).is_err());
         assert!(run(&s(&["simulate", "--scheme", "zstd"])).is_err());
+        // Policy specs are validated at every entry point.
+        for cmd in [
+            vec!["serve", "--addr", "x", "--policy", "warp:9"],
+            vec!["simulate", "--policy", "fixed:5.0"],
+            vec!["simulate", "--policy", "schedule:from=1.0"],
+            vec![
+                "worker",
+                "--addr",
+                "127.0.0.1:1",
+                "--id",
+                "0",
+                "--policy",
+                "fixed:0.5",
+            ],
+        ] {
+            let err = run(&s(&cmd)).expect_err("bad policy spec must be rejected");
+            assert!(err.to_string().contains("policy"), "got: {err}");
+        }
     }
 
     #[test]

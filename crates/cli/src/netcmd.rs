@@ -11,7 +11,7 @@ use std::net::TcpListener;
 use std::time::Duration;
 use threelc::SparsityMultiplier;
 use threelc_baselines::SchemeKind;
-use threelc_distsim::{Cluster, ExperimentConfig};
+use threelc_distsim::{Cluster, ExperimentConfig, PolicySpec};
 use threelc_net::{
     model_crc32, run_worker, scrape_metrics, serve, FaultPlan, ServeOptions, WorkerOptions,
 };
@@ -80,6 +80,7 @@ const CONFIG_FLAGS: &[&str] = &[
     "--blocks",
     "--batch",
     "--eval-every",
+    "--policy",
 ];
 
 /// Builds the experiment configuration from the shared [`CONFIG_FLAGS`],
@@ -114,6 +115,9 @@ fn config_from_flags(args: &[String]) -> Result<ExperimentConfig, Box<dyn Error>
     if let Some(v) = parse_flag(args, "--eval-every")? {
         config.eval_every = v;
     }
+    if let Some(spec) = flag_value(args, "--policy") {
+        config.policy = PolicySpec::parse(spec).map_err(|e| format!("--policy: {e}"))?;
+    }
     Ok(config)
 }
 
@@ -131,6 +135,7 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         "--blocks",
         "--batch",
         "--eval-every",
+        "--policy",
         "--threads",
         "--json",
         "--rejoin-timeout",
@@ -193,6 +198,7 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         result.final_eval.accuracy * 100.0
     )?;
     writeln!(out, "final model crc32: {:08x}", report.final_model_crc32)?;
+    write_policy_summary(&mut out, &result.trace.policy)?;
     if report.faults.disconnects > 0 || report.faults.rejoins > 0 {
         writeln!(
             out,
@@ -237,6 +243,35 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         )?;
     }
     Ok(out)
+}
+
+/// One line summarizing an adaptive run's decision sequence: the label,
+/// the tensor-0 multiplier per step (the sequence CI asserts is
+/// non-constant), and the count of distinct multipliers. Prints nothing
+/// for a static run.
+fn write_policy_summary(
+    out: &mut String,
+    policy: &threelc_distsim::PolicyTrace,
+) -> Result<(), Box<dyn Error>> {
+    if policy.records.is_empty() {
+        return Ok(());
+    }
+    let mults: Vec<String> = policy
+        .records
+        .iter()
+        .filter(|r| r.tensor == 0)
+        .map(|r| format!("{}", r.s))
+        .collect();
+    let distinct: std::collections::BTreeSet<u32> =
+        policy.records.iter().map(|r| r.s.to_bits()).collect();
+    writeln!(
+        out,
+        "policy [{}]: {} distinct multiplier(s); tensor-0 sequence: {}",
+        policy.label,
+        distinct.len(),
+        mults.join(" ")
+    )?;
+    Ok(())
 }
 
 /// `threelc metrics <addr>`: scrape a live metrics snapshot from a
@@ -362,6 +397,7 @@ pub fn simulate_cmd(args: &[String]) -> CliResult {
         "final model crc32: {:08x}",
         model_crc32(cluster.global_model())
     )?;
+    write_policy_summary(&mut out, cluster.policy_trace())?;
     Ok(out)
 }
 
@@ -373,6 +409,7 @@ pub fn worker_cmd(args: &[String]) -> CliResult {
         "--threads",
         "--max-rejoins",
         "--inject-fault",
+        "--policy",
     ];
     const BOOL_FLAGS: &[&str] = &["--rejoin"];
     check_flags(args, FLAGS, BOOL_FLAGS)?;
@@ -384,6 +421,12 @@ pub fn worker_cmd(args: &[String]) -> CliResult {
     wopts.threads = parse_flag(args, "--threads")?.unwrap_or(1);
     if let Some(v) = parse_flag(args, "--max-rejoins")? {
         wopts.max_rejoins = v;
+    }
+    // The server's HelloAck config is authoritative for the policy; the
+    // flag is accepted (and validated) so launch scripts can pass the
+    // same arguments to every role.
+    if let Some(spec) = flag_value(args, "--policy") {
+        PolicySpec::parse(spec).map_err(|e| format!("--policy: {e}"))?;
     }
     wopts.start_rejoined = args.iter().any(|a| a == "--rejoin");
     wopts.fault = match flag_value(args, "--inject-fault") {

@@ -5,7 +5,10 @@ use std::fmt;
 use threelc_tensor::TensorError;
 
 /// Error produced while compressing a tensor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`Eq` cannot be derived: [`CompressError::InvalidSparsity`] carries
+/// the offending `f32`, which may be NaN.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompressError {
     /// The input tensor's shape does not match the shape this compressor
     /// was constructed for (the error-accumulation buffer is per-tensor).
@@ -18,6 +21,14 @@ pub enum CompressError {
     /// The input contained a non-finite value (NaN or ±inf); quantization
     /// scales would be meaningless.
     NonFiniteInput,
+    /// A sparsity multiplier outside `[1, 2)` (or NaN/±inf) reached a
+    /// validation point: a CLI flag, `ThreeLcOptions`, or a policy
+    /// decision. Values outside the range would silently mis-encode
+    /// (s < 1 re-quantizes the maximum, s ≥ 2 zeroes everything).
+    InvalidSparsity {
+        /// The rejected value.
+        value: f32,
+    },
 }
 
 impl fmt::Display for CompressError {
@@ -29,6 +40,9 @@ impl fmt::Display for CompressError {
             ),
             CompressError::NonFiniteInput => {
                 write!(f, "input tensor contains a non-finite value")
+            }
+            CompressError::InvalidSparsity { value } => {
+                write!(f, "sparsity multiplier {value} is outside [1.0, 2.0)")
             }
         }
     }
@@ -135,6 +149,7 @@ mod tests {
     fn display_messages_nonempty() {
         let errs: Vec<Box<dyn Error>> = vec![
             Box::new(CompressError::NonFiniteInput),
+            Box::new(CompressError::InvalidSparsity { value: f32::NAN }),
             Box::new(DecodeError::NonFiniteScale),
             Box::new(DecodeError::UnknownFormat { flags: 0xff }),
             Box::new(DecodeError::Malformed {

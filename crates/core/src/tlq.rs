@@ -47,12 +47,14 @@ impl SparsityMultiplier {
     ///
     /// # Errors
     ///
-    /// Returns [`CompressError::NonFiniteInput`] if `s` is outside
+    /// Returns [`CompressError::InvalidSparsity`] if `s` is outside
     /// `[1.0, 2.0)` or non-finite. (The range restriction is what makes the
-    /// quantization output ternary: `|T_in / M| ≤ 1/s ≤ 1`.)
+    /// quantization output ternary: `|T_in / M| ≤ 1/s ≤ 1`.) Every entry
+    /// point for a multiplier — CLI flags, `ThreeLcOptions`, policy
+    /// decisions arriving over the wire — funnels through here.
     pub fn new(s: f32) -> Result<Self, CompressError> {
         if !s.is_finite() || !(1.0..2.0).contains(&s) {
-            return Err(CompressError::NonFiniteInput);
+            return Err(CompressError::InvalidSparsity { value: s });
         }
         Ok(SparsityMultiplier(s))
     }
@@ -197,12 +199,31 @@ mod tests {
 
     #[test]
     fn multiplier_validation() {
+        // The exact boundaries: 1.0 is the smallest legal value and the
+        // largest f32 strictly below 2.0 is the biggest.
         assert!(SparsityMultiplier::new(1.0).is_ok());
         assert!(SparsityMultiplier::new(1.99).is_ok());
+        let below_two = f32::from_bits(2.0f32.to_bits() - 1);
+        assert!(below_two < 2.0);
+        assert!(SparsityMultiplier::new(below_two).is_ok());
         assert!(SparsityMultiplier::new(2.0).is_err());
         assert!(SparsityMultiplier::new(0.99).is_err());
         assert!(SparsityMultiplier::new(f32::NAN).is_err());
         assert_eq!(SparsityMultiplier::default().value(), 1.0);
+    }
+
+    #[test]
+    fn multiplier_rejection_is_typed_and_names_the_value() {
+        for bad in [0.0, 0.99, 2.0, 2.5, -1.0, f32::INFINITY, f32::NEG_INFINITY] {
+            match SparsityMultiplier::new(bad) {
+                Err(CompressError::InvalidSparsity { value }) => assert_eq!(value, bad),
+                other => panic!("s={bad} gave {other:?}, want InvalidSparsity"),
+            }
+        }
+        match SparsityMultiplier::new(f32::NAN) {
+            Err(CompressError::InvalidSparsity { value }) => assert!(value.is_nan()),
+            other => panic!("NaN gave {other:?}, want InvalidSparsity"),
+        }
     }
 
     #[test]

@@ -69,6 +69,17 @@ pub trait Compressor: Send {
     /// changing it mid-stream is always safe. The default ignores the hint
     /// (serial schemes simply stay serial).
     fn set_threads(&mut self, _threads: usize) {}
+
+    /// Changes the sparsity multiplier for **subsequent** `compress` calls
+    /// without rebuilding the context (the error-accumulation buffer and
+    /// every other piece of stream state survive).
+    ///
+    /// This is the mechanism behind adaptive compression policies: the
+    /// multiplier can change per tensor per step. Decoding needs no
+    /// matching call — the scale travels inside every payload, so
+    /// `decompress` is unaffected by the encoder's current setting. The
+    /// default is a no-op for schemes without a sparsity knob.
+    fn set_sparsity(&mut self, _s: crate::SparsityMultiplier) {}
 }
 
 /// Running traffic statistics for a stream of compressed tensors.

@@ -6,6 +6,7 @@ use crate::trace::StepRecord;
 use threelc::CompressionStats;
 use threelc_learning::{Batch, Evaluation, Network, SyntheticImages};
 use threelc_obs::trace::{self, TraceScope, TraceSpan};
+use threelc_policy::PolicyTrace;
 use threelc_tensor::{Rng, Tensor};
 
 /// An in-process parameter-server cluster (paper Figures 1–2).
@@ -34,6 +35,8 @@ pub struct Cluster {
     /// Stale-pull pipeline: decoded per-tensor deltas waiting to be
     /// applied to workers (`config.staleness` steps deep; empty in BSP).
     pending_deltas: std::collections::VecDeque<Vec<Tensor>>,
+    /// Every policy decision taken so far (empty under a static policy).
+    policy_log: PolicyTrace,
 }
 
 impl Cluster {
@@ -41,10 +44,18 @@ impl Cluster {
     /// per-tensor compression contexts on both paths.
     pub fn new(config: ExperimentConfig) -> Self {
         let problem = Problem::build(&config);
-        let workers = (0..config.workers)
+        let mut workers: Vec<WorkerReplica> = (0..config.workers)
             .map(|w| WorkerReplica::new(&problem, w))
             .collect();
         let server = ServerCore::new(&problem);
+        // An adaptive policy's step-0 decisions exist before any traffic
+        // flows; the workers must encode their first push with them
+        // (networked workers derive the identical vector from the config).
+        if !server.current_decisions().is_empty() {
+            for w in &mut workers {
+                w.apply_policy(server.current_decisions());
+            }
+        }
         Cluster {
             workers,
             server,
@@ -53,6 +64,10 @@ impl Cluster {
             test: problem.test,
             straggler_rng: threelc_tensor::rng(config.seed ^ 0x5357_4147), // "STAG"
             pending_deltas: std::collections::VecDeque::new(),
+            policy_log: PolicyTrace {
+                label: config.policy.label(),
+                records: Vec::new(),
+            },
             config,
         }
     }
@@ -101,6 +116,12 @@ impl Cluster {
     /// Cumulative model-delta-pull traffic statistics.
     pub fn pull_stats(&self) -> &CompressionStats {
         self.server.pull_stats()
+    }
+
+    /// Every policy decision taken so far, in (step, tensor) order. Empty
+    /// records under a static policy.
+    pub fn policy_trace(&self) -> &PolicyTrace {
+        &self.policy_log
     }
 
     /// Total parameters in the model.
@@ -203,8 +224,22 @@ impl Cluster {
                 trace::NO_WORKER,
             )
         });
-        let out = self.server.apply_step(&payloads, accepted_count);
+        let out = self
+            .server
+            .apply_step(&payloads, accepted_count, residual_l2);
         drop(server_scope);
+
+        // Deliver the next step's policy decisions to every replica —
+        // including dropped stragglers, exactly as the networked runtime's
+        // pull-batch broadcast reaches every connected worker.
+        if !out.next_decisions.is_empty() {
+            for w in self.workers.iter_mut() {
+                w.apply_policy(&out.next_decisions);
+            }
+        }
+        self.policy_log
+            .records
+            .extend(out.policy_records.iter().copied());
 
         let mut pull_bytes = 0u64;
         for (i, payload) in out.pulls.iter().enumerate() {
@@ -584,6 +619,100 @@ mod tests {
         assert!(sampled.is_finite());
         assert!(cluster.num_params() > cluster.compressible_values());
         assert_eq!(cluster.config().workers, 3);
+    }
+
+    #[test]
+    fn schedule_policy_adapts_and_keeps_workers_in_sync() {
+        let mut config = tiny_config(SchemeKind::three_lc(1.0));
+        config.policy =
+            threelc_policy::PolicySpec::parse("schedule:from=1.0,to=1.9,over=4").unwrap();
+        let mut cluster = Cluster::new(config);
+        for _ in 0..6 {
+            cluster.step();
+        }
+        let trace = cluster.policy_trace();
+        assert_eq!(trace.label, "schedule:from=1,to=1.9,over=4,layer=0");
+        // One record per compressible-or-not tensor per step.
+        assert_eq!(trace.records.len() % 6, 0);
+        assert!(
+            !trace.is_constant(),
+            "a warmup schedule must produce a non-constant multiplier sequence"
+        );
+        // The ramp reaches its target and holds there.
+        let last = trace.records.last().unwrap();
+        assert!((last.s - 1.9).abs() < 1e-6, "final s = {}", last.s);
+        // Shared decisions keep replicas bit-identical to each other.
+        let first = cluster.worker_model(0).snapshot();
+        for w in 1..3 {
+            assert_eq!(
+                cluster.worker_model(w).snapshot(),
+                first,
+                "worker {w} out of sync under an adaptive policy"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_policy_reacts_to_measured_ratio() {
+        let mut config = tiny_config(SchemeKind::three_lc(1.0));
+        // An intentionally unreachable target ratio: the controller should
+        // keep pushing s upward until it hits the clamp.
+        config.policy =
+            threelc_policy::PolicySpec::parse("feedback:ratio=10000,start=1.2,gain=0.2,hold=0")
+                .unwrap();
+        let mut cluster = Cluster::new(config);
+        for _ in 0..8 {
+            cluster.step();
+        }
+        let trace = cluster.policy_trace();
+        assert!(!trace.is_constant());
+        let first = trace.records.first().unwrap();
+        let last = trace.records.last().unwrap();
+        assert!((first.s - 1.2).abs() < 1e-6);
+        assert!(last.s > first.s, "s should rise: {} -> {}", first.s, last.s);
+        assert!(last.s < 2.0, "clamp must hold");
+        // Compressed tensors report real measured ratios; raw (bias)
+        // tensors sit at exactly 1.0.
+        assert!(trace.records.iter().any(|r| r.achieved_ratio > 5.0));
+        assert!(trace.records.iter().all(|r| r.achieved_ratio >= 0.0));
+    }
+
+    #[test]
+    fn static_policy_matches_pre_policy_behaviour() {
+        // The policy subsystem must be invisible when static: identical
+        // dynamics to a cluster that never heard of policies, and an empty
+        // decision log.
+        let mut with_field = tiny_config(SchemeKind::three_lc(1.5));
+        with_field.policy = threelc_policy::PolicySpec::Static;
+        let mut a = Cluster::new(with_field);
+        let mut b = Cluster::new(tiny_config(SchemeKind::three_lc(1.5)));
+        for _ in 0..4 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.global_model().snapshot(), b.global_model().snapshot());
+        assert!(a.policy_trace().records.is_empty());
+    }
+
+    #[test]
+    fn policy_decisions_are_deterministic_across_runs() {
+        let run = || {
+            let mut config = tiny_config(SchemeKind::three_lc(1.0));
+            config.policy =
+                threelc_policy::PolicySpec::parse("feedback:ratio=40,start=1.3").unwrap();
+            let mut cluster = Cluster::new(config);
+            for _ in 0..6 {
+                cluster.step();
+            }
+            (
+                cluster.global_model().snapshot(),
+                cluster.policy_trace().clone(),
+            )
+        };
+        let (m1, t1) = run();
+        let (m2, t2) = run();
+        assert_eq!(m1, m2, "models must match bit-for-bit");
+        assert_eq!(t1, t2, "decision sequences must match exactly");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use threelc_baselines::SchemeKind;
+use threelc_policy::PolicySpec;
 
 /// The paper's standard step count was 25,600 (163.84 CIFAR-10 epochs on
 /// 10 workers). Our scaled-down standard run: the fractions 25/50/75/100%
@@ -123,6 +124,13 @@ pub struct ExperimentConfig {
     /// Master seed: model init, data generation, and worker RNGs derive
     /// from it.
     pub seed: u64,
+    /// The adaptive compression policy choosing the sparsity multiplier
+    /// per tensor per step. The default, [`PolicySpec::Static`], keeps the
+    /// scheme's own multiplier for the whole run (the original behavior);
+    /// adaptive specs are evaluated by the server only and broadcast to
+    /// workers, so every replica applies the identical decision sequence.
+    #[serde(default)]
+    pub policy: PolicySpec,
     /// The simulated-time model.
     pub timing: TimingModel,
 }
@@ -152,6 +160,7 @@ impl Default for ExperimentConfig {
             eval_every: 0,
             shared_pull_compression: true,
             seed: 42,
+            policy: PolicySpec::Static,
             timing: TimingModel::default(),
         }
     }
@@ -223,5 +232,28 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_policy() {
+        let mut c = ExperimentConfig::for_scheme(SchemeKind::three_lc(1.5));
+        c.policy = PolicySpec::parse("feedback:ratio=20,start=1.5").unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        assert!(back.policy.is_adaptive());
+    }
+
+    #[test]
+    fn policy_defaults_to_static_on_old_configs() {
+        // Configs serialized before the policy field existed must load
+        // with the original (static) behavior.
+        let c = ExperimentConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json.replace(",\"policy\":\"Static\"", "");
+        assert_ne!(stripped, json, "policy field must have been serialized");
+        let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.policy, PolicySpec::Static);
+        assert!(!back.policy.is_adaptive());
     }
 }

@@ -25,10 +25,11 @@ use crate::config::ExperimentConfig;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use threelc::parallel::{self, split_off_ranges, split_ranges};
-use threelc::{CompressionStats, Compressor};
-use threelc_baselines::build_compressor;
+use threelc::{CompressionStats, Compressor, SparsityMultiplier};
+use threelc_baselines::{build_compressor, SchemeKind};
 use threelc_learning::{models, Batch, LrSchedule, Network, SgdMomentum, SyntheticImages};
 use threelc_obs::{trace, Histogram};
+use threelc_policy::{Decision, Policy, PolicyRecord, TensorObs};
 use threelc_tensor::{Rng, Shape, Tensor};
 
 /// Seed of the synthetic dataset (shared by every node).
@@ -49,6 +50,17 @@ pub fn push_ctx_seed(config: &ExperimentConfig, w: usize, i: usize) -> u64 {
 /// Seed of the shared pull compression context for tensor `i`.
 pub fn pull_ctx_seed(config: &ExperimentConfig, i: usize) -> u64 {
     config.seed ^ 0x5055_4C4C_0000_0000 ^ i as u64
+}
+
+/// The scheme's own sparsity multiplier — what a `Static` policy keeps
+/// and adaptive policies start reasoning from.
+pub fn base_sparsity(config: &ExperimentConfig) -> SparsityMultiplier {
+    match config.scheme {
+        SchemeKind::ThreeLc { sparsity, .. } => {
+            SparsityMultiplier::new(sparsity).unwrap_or_default()
+        }
+        _ => SparsityMultiplier::default(),
+    }
 }
 
 /// The deterministic problem instance every node derives from the
@@ -234,6 +246,19 @@ impl WorkerReplica {
         }
     }
 
+    /// Applies per-tensor policy decisions to this replica's push
+    /// compression contexts, effective from the next `encode_push`.
+    /// Decisions always come from the server (directly in the simulator,
+    /// over the wire in the networked runtime) — replicas never evaluate
+    /// the policy themselves, so they cannot drift.
+    pub fn apply_policy(&mut self, decisions: &[Decision]) {
+        for (ctx, d) in self.push_ctxs.iter_mut().zip(decisions) {
+            if let Some(ctx) = ctx {
+                ctx.set_sparsity(d.s);
+            }
+        }
+    }
+
     /// The L2 norm of this replica's error-accumulation residual, summed
     /// over its push compression contexts (0.0 for stateless schemes).
     /// Feeds the per-step `residual_l2` trace field the anomaly watchdog
@@ -273,6 +298,14 @@ pub struct ServerStepOutput {
     pub step_deltas: Vec<Tensor>,
     /// Measured server-side codec CPU seconds (push decode + pull codec).
     pub server_codec_seconds: f64,
+    /// The policy decisions that governed **this** step, resolved against
+    /// the step's observed telemetry (empty when the policy is static).
+    pub policy_records: Vec<PolicyRecord>,
+    /// The decisions for the **next** step. The caller must deliver these
+    /// to every worker replica (the networked runtime broadcasts them with
+    /// the pull batch) so pushes stay bit-identical across runtimes. Empty
+    /// when the policy is static.
+    pub next_decisions: Vec<Decision>,
 }
 
 /// The server's state: the global model, optimizer, decode contexts for
@@ -292,6 +325,13 @@ pub struct ServerCore {
     shapes: Vec<Shape>,
     push_stats: CompressionStats,
     pull_stats: CompressionStats,
+    /// The adaptive policy, if the config asks for one. Evaluated *only*
+    /// here — workers receive decisions, never compute them — so the
+    /// decision sequence is a pure function of (step, prior telemetry)
+    /// and the simulator and networked runtime cannot diverge.
+    policy: Option<Box<dyn Policy>>,
+    /// Decisions governing the upcoming step (empty when static).
+    current_decisions: Vec<Decision>,
     step: u64,
     /// Shard-thread budget for [`Self::apply_step`] (1 = serial).
     threads: usize,
@@ -332,6 +372,20 @@ impl ServerCore {
                 decode_ctxs[i].push(ctx);
             }
         }
+        // The same construction workers run locally at step 0
+        // (`PolicySpec::initial_decisions`): both sides derive the initial
+        // multipliers from the config alone, so no wire round-trip is
+        // needed before the first push.
+        let (policy, current_decisions) = if config.policy.is_adaptive() {
+            let mut p = config
+                .policy
+                .build(problem.num_tensors(), base_sparsity(&config))
+                .expect("policy spec is validated when the config is built");
+            let first = p.decide(0, &[]);
+            (Some(p), first)
+        } else {
+            (None, Vec::new())
+        };
         let reg = threelc_obs::global();
         ServerCore {
             global: problem.init.clone(),
@@ -343,6 +397,8 @@ impl ServerCore {
             shapes: problem.shapes.clone(),
             push_stats: CompressionStats::new(),
             pull_stats: CompressionStats::new(),
+            policy,
+            current_decisions,
             step: 0,
             threads: 1,
             apply_seconds: reg.histogram("engine.apply_step_seconds"),
@@ -350,6 +406,16 @@ impl ServerCore {
             shard_lock_wait: reg.histogram("engine.shard.lock_wait_seconds"),
             config,
         }
+    }
+
+    /// The decisions governing the *next* step's encodes (empty when the
+    /// policy is static). Right after construction these are the step-0
+    /// decisions, which every worker must apply before its first push —
+    /// [`crate::Cluster::new`] does it directly; the networked worker
+    /// derives the same vector locally via
+    /// `PolicySpec::initial_decisions`.
+    pub fn current_decisions(&self) -> &[Decision] {
+        &self.current_decisions
     }
 
     /// Requests up to `threads` aggregation shards for [`Self::apply_step`]
@@ -422,6 +488,12 @@ impl ServerCore {
     /// `payloads` holds one entry per worker in worker-id order; an empty
     /// vector marks a dropped straggler whose push is not aggregated.
     ///
+    /// `residual_l2` is the largest per-replica error-accumulation residual
+    /// norm reported for this step (0.0 when unknown or stateless); it only
+    /// feeds residual-targeting policies and must be bit-reproducible
+    /// across runtimes (it is: workers compute it from their own contexts
+    /// and report it with the push).
+    ///
     /// # Panics
     ///
     /// Panics if every worker's payload list is empty, if payload counts
@@ -432,12 +504,24 @@ impl ServerCore {
         &mut self,
         payloads: &[Vec<TensorPayload>],
         accepted_count: usize,
+        residual_l2: f64,
     ) -> ServerStepOutput {
         let step_start = Instant::now();
         let lr = self.lr();
         let n_params = self.shapes.len();
         let shards = self.plan_shards(n_params);
         let mut server_codec = 0.0f64;
+
+        // The decisions governing this step also apply to the pull side:
+        // the server re-encodes model deltas at the same multiplier the
+        // workers used for their pushes.
+        if !self.current_decisions.is_empty() {
+            for (ctx, d) in self.pull_ctxs.iter_mut().zip(&self.current_decisions) {
+                if let Some(ctx) = ctx {
+                    ctx.set_sparsity(d.s);
+                }
+            }
+        }
 
         // Trace the three server phases by measured boundaries rather than
         // RAII guards: the sharded twins run on pool threads that carry no
@@ -477,7 +561,62 @@ impl ServerCore {
             trace::record_span("re-encode", t_reencode, trace::now_ns());
         }
         self.prev_global = global_now;
+        let step = self.step;
         self.step += 1;
+
+        // Resolve this step's decisions against what the step actually
+        // measured, then ask the policy for the next step's decisions.
+        // Every input is exactly reproducible (integer byte counts, the
+        // workers' own residual norms) — wall-clock timings are
+        // deliberately excluded so the sequence replays bit-identically.
+        let (policy_records, next_decisions) = match self.policy.as_mut() {
+            Some(policy) => {
+                let mut obs = Vec::with_capacity(n_params);
+                for i in 0..n_params {
+                    let mut wire_bytes = 0usize;
+                    let mut n_payloads = 0usize;
+                    for worker_payloads in payloads.iter().filter(|p| !p.is_empty()) {
+                        wire_bytes += worker_payloads[i].wire_len() as usize;
+                        n_payloads += 1;
+                    }
+                    obs.push(TensorObs {
+                        values: self.shapes[i].num_elements(),
+                        wire_bytes,
+                        payloads: n_payloads,
+                        residual_l2,
+                    });
+                }
+                let records: Vec<PolicyRecord> = self
+                    .current_decisions
+                    .iter()
+                    .zip(&obs)
+                    .enumerate()
+                    .map(|(i, (d, o))| {
+                        let r = PolicyRecord {
+                            step,
+                            tensor: i as u16,
+                            s: d.s.value(),
+                            reason: d.reason,
+                            achieved_ratio: o.achieved_ratio(),
+                        };
+                        threelc_obs::event!(
+                            threelc_obs::Level::Debug,
+                            "policy.decision",
+                            step = r.step,
+                            tensor = r.tensor,
+                            s = r.s,
+                            reason = r.reason.as_str(),
+                            achieved_ratio = r.achieved_ratio
+                        );
+                        r
+                    })
+                    .collect();
+                let next = policy.decide(step + 1, &obs);
+                self.current_decisions = next.clone();
+                (records, next)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         self.apply_seconds
             .record(step_start.elapsed().as_secs_f64());
 
@@ -486,7 +625,15 @@ impl ServerCore {
             pulls,
             step_deltas,
             server_codec_seconds: server_codec,
+            policy_records,
+            next_decisions,
         }
+    }
+
+    /// Whether an adaptive policy is active (decisions must then be
+    /// forwarded to workers after every step).
+    pub fn policy_active(&self) -> bool {
+        self.policy.is_some()
     }
 
     /// Decode + aggregate in worker-id order, one tensor at a time.
@@ -785,13 +932,16 @@ mod tests {
         server: &mut ServerCore,
     ) -> ServerStepOutput {
         let mut payloads = Vec::with_capacity(workers.len());
+        let mut residual = 0.0f64;
         for w in workers.iter_mut() {
             let (_loss, grads) = w.compute(&problem.data, problem.config.batch_per_worker);
             payloads.push(w.encode_push(grads).payloads);
+            residual = residual.max(w.residual_l2());
         }
-        let out = server.apply_step(&payloads, workers.len());
+        let out = server.apply_step(&payloads, workers.len(), residual);
         for w in workers.iter_mut() {
             w.apply_deltas(&out.step_deltas);
+            w.apply_policy(&out.next_decisions);
         }
         out
     }

@@ -82,6 +82,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         step: config.total_steps,
         eval: final_eval,
     });
+    trace.policy = cluster.policy_trace().clone();
     trace.run_watchdog(config.workers as u64);
     ExperimentResult {
         config: *config,
@@ -150,5 +151,23 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: ExperimentResult = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn adaptive_run_records_policy_decisions_in_the_trace() {
+        let mut config = quick(SchemeKind::three_lc(1.0));
+        config.policy =
+            threelc_policy::PolicySpec::parse("schedule:from=1.0,to=1.8,over=3").unwrap();
+        let r = run_experiment(&config);
+        assert_eq!(
+            r.trace.policy.label,
+            "schedule:from=1,to=1.8,over=3,layer=0"
+        );
+        assert!(!r.trace.policy.records.is_empty());
+        assert!(!r.trace.policy.is_constant());
+        // And the section survives serialization.
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace.policy, r.trace.policy);
     }
 }

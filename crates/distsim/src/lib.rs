@@ -34,7 +34,8 @@ pub mod trace;
 
 pub use cluster::Cluster;
 pub use config::{ExperimentConfig, TimingModel};
-pub use engine::{Problem, ServerCore, TensorPayload, WorkerReplica};
+pub use engine::{base_sparsity, Problem, ServerCore, TensorPayload, WorkerReplica};
 pub use experiment::{run_experiment, ExperimentResult};
 pub use netmodel::NetworkModel;
+pub use threelc_policy::{PolicySpec, PolicyTrace};
 pub use trace::{EvalRecord, StepRecord, TrainingTrace};

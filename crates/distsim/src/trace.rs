@@ -124,6 +124,11 @@ pub struct TrainingTrace {
     /// (see [`run_watchdog`](Self::run_watchdog)). Empty on old traces.
     #[serde(default)]
     pub anomalies: Vec<threelc_obs::Anomaly>,
+    /// The compression-policy decision log: per step per tensor, the
+    /// sparsity multiplier used, why, and the ratio it achieved. Empty
+    /// records under a static policy and on old traces.
+    #[serde(default)]
+    pub policy: threelc_policy::PolicyTrace,
 }
 
 impl TrainingTrace {
@@ -337,6 +342,19 @@ mod tests {
             t.anomalies
         };
         assert_eq!(again, trace.anomalies);
+    }
+
+    #[test]
+    fn traces_without_a_policy_section_still_load() {
+        // Traces serialized before the policy engine existed.
+        let mut trace = TrainingTrace::default();
+        trace.steps.push(record(1000, 500, 100, 100));
+        let json = serde_json::to_string(&trace).unwrap();
+        let stripped = json.replace(",\"policy\":{\"label\":\"\",\"records\":[]}", "");
+        assert_ne!(stripped, json, "policy section must have been serialized");
+        let back: TrainingTrace = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, trace);
+        assert!(back.policy.records.is_empty());
     }
 
     #[test]

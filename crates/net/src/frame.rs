@@ -95,6 +95,12 @@ pub enum MsgType {
     /// ExperimentConfig JSON`. Followed by a replay of every completed
     /// step's pull batch.
     RejoinAck = 16,
+    /// Server → worker: the compression-policy decisions for the *next*
+    /// step, broadcast with the pull batch; `payload = count (u16 LE) +
+    /// count × [s (f32 LE) + reason (u8)]`. Only emitted when an adaptive
+    /// policy is active, so static runs stay byte-identical to the
+    /// pre-policy protocol.
+    PolicyUpdate = 17,
 }
 
 impl MsgType {
@@ -117,6 +123,7 @@ impl MsgType {
             14 => Some(MsgType::TraceDump),
             15 => Some(MsgType::Rejoin),
             16 => Some(MsgType::RejoinAck),
+            17 => Some(MsgType::PolicyUpdate),
             _ => None,
         }
     }
@@ -689,12 +696,12 @@ mod tests {
 
     #[test]
     fn msg_type_roundtrip() {
-        for v in 1..=16u8 {
+        for v in 1..=17u8 {
             let m = MsgType::from_u8(v).expect("valid discriminant");
             assert_eq!(m as u8, v);
         }
         assert!(MsgType::from_u8(0).is_none());
-        assert!(MsgType::from_u8(17).is_none());
+        assert!(MsgType::from_u8(18).is_none());
     }
 
     #[test]

@@ -205,6 +205,56 @@ pub fn decode_push_done(payload: &[u8]) -> Result<(f32, f64, f64), NetError> {
     Ok((loss, codec, residual))
 }
 
+/// Encodes the `PolicyUpdate` payload: the per-tensor decisions for the
+/// next step as `count (u16 LE) + count × [s (f32 LE) + reason (u8)]`.
+pub fn encode_policy_update(decisions: &[threelc_policy::Decision]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + decisions.len() * 5);
+    out.extend_from_slice(&(decisions.len() as u16).to_le_bytes());
+    for d in decisions {
+        out.extend_from_slice(&d.s.value().to_le_bytes());
+        out.push(d.reason.code());
+    }
+    out
+}
+
+/// Decodes the `PolicyUpdate` payload, validating every multiplier
+/// through [`threelc::SparsityMultiplier::new`] and every reason code —
+/// a worker never applies an out-of-range or NaN multiplier no matter
+/// what arrives on the wire.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload, an invalid
+/// multiplier, or an unknown reason code.
+pub fn decode_policy_update(payload: &[u8]) -> Result<Vec<threelc_policy::Decision>, NetError> {
+    if payload.len() < 2 {
+        return Err(NetError::Protocol(format!(
+            "policy update payload is {} bytes, want at least 2",
+            payload.len()
+        )));
+    }
+    let count = u16::from_le_bytes(payload[0..2].try_into().expect("2 bytes")) as usize;
+    let body = &payload[2..];
+    if body.len() != count * 5 {
+        return Err(NetError::Protocol(format!(
+            "policy update body is {} bytes, {count} decisions need {}",
+            body.len(),
+            count * 5
+        )));
+    }
+    let mut decisions = Vec::with_capacity(count);
+    for rec in body.chunks_exact(5) {
+        let raw = f32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+        let s = threelc::SparsityMultiplier::new(raw)
+            .map_err(|e| NetError::Protocol(format!("policy update: {e}")))?;
+        let reason = threelc_policy::Reason::from_code(rec[4]).ok_or_else(|| {
+            NetError::Protocol(format!("policy update: unknown reason code {}", rec[4]))
+        })?;
+        decisions.push(threelc_policy::Decision { s, reason });
+    }
+    Ok(decisions)
+}
+
 /// Encodes the `TraceDump` payload: one node's span buffer as JSON.
 ///
 /// # Errors
@@ -317,6 +367,61 @@ mod tests {
         assert_eq!(loss, 0.5);
         assert_eq!(codec, 3.0);
         assert_eq!(residual, 0.0);
+    }
+
+    #[test]
+    fn policy_update_roundtrip() {
+        use threelc::SparsityMultiplier;
+        use threelc_policy::{Decision, Reason};
+        let decisions = vec![
+            Decision {
+                s: SparsityMultiplier::new(1.0).unwrap(),
+                reason: Reason::Init,
+            },
+            Decision {
+                s: SparsityMultiplier::new(1.75).unwrap(),
+                reason: Reason::RatioLow,
+            },
+        ];
+        let payload = encode_policy_update(&decisions);
+        assert_eq!(payload.len(), 2 + 2 * 5);
+        let back = decode_policy_update(&payload).unwrap();
+        assert_eq!(back, decisions);
+        // Empty decision lists are valid (a model of zero tensors is not,
+        // but the codec does not decide that).
+        assert_eq!(
+            decode_policy_update(&encode_policy_update(&[])).unwrap(),
+            []
+        );
+    }
+
+    #[test]
+    fn policy_update_rejects_bad_wire_data() {
+        use threelc::SparsityMultiplier;
+        use threelc_policy::{Decision, Reason};
+        let good = encode_policy_update(&[Decision {
+            s: SparsityMultiplier::new(1.5).unwrap(),
+            reason: Reason::Hold,
+        }]);
+        // Truncated / length-mismatched payloads.
+        assert!(decode_policy_update(&[]).is_err());
+        assert!(decode_policy_update(&good[..good.len() - 1]).is_err());
+        let mut extra = good.clone();
+        extra.push(0);
+        assert!(decode_policy_update(&extra).is_err());
+        // An out-of-range multiplier is a typed rejection, not an apply.
+        let mut bad_s = good.clone();
+        bad_s[2..6].copy_from_slice(&2.5f32.to_le_bytes());
+        let err = decode_policy_update(&bad_s).unwrap_err();
+        assert!(err.to_string().contains("sparsity"), "got: {err}");
+        // NaN likewise.
+        let mut nan_s = good.clone();
+        nan_s[2..6].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(decode_policy_update(&nan_s).is_err());
+        // Unknown reason codes are rejected.
+        let mut bad_reason = good.clone();
+        bad_reason[6] = 99;
+        assert!(decode_policy_update(&bad_reason).is_err());
     }
 
     #[test]

@@ -27,7 +27,8 @@ use crate::frame::{read_frame, write_frame, MsgType};
 use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{
     bytes_to_tensor, decode_hello, decode_push_done, decode_trace_dump, encode_metrics_snapshot,
-    encode_rejoin_ack, encode_trace_dump, model_crc32, tensor_to_bytes, NetError,
+    encode_policy_update, encode_rejoin_ack, encode_trace_dump, model_crc32, tensor_to_bytes,
+    NetError,
 };
 use crate::report::{ConnReport, FaultEvent, FaultsReport, NetReport};
 use std::io::{self, BufReader, BufWriter, Write as _};
@@ -261,6 +262,7 @@ pub fn serve(
 
     // ---- Barrier-synchronized BSP training loop.
     let mut trace = TrainingTrace::default();
+    trace.policy.label = config.policy.label();
     let mut straggler_rng = threelc_tensor::rng(config.seed ^ 0x5357_4147);
     let compressible_values = problem.compressible_values();
     let servers = config.servers.max(1);
@@ -466,11 +468,15 @@ pub fn serve(
             payloads_by_worker.push(payloads);
         }
 
-        let out = server.apply_step(&payloads_by_worker, workers);
+        let out = server.apply_step(&payloads_by_worker, workers, residual_l2);
+        trace
+            .policy
+            .records
+            .extend(out.policy_records.iter().copied());
 
         // Encode the shared pull batch once; handlers fan it out.
         let mut pull_bytes = 0u64;
-        let mut frames = Vec::with_capacity(n_params);
+        let mut frames = Vec::with_capacity(n_params + 1);
         for (i, payload) in out.pulls.into_iter().enumerate() {
             let bytes = payload.wire_len() * workers as u64;
             server_bytes[i % servers] += bytes;
@@ -484,6 +490,18 @@ pub fn serve(
                     frames.push((MsgType::PullRaw, tensor_to_bytes(&t)));
                 }
             }
+        }
+        // Adaptive policies broadcast the next step's decisions with the
+        // pull batch. Appending them here puts them in the replay history
+        // too, so a rejoining worker reconstructs the exact decision
+        // sequence. (Deliberately excluded from the traffic accounting:
+        // the simulator's StepRecords carry no policy bytes either, and
+        // the two must stay bit-identical.)
+        if !out.next_decisions.is_empty() {
+            frames.push((
+                MsgType::PolicyUpdate,
+                encode_policy_update(&out.next_decisions),
+            ));
         }
         let batch = Arc::new(PullBatch { step, frames });
         if max_rejoins > 0 {

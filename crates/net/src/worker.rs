@@ -26,8 +26,8 @@ use crate::faults::{FaultAction, FaultInjector, FaultPlan, KILL_EXIT_CODE};
 use crate::frame::{read_frame, write_frame, Frame, FrameError, MsgType, HEADER_LEN};
 use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{
-    bytes_to_tensor, decode_rejoin_ack, encode_hello, encode_push_done, encode_trace_dump,
-    tensor_to_bytes, NetError,
+    bytes_to_tensor, decode_policy_update, decode_rejoin_ack, encode_hello, encode_push_done,
+    encode_trace_dump, tensor_to_bytes, NetError,
 };
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -35,9 +35,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use threelc_distsim::engine::{Problem, TensorPayload, WorkerReplica};
-use threelc_distsim::ExperimentConfig;
+use threelc_distsim::{base_sparsity, ExperimentConfig};
 use threelc_learning::Network;
 use threelc_obs::{trace, Level, SpanGuard, TraceBuffer, TraceScope, TraceSpan};
+use threelc_policy::Decision;
 
 /// Worker connection and retry knobs.
 #[derive(Debug, Clone)]
@@ -298,6 +299,20 @@ fn run_session(
     replica.set_threads(opts.threads);
     // Decode-only mirrors of the server's pull contexts (decode is pure).
     let pull_ctxs = problem.pull_ctxs();
+    // Adaptive policies: the step-0 decisions are a pure function of the
+    // configuration — the server computes the identical vector in
+    // `ServerCore::new` — so the worker derives them locally instead of
+    // waiting for a broadcast. Every later step's decisions arrive as a
+    // `PolicyUpdate` frame appended to the pull batch (replayed batches
+    // included, so a rejoined replica reconstructs the exact decision
+    // sequence).
+    if config.policy.is_adaptive() {
+        let first = config
+            .policy
+            .initial_decisions(n_params, base_sparsity(&config))
+            .map_err(|e| NetError::Config(format!("server config has a bad policy: {e}")))?;
+        replica.apply_policy(&first);
+    }
 
     // Tracing: a worker-local span buffer (its own clock domain — in a
     // loopback run every node shares one process, so node identity must
@@ -327,8 +342,11 @@ fn run_session(
     for step in 0..resume_step {
         let (_loss, grads) = replica.compute(&problem.data, config.batch_per_worker);
         let _ = replica.encode_push(grads);
-        let pull_frames = read_pull_batch(&mut reader, conn, step, n_params)?;
+        let (pull_frames, policy) = read_pull_batch(&mut reader, conn, step, n_params)?;
         decode_and_apply(pull_frames, &pull_ctxs, &problem, &mut replica, conn)?;
+        if let Some(decisions) = policy {
+            replica.apply_policy(&decisions);
+        }
     }
     if rejoining {
         threelc_obs::event!(
@@ -440,12 +458,17 @@ fn run_session(
         }
 
         // Read the shared pull batch.
-        let pull_frames = read_pull_batch(&mut reader, conn, step, n_params)?;
+        let (pull_frames, policy) = read_pull_batch(&mut reader, conn, step, n_params)?;
         network_span.finish();
 
         // Decode the shared model delta and apply it.
         let pull_span = TraceSpan::start("pull");
         decode_and_apply(pull_frames, &pull_ctxs, &problem, &mut replica, conn)?;
+        // Decisions broadcast with step N's pull govern step N+1's push
+        // encode, so they take effect after the delta is applied.
+        if let Some(decisions) = policy {
+            replica.apply_policy(&decisions);
+        }
         pull_span.finish();
     }
 
@@ -510,15 +533,20 @@ fn injected_disconnect(kind: &str, step: u64) -> NetError {
 }
 
 /// Reads one step's complete pull batch (`PullTensor`/`PullRaw`* then
-/// `PullDone`), validating step and tensor order. Shared by the live BSP
-/// loop and the rejoin replay.
+/// `PullDone`), validating step and tensor order. An adaptive server
+/// appends at most one `PolicyUpdate` frame — the next step's decisions —
+/// which is returned alongside the tensors (its tensor id falls outside
+/// the pull sequence, so it is exempt from the in-order check). Shared by
+/// the live BSP loop and the rejoin replay.
+#[allow(clippy::type_complexity)]
 fn read_pull_batch<R: io::Read>(
     reader: &mut R,
     conn: &mut Conn,
     step: u64,
     n_params: usize,
-) -> Result<Vec<(MsgType, Vec<u8>)>, NetError> {
+) -> Result<(Vec<(MsgType, Vec<u8>)>, Option<Vec<Decision>>), NetError> {
     let mut pull_frames = Vec::with_capacity(n_params);
+    let mut policy: Option<Vec<Decision>> = None;
     loop {
         let t0 = Instant::now();
         let frame = read_frame(reader)?;
@@ -540,6 +568,14 @@ fn read_pull_batch<R: io::Read>(
                 }
                 pull_frames.push((frame.msg, frame.payload));
             }
+            MsgType::PolicyUpdate => {
+                if policy.is_some() {
+                    return Err(NetError::Protocol(
+                        "server sent two PolicyUpdate frames in one pull batch".into(),
+                    ));
+                }
+                policy = Some(decode_policy_update(&frame.payload)?);
+            }
             MsgType::PullDone => {
                 if pull_frames.len() != n_params {
                     return Err(NetError::Protocol(format!(
@@ -547,7 +583,7 @@ fn read_pull_batch<R: io::Read>(
                         pull_frames.len()
                     )));
                 }
-                return Ok(pull_frames);
+                return Ok((pull_frames, policy));
             }
             other => {
                 return Err(NetError::Protocol(format!(

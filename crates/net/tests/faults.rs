@@ -165,6 +165,29 @@ fn crc_corruption_fault_rejoins_and_matches_simulator() {
 }
 
 #[test]
+fn adaptive_policy_survives_disconnect_and_rejoin() {
+    // The policy acceptance gate: a feedback run that loses a worker
+    // mid-run must replay the exact decision sequence during resync (the
+    // PolicyUpdate frames ride in the recorded pull batches) and converge
+    // to the undisturbed simulator's models, decisions included.
+    let mut config = chaos_config(8);
+    config.policy =
+        threelc_distsim::PolicySpec::parse("feedback:ratio=10000,start=1.2,gain=0.05,hold=1")
+            .expect("spec");
+    let fault = FaultPlan::parse("disconnect@3").expect("spec");
+    let (report, outcomes) = run_faulted(config, ServeOptions::default(), &[Some(fault), None], 1);
+    let report = report.expect("server survived the fault");
+    assert_bit_identical(&config, &report, &outcomes, 0);
+
+    // The decision sequence matches the undisturbed simulated run
+    // bit for bit, and it is genuinely non-constant.
+    let simulated = threelc_distsim::run_experiment(&config);
+    assert!(!report.result.trace.policy.records.is_empty());
+    assert!(!report.result.trace.policy.is_constant());
+    assert_eq!(report.result.trace.policy, simulated.trace.policy);
+}
+
+#[test]
 fn fail_stop_mode_aborts_on_the_same_fault() {
     // The inverted gate: with the rejoin budget at zero the very same
     // injected fault must abort the run — proving the chaos tests would

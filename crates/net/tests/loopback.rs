@@ -154,6 +154,56 @@ fn loopback_run_matches_simulator_bit_for_bit() {
 }
 
 #[test]
+fn adaptive_policy_loopback_matches_simulator_bit_for_bit() {
+    // A feedback policy chasing an unreachable ratio target: the
+    // multiplier moves every step, the server broadcasts each decision
+    // with the pull batch, and the networked run must still be
+    // bit-identical to `threelc simulate` — decisions included.
+    let mut config = ExperimentConfig {
+        total_steps: 10,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::three_lc(1.0))
+    };
+    config.policy =
+        threelc_distsim::PolicySpec::parse("feedback:ratio=10000,start=1.2,gain=0.05,hold=1")
+            .expect("spec");
+    let (report, outcomes) = run_loopback(config);
+    let simulated = run_experiment(&config);
+
+    // The decision sequence is non-constant (the policy actually adapted)
+    // and the networked trace carries the identical records.
+    assert!(!report.result.trace.policy.records.is_empty());
+    assert!(!report.result.trace.policy.is_constant());
+    assert_eq!(report.result.trace.policy, simulated.trace.policy);
+
+    // Training outcome and per-step accounting match bit for bit; the
+    // policy frames deliberately stay out of the step records.
+    assert_eq!(report.result.final_eval, simulated.final_eval);
+    for (net, sim) in report.result.trace.steps.iter().zip(&simulated.trace.steps) {
+        assert_eq!(net.loss.to_bits(), sim.loss.to_bits(), "step {}", sim.step);
+        assert_eq!(net.push_bytes, sim.push_bytes, "step {}", sim.step);
+        assert_eq!(net.pull_bytes, sim.pull_bytes, "step {}", sim.step);
+    }
+
+    // Every worker replica ends bit-identical to the simulator's.
+    let mut cluster = Cluster::new(config);
+    for _ in 0..config.total_steps {
+        cluster.step();
+    }
+    assert_eq!(
+        report.final_model_crc32,
+        threelc_net::model_crc32(cluster.global_model())
+    );
+    for (w, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(
+            outcome.model.snapshot(),
+            cluster.worker_model(w).snapshot(),
+            "worker {w} replica diverged under the adaptive policy"
+        );
+    }
+}
+
+#[test]
 fn sharded_loopback_matches_simulator_bit_for_bit() {
     // Server with sharded aggregation (2 shards) and chunk-parallel codec
     // workers on both roles: the trained model must still be bit-identical

@@ -1,0 +1,1064 @@
+//! Adaptive, layer-wise compression policies for 3LC.
+//!
+//! 3LC exposes exactly one compression knob — the sparsity multiplier
+//! `s ∈ [1, 2)` — and the right setting varies per layer and per
+//! training phase (ACCORDION-style norm triggers, GraVAC's
+//! compression-factor search). This crate turns that compile-time
+//! constant into a first-class control loop: a [`Policy`] decides the
+//! multiplier **per tensor per step**, fed only by telemetry that is a
+//! deterministic function of the training stream (achieved wire bytes,
+//! residual L2), never by wall-clock time.
+//!
+//! # Determinism contract
+//!
+//! Every decision is a pure function of `(step, tensor, prior
+//! telemetry)`. The distributed runtime relies on this three ways:
+//!
+//! 1. the in-process simulator and the TCP runtime evaluate the policy
+//!    in the same place (the shared `ServerCore`) on the same inputs,
+//!    so both produce bit-identical multiplier sequences;
+//! 2. workers never evaluate the policy — the server broadcasts its
+//!    decisions with each pull batch, so replicas cannot drift;
+//! 3. rejoin replay re-delivers the recorded pull batches, which
+//!    reconstructs the exact decision sequence for a resumed worker.
+//!
+//! [`TensorObs`] is therefore restricted to integer byte counts and
+//! exactly-reproducible floats; encode *time* is deliberately absent.
+//!
+//! # Spec strings
+//!
+//! Policies are configured from a compact spec string (the CLI's
+//! `--policy` flag), or from a JSON file via `@path`:
+//!
+//! ```text
+//! static                                     keep the scheme's multiplier
+//! static:1.5                                 fixed override for every tensor
+//! schedule:from=1.0,to=1.9,over=8[,layer=0.01]
+//! feedback:ratio=12,start=1.2[,gain=0.05][,band=0.1][,hold=2]
+//! feedback:residual=0.5,start=1.8[,gain=0.05][,band=0.1][,hold=2]
+//! @policy.json                               PolicySpec as JSON
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use threelc::{CompressError, SparsityMultiplier};
+
+/// The largest multiplier a policy may emit: the greatest `f32` strictly
+/// below 2.0, so clamped decisions still satisfy `s ∈ [1, 2)`.
+pub const MAX_SPARSITY: f32 = 1.999_999_9;
+
+/// Why a policy chose the multiplier it did, recorded per tensor per
+/// step so a run's control behaviour can be audited from its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reason {
+    /// The scheme's static multiplier; no adaptation requested.
+    Static,
+    /// The first decision of the run, before any telemetry exists.
+    Init,
+    /// A schedule still ramping between its endpoints.
+    Ramp,
+    /// Holding: the schedule finished, or feedback hysteresis is
+    /// waiting out its hold window after a nudge.
+    Hold,
+    /// Achieved compression ratio below the target band: raise `s`.
+    RatioLow,
+    /// Achieved compression ratio above the target band: lower `s`.
+    RatioHigh,
+    /// Accumulated residual above the target band: lower `s`.
+    ResidualHigh,
+    /// Accumulated residual below the target band: raise `s`.
+    ResidualLow,
+    /// The observed metric sits inside the target band; no change.
+    InBand,
+}
+
+impl Reason {
+    /// Stable single-byte code for the wire protocol.
+    pub fn code(self) -> u8 {
+        match self {
+            Reason::Static => 0,
+            Reason::Init => 1,
+            Reason::Ramp => 2,
+            Reason::Hold => 3,
+            Reason::RatioLow => 4,
+            Reason::RatioHigh => 5,
+            Reason::ResidualHigh => 6,
+            Reason::ResidualLow => 7,
+            Reason::InBand => 8,
+        }
+    }
+
+    /// Inverse of [`Reason::code`].
+    pub fn from_code(code: u8) -> Option<Reason> {
+        Some(match code {
+            0 => Reason::Static,
+            1 => Reason::Init,
+            2 => Reason::Ramp,
+            3 => Reason::Hold,
+            4 => Reason::RatioLow,
+            5 => Reason::RatioHigh,
+            6 => Reason::ResidualHigh,
+            7 => Reason::ResidualLow,
+            8 => Reason::InBand,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase name for logs and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reason::Static => "static",
+            Reason::Init => "init",
+            Reason::Ramp => "ramp",
+            Reason::Hold => "hold",
+            Reason::RatioLow => "ratio-low",
+            Reason::RatioHigh => "ratio-high",
+            Reason::ResidualHigh => "residual-high",
+            Reason::ResidualLow => "residual-low",
+            Reason::InBand => "in-band",
+        }
+    }
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One tensor's multiplier for one step, plus why it was chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The multiplier to encode with. Always validated: the type cannot
+    /// hold a NaN or out-of-range value.
+    pub s: SparsityMultiplier,
+    /// The trigger that produced it.
+    pub reason: Reason,
+}
+
+/// Per-tensor telemetry from the previous step, the only inputs a
+/// policy may consult. Every field is bit-reproducible between the
+/// simulator and the networked runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TensorObs {
+    /// Elements in the tensor.
+    pub values: usize,
+    /// Wire bytes this tensor cost last step, summed over workers.
+    pub wire_bytes: usize,
+    /// How many worker payloads `wire_bytes` spans.
+    pub payloads: usize,
+    /// Run-level residual L2 (max across workers) after last step's
+    /// encode. The same value is shared by every tensor's observation.
+    pub residual_l2: f64,
+}
+
+impl TensorObs {
+    /// Achieved compression ratio versus raw f32 (4 bytes/value);
+    /// 0.0 until the tensor has been observed on the wire.
+    pub fn achieved_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            0.0
+        } else {
+            (self.values * self.payloads * 4) as f64 / self.wire_bytes as f64
+        }
+    }
+
+    /// Fraction of the quartic stream the zero-run encoder removed,
+    /// derived from byte counts (quartic packs five values per byte and
+    /// each payload spends [`threelc::sizing::WIRE_HEADER_LEN`] bytes
+    /// on its header). 0.0 when nothing was saved or nothing observed.
+    pub fn zero_run_share(&self) -> f64 {
+        if self.payloads == 0 {
+            return 0.0;
+        }
+        let quartic = self.values.div_ceil(5) * self.payloads;
+        let body = self
+            .wire_bytes
+            .saturating_sub(threelc::sizing::WIRE_HEADER_LEN * self.payloads);
+        if quartic == 0 || body >= quartic {
+            0.0
+        } else {
+            (quartic - body) as f64 / quartic as f64
+        }
+    }
+}
+
+/// A compression policy: decides every tensor's sparsity multiplier for
+/// a step from the previous step's telemetry.
+///
+/// Implementations must be deterministic — the same `(step, obs)`
+/// sequence must yield the same decisions on every host — and are
+/// driven only by the server (workers receive decisions over the wire).
+pub trait Policy: Send {
+    /// Human-readable label recorded into reports.
+    fn label(&self) -> String;
+
+    /// Decides the multiplier for every tensor at `step`. `obs` holds
+    /// the previous step's per-tensor telemetry and is empty for the
+    /// first decision of a run.
+    fn decide(&mut self, step: u64, obs: &[TensorObs]) -> Vec<Decision>;
+}
+
+/// Spec-string / JSON form of a policy: `Copy`, so it embeds directly
+/// in `ExperimentConfig` and travels to workers with the config JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// No adaptation: compressors keep their configured multiplier and
+    /// nothing extra goes on the wire. The default.
+    #[default]
+    Static,
+    /// A fixed override applied to every tensor at every step.
+    Fixed {
+        /// The multiplier, validated into `[1, 2)` at parse time.
+        s: f32,
+    },
+    /// Warmup-aware linear ramp with an optional per-layer tilt:
+    /// `s(step, tensor) = from + (to - from)·min(step/over, 1) +
+    /// layer·tensor`, clamped into `[1, 2)`.
+    Schedule {
+        /// Multiplier at step 0.
+        from: f32,
+        /// Multiplier once the ramp completes.
+        to: f32,
+        /// Steps the ramp spans (≥ 1).
+        over: u64,
+        /// Additive per-tensor tilt (deeper layers get `+layer` each).
+        layer: f32,
+    },
+    /// Bounded controller nudging `s` toward a target band, with
+    /// hysteresis (a hold window after every nudge) and clamping.
+    Feedback {
+        /// What the controller steers.
+        target: FeedbackTarget,
+        /// Initial multiplier for every tensor.
+        start: f32,
+        /// Step size of one nudge.
+        gain: f32,
+        /// Half-width of the dead band, as a fraction of the target.
+        band: f32,
+        /// Steps to hold after a nudge before reconsidering.
+        hold: u64,
+    },
+}
+
+/// What the [`PolicySpec::Feedback`] controller steers toward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FeedbackTarget {
+    /// Steer each tensor's achieved compression ratio (vs raw f32)
+    /// toward `target`: ratio too low raises `s`, too high lowers it.
+    Ratio {
+        /// Desired compression ratio.
+        target: f32,
+    },
+    /// Steer the run-level residual L2 into a band around `target`:
+    /// residual too high lowers `s`, too low raises it.
+    Residual {
+        /// Desired residual L2.
+        target: f32,
+    },
+}
+
+/// A policy spec that failed to parse or validate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyError(String);
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid policy: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<CompressError> for PolicyError {
+    fn from(e: CompressError) -> Self {
+        PolicyError(e.to_string())
+    }
+}
+
+fn check_s(name: &str, v: f32) -> Result<f32, PolicyError> {
+    SparsityMultiplier::new(v).map_err(|e| PolicyError(format!("{name}: {e}")))?;
+    Ok(v)
+}
+
+impl PolicySpec {
+    /// Whether this spec changes anything at runtime. `Static` is the
+    /// only non-adaptive spec: it emits no wire frames and leaves every
+    /// compressor's configured multiplier untouched, so a static run is
+    /// bit-identical to one from before policies existed.
+    pub fn is_adaptive(&self) -> bool {
+        !matches!(self, PolicySpec::Static)
+    }
+
+    /// Validates every numeric field, returning a typed error naming
+    /// the offending one. Parsing calls this; configs deserialized from
+    /// JSON (the worker handshake, `@file` specs) must call it too.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        match *self {
+            PolicySpec::Static => {}
+            PolicySpec::Fixed { s } => {
+                check_s("s", s)?;
+            }
+            PolicySpec::Schedule {
+                from,
+                to,
+                over,
+                layer,
+            } => {
+                check_s("from", from)?;
+                check_s("to", to)?;
+                if over == 0 {
+                    return Err(PolicyError("over must be at least 1 step".into()));
+                }
+                if !layer.is_finite() || layer.abs() >= 1.0 {
+                    return Err(PolicyError(format!(
+                        "layer tilt {layer} must be finite with |layer| < 1"
+                    )));
+                }
+            }
+            PolicySpec::Feedback {
+                target,
+                start,
+                gain,
+                band,
+                hold: _,
+            } => {
+                check_s("start", start)?;
+                let t = match target {
+                    FeedbackTarget::Ratio { target } => target,
+                    FeedbackTarget::Residual { target } => target,
+                };
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(PolicyError(format!("target {t} must be finite and > 0")));
+                }
+                if !gain.is_finite() || gain <= 0.0 || gain >= 1.0 {
+                    return Err(PolicyError(format!("gain {gain} must be in (0, 1)")));
+                }
+                if !band.is_finite() || !(0.0..1.0).contains(&band) {
+                    return Err(PolicyError(format!("band {band} must be in [0, 1)")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a spec string (see the crate docs for the grammar), or a
+    /// `@path` reference to a JSON file holding the serde form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] naming the malformed part; every numeric
+    /// field is range-checked via [`PolicySpec::validate`].
+    pub fn parse(spec: &str) -> Result<PolicySpec, PolicyError> {
+        let spec = spec.trim();
+        if let Some(path) = spec.strip_prefix('@') {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| PolicyError(format!("{path}: {e}")))?;
+            let parsed: PolicySpec =
+                serde_json::from_str(&text).map_err(|e| PolicyError(format!("{path}: {e}")))?;
+            parsed.validate()?;
+            return Ok(parsed);
+        }
+        let (kind, rest) = match spec.split_once(':') {
+            Some((k, r)) => (k, Some(r)),
+            None => (spec, None),
+        };
+        let parsed = match (kind, rest) {
+            ("static", None) => PolicySpec::Static,
+            ("static" | "fixed", Some(v)) => PolicySpec::Fixed {
+                s: parse_num("s", v)?,
+            },
+            ("schedule", Some(body)) => {
+                let kv = parse_kv(body)?;
+                PolicySpec::Schedule {
+                    from: require(&kv, "from")?,
+                    to: require(&kv, "to")?,
+                    over: require(&kv, "over")? as u64,
+                    layer: optional(&kv, "layer", 0.0),
+                }
+            }
+            ("feedback", Some(body)) => {
+                let kv = parse_kv(body)?;
+                let target = match (get(&kv, "ratio"), get(&kv, "residual")) {
+                    (Some(t), None) => FeedbackTarget::Ratio { target: t },
+                    (None, Some(t)) => FeedbackTarget::Residual { target: t },
+                    _ => {
+                        return Err(PolicyError(
+                            "feedback needs exactly one of ratio= or residual=".into(),
+                        ))
+                    }
+                };
+                PolicySpec::Feedback {
+                    target,
+                    start: require(&kv, "start")?,
+                    gain: optional(&kv, "gain", 0.05),
+                    band: optional(&kv, "band", 0.1),
+                    hold: optional(&kv, "hold", 2.0) as u64,
+                }
+            }
+            _ => {
+                return Err(PolicyError(format!(
+                    "unknown spec `{spec}` (want static[:S], schedule:..., \
+                     feedback:..., or @file.json)"
+                )))
+            }
+        };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+
+    /// Compact label for reports and logs; parseable back by
+    /// [`PolicySpec::parse`].
+    pub fn label(&self) -> String {
+        match *self {
+            PolicySpec::Static => "static".into(),
+            PolicySpec::Fixed { s } => format!("static:{s}"),
+            PolicySpec::Schedule {
+                from,
+                to,
+                over,
+                layer,
+            } => format!("schedule:from={from},to={to},over={over},layer={layer}"),
+            PolicySpec::Feedback {
+                target,
+                start,
+                gain,
+                band,
+                hold,
+            } => {
+                let t = match target {
+                    FeedbackTarget::Ratio { target } => format!("ratio={target}"),
+                    FeedbackTarget::Residual { target } => format!("residual={target}"),
+                };
+                format!("feedback:{t},start={start},gain={gain},band={band},hold={hold}")
+            }
+        }
+    }
+
+    /// Builds the runtime policy for `n_tensors` tensors. `base` is the
+    /// scheme's own multiplier, which `Static` keeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] if the spec does not validate.
+    pub fn build(
+        &self,
+        n_tensors: usize,
+        base: SparsityMultiplier,
+    ) -> Result<Box<dyn Policy>, PolicyError> {
+        self.validate()?;
+        Ok(match *self {
+            PolicySpec::Static => Box::new(Static {
+                s: base,
+                n_tensors,
+                reason: Reason::Static,
+            }),
+            PolicySpec::Fixed { s } => Box::new(Static {
+                s: SparsityMultiplier::new(s)?,
+                n_tensors,
+                reason: Reason::Init,
+            }),
+            PolicySpec::Schedule {
+                from,
+                to,
+                over,
+                layer,
+            } => Box::new(Schedule {
+                from,
+                to,
+                over,
+                layer,
+                n_tensors,
+            }),
+            PolicySpec::Feedback {
+                target,
+                start,
+                gain,
+                band,
+                hold,
+            } => Box::new(Feedback {
+                target,
+                gain,
+                band,
+                hold,
+                state: vec![(start, 0u64); n_tensors],
+                first: true,
+            }),
+        })
+    }
+
+    /// The decisions in effect at step 0, before any telemetry exists —
+    /// a pure function of the spec, so a worker computes the same
+    /// initial multipliers as the server without any wire traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] if the spec does not validate.
+    pub fn initial_decisions(
+        &self,
+        n_tensors: usize,
+        base: SparsityMultiplier,
+    ) -> Result<Vec<Decision>, PolicyError> {
+        Ok(self.build(n_tensors, base)?.decide(0, &[]))
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+fn parse_num(name: &str, v: &str) -> Result<f32, PolicyError> {
+    let n: f32 = v
+        .parse()
+        .map_err(|_| PolicyError(format!("{name}: `{v}` is not a number")))?;
+    if !n.is_finite() {
+        return Err(PolicyError(format!("{name}: `{v}` is not finite")));
+    }
+    Ok(n)
+}
+
+fn parse_kv(body: &str) -> Result<Vec<(String, f32)>, PolicyError> {
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| PolicyError(format!("`{part}` is not key=value")))?;
+        out.push((k.trim().to_string(), parse_num(k.trim(), v.trim())?));
+    }
+    Ok(out)
+}
+
+fn get(kv: &[(String, f32)], key: &str) -> Option<f32> {
+    kv.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+fn require(kv: &[(String, f32)], key: &str) -> Result<f32, PolicyError> {
+    get(kv, key).ok_or_else(|| PolicyError(format!("missing {key}=")))
+}
+
+fn optional(kv: &[(String, f32)], key: &str, default: f32) -> f32 {
+    get(kv, key).unwrap_or(default)
+}
+
+/// Clamps a proposed multiplier into the valid `[1, 2)` range. The
+/// result always converts into a [`SparsityMultiplier`].
+fn clamp_s(v: f32) -> SparsityMultiplier {
+    let c = if v.is_finite() {
+        v.clamp(1.0, MAX_SPARSITY)
+    } else {
+        1.0
+    };
+    SparsityMultiplier::new(c).expect("clamped multiplier is in range")
+}
+
+/// The identity policy: the same multiplier for every tensor at every
+/// step (the scheme's own for `Static` specs, an override for `Fixed`).
+struct Static {
+    s: SparsityMultiplier,
+    n_tensors: usize,
+    reason: Reason,
+}
+
+impl Policy for Static {
+    fn label(&self) -> String {
+        format!("static ({})", self.s)
+    }
+
+    fn decide(&mut self, _step: u64, _obs: &[TensorObs]) -> Vec<Decision> {
+        vec![
+            Decision {
+                s: self.s,
+                reason: self.reason,
+            };
+            self.n_tensors
+        ]
+    }
+}
+
+/// Linear step ramp with a per-layer tilt; see [`PolicySpec::Schedule`].
+struct Schedule {
+    from: f32,
+    to: f32,
+    over: u64,
+    layer: f32,
+    n_tensors: usize,
+}
+
+impl Policy for Schedule {
+    fn label(&self) -> String {
+        format!(
+            "schedule:from={},to={},over={},layer={}",
+            self.from, self.to, self.over, self.layer
+        )
+    }
+
+    fn decide(&mut self, step: u64, _obs: &[TensorObs]) -> Vec<Decision> {
+        let frac = (step.min(self.over) as f32) / (self.over as f32);
+        let base = self.from + (self.to - self.from) * frac;
+        let reason = if step == 0 {
+            Reason::Init
+        } else if step < self.over {
+            Reason::Ramp
+        } else {
+            Reason::Hold
+        };
+        (0..self.n_tensors)
+            .map(|i| Decision {
+                s: clamp_s(base + self.layer * i as f32),
+                reason,
+            })
+            .collect()
+    }
+}
+
+/// Bounded per-tensor controller; see [`PolicySpec::Feedback`].
+struct Feedback {
+    target: FeedbackTarget,
+    gain: f32,
+    band: f32,
+    hold: u64,
+    /// Per-tensor `(current s, hold steps remaining)`.
+    state: Vec<(f32, u64)>,
+    first: bool,
+}
+
+impl Policy for Feedback {
+    fn label(&self) -> String {
+        format!(
+            "feedback:{},gain={},band={},hold={}",
+            match self.target {
+                FeedbackTarget::Ratio { target } => format!("ratio={target}"),
+                FeedbackTarget::Residual { target } => format!("residual={target}"),
+            },
+            self.gain,
+            self.band,
+            self.hold
+        )
+    }
+
+    fn decide(&mut self, _step: u64, obs: &[TensorObs]) -> Vec<Decision> {
+        if self.first || obs.len() != self.state.len() {
+            self.first = false;
+            return self
+                .state
+                .iter()
+                .map(|&(s, _)| Decision {
+                    s: clamp_s(s),
+                    reason: Reason::Init,
+                })
+                .collect();
+        }
+        // Both targets move the same way: a metric below the band means
+        // the encoder can push harder (raise `s`), above means back off.
+        // Raising `s` raises both the achieved ratio and the residual.
+        let (target, low_reason, high_reason) = match self.target {
+            FeedbackTarget::Ratio { target } => {
+                (f64::from(target), Reason::RatioLow, Reason::RatioHigh)
+            }
+            FeedbackTarget::Residual { target } => {
+                (f64::from(target), Reason::ResidualLow, Reason::ResidualHigh)
+            }
+        };
+        let lo = target * (1.0 - f64::from(self.band));
+        let hi = target * (1.0 + f64::from(self.band));
+        self.state
+            .iter_mut()
+            .zip(obs)
+            .map(|(state, o)| {
+                let (ref mut s, ref mut hold_left) = *state;
+                let reason = if *hold_left > 0 {
+                    *hold_left -= 1;
+                    Reason::Hold
+                } else {
+                    let metric = match self.target {
+                        FeedbackTarget::Ratio { .. } => o.achieved_ratio(),
+                        FeedbackTarget::Residual { .. } => o.residual_l2,
+                    };
+                    if metric < lo {
+                        *s += self.gain;
+                        *hold_left = self.hold;
+                        low_reason
+                    } else if metric > hi {
+                        *s -= self.gain;
+                        *hold_left = self.hold;
+                        high_reason
+                    } else {
+                        Reason::InBand
+                    }
+                };
+                let clamped = clamp_s(*s);
+                *s = clamped.value();
+                Decision { s: clamped, reason }
+            })
+            .collect()
+    }
+}
+
+/// One recorded policy decision: what was in effect for `tensor` at
+/// `step`, why, and what it achieved. The `policy` section of a
+/// training trace is a flat list of these.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRecord {
+    /// Step the decision governed.
+    pub step: u64,
+    /// Tensor (parameter) index.
+    pub tensor: u16,
+    /// Multiplier in effect.
+    pub s: f32,
+    /// Trigger that chose it.
+    pub reason: Reason,
+    /// Compression ratio the tensor achieved at that step.
+    pub achieved_ratio: f64,
+}
+
+/// The policy section of a training trace: which policy ran and every
+/// per-step per-tensor decision it made. Empty (default) for static
+/// runs and for reports written before policies existed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTrace {
+    /// The spec label (e.g. `feedback:ratio=12,...`); empty if static.
+    #[serde(default)]
+    pub label: String,
+    /// Flat decision log, step-major then tensor order.
+    #[serde(default)]
+    pub records: Vec<PolicyRecord>,
+}
+
+impl PolicyTrace {
+    /// The multipliers this trace recorded, in log order.
+    pub fn multipliers(&self) -> Vec<f32> {
+        self.records.iter().map(|r| r.s).collect()
+    }
+
+    /// Whether the recorded multiplier sequence ever changes — the
+    /// "did the policy actually adapt" check CI asserts on.
+    pub fn is_constant(&self) -> bool {
+        self.records
+            .windows(2)
+            .all(|w| w[0].s.to_bits() == w[1].s.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(values: usize, wire_bytes: usize, residual: f64) -> TensorObs {
+        TensorObs {
+            values,
+            wire_bytes,
+            payloads: 1,
+            residual_l2: residual,
+        }
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips_through_labels() {
+        for spec in [
+            "static",
+            "static:1.5",
+            "schedule:from=1.0,to=1.9,over=8",
+            "schedule:from=1.2,to=1.8,over=4,layer=0.01",
+            "feedback:ratio=12,start=1.2",
+            "feedback:residual=0.5,start=1.8,gain=0.1,band=0.2,hold=3",
+        ] {
+            let parsed = PolicySpec::parse(spec).expect(spec);
+            let relabeled = PolicySpec::parse(&parsed.label()).expect("label parses");
+            assert_eq!(parsed, relabeled, "{spec}");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_and_out_of_range() {
+        for bad in [
+            "",
+            "nonsense",
+            "static:0.5",
+            "static:2.0",
+            "static:nan",
+            "schedule:from=1.0",                       // missing to/over
+            "schedule:from=0.9,to=1.5,over=4",         // from out of range
+            "schedule:from=1.0,to=1.5,over=0",         // zero ramp
+            "schedule:from=1.0,to=1.5,over=4,layer=2", // tilt too large
+            "feedback:start=1.2",                      // no target
+            "feedback:ratio=12,residual=1,start=1.2",  // both targets
+            "feedback:ratio=12,start=2.5",             // start out of range
+            "feedback:ratio=-1,start=1.2",             // non-positive target
+            "feedback:ratio=12,start=1.2,gain=0",      // zero gain
+            "feedback:ratio=12,start=1.2,band=1.5",    // band out of range
+            "feedback:ratio=12,start=1.2,bogus",       // not key=value
+            "@/nonexistent/policy.json",
+        ] {
+            assert!(PolicySpec::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn spec_file_form_parses_json() {
+        let dir = std::env::temp_dir().join("threelc-policy-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("{}-spec.json", std::process::id()));
+        let spec = PolicySpec::Schedule {
+            from: 1.0,
+            to: 1.9,
+            over: 8,
+            layer: 0.0,
+        };
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let parsed = PolicySpec::parse(&format!("@{}", path.display())).expect("file spec");
+        assert_eq!(parsed, spec);
+        // An in-range-typed but invalid file still gets validated.
+        let bad = path.with_extension("bad.json");
+        std::fs::write(&bad, "{\"Fixed\":{\"s\":3.0}}").unwrap();
+        assert!(PolicySpec::parse(&format!("@{}", bad.display())).is_err());
+    }
+
+    #[test]
+    fn spec_serde_roundtrip_inside_json() {
+        for spec in [
+            PolicySpec::Static,
+            PolicySpec::Fixed { s: 1.5 },
+            PolicySpec::Schedule {
+                from: 1.0,
+                to: 1.9,
+                over: 8,
+                layer: 0.01,
+            },
+            PolicySpec::Feedback {
+                target: FeedbackTarget::Ratio { target: 12.0 },
+                start: 1.2,
+                gain: 0.05,
+                band: 0.1,
+                hold: 2,
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: PolicySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn static_policy_repeats_the_base_multiplier() {
+        let base = SparsityMultiplier::new(1.5).unwrap();
+        let mut p = PolicySpec::Static.build(3, base).unwrap();
+        for step in 0..4 {
+            let d = p.decide(step, &[obs(100, 40, 0.0); 3]);
+            assert_eq!(d.len(), 3);
+            assert!(d.iter().all(|d| d.s == base));
+            assert!(d.iter().all(|d| d.reason == Reason::Static));
+        }
+        assert!(!PolicySpec::Static.is_adaptive());
+        assert!(PolicySpec::Fixed { s: 1.5 }.is_adaptive());
+    }
+
+    #[test]
+    fn schedule_ramps_between_endpoints_with_layer_tilt() {
+        let spec = PolicySpec::Schedule {
+            from: 1.0,
+            to: 1.8,
+            over: 4,
+            layer: 0.01,
+        };
+        let base = SparsityMultiplier::default();
+        let mut p = spec.build(2, base).unwrap();
+        let step0 = p.decide(0, &[]);
+        assert_eq!(step0[0].s.value(), 1.0);
+        assert!((step0[1].s.value() - 1.01).abs() < 1e-6);
+        assert_eq!(step0[0].reason, Reason::Init);
+        let step2 = p.decide(2, &[]);
+        assert!((step2[0].s.value() - 1.4).abs() < 1e-6);
+        assert_eq!(step2[0].reason, Reason::Ramp);
+        // Past the ramp the schedule holds its endpoint.
+        let step9 = p.decide(9, &[]);
+        assert!((step9[0].s.value() - 1.8).abs() < 1e-6);
+        assert_eq!(step9[0].reason, Reason::Hold);
+        // Matches the pure initial_decisions helper the worker uses.
+        assert_eq!(spec.initial_decisions(2, base).unwrap(), {
+            let mut q = spec.build(2, base).unwrap();
+            q.decide(0, &[])
+        });
+    }
+
+    #[test]
+    fn schedule_clamps_the_tilt_into_range() {
+        let mut p = PolicySpec::Schedule {
+            from: 1.9,
+            to: 1.9,
+            over: 1,
+            layer: 0.09,
+        }
+        .build(4, SparsityMultiplier::default())
+        .unwrap();
+        let d = p.decide(5, &[]);
+        // 1.9 + 0.09·3 would exceed 2.0; every decision stays valid.
+        assert!(d.iter().all(|d| d.s.value() < 2.0));
+        assert_eq!(d[3].s.value(), MAX_SPARSITY);
+    }
+
+    #[test]
+    fn feedback_ratio_controller_nudges_toward_target_with_hysteresis() {
+        let spec = PolicySpec::Feedback {
+            target: FeedbackTarget::Ratio { target: 10.0 },
+            start: 1.2,
+            gain: 0.1,
+            band: 0.1,
+            hold: 1,
+        };
+        let mut p = spec.build(1, SparsityMultiplier::default()).unwrap();
+        let init = p.decide(0, &[]);
+        assert_eq!(init[0].reason, Reason::Init);
+        assert!((init[0].s.value() - 1.2).abs() < 1e-6);
+        // Ratio 4x < 9x band floor: raise s, then hold one step.
+        let d = p.decide(1, &[obs(100, 100, 0.0)]);
+        assert_eq!(d[0].reason, Reason::RatioLow);
+        assert!((d[0].s.value() - 1.3).abs() < 1e-6);
+        let d = p.decide(2, &[obs(100, 100, 0.0)]);
+        assert_eq!(d[0].reason, Reason::Hold);
+        assert!((d[0].s.value() - 1.3).abs() < 1e-6);
+        // Ratio 20x > 11x band ceiling: lower s.
+        let d = p.decide(3, &[obs(100, 20, 0.0)]);
+        assert_eq!(d[0].reason, Reason::RatioHigh);
+        assert!((d[0].s.value() - 1.2).abs() < 1e-6);
+        // In band: no change, no hold.
+        let mut p2 = spec.build(1, SparsityMultiplier::default()).unwrap();
+        p2.decide(0, &[]);
+        let d = p2.decide(1, &[obs(100, 40, 0.0)]);
+        assert_eq!(d[0].reason, Reason::InBand);
+    }
+
+    #[test]
+    fn feedback_residual_controller_moves_the_opposite_way() {
+        let spec = PolicySpec::Feedback {
+            target: FeedbackTarget::Residual { target: 1.0 },
+            start: 1.5,
+            gain: 0.1,
+            band: 0.1,
+            hold: 0,
+        };
+        let mut p = spec.build(1, SparsityMultiplier::default()).unwrap();
+        p.decide(0, &[]);
+        // Residual above band: back off sparsity.
+        let d = p.decide(1, &[obs(100, 40, 2.0)]);
+        assert_eq!(d[0].reason, Reason::ResidualHigh);
+        assert!((d[0].s.value() - 1.4).abs() < 1e-6);
+        // Residual below band: push harder.
+        let d = p.decide(2, &[obs(100, 40, 0.1)]);
+        assert_eq!(d[0].reason, Reason::ResidualLow);
+        assert!((d[0].s.value() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feedback_clamps_at_both_rails() {
+        let mut p = PolicySpec::Feedback {
+            target: FeedbackTarget::Ratio { target: 1000.0 },
+            start: 1.9,
+            gain: 0.5,
+            band: 0.0,
+            hold: 0,
+        }
+        .build(1, SparsityMultiplier::default())
+        .unwrap();
+        p.decide(0, &[]);
+        for step in 1..5 {
+            let d = p.decide(step, &[obs(100, 100, 0.0)]);
+            assert!(d[0].s.value() < 2.0, "step {step} escaped the clamp");
+        }
+        let mut p = PolicySpec::Feedback {
+            target: FeedbackTarget::Residual { target: 0.001 },
+            start: 1.1,
+            gain: 0.5,
+            band: 0.0,
+            hold: 0,
+        }
+        .build(1, SparsityMultiplier::default())
+        .unwrap();
+        p.decide(0, &[]);
+        for step in 1..5 {
+            let d = p.decide(step, &[obs(100, 100, 5.0)]);
+            assert!(d[0].s.value() >= 1.0, "step {step} escaped the clamp");
+        }
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_input_sequence() {
+        let spec = PolicySpec::Feedback {
+            target: FeedbackTarget::Ratio { target: 8.0 },
+            start: 1.3,
+            gain: 0.07,
+            band: 0.05,
+            hold: 2,
+        };
+        let stream: Vec<Vec<TensorObs>> = (0..20)
+            .map(|i| vec![obs(256, 40 + (i * 13) % 90, 0.25 * i as f64); 3])
+            .collect();
+        let run = |spec: &PolicySpec| {
+            let mut p = spec.build(3, SparsityMultiplier::default()).unwrap();
+            let mut all = vec![p.decide(0, &[])];
+            for (i, o) in stream.iter().enumerate() {
+                all.push(p.decide(i as u64 + 1, o));
+            }
+            all
+        };
+        assert_eq!(run(&spec), run(&spec), "replayed decisions diverged");
+    }
+
+    #[test]
+    fn reasons_roundtrip_through_wire_codes() {
+        for code in 0..=8 {
+            let r = Reason::from_code(code).expect("code maps");
+            assert_eq!(r.code(), code);
+            assert!(!r.as_str().is_empty());
+        }
+        assert!(Reason::from_code(9).is_none());
+        let json = serde_json::to_string(&Reason::RatioLow).unwrap();
+        let back: Reason = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Reason::RatioLow);
+    }
+
+    #[test]
+    fn tensor_obs_derives_ratio_and_zero_run_share() {
+        let o = obs(1000, 50, 0.0);
+        assert!((o.achieved_ratio() - 80.0).abs() < 1e-9);
+        assert_eq!(obs(1000, 0, 0.0).achieved_ratio(), 0.0);
+        // 1000 values → 200 quartic bytes; 50 wire bytes minus the
+        // 9-byte header leaves 41 body bytes → 159/200 removed.
+        assert!((o.zero_run_share() - 159.0 / 200.0).abs() < 1e-9);
+        assert_eq!(TensorObs::default().zero_run_share(), 0.0);
+    }
+
+    #[test]
+    fn policy_trace_detects_constant_sequences() {
+        let mut t = PolicyTrace::default();
+        assert!(t.is_constant());
+        t.records.push(PolicyRecord {
+            step: 0,
+            tensor: 0,
+            s: 1.2,
+            reason: Reason::Init,
+            achieved_ratio: 0.0,
+        });
+        t.records.push(PolicyRecord {
+            step: 1,
+            tensor: 0,
+            s: 1.2,
+            reason: Reason::Hold,
+            achieved_ratio: 10.0,
+        });
+        assert!(t.is_constant());
+        t.records.push(PolicyRecord {
+            step: 2,
+            tensor: 0,
+            s: 1.3,
+            reason: Reason::RatioLow,
+            achieved_ratio: 5.0,
+        });
+        assert!(!t.is_constant());
+        assert_eq!(t.multipliers().len(), 3);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PolicyTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}
