@@ -265,6 +265,89 @@ if [ "$distinct_s" -lt 2 ]; then
 fi
 echo "    kill@2 + --rejoin: crc and decision sequence match the simulator"
 
+echo "==> observability smoke (threelc top + metrics --watch on a live run)"
+obsdir=target/obs-smoke
+rm -rf "$obsdir"
+mkdir -p "$obsdir"
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+# A straggling worker 0 stretches the run to a couple of seconds, leaving
+# a window to scrape it live.
+"$threelc" serve --addr "$addr" --workers 2 --steps 20 --width 16 \
+    --blocks 1 --batch 8 --scheme 3lc --sparsity 1.5 >"$obsdir/serve.log" &
+serve_pid=$!
+THREELC_STRAGGLE_MS=100 "$threelc" worker --addr "$addr" --id 0 \
+    >"$obsdir/w0.log" &
+w0=$!
+"$threelc" worker --addr "$addr" --id 1 >"$obsdir/w1.log" &
+w1=$!
+top_ok=0
+for _ in $(seq 1 100); do
+    if "$threelc" top "$addr" --once >"$obsdir/top.txt" 2>/dev/null; then
+        top_ok=1
+        break
+    fi
+    sleep 0.05
+done
+if [ "$top_ok" != 1 ]; then
+    echo "threelc top --once never rendered a frame from the live run" >&2
+    exit 1
+fi
+# One row per worker, always — even before a worker's first step lands.
+grep -q "^worker 0 " "$obsdir/top.txt"
+grep -q "^worker 1 " "$obsdir/top.txt"
+grep -q "2 worker(s)" "$obsdir/top.txt"
+# The watcher follows the run and exits cleanly when the server goes away.
+"$threelc" metrics "$addr" --watch 0.2 >"$obsdir/watch.txt" &
+watch_pid=$!
+wait "$w0"
+wait "$w1"
+wait "$serve_pid"
+wait "$watch_pid"
+grep -q "server went away" "$obsdir/watch.txt"
+echo "    top rendered every worker row; --watch followed the run to the end"
+
+echo "==> flight gate (aborted run must leave a post-mortem dump)"
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+"$threelc" serve --addr "$addr" "${chaos_flags[@]}" --max-rejoins 0 \
+    --json "$obsdir/aborted.json" >"$obsdir/aborted-serve.log" 2>&1 &
+serve_pid=$!
+"$threelc" worker --addr "$addr" --id 0 --inject-fault kill@2 \
+    >"$obsdir/aborted-w0.log" 2>&1 &
+w0=$!
+"$threelc" worker --addr "$addr" --id 1 >"$obsdir/aborted-w1.log" 2>&1 &
+w1=$!
+rc=0
+wait "$w0" || rc=$?
+if [ "$rc" != 43 ]; then
+    echo "kill@2 worker exited $rc, expected the kill exit code 43" >&2
+    exit 1
+fi
+rc=0
+wait "$w1" || rc=$?
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" = 0 ]; then
+    echo "fail-stop server completed despite its worker being killed" >&2
+    exit 1
+fi
+flight="$obsdir/aborted.flight.json"
+if [ ! -f "$flight" ]; then
+    echo "aborted run left no flight dump at $flight" >&2
+    exit 1
+fi
+grep -qF '"trigger":"abort"' "$flight"
+grep -qF '"anomalies":[{' "$flight" # non-empty anomaly list
+"$threelc" trace "$flight" >"$obsdir/flight.txt"
+grep -q "trigger=abort" "$obsdir/flight.txt"
+grep -q "fault-disconnect" "$obsdir/flight.txt"
+if "$threelc" trace "$flight" --check >/dev/null 2>&1; then
+    echo "trace --check passed on a flight dump full of anomalies" >&2
+    exit 1
+fi
+echo "    kill@2 left $flight; trace renders it and --check fails on it"
+
 echo "==> bench smoke (criterion --test mode)"
 cargo bench --offline -p threelc-bench --bench parallel -- --test
 
@@ -306,6 +389,24 @@ for attempt in 1 2 3; do
 done
 if [ "$gate_ok" != 1 ]; then
     echo "policy bench gate failed on all attempts" >&2
+    exit 1
+fi
+
+echo "==> recorder bench gate vs BENCH_pr7.json"
+gate_ok=0
+for attempt in 1 2 3; do
+    cargo run -q --release --offline -p threelc-bench --bin bench_recorder -- \
+        target/bench/BENCH_recorder_current.json --reps 10
+    if cargo run -q --release --offline -p threelc-bench --bin bench_recorder -- \
+        --gate target/bench/BENCH_recorder_current.json BENCH_pr7.json; then
+        gate_ok=1
+        break
+    fi
+    echo "recorder bench gate attempt $attempt failed; re-measuring" >&2
+    sleep 2
+done
+if [ "$gate_ok" != 1 ]; then
+    echo "recorder bench gate failed on all attempts" >&2
     exit 1
 fi
 

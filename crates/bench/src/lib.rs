@@ -16,6 +16,7 @@ pub mod harness;
 pub mod perf;
 pub mod plot;
 pub mod policy_perf;
+pub mod recorder_perf;
 pub mod schema;
 pub mod table;
 

@@ -22,16 +22,18 @@ usage:
                      [--policy SPEC] [--width N] [--blocks N] [--batch N]
                      [--eval-every N] [--threads N] [--json report.json]
                      [--rejoin-timeout SECS] [--max-rejoins N]
+                     [--flight dump.flight.json]
   threelc worker     --addr A --id N [--threads N] [--max-rejoins N]
                      [--inject-fault SPEC] [--rejoin] [--policy SPEC]
   threelc simulate   [--workers N] [--steps N] [--seed N] [--scheme ...]
                      [--sparsity S] [--policy SPEC] [--width N]
                      [--blocks N] [--batch N] [--eval-every N]
                      [--threads N]
-  threelc metrics    <addr> [--json]
+  threelc metrics    <addr> [--json] [--watch SECS]
   threelc metrics    --from <log.jsonl> [--json]
-  threelc trace      <report.json|addr> [--chrome out.json] [--check]
-                     [--steps N]
+  threelc top        <addr> [--interval SECS] [--once] [--json]
+  threelc trace      <report.json|flight.json|addr> [--chrome out.json]
+                     [--check] [--steps N]
 
 --threads N uses up to N codec/aggregation threads (0 = one per core);
 output is bit-identical at every setting.
@@ -55,7 +57,17 @@ so serve/worker runs stay bit-identical to `simulate --policy`.
 trace renders the cross-node step timeline of a THREELC_TRACE=1 run from
 a `serve --json` report (or a live server's own spans), exports Chrome/
 Perfetto JSON with --chrome, and with --check exits nonzero on watchdog
-anomalies (stragglers, ratio drift, residual blowups).
+anomalies (stragglers, ratio drift, residual blowups). Point it at a
+`.flight.json` post-mortem dump to render the flight recorder instead.
+
+top renders a live per-worker dashboard (step, ratio, wire throughput,
+rejoins, latency with straggler flags, wire-byte sparklines) by polling
+the server's time-series store; --once prints a single frame. metrics
+--watch re-scrapes every SECS seconds and prints counter deltas. serve
+writes a `.flight.json` post-mortem dump (last steps of every series +
+recent spans + anomaly events) when a run aborts, a handler panics, a
+fault fires, or the watchdog flags anomalies; --flight names the dump
+(default: derived from --json as `<report>.flight.json`).
 
 global flags (any command):
   --log-json <path>  append structured JSONL events to <path>
@@ -89,6 +101,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("worker") => crate::netcmd::worker_cmd(&args[1..]),
         Some("simulate") => crate::netcmd::simulate_cmd(&args[1..]),
         Some("metrics") => crate::netcmd::metrics_cmd(&args[1..]),
+        Some("top") => crate::topcmd::top_cmd(&args[1..]),
         Some("trace") => crate::tracecmd::trace_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("missing command".into()),
@@ -965,6 +978,13 @@ mod tests {
         assert!(run(&s(&["metrics", "a", "b"])).is_err()); // two addrs
         assert!(run(&s(&["metrics", "127.0.0.1:1", "--bogus"])).is_err());
         assert!(run(&s(&["metrics", "not an address"])).is_err());
+        // --watch validation: value required, positive, live-only.
+        assert!(run(&s(&["metrics", "127.0.0.1:1", "--watch"])).is_err());
+        assert!(run(&s(&["metrics", "127.0.0.1:1", "--watch", "x"])).is_err());
+        assert!(run(&s(&["metrics", "127.0.0.1:1", "--watch", "0"])).is_err());
+        let err = run(&s(&["metrics", "--from", "f.jsonl", "--watch", "1"]))
+            .expect_err("--watch needs a live server");
+        assert!(err.to_string().contains("--watch"), "got: {err}");
     }
 
     #[test]
@@ -1107,6 +1127,7 @@ mod tests {
             anomalies: vec![],
             final_model_crc32: 0,
             faults: threelc_net::FaultsReport::default(),
+            series: Default::default(),
         };
         let path = tmp("untraced-report.json");
         std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();

@@ -7,9 +7,10 @@
 //! threelc stats      <input.f32> [--sparsity S]
 //! threelc serve      --addr A [--workers N] [--steps N] [...]
 //! threelc worker     --addr A --id N
-//! threelc metrics    <addr> [--json]
+//! threelc metrics    <addr> [--json] [--watch SECS]
 //! threelc metrics    --from <log.jsonl> [--json]
-//! threelc trace      <report.json|addr> [--chrome out.json] [--check]
+//! threelc top        <addr> [--interval SECS] [--once] [--json]
+//! threelc trace      <report.json|flight.json|addr> [--chrome out.json] [--check]
 //! ```
 //!
 //! Every command accepts a global `--log-json <path>` flag that appends
@@ -24,6 +25,7 @@ use std::process::ExitCode;
 
 mod cli;
 mod netcmd;
+mod topcmd;
 mod tracecmd;
 
 /// Strips the global `--log-json <path>` flag (valid before or after the

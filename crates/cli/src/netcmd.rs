@@ -140,6 +140,7 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
         "--json",
         "--rejoin-timeout",
         "--max-rejoins",
+        "--flight",
     ];
     check_flags(args, FLAGS, &[])?;
     let addr =
@@ -156,17 +157,30 @@ pub fn serve_cmd(args: &[String]) -> CliResult {
     if let Some(v) = parse_flag(args, "--max-rejoins")? {
         opts.max_rejoins = v;
     }
+    // The flight recorder dumps to an explicit --flight path, or rides
+    // along with --json as `<report>.flight.json`. Without either flag
+    // there is nowhere sensible to write, so no dump is armed.
+    opts.flight = match (flag_value(args, "--flight"), flag_value(args, "--json")) {
+        (Some(path), _) => Some(path.to_string()),
+        (None, Some(json)) => {
+            let stem = json.strip_suffix(".json").unwrap_or(json);
+            Some(format!("{stem}.flight.json"))
+        }
+        (None, None) => None,
+    };
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = listener.local_addr()?;
-    let report = serve(&listener, &config, &opts)?;
+    let result = serve(&listener, &config, &opts);
 
     // Leave the final metrics state in the structured log (when one is
     // enabled), so `threelc metrics --from <jsonl>` can render the run
-    // offline after the server is gone.
+    // offline after the server is gone. Deliberately before the `?`: an
+    // aborted run is exactly when the post-mortem snapshot matters most.
     if threelc_obs::log_enabled(Level::Info) {
         let snapshot = serde_json::to_string(&threelc_obs::global().snapshot())?;
         threelc_obs::emit(Level::Info, "metrics.snapshot", &[("snapshot", snapshot)]);
     }
+    let report = result?;
 
     if let Some(path) = flag_value(args, "--json") {
         let json = serde_json::to_string(&report)?;
@@ -278,11 +292,14 @@ fn write_policy_summary(
 /// serving parameter server and print it (text by default, `--json` for
 /// the raw snapshot). `--from <jsonl>` instead renders the last
 /// `metrics.snapshot` event recorded in a `--log-json` file, so a
-/// finished run stays inspectable offline.
+/// finished run stays inspectable offline. `--watch SECS` keeps
+/// re-scraping every interval and prints what changed since the previous
+/// snapshot, exiting cleanly once the server goes away.
 pub fn metrics_cmd(args: &[String]) -> CliResult {
     let mut addr: Option<&str> = None;
     let mut from: Option<&str> = None;
     let mut json = false;
+    let mut watch: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -294,6 +311,16 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
                         .as_str(),
                 );
             }
+            "--watch" => {
+                let v = it.next().ok_or("--watch requires an interval in seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid value `{v}` for --watch"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--watch interval must be positive".into());
+                }
+                watch = Some(secs);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown argument `{other}`").into());
             }
@@ -303,6 +330,12 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
                 }
             }
         }
+    }
+    if let Some(interval) = watch {
+        let (Some(addr), None) = (addr, from) else {
+            return Err("--watch needs a live server address (not --from)".into());
+        };
+        return watch_metrics(addr, interval, json);
     }
     let snapshot = match (addr, from) {
         (Some(_), Some(_)) => {
@@ -323,6 +356,71 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
     } else {
         Ok(snapshot.render_text())
     }
+}
+
+/// The `--watch` loop: scrape every `interval` seconds and print the diff
+/// since the previous snapshot (or the full snapshot with `--json`). The
+/// server disappearing after at least one successful scrape is the normal
+/// way a watched run ends, so it exits cleanly.
+fn watch_metrics(addr: &str, interval: f64, json: bool) -> CliResult {
+    let mut prev: Option<Snapshot> = None;
+    let mut frames = 0u64;
+    loop {
+        match scrape_metrics(addr, Duration::from_secs(5)) {
+            Ok(snap) => {
+                if json {
+                    println!("{}", serde_json::to_string(&snap)?);
+                } else if let Some(prev) = &prev {
+                    print!("{}", diff_snapshots(prev, &snap));
+                } else {
+                    print!("{}", snap.render_text());
+                }
+                println!("---");
+                prev = Some(snap);
+                frames += 1;
+            }
+            Err(e) if frames > 0 => {
+                return Ok(format!("server went away after {frames} scrape(s): {e}\n"));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// What changed between two snapshots: counter increments, gauge moves,
+/// and new histogram samples. Metrics absent from `prev` (registered
+/// mid-run) diff against zero.
+fn diff_snapshots(prev: &Snapshot, curr: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &curr.counters {
+        let before = prev.counter(&c.name).unwrap_or(0);
+        if c.value != before {
+            let _ = writeln!(out, "{} +{} = {}", c.name, c.value - before, c.value);
+        }
+    }
+    for g in &curr.gauges {
+        let before = prev.gauge(&g.name);
+        if before != Some(g.value) {
+            let _ = writeln!(out, "{} = {}", g.name, g.value);
+        }
+    }
+    for h in &curr.histograms {
+        let before = prev.histogram(&h.name).map_or(0, |s| s.count);
+        if h.hist.count != before {
+            let _ = writeln!(
+                out,
+                "{} +{} sample(s) = {}",
+                h.name,
+                h.hist.count - before,
+                h.hist.count
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no change)\n");
+    }
+    out
 }
 
 /// Reconstructs the last `metrics.snapshot` event from a structured

@@ -15,7 +15,7 @@ use std::error::Error;
 use std::fmt::Write as _;
 use std::time::Duration;
 use threelc_net::NetReport;
-use threelc_obs::{watchdog, MergedTimeline, NodeTrace, StepStats, WatchdogConfig};
+use threelc_obs::{watchdog, FlightDump, MergedTimeline, NodeTrace, StepStats, WatchdogConfig};
 
 type CliResult = Result<String, Box<dyn Error>>;
 
@@ -58,6 +58,16 @@ pub fn trace_cmd(args: &[String]) -> CliResult {
     }
     let source = source
         .ok_or("trace requires a `threelc serve --json` report file or a live server address")?;
+
+    // A `.flight.json` post-mortem dump is its own artifact (trigger,
+    // anomaly ring, series store); render it directly instead of forcing
+    // it through the report schema.
+    if std::path::Path::new(source).is_file() {
+        let text = std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?;
+        if let Ok(dump) = FlightDump::from_json(&text) {
+            return render_flight(&dump, check, max_steps);
+        }
+    }
 
     let (node_traces, step_stats) = load_traces(source)?;
     let span_count: usize = node_traces.iter().map(|n| n.spans.len()).sum();
@@ -109,6 +119,34 @@ pub fn trace_cmd(args: &[String]) -> CliResult {
             }
             return Err(msg.into());
         }
+    }
+    Ok(out)
+}
+
+/// Renders a flight-recorder dump: the trigger/anomaly summary, the tail
+/// of every worker's series, and — when the dump carries spans — the
+/// merged timeline. With `--check` the recorded anomalies fail the gate,
+/// exactly as live watchdog findings would.
+fn render_flight(dump: &FlightDump, check: bool, max_steps: usize) -> CliResult {
+    let mut out = dump.render_text();
+    out.push_str(&crate::topcmd::render_dashboard(&dump.series));
+    if !dump.spans.is_empty() {
+        let timeline = MergedTimeline::build(&dump.spans);
+        out.push_str(&timeline.render_text(max_steps));
+    }
+    if check && !dump.anomalies.is_empty() {
+        let mut msg = format!(
+            "trace check failed: flight dump ({}) records {} anomaly(ies)\n",
+            dump.trigger,
+            dump.anomalies.len()
+        );
+        for a in &dump.anomalies {
+            let _ = writeln!(msg, "  [{}] {}", a.kind, a.detail);
+        }
+        return Err(msg.into());
+    }
+    if check {
+        writeln!(out, "trace check passed: no anomalies")?;
     }
     Ok(out)
 }

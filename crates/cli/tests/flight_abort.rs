@@ -1,0 +1,177 @@
+//! End-to-end post-mortem forensics: a loopback run killed mid-flight
+//! must leave behind (a) a `.flight.json` dump with the per-worker series
+//! of every completed step plus the triggering anomaly, and (b) a
+//! `metrics.snapshot` event in the structured log even though the run
+//! aborted.
+//!
+//! `kill@N` calls `std::process::exit`, so this test drives the real
+//! `threelc` binary rather than in-process threads.
+
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// Exit code of a `kill@N`-faulted worker ([`threelc_net`]'s contract).
+const KILL_EXIT_CODE: i32 = 43;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("threelc-flight-abort-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+/// An ephemeral loopback address that was just free.
+fn free_addr() -> String {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+    probe.local_addr().expect("addr").to_string()
+}
+
+#[test]
+fn aborted_run_leaves_a_flight_dump_and_a_metrics_snapshot() {
+    let addr = free_addr();
+    let json = tmp("report.json");
+    let flight = tmp("report.flight.json");
+    let log = tmp("log.jsonl");
+    let _ = std::fs::remove_file(&flight);
+    let _ = std::fs::remove_file(&log);
+
+    let bin = env!("CARGO_BIN_EXE_threelc");
+    let mut server = Command::new(bin)
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+            "--steps",
+            "6",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--max-rejoins",
+            "0",
+            "--rejoin-timeout",
+            "5",
+            "--json",
+            json.to_str().unwrap(),
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+
+    // The worker dies between push and pull of step 2; with fail-stop
+    // (--max-rejoins 0) the server must then abort.
+    let mut worker_status = None;
+    for attempt in 0..50 {
+        let status = Command::new(bin)
+            .args([
+                "worker",
+                "--addr",
+                &addr,
+                "--id",
+                "0",
+                "--inject-fault",
+                "kill@2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run worker");
+        if status.code() == Some(KILL_EXIT_CODE) {
+            worker_status = Some(status);
+            break;
+        }
+        // Connection refused before the server binds; retry.
+        assert!(attempt < 49, "worker never reached the server: {status}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(
+        worker_status.expect("worker ran").code(),
+        Some(KILL_EXIT_CODE),
+        "kill@2 must exit the worker process with the kill code"
+    );
+
+    let server_status = server.wait().expect("server exit");
+    assert!(
+        !server_status.success(),
+        "a fail-stop server must exit nonzero after losing its worker"
+    );
+
+    // The flight dump: derived from --json automatically, abort trigger,
+    // the kill recorded as an anomaly, and both completed steps' series.
+    let text = std::fs::read_to_string(&flight).expect("flight dump exists");
+    let dump = threelc_obs::FlightDump::from_json(&text).expect("dump parses");
+    assert_eq!(dump.trigger, "abort", "detail: {}", dump.detail);
+    // The kill fires between push and pull of step 2, so at least steps 0
+    // and 1 folded into the store (step 2 itself may or may not have,
+    // depending on whether its push landed before the socket died).
+    assert!(
+        (2..=3).contains(&dump.steps_recorded),
+        "steps 0 and 1 completed before the kill; got {}",
+        dump.steps_recorded
+    );
+    assert!(
+        !dump.anomalies.is_empty(),
+        "the disconnect must be recorded as an anomaly"
+    );
+    assert!(
+        dump.anomalies
+            .iter()
+            .any(|a| a.kind == "fault-disconnect" && a.node == "worker0"),
+        "got: {:?}",
+        dump.anomalies
+    );
+    assert_eq!(dump.series.workers.len(), 1);
+    for name in threelc_obs::timeseries::WORKER_SERIES {
+        let s = dump.series.workers[0]
+            .series(name)
+            .unwrap_or_else(|| panic!("series {name} missing"));
+        assert_eq!(
+            s.count(),
+            dump.steps_recorded,
+            "series {name} must hold every completed step"
+        );
+    }
+
+    // `threelc trace` reads the dump, and --check fails on its anomalies.
+    let rendered = Command::new(bin)
+        .args(["trace", flight.to_str().unwrap()])
+        .output()
+        .expect("trace render");
+    assert!(rendered.status.success());
+    let out = String::from_utf8_lossy(&rendered.stdout);
+    assert!(out.contains("trigger=abort"), "got: {out}");
+    assert!(out.contains("fault-disconnect"), "got: {out}");
+    let checked = Command::new(bin)
+        .args(["trace", flight.to_str().unwrap(), "--check"])
+        .output()
+        .expect("trace check");
+    assert!(
+        !checked.status.success(),
+        "--check must fail on a dump with anomalies"
+    );
+
+    // Satellite regression: the aborted run still left its end-of-run
+    // metrics.snapshot event in the structured log, so `metrics --from`
+    // renders the dead run.
+    let log_text = std::fs::read_to_string(&log).expect("structured log exists");
+    assert!(
+        log_text.contains("\"event\":\"metrics.snapshot\""),
+        "aborted runs must still snapshot metrics; log: {log_text}"
+    );
+    let from = Command::new(bin)
+        .args(["metrics", "--from", log.to_str().unwrap()])
+        .output()
+        .expect("metrics --from");
+    assert!(from.status.success(), "metrics --from on the aborted log");
+
+    // No partial report: the run never finished, so --json wrote nothing.
+    assert!(!json.exists(), "aborted runs must not write a final report");
+}

@@ -6,6 +6,7 @@ use crate::trace::StepRecord;
 use threelc::CompressionStats;
 use threelc_learning::{Batch, Evaluation, Network, SyntheticImages};
 use threelc_obs::trace::{self, TraceScope, TraceSpan};
+use threelc_obs::{RunRecorder, RunSeries, WorkerDelta};
 use threelc_policy::PolicyTrace;
 use threelc_tensor::{Rng, Tensor};
 
@@ -37,6 +38,10 @@ pub struct Cluster {
     pending_deltas: std::collections::VecDeque<Vec<Tensor>>,
     /// Every policy decision taken so far (empty under a static policy).
     policy_log: PolicyTrace,
+    /// Per-worker/run-level time series, fed once per step with the same
+    /// values the networked server records at its barrier — the two stores
+    /// are bit-identical for identical runs (minus wall-clock series).
+    recorder: RunRecorder,
 }
 
 impl Cluster {
@@ -68,6 +73,7 @@ impl Cluster {
                 label: config.policy.label(),
                 records: Vec::new(),
             },
+            recorder: RunRecorder::new(config.workers),
             config,
         }
     }
@@ -122,6 +128,14 @@ impl Cluster {
     /// records under a static policy.
     pub fn policy_trace(&self) -> &PolicyTrace {
         &self.policy_log
+    }
+
+    /// The run's time-series store: per-worker and run-level series fed at
+    /// every step, matching the networked server's scrapeable store bit
+    /// for bit for identical runs (compare [`RunSeries::deterministic`]
+    /// views — the wall-clock `step_seconds` series necessarily differs).
+    pub fn series(&self) -> &RunSeries {
+        self.recorder.store()
     }
 
     /// Total parameters in the model.
@@ -187,12 +201,25 @@ impl Cluster {
         let servers = self.config.servers.max(1);
         let mut server_bytes = vec![0u64; servers];
         let mut residual_l2 = 0.0f64;
+        // The per-step policy multiplier, read before apply_step swaps in
+        // the next step's decisions — the networked server reads it at the
+        // same point, so the recorded series match bit for bit.
+        let step_multiplier = {
+            let decisions = self.server.current_decisions();
+            if decisions.is_empty() {
+                f64::from(engine::base_sparsity(&self.config).value())
+            } else {
+                f64::from(decisions[0].s.value())
+            }
+        };
+        let mut deltas = Vec::with_capacity(workers);
         for (wi, (w, &participating)) in self.workers.iter_mut().zip(&accepted).enumerate() {
             if !participating {
                 payloads.push(Vec::new());
                 continue;
             }
             let _scope = worker_scope(wi);
+            let step_t0 = std::time::Instant::now();
             let compute_span = TraceSpan::start("compute");
             let (loss, grads) = w.compute(&self.data, self.config.batch_per_worker);
             compute_span.finish();
@@ -202,16 +229,37 @@ impl Cluster {
             let encoded = w.encode_push(grads);
             residual_l2 = residual_l2.max(w.residual_l2());
             worker_codec_max = worker_codec_max.max(encoded.codec_seconds);
+            let mut worker_wire = 0u64;
+            let mut worker_push = 0u64;
             for (i, payload) in encoded.payloads.iter().enumerate() {
                 let bytes = payload.wire_len();
                 server_bytes[i % servers] += bytes;
+                worker_wire += bytes;
                 match payload {
-                    TensorPayload::Compressed(_) => push_bytes += bytes,
+                    TensorPayload::Compressed(_) => {
+                        push_bytes += bytes;
+                        worker_push += bytes;
+                    }
                     TensorPayload::Raw(_) => raw_bytes += bytes,
                 }
             }
+            deltas.push(WorkerDelta {
+                worker: wi,
+                wire_bytes: worker_wire,
+                ratio: if worker_push > 0 {
+                    (self.compressible_values as f64 * 32.0) / (worker_push as f64 * 8.0)
+                } else {
+                    0.0
+                },
+                residual_l2: w.residual_l2(),
+                loss: f64::from(loss),
+                multiplier: step_multiplier,
+                rejoins: 0,
+                step_seconds: step_t0.elapsed().as_secs_f64(),
+            });
             payloads.push(encoded.payloads);
         }
+        self.recorder.record_step(step, &deltas);
 
         // ---- Server phase: decompress, aggregate, update global model,
         // then compress the model deltas for the pull path.

@@ -68,7 +68,8 @@ pub enum MsgType {
     /// Worker → server: one uncompressed gradient tensor (f32 LE).
     PushRaw = 4,
     /// Worker → server: end of push; `payload = loss (f32 LE) +
-    /// codec seconds (f64 LE)`.
+    /// codec seconds (f64 LE) [+ residual L2 (f64 LE) [+ step seconds
+    /// (f64 LE)]]` — length-gated, older short forms still decode.
     PushDone = 5,
     /// Server → worker: one compressed model-delta tensor.
     PullTensor = 6,
@@ -101,6 +102,12 @@ pub enum MsgType {
     /// policy is active, so static runs stay byte-identical to the
     /// pre-policy protocol.
     PolicyUpdate = 17,
+    /// Scraper → server: request the run's time-series store (empty
+    /// payload). Answered on the metrics side-door, like
+    /// [`MsgType::MetricsRequest`].
+    SeriesRequest = 18,
+    /// Server → scraper: `payload = threelc_obs::RunSeries JSON`.
+    SeriesDump = 19,
 }
 
 impl MsgType {
@@ -124,6 +131,8 @@ impl MsgType {
             15 => Some(MsgType::Rejoin),
             16 => Some(MsgType::RejoinAck),
             17 => Some(MsgType::PolicyUpdate),
+            18 => Some(MsgType::SeriesRequest),
+            19 => Some(MsgType::SeriesDump),
             _ => None,
         }
     }
@@ -696,12 +705,12 @@ mod tests {
 
     #[test]
     fn msg_type_roundtrip() {
-        for v in 1..=17u8 {
+        for v in 1..=19u8 {
             let m = MsgType::from_u8(v).expect("valid discriminant");
             assert_eq!(m as u8, v);
         }
         assert!(MsgType::from_u8(0).is_none());
-        assert!(MsgType::from_u8(18).is_none());
+        assert!(MsgType::from_u8(20).is_none());
     }
 
     #[test]

@@ -10,11 +10,11 @@
 
 use crate::counters::ConnCounters;
 use crate::frame::{read_frame, write_frame, MsgType};
-use crate::protocol::{decode_metrics_snapshot, decode_trace_dump, NetError};
+use crate::protocol::{decode_metrics_snapshot, decode_series_dump, decode_trace_dump, NetError};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
-use threelc_obs::{global, Counter, Histogram, NodeTrace, Snapshot};
+use threelc_obs::{global, Counter, Histogram, NodeTrace, RunSeries, Snapshot};
 
 /// Cached handles to one role's `net.*` metrics. Resolved once per
 /// connection; recording is then a few relaxed atomics per frame.
@@ -177,6 +177,32 @@ pub fn scrape_trace(addr: &str, timeout: Duration) -> Result<NodeTrace, NetError
         )));
     }
     decode_trace_dump(&reply.payload)
+}
+
+/// Scrapes the run's live time-series store from a serving parameter
+/// server.
+///
+/// Like [`scrape_metrics`] this opens a fresh connection, so it works at
+/// any point in the server's lifetime without disturbing workers. The
+/// reply is the bounded per-worker/run-level series store fed at every
+/// barrier — what `threelc top` renders and `threelc top --json` prints.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] if the server is unreachable within
+/// `timeout`, and [`NetError::Protocol`]/[`NetError::Frame`] if the reply
+/// is not a well-formed series dump.
+pub fn scrape_series(addr: &str, timeout: Duration) -> Result<RunSeries, NetError> {
+    let stream = connect_scrape(addr, timeout)?;
+    write_frame(&mut &stream, MsgType::SeriesRequest, 0, 0, &[])?;
+    let reply = read_frame(&mut &stream)?;
+    if reply.msg != MsgType::SeriesDump {
+        return Err(NetError::Protocol(format!(
+            "expected SeriesDump, got {:?}",
+            reply.msg
+        )));
+    }
+    decode_series_dump(&reply.payload)
 }
 
 /// Opens the short-lived connection both scrape clients use.

@@ -145,13 +145,21 @@ pub fn model_crc32(model: &threelc_learning::Network) -> u32 {
     crc.finish()
 }
 
-/// Encodes the `PushDone` payload: local loss, worker codec seconds, and
-/// the L2 norm of the worker's accumulated quantization residual.
-pub fn encode_push_done(loss: f32, codec_seconds: f64, residual_l2: f64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(20);
+/// Encodes the `PushDone` payload: local loss, worker codec seconds, the
+/// L2 norm of the worker's accumulated quantization residual, and the
+/// wall-clock seconds the worker spent computing + encoding the step
+/// (the per-worker latency series the run recorder folds).
+pub fn encode_push_done(
+    loss: f32,
+    codec_seconds: f64,
+    residual_l2: f64,
+    step_seconds: f64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
     out.extend_from_slice(&loss.to_le_bytes());
     out.extend_from_slice(&codec_seconds.to_le_bytes());
     out.extend_from_slice(&residual_l2.to_le_bytes());
+    out.extend_from_slice(&step_seconds.to_le_bytes());
     out
 }
 
@@ -181,28 +189,57 @@ pub fn decode_metrics_snapshot(payload: &[u8]) -> Result<threelc_obs::Snapshot, 
 
 /// Decodes the `PushDone` payload.
 ///
-/// Accepts both the current 20-byte form and the pre-residual 12-byte
-/// form (whose residual reads as 0.0), so a newer server keeps working
-/// with older workers.
+/// Accepts the current 28-byte form, the pre-latency 20-byte form
+/// (step seconds read as 0.0), and the pre-residual 12-byte form
+/// (residual and step seconds read as 0.0), so a newer server keeps
+/// working with older workers.
 ///
 /// # Errors
 ///
 /// Returns [`NetError::Protocol`] on a malformed payload.
-pub fn decode_push_done(payload: &[u8]) -> Result<(f32, f64, f64), NetError> {
-    if payload.len() != 12 && payload.len() != 20 {
+pub fn decode_push_done(payload: &[u8]) -> Result<(f32, f64, f64, f64), NetError> {
+    if payload.len() != 12 && payload.len() != 20 && payload.len() != 28 {
         return Err(NetError::Protocol(format!(
-            "push-done payload is {} bytes, want 12 or 20",
+            "push-done payload is {} bytes, want 12, 20, or 28",
             payload.len()
         )));
     }
     let loss = f32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
     let codec = f64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
-    let residual = if payload.len() == 20 {
+    let residual = if payload.len() >= 20 {
         f64::from_le_bytes(payload[12..20].try_into().expect("8 bytes"))
     } else {
         0.0
     };
-    Ok((loss, codec, residual))
+    let step_seconds = if payload.len() >= 28 {
+        f64::from_le_bytes(payload[20..28].try_into().expect("8 bytes"))
+    } else {
+        0.0
+    };
+    Ok((loss, codec, residual, step_seconds))
+}
+
+/// Encodes the `SeriesDump` payload: the run's time-series store as JSON.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] if the store does not serialize.
+pub fn encode_series_dump(series: &threelc_obs::RunSeries) -> Result<Vec<u8>, NetError> {
+    serde_json::to_string(series)
+        .map(String::into_bytes)
+        .map_err(|e| NetError::Protocol(format!("series store does not serialize: {e}")))
+}
+
+/// Decodes the `SeriesDump` payload.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a malformed payload.
+pub fn decode_series_dump(payload: &[u8]) -> Result<threelc_obs::RunSeries, NetError> {
+    let json = std::str::from_utf8(payload)
+        .map_err(|_| NetError::Protocol("series dump payload is not UTF-8".into()))?;
+    serde_json::from_str(json)
+        .map_err(|e| NetError::Protocol(format!("series dump does not parse: {e}")))
 }
 
 /// Encodes the `PolicyUpdate` payload: the per-tensor decisions for the
@@ -314,13 +351,16 @@ mod tests {
     fn hello_and_push_done_roundtrip() {
         assert_eq!(decode_hello(&encode_hello(513)).unwrap(), 513);
         assert!(decode_hello(&[1, 2, 3]).is_err());
-        let (loss, codec, residual) = decode_push_done(&encode_push_done(0.75, 1.5, 2.25)).unwrap();
+        let (loss, codec, residual, step_seconds) =
+            decode_push_done(&encode_push_done(0.75, 1.5, 2.25, 0.125)).unwrap();
         assert_eq!(loss, 0.75);
         assert_eq!(codec, 1.5);
         assert_eq!(residual, 2.25);
+        assert_eq!(step_seconds, 0.125);
         assert!(decode_push_done(&[0u8; 11]).is_err());
         assert!(decode_push_done(&[0u8; 16]).is_err());
         assert!(decode_push_done(&[0u8; 21]).is_err());
+        assert!(decode_push_done(&[0u8; 29]).is_err());
     }
 
     #[test]
@@ -363,10 +403,40 @@ mod tests {
         let mut old = Vec::new();
         old.extend_from_slice(&0.5f32.to_le_bytes());
         old.extend_from_slice(&3.0f64.to_le_bytes());
-        let (loss, codec, residual) = decode_push_done(&old).unwrap();
+        let (loss, codec, residual, step_seconds) = decode_push_done(&old).unwrap();
         assert_eq!(loss, 0.5);
         assert_eq!(codec, 3.0);
         assert_eq!(residual, 0.0);
+        assert_eq!(step_seconds, 0.0);
+        // A pre-latency worker adds the residual but not the step time.
+        old.extend_from_slice(&2.0f64.to_le_bytes());
+        let (_, _, residual, step_seconds) = decode_push_done(&old).unwrap();
+        assert_eq!(residual, 2.0);
+        assert_eq!(step_seconds, 0.0);
+    }
+
+    #[test]
+    fn series_dump_roundtrip() {
+        use threelc_obs::timeseries::{RunRecorder, WorkerDelta};
+        let mut rec = RunRecorder::new(2);
+        rec.record_step(
+            0,
+            &[WorkerDelta {
+                worker: 0,
+                wire_bytes: 512,
+                ratio: 8.0,
+                residual_l2: 0.25,
+                loss: 1.5,
+                multiplier: 1.0,
+                rejoins: 0,
+                step_seconds: 0.001,
+            }],
+        );
+        let bytes = encode_series_dump(rec.store()).unwrap();
+        let back = decode_series_dump(&bytes).unwrap();
+        assert_eq!(&back, rec.store());
+        assert!(decode_series_dump(b"not json").is_err());
+        assert!(decode_series_dump(&[0xFF, 0xFE]).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::counters::ConnCounters;
 use serde::{Deserialize, Serialize};
 use threelc_distsim::ExperimentResult;
-use threelc_obs::{Anomaly, NodeTrace};
+use threelc_obs::{Anomaly, NodeTrace, RunSeries};
 
 /// One connection's summary in the final report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,6 +77,13 @@ pub struct NetReport {
     /// residual blowups) live in `result.trace.anomalies`.
     #[serde(default)]
     pub anomalies: Vec<Anomaly>,
+    /// The run's final time-series store (per-worker + run-level), exactly
+    /// what the last live `SeriesRequest` scrape would have returned. Its
+    /// [`RunSeries::deterministic`] view equals the simulator's for the
+    /// same configuration. Empty in reports written before the field
+    /// existed.
+    #[serde(default)]
+    pub series: RunSeries,
 }
 
 #[cfg(test)]
@@ -119,6 +126,7 @@ mod tests {
                 dropped: 0,
             }],
             anomalies: Vec::new(),
+            series: RunSeries::default(),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: NetReport = serde_json::from_str(&json).unwrap();

@@ -27,29 +27,30 @@ use crate::frame::{read_frame, write_frame, MsgType};
 use crate::metrics::{Conn, NetMetrics};
 use crate::protocol::{
     bytes_to_tensor, decode_hello, decode_push_done, decode_trace_dump, encode_metrics_snapshot,
-    encode_policy_update, encode_rejoin_ack, encode_trace_dump, model_crc32, tensor_to_bytes,
-    NetError,
+    encode_policy_update, encode_rejoin_ack, encode_series_dump, encode_trace_dump, model_crc32,
+    tensor_to_bytes, NetError,
 };
 use crate::report::{ConnReport, FaultEvent, FaultsReport, NetReport};
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 use threelc_distsim::engine::{self, Problem, ServerCore, TensorPayload};
 use threelc_distsim::trace::{EvalRecord, StepRecord, TrainingTrace};
 use threelc_distsim::{ExperimentConfig, ExperimentResult};
 use threelc_learning::Evaluation;
+use threelc_obs::flight::trigger;
 use threelc_obs::{
-    trace, FaultSample, Level, MergedTimeline, NodeTrace, SpanGuard, TraceBuffer, TraceScope,
-    TraceSpan, WatchdogConfig,
+    trace, write_flight_dump, FaultSample, FlightRecorder, Level, MergedTimeline, NodeTrace,
+    RunRecorder, SpanGuard, TraceBuffer, TraceScope, TraceSpan, WatchdogConfig, WorkerDelta,
 };
 use threelc_tensor::Shape;
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Read/write timeout on every worker socket.
     pub io_timeout: Duration,
@@ -68,6 +69,12 @@ pub struct ServeOptions {
     /// hardware core). A performance hint only: the trained model is
     /// bit-identical at any setting.
     pub threads: usize,
+    /// Where to write the flight-recorder dump (`<out>.flight.json`).
+    /// When set, a dump is written automatically if the run aborts, a
+    /// handler panics, a fault fires, or the end-of-run watchdog flags
+    /// anomalies. `None` disables dumping (series are still recorded and
+    /// scrapeable).
+    pub flight: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -78,6 +85,7 @@ impl Default for ServeOptions {
             rejoin_timeout: Duration::from_secs(60),
             max_rejoins: 4,
             threads: 1,
+            flight: None,
         }
     }
 }
@@ -95,6 +103,7 @@ enum ToCoord {
         loss: f32,
         codec_seconds: f64,
         residual_l2: f64,
+        step_seconds: f64,
     },
     /// The handler finished (cleanly or with an error). Handler panics
     /// arrive here too, converted to an error by the catch-unwind wrapper
@@ -120,8 +129,8 @@ enum ToCoord {
 }
 
 /// One worker's contribution at the push barrier: tensor payloads, local
-/// loss, codec seconds, residual L2.
-type PushSlot = (Vec<TensorPayload>, f32, f64, f64);
+/// loss, codec seconds, residual L2, wall-clock step seconds.
+type PushSlot = (Vec<TensorPayload>, f32, f64, f64, f64);
 
 /// One step's shared pull batch, encoded once and broadcast to every
 /// handler (shared pull compression, paper Fig. 2b). Retained in the
@@ -168,6 +177,70 @@ pub fn serve(
     config: &ExperimentConfig,
     opts: &ServeOptions,
 ) -> Result<NetReport, NetError> {
+    // The recorder is shared with the metrics side-door (live `SeriesRequest`
+    // scrapes); the flight recorder is coordinator-only.
+    let recorder = Arc::new(Mutex::new(RunRecorder::new(config.workers)));
+    let mut flight = FlightRecorder::new();
+    let result = serve_run(listener, config, opts, &recorder, &mut flight);
+    if let Some(path) = &opts.flight {
+        let series = recorder.lock().expect("series recorder lock").snapshot();
+        let dump = match &result {
+            Err(e) => {
+                let text = e.to_string();
+                let cause = if text.contains("panicked") {
+                    trigger::PANIC
+                } else {
+                    trigger::ABORT
+                };
+                Some(flight.dump(cause, &text, series, &[]))
+            }
+            Ok(report) => {
+                let mut findings = report.anomalies.clone();
+                findings.extend(report.result.trace.anomalies.iter().cloned());
+                if !findings.is_empty() {
+                    Some(flight.dump(
+                        trigger::WATCHDOG,
+                        "end-of-run watchdog flagged anomalies",
+                        series,
+                        &findings,
+                    ))
+                } else if !flight.events().is_empty() {
+                    Some(flight.dump(
+                        trigger::FAULT,
+                        "transport faults occurred during the run",
+                        series,
+                        &[],
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(dump) = dump {
+            if let Err(e) = write_flight_dump(path, &dump) {
+                threelc_obs::event!(
+                    Level::Warn,
+                    "server.flight_dump_failed",
+                    path = path,
+                    error = e.to_string()
+                );
+            }
+        }
+    }
+    result
+}
+
+/// The body of [`serve`]: the actual accept/handshake/train/shutdown
+/// sequence, recording per-worker series into `recorder` at every barrier
+/// and transport faults into `flight` as they happen. Split out so the
+/// wrapper can still reach both stores after an early-error return.
+fn serve_run(
+    listener: &TcpListener,
+    config: &ExperimentConfig,
+    opts: &ServeOptions,
+    recorder: &Arc<Mutex<RunRecorder>>,
+    flight: &mut FlightRecorder,
+) -> Result<NetReport, NetError> {
     validate_config(config)?;
     let problem = Problem::build(config);
     let n_params = problem.num_tensors();
@@ -209,6 +282,7 @@ pub fn serve(
             &pull_txs,
             &config_json,
             &server_buf,
+            recorder,
         )? {
             Handshake::Worker(worker, counters) => (worker, counters),
             Handshake::Scrape => continue,
@@ -242,6 +316,7 @@ pub fn serve(
         listener,
         opts.io_timeout,
         Arc::clone(&server_buf),
+        Arc::clone(recorder),
         to_coord.clone(),
     )?;
     let server_metrics = NetMetrics::server();
@@ -251,6 +326,9 @@ pub fn serve(
     // Per-worker connection generation; bumped on every admitted rejoin.
     let mut gens: Vec<u64> = vec![0; workers];
     let mut connected: Vec<bool> = vec![true; workers];
+    // Cumulative admitted rejoins per worker, recorded as a series so the
+    // dashboard can show flapping workers.
+    let mut rejoin_counts: Vec<u64> = vec![0; workers];
     // Traffic of a worker's finished (lost or superseded) connections,
     // folded into its final ConnReport.
     let mut lost: Vec<ConnCounters> = vec![ConnCounters::default(); workers];
@@ -303,6 +381,7 @@ pub fn serve(
                     loss,
                     codec_seconds,
                     residual_l2,
+                    step_seconds,
                 }) => {
                     if gen != gens[worker] {
                         // A superseded connection's push raced its death.
@@ -318,7 +397,8 @@ pub fn serve(
                             "worker {worker} pushed twice in step {step}"
                         )));
                     }
-                    slots[worker] = Some((payloads, loss, codec_seconds, residual_l2));
+                    slots[worker] =
+                        Some((payloads, loss, codec_seconds, residual_l2, step_seconds));
                     missing -= 1;
                 }
                 Ok(ToCoord::Finished {
@@ -344,6 +424,7 @@ pub fn serve(
                         &mut connected,
                         &mut pull_txs,
                         &server_metrics,
+                        flight,
                     )?;
                     // The dead connection's push (if it landed) is
                     // discarded: the rejoined worker re-pushes this step,
@@ -390,6 +471,7 @@ pub fn serve(
                             &mut connected,
                             &mut pull_txs,
                             &server_metrics,
+                            flight,
                         )?;
                         if slots[worker].take().is_some() {
                             missing += 1;
@@ -397,14 +479,17 @@ pub fn serve(
                     }
                     gens[worker] += 1;
                     faults.rejoins += 1;
+                    rejoin_counts[worker] += 1;
+                    let rejoin_detail = format!(
+                        "resumed at step {step} after a replay of {} step(s)",
+                        history.len()
+                    );
+                    flight.note_fault(step, &format!("worker{worker}"), "rejoin", &rejoin_detail);
                     faults.events.push(FaultEvent {
                         step,
                         worker,
                         kind: "rejoin".into(),
-                        detail: format!(
-                            "resumed at step {step} after a replay of {} step(s)",
-                            history.len()
-                        ),
+                        detail: rejoin_detail,
                     });
                     server_metrics.rejoins.add(1);
                     threelc_obs::event!(
@@ -444,29 +529,64 @@ pub fn serve(
         }
         barrier_span.finish();
 
-        // Worker-order accounting, exactly as the simulator does it.
+        // Worker-order accounting, exactly as the simulator does it. The
+        // per-step policy multiplier must be read before apply_step swaps
+        // in the next step's decisions (the simulator reads it at the same
+        // point, so the recorded series match bit for bit).
+        let decisions = server.current_decisions();
+        let step_multiplier = if decisions.is_empty() {
+            f64::from(engine::base_sparsity(config).value())
+        } else {
+            f64::from(decisions[0].s.value())
+        };
         let mut payloads_by_worker = Vec::with_capacity(workers);
+        let mut deltas = Vec::with_capacity(workers);
         let mut loss_sum = 0.0f64;
         let mut worker_codec_max = 0.0f64;
         let mut residual_l2 = 0.0f64;
         let mut push_bytes = 0u64;
         let mut raw_bytes = 0u64;
         let mut server_bytes = vec![0u64; servers];
-        for slot in &mut slots {
-            let (payloads, loss, codec, residual) = slot.take().expect("barrier filled every slot");
+        for (w, slot) in slots.iter_mut().enumerate() {
+            let (payloads, loss, codec, residual, step_seconds) =
+                slot.take().expect("barrier filled every slot");
             loss_sum += loss as f64;
             worker_codec_max = worker_codec_max.max(codec);
             residual_l2 = residual_l2.max(residual);
+            let mut worker_wire = 0u64;
+            let mut worker_push = 0u64;
             for (i, payload) in payloads.iter().enumerate() {
                 let bytes = payload.wire_len();
                 server_bytes[i % servers] += bytes;
+                worker_wire += bytes;
                 match payload {
-                    TensorPayload::Compressed(_) => push_bytes += bytes,
+                    TensorPayload::Compressed(_) => {
+                        push_bytes += bytes;
+                        worker_push += bytes;
+                    }
                     TensorPayload::Raw(_) => raw_bytes += bytes,
                 }
             }
+            deltas.push(WorkerDelta {
+                worker: w,
+                wire_bytes: worker_wire,
+                ratio: if worker_push > 0 {
+                    (compressible_values as f64 * 32.0) / (worker_push as f64 * 8.0)
+                } else {
+                    0.0
+                },
+                residual_l2: residual,
+                loss: loss as f64,
+                multiplier: step_multiplier,
+                rejoins: rejoin_counts[w],
+                step_seconds,
+            });
             payloads_by_worker.push(payloads);
         }
+        recorder
+            .lock()
+            .expect("series recorder lock")
+            .record_step(step, &deltas);
 
         let out = server.apply_step(&payloads_by_worker, workers, residual_l2);
         trace
@@ -525,6 +645,7 @@ pub fn serve(
                     &mut connected,
                     &mut pull_txs,
                     &server_metrics,
+                    flight,
                 )?;
             }
         }
@@ -687,6 +808,7 @@ pub fn serve(
         faults,
         node_traces,
         anomalies,
+        series: recorder.lock().expect("series recorder lock").snapshot(),
     })
 }
 
@@ -703,10 +825,12 @@ fn note_disconnect(
     connected: &mut [bool],
     pull_txs: &mut [Option<mpsc::Sender<FromCoord>>],
     metrics: &NetMetrics,
+    flight: &mut FlightRecorder,
 ) -> Result<(), NetError> {
     connected[worker] = false;
     pull_txs[worker] = None;
     metrics.disconnects.add(1);
+    flight.note_fault(step, &format!("worker{worker}"), "disconnect", &detail);
     threelc_obs::event!(
         Level::Warn,
         "server.worker_disconnected",
@@ -843,6 +967,7 @@ enum Handshake {
 /// Hello/HelloAck handshake, or a one-shot metrics/trace scrape. A
 /// `Rejoin` in this phase (a leftover from some earlier run) is refused
 /// by dropping the connection.
+#[allow(clippy::too_many_arguments)]
 fn handshake(
     stream: &TcpStream,
     io_timeout: Duration,
@@ -850,6 +975,7 @@ fn handshake(
     taken: &[Option<mpsc::Sender<FromCoord>>],
     config_json: &str,
     server_buf: &Arc<TraceBuffer>,
+    recorder: &Arc<Mutex<RunRecorder>>,
 ) -> Result<Handshake, NetError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(io_timeout))?;
@@ -864,6 +990,10 @@ fn handshake(
     }
     if hello.msg == MsgType::TraceDumpRequest {
         answer_trace_scrape(stream, server_buf)?;
+        return Ok(Handshake::Scrape);
+    }
+    if hello.msg == MsgType::SeriesRequest {
+        answer_series_scrape(stream, recorder)?;
         return Ok(Handshake::Scrape);
     }
     if hello.msg == MsgType::Rejoin {
@@ -922,6 +1052,19 @@ fn answer_trace_scrape(stream: &TcpStream, buf: &Arc<TraceBuffer>) -> Result<(),
     Ok(())
 }
 
+/// Replies to a `SeriesRequest` with a snapshot of the run's time-series
+/// store, so `threelc top` can render a live dashboard mid-training.
+fn answer_series_scrape(
+    stream: &TcpStream,
+    recorder: &Arc<Mutex<RunRecorder>>,
+) -> Result<(), NetError> {
+    let payload = encode_series_dump(&recorder.lock().expect("series recorder lock").snapshot())?;
+    write_frame(&mut &*stream, MsgType::SeriesDump, 0, 0, &payload)?;
+    (&*stream).flush()?;
+    threelc_obs::event!(Level::Info, "server.series_scraped", bytes = payload.len());
+    Ok(())
+}
+
 /// Background thread owning the listener while the coordinator is busy
 /// training (the main accept loop only runs during the handshake phase):
 /// answers metrics/trace scrapes itself and forwards mid-run `Rejoin`
@@ -943,6 +1086,7 @@ impl<'a> MetricsScraper<'a> {
         listener: &'a TcpListener,
         io_timeout: Duration,
         server_buf: Arc<TraceBuffer>,
+        recorder: Arc<Mutex<RunRecorder>>,
         to_coord: mpsc::Sender<ToCoord>,
     ) -> Result<Self, NetError> {
         let clone = listener.try_clone().map_err(NetError::Io)?;
@@ -955,7 +1099,8 @@ impl<'a> MetricsScraper<'a> {
                     Ok((stream, _)) => {
                         // Anything other than a well-formed scrape or
                         // rejoin on a mid-training connection is dropped.
-                        let _ = serve_side_door(stream, io_timeout, &server_buf, &to_coord);
+                        let _ =
+                            serve_side_door(stream, io_timeout, &server_buf, &recorder, &to_coord);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(20));
@@ -995,6 +1140,7 @@ fn serve_side_door(
     stream: TcpStream,
     io_timeout: Duration,
     server_buf: &Arc<TraceBuffer>,
+    recorder: &Arc<Mutex<RunRecorder>>,
     to_coord: &mpsc::Sender<ToCoord>,
 ) -> Result<(), NetError> {
     // The accepting listener is non-blocking and the stream inherits
@@ -1010,6 +1156,7 @@ fn serve_side_door(
     match frame.msg {
         MsgType::MetricsRequest => answer_scrape(&stream),
         MsgType::TraceDumpRequest => answer_trace_scrape(&stream, server_buf),
+        MsgType::SeriesRequest => answer_series_scrape(&stream, recorder),
         MsgType::Rejoin => {
             let worker = usize::from(decode_hello(&frame.payload)?);
             to_coord
@@ -1098,7 +1245,7 @@ fn run_handler(
         // span that sent it (carried by the frame's trace context).
         let mut recv_span = TraceSpan::start("recv_push");
         let mut payloads: Vec<TensorPayload> = Vec::with_capacity(n_params);
-        let (loss, codec_seconds, residual_l2) = loop {
+        let (loss, codec_seconds, residual_l2, step_seconds) = loop {
             // One span per incoming frame: read plus dispatch (dropped at
             // the end of the iteration, including on break/error).
             let _frame_span = SpanGuard::on(Arc::clone(&conn.metrics.frame_seconds));
@@ -1158,6 +1305,7 @@ fn run_handler(
                 loss,
                 codec_seconds,
                 residual_l2,
+                step_seconds,
             })
             .map_err(|_| NetError::Protocol("coordinator is gone".into()))?;
 

@@ -378,6 +378,10 @@ fn run_session(
             Some(FaultAction::Kill) | None => {}
         }
 
+        // Step latency for the per-worker time series: compute through
+        // the flushed push batch (straggle sleeps included — that is the
+        // latency a live dashboard should surface).
+        let step_t0 = Instant::now();
         let compute_span = TraceSpan::start("compute");
         if straggle > 0 {
             thread::sleep(Duration::from_millis(straggle));
@@ -432,7 +436,12 @@ fn run_session(
         // clock-offset estimator pairs this span's endpoints with the
         // server's recv_push/send_pull spans.
         let network_span = TraceSpan::start("network");
-        let done = encode_push_done(loss, codec_seconds, residual_l2);
+        let done = encode_push_done(
+            loss,
+            codec_seconds,
+            residual_l2,
+            step_t0.elapsed().as_secs_f64(),
+        );
         let t0 = Instant::now();
         write_frame(&mut writer, MsgType::PushDone, 0, step, &done)?;
         writer.flush()?;

@@ -42,6 +42,7 @@ fn run_faulted(
     assert_eq!(faults.len(), config.workers);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
+    let worker_max_rejoins = serve_opts.max_rejoins;
     let server = thread::spawn(move || serve(&listener, &config, &serve_opts));
     let clients: Vec<_> = (0..config.workers as u16)
         .map(|w| {
@@ -51,7 +52,7 @@ fn run_faulted(
                 let mut opts = WorkerOptions::new(addr, w);
                 opts.threads = threads;
                 opts.fault = fault;
-                opts.max_rejoins = serve_opts.max_rejoins;
+                opts.max_rejoins = worker_max_rejoins;
                 run_worker(&opts)
             })
         })

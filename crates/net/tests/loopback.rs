@@ -9,7 +9,9 @@ use threelc_baselines::SchemeKind;
 use threelc_distsim::{run_experiment, Cluster, ExperimentConfig};
 use threelc_net::frame::{read_frame, write_frame};
 use threelc_net::protocol::encode_hello;
-use threelc_net::{run_worker, scrape_metrics, serve, MsgType, ServeOptions, WorkerOptions};
+use threelc_net::{
+    run_worker, scrape_metrics, scrape_series, serve, MsgType, ServeOptions, WorkerOptions,
+};
 
 fn loopback_config(scheme: SchemeKind) -> ExperimentConfig {
     ExperimentConfig {
@@ -495,6 +497,117 @@ fn metrics_scrape_works_mid_training() {
     assert!(snap.counter("test.mid_training_scrape_marker").unwrap_or(0) > 0);
 
     // Abandon the run; the server must fail stop rather than hang.
+    drop(stream);
+    assert!(server.join().expect("server thread").is_err());
+}
+
+#[test]
+fn recorded_series_match_the_simulator_bit_for_bit() {
+    // An adaptive policy so the multiplier series actually moves, plus
+    // compressed and raw payloads so the wire-bytes/ratio series exercise
+    // both classifications. The networked store's deterministic view (the
+    // wall-clock step_seconds series stripped) must equal the simulator's
+    // exactly — same integers, same float bits.
+    let mut config = ExperimentConfig {
+        total_steps: 12,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::three_lc(1.0))
+    };
+    config.policy =
+        threelc_distsim::PolicySpec::parse("schedule:from=1.0,to=1.9,over=6").expect("spec");
+    let (report, _outcomes) = run_loopback(config);
+
+    let mut cluster = Cluster::new(config);
+    for _ in 0..config.total_steps {
+        cluster.step();
+    }
+    let sim = cluster.series();
+    assert_eq!(report.series.steps_recorded, config.total_steps);
+    assert_eq!(
+        report.series.deterministic(),
+        sim.deterministic(),
+        "networked series store diverged from the simulator's"
+    );
+    // The non-deterministic series still recorded something per worker.
+    for w in &report.series.workers {
+        let latency = w.series("step_seconds").expect("step_seconds series");
+        assert_eq!(latency.count(), config.total_steps);
+        assert!(latency.min().expect("nonempty") >= 0.0);
+    }
+    // Spot-check the values are real: ratio > 5 under 3LC, bytes nonzero,
+    // and the multiplier series reproduces the schedule's endpoints.
+    let ratio = report.series.run_series("ratio").expect("run ratio");
+    assert!(ratio.min().expect("nonempty") > 5.0);
+    assert!(
+        report
+            .series
+            .run_series("wire_bytes")
+            .expect("run bytes")
+            .min()
+            .expect("nonempty")
+            > 0.0
+    );
+    let mult = report.series.run_series("multiplier").expect("multiplier");
+    assert_eq!(mult.raw.first().map(|p| p.value), Some(1.0));
+    assert!((mult.last().expect("nonempty").value - 1.9).abs() < 1e-6);
+}
+
+#[test]
+fn series_scrape_during_handshake_returns_an_empty_store() {
+    // Like the metrics handshake-phase scrape: a SeriesRequest before the
+    // run starts must answer (an empty, correctly-shaped store) without
+    // consuming a worker slot.
+    let config = ExperimentConfig {
+        total_steps: 4,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::three_lc(1.0))
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = thread::spawn(move || serve(&listener, &config, &ServeOptions::default()));
+
+    let addr0 = addr.clone();
+    let w0 = thread::spawn(move || run_worker(&WorkerOptions::new(addr0, 0)));
+    let store = scrape_series(&addr, Duration::from_secs(5)).expect("handshake-phase scrape");
+    assert_eq!(store.steps_recorded, 0);
+    assert_eq!(store.workers.len(), config.workers);
+
+    let addr1 = addr.clone();
+    let w1 = thread::spawn(move || run_worker(&WorkerOptions::new(addr1, 1)));
+    w0.join().expect("worker 0 thread").expect("worker 0 run");
+    w1.join().expect("worker 1 thread").expect("worker 1 run");
+    let report = server.join().expect("server thread").expect("serve run");
+    assert_eq!(report.series.steps_recorded, config.total_steps);
+}
+
+#[test]
+fn series_scrape_works_mid_training() {
+    // One worker slot, driven by hand (the metrics mid-training pattern):
+    // after Hello/HelloAck the coordinator parks at the push barrier, so
+    // the side-door thread answers the SeriesRequest.
+    let config = ExperimentConfig {
+        workers: 1,
+        ..loopback_config(SchemeKind::Float32)
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let opts = ServeOptions {
+        io_timeout: Duration::from_secs(5),
+        step_timeout: Duration::from_secs(5),
+        max_rejoins: 0,
+        ..ServeOptions::default()
+    };
+    let server = thread::spawn(move || serve(&listener, &config, &opts));
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut &stream, MsgType::Hello, 0, 0, &encode_hello(0)).expect("hello");
+    let ack = read_frame(&mut &stream).expect("hello ack");
+    assert_eq!(ack.msg, MsgType::HelloAck);
+
+    let store = scrape_series(&addr, Duration::from_secs(5)).expect("mid-training scrape");
+    assert_eq!(store.workers.len(), 1);
+    assert_eq!(store.steps_recorded, 0, "no push landed yet");
+
     drop(stream);
     assert!(server.join().expect("server thread").is_err());
 }

@@ -1,0 +1,272 @@
+//! Always-on flight recorder: a bounded ring of anomaly events that,
+//! combined with the [`RunRecorder`](crate::timeseries::RunRecorder)'s
+//! series store and the recent span buffer, dumps a self-contained
+//! post-mortem artifact (`<out>.flight.json`) when a run goes wrong.
+//!
+//! The recorder costs nothing while the run is healthy: noting an event
+//! is a bounded `Vec` push, and the dump only materializes on a trigger —
+//! the watchdog firing, a handler panic, an injected fault, or an abort.
+//! `threelc trace <dump.flight.json>` reads the artifact back.
+
+use crate::timeseries::RunSeries;
+use crate::trace::NodeTrace;
+use crate::watchdog::Anomaly;
+use serde::{Deserialize, Serialize};
+
+/// Schema version stamped into every dump.
+pub const FLIGHT_VERSION: u32 = 1;
+/// Events kept in the ring by default.
+pub const DEFAULT_EVENT_CAPACITY: usize = 128;
+
+/// Trigger names stamped into dumps.
+pub mod trigger {
+    /// The run returned an error (barrier timeout, exhausted rejoins, …).
+    pub const ABORT: &str = "abort";
+    /// The end-of-run watchdog flagged anomalies on an otherwise clean run.
+    pub const WATCHDOG: &str = "watchdog";
+    /// A handler thread panicked (caught by the coordinator).
+    pub const PANIC: &str = "panic";
+    /// An injected fault fired.
+    pub const FAULT: &str = "fault";
+}
+
+/// A complete post-mortem artifact: the last N steps of every series,
+/// the anomaly/event ring, and recent spans (empty unless tracing was on).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Schema version ([`FLIGHT_VERSION`]).
+    pub version: u32,
+    /// What caused the dump (one of [`trigger`]'s constants).
+    pub trigger: String,
+    /// Human-readable trigger detail (the abort error, the panic text…).
+    pub detail: String,
+    /// Steps the series store had fully recorded when the dump was taken.
+    pub steps_recorded: u64,
+    /// Everything anomalous: watchdog findings plus recorded fault,
+    /// panic, and abort events, in the order they were observed.
+    pub anomalies: Vec<Anomaly>,
+    /// The bounded series store (per-worker + run-level).
+    pub series: RunSeries,
+    /// Recent spans from the local trace buffer (empty when tracing off).
+    #[serde(default)]
+    pub spans: Vec<NodeTrace>,
+}
+
+/// The bounded event ring. Transport faults, panics, and abort reasons
+/// are noted as [`Anomaly`] values as they happen; old events fall off
+/// the front once [`DEFAULT_EVENT_CAPACITY`] is reached.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    events: Vec<Anomaly>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// An empty recorder with the default event capacity.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder {
+            events: Vec::new(),
+            capacity: DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Notes one event, evicting the oldest when the ring is full.
+    pub fn note(&mut self, event: Anomaly) {
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+        }
+        self.events.push(event);
+    }
+
+    /// Notes a transport fault (disconnect, kill, injected error).
+    pub fn note_fault(&mut self, step: u64, node: &str, kind: &str, detail: &str) {
+        self.note(Anomaly {
+            kind: format!("fault-{kind}"),
+            step,
+            node: node.to_string(),
+            phase: String::new(),
+            value: 0.0,
+            threshold: 0.0,
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Events noted so far, oldest first.
+    pub fn events(&self) -> &[Anomaly] {
+        &self.events
+    }
+
+    /// Assembles a dump: the event ring plus `extra` watchdog findings,
+    /// the series store, and — when tracing is enabled — a non-draining
+    /// snapshot of the local span buffer.
+    pub fn dump(
+        &self,
+        trigger: &str,
+        detail: &str,
+        series: RunSeries,
+        extra: &[Anomaly],
+    ) -> FlightDump {
+        let mut anomalies = self.events.clone();
+        anomalies.extend_from_slice(extra);
+        let spans = if crate::trace::trace_enabled() {
+            vec![crate::trace::global_buffer().snapshot("flight")]
+        } else {
+            Vec::new()
+        };
+        FlightDump {
+            version: FLIGHT_VERSION,
+            trigger: trigger.to_string(),
+            detail: detail.to_string(),
+            steps_recorded: series.steps_recorded,
+            anomalies,
+            series,
+            spans,
+        }
+    }
+}
+
+impl FlightDump {
+    /// Parses a dump from JSON text. Errors on schema mismatch.
+    pub fn from_json(text: &str) -> Result<FlightDump, String> {
+        let dump: FlightDump =
+            serde_json::from_str(text).map_err(|e| format!("not a flight dump: {e}"))?;
+        if dump.version != FLIGHT_VERSION {
+            return Err(format!(
+                "flight dump version {} unsupported (expected {})",
+                dump.version, FLIGHT_VERSION
+            ));
+        }
+        Ok(dump)
+    }
+
+    /// One-line-per-anomaly text summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: trigger={} steps_recorded={} workers={}",
+            self.trigger,
+            self.steps_recorded,
+            self.series.workers.len()
+        );
+        if !self.detail.is_empty() {
+            let _ = writeln!(out, "  detail: {}", self.detail);
+        }
+        if self.anomalies.is_empty() {
+            let _ = writeln!(out, "  no anomalies recorded");
+        }
+        for a in &self.anomalies {
+            let _ = writeln!(out, "  [{}] step {}: {}", a.kind, a.step, a.detail);
+        }
+        out
+    }
+}
+
+/// Serializes a dump and writes it to `path`, then bumps the
+/// `obs.flight.dumps` counter and emits a `flight.dump` event so the
+/// structured log records where the artifact went.
+pub fn write_flight_dump(path: &str, dump: &FlightDump) -> std::io::Result<()> {
+    let json = serde_json::to_string(dump).map_err(std::io::Error::other)?;
+    std::fs::write(path, json + "\n")?;
+    crate::global().counter("obs.flight.dumps").add(1);
+    if crate::log_enabled(crate::Level::Warn) {
+        crate::emit(
+            crate::Level::Warn,
+            "flight.dump",
+            &[
+                ("path", path.to_string()),
+                ("trigger", dump.trigger.clone()),
+                ("anomalies", dump.anomalies.len().to_string()),
+            ],
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{RunRecorder, WorkerDelta};
+
+    fn delta(worker: usize) -> WorkerDelta {
+        WorkerDelta {
+            worker,
+            wire_bytes: 64,
+            ratio: 8.0,
+            residual_l2: 0.1,
+            loss: 1.0,
+            multiplier: 1.0,
+            rejoins: 0,
+            step_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let mut fr = FlightRecorder::new();
+        for step in 0..(DEFAULT_EVENT_CAPACITY as u64 + 10) {
+            fr.note_fault(step, "worker0", "disconnect", "injected");
+        }
+        assert_eq!(fr.events().len(), DEFAULT_EVENT_CAPACITY);
+        assert_eq!(fr.events()[0].step, 10, "oldest events evicted first");
+    }
+
+    #[test]
+    fn dump_combines_events_watchdog_findings_and_series() {
+        let mut rec = RunRecorder::new(1);
+        rec.record_step(0, &[delta(0)]);
+        rec.record_step(1, &[delta(0)]);
+        let mut fr = FlightRecorder::new();
+        fr.note_fault(1, "worker0", "kill", "injected kill@1");
+        let wd = Anomaly {
+            kind: "straggler".into(),
+            step: 1,
+            node: "worker0".into(),
+            phase: "encode".into(),
+            value: 1.0,
+            threshold: 0.1,
+            detail: "slow".into(),
+        };
+        let dump = fr.dump(trigger::ABORT, "barrier timed out", rec.snapshot(), &[wd]);
+        assert_eq!(dump.version, FLIGHT_VERSION);
+        assert_eq!(dump.trigger, "abort");
+        assert_eq!(dump.steps_recorded, 2);
+        assert_eq!(dump.anomalies.len(), 2);
+        assert_eq!(dump.anomalies[0].kind, "fault-kill");
+        assert_eq!(dump.anomalies[1].kind, "straggler");
+        assert_eq!(dump.series.workers.len(), 1);
+        let text = dump.render_text();
+        assert!(text.contains("trigger=abort"), "{text}");
+        assert!(text.contains("fault-kill"), "{text}");
+    }
+
+    #[test]
+    fn dump_json_roundtrips_and_rejects_future_versions() {
+        let fr = FlightRecorder::new();
+        let dump = fr.dump(trigger::WATCHDOG, "", RunRecorder::new(2).snapshot(), &[]);
+        let json = serde_json::to_string(&dump).expect("serialize");
+        let back = FlightDump::from_json(&json).expect("parse");
+        assert_eq!(back, dump);
+        let future = json.replace("\"version\":1", "\"version\":99");
+        assert!(FlightDump::from_json(&future).is_err());
+    }
+
+    #[test]
+    fn write_flight_dump_creates_a_readable_file() {
+        let path = std::env::temp_dir().join("threelc-flight-test.json");
+        let path = path.to_str().expect("utf8 temp path").to_string();
+        let fr = FlightRecorder::new();
+        let dump = fr.dump(
+            trigger::FAULT,
+            "kill@2",
+            RunRecorder::new(1).snapshot(),
+            &[],
+        );
+        write_flight_dump(&path, &dump).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let back = FlightDump::from_json(&text).expect("parse");
+        assert_eq!(back.trigger, "fault");
+        let _ = std::fs::remove_file(&path);
+    }
+}

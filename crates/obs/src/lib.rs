@@ -4,7 +4,7 @@
 //! wall-clock — so every layer of this workspace reports into one shared
 //! instrumentation layer instead of growing its own ad-hoc counters. The
 //! crate is std-only (the vendored `serde` stubs are its only
-//! dependencies) and provides seven pieces:
+//! dependencies) and provides nine pieces:
 //!
 //! 1. **A metrics registry** ([`Registry`]) of named [`Counter`]s,
 //!    [`Gauge`]s, and log-bucketed [`Histogram`]s. Metrics are lock-free
@@ -34,6 +34,15 @@
 //! 7. **An anomaly watchdog** ([`watchdog`]): flags straggler workers,
 //!    compression-ratio drift, residual-L2 blowups, and rejoin-flapping
 //!    nodes from collected telemetry (`threelc trace --check`).
+//! 8. **Per-worker time series** ([`timeseries`]): fixed-capacity
+//!    step-indexed ring buffers with tiered downsampling (raw recent
+//!    window, min/max/mean/count buckets of doubling width for older
+//!    points) and a [`RunRecorder`] that folds per-worker step deltas
+//!    into a run-wide store — what `threelc top` renders live.
+//! 9. **A flight recorder** ([`flight`]): a bounded anomaly-event ring
+//!    that combines with the series store and recent spans into a
+//!    self-contained `<out>.flight.json` post-mortem dump when the
+//!    watchdog fires, a handler panics, a fault injects, or a run aborts.
 //!
 //! ```
 //! use threelc_obs::Registry;
@@ -52,14 +61,18 @@
 //! networked server exposes exactly that registry to `threelc metrics`
 //! scrapes.
 
+pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
 pub mod timeline;
+pub mod timeseries;
 pub mod trace;
 pub mod watchdog;
+
+pub use flight::{write_flight_dump, FlightDump, FlightRecorder, FLIGHT_VERSION};
 
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry};
@@ -67,6 +80,9 @@ pub use sink::{emit, log_enabled, set_level, set_log_file, set_writer, Level};
 pub use snapshot::{CounterEntry, GaugeEntry, HistEntry, HistogramSnapshot, Snapshot};
 pub use span::SpanGuard;
 pub use timeline::{AlignedSpan, ClockOffset, MergedTimeline, PHASES};
+pub use timeseries::{
+    Bucket, Point, RunRecorder, RunSeries, Series, WorkerDelta, WorkerSeries, WALL_CLOCK_SERIES,
+};
 pub use trace::{
     current_ctx, global_buffer, now_ns, run_trace_id, set_trace_enabled, trace_enabled, NodeTrace,
     SpanRecord, TraceBuffer, TraceCtx, TraceScope, TraceSpan, NO_WORKER,

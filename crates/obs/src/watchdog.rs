@@ -248,6 +248,25 @@ pub fn check_faults(samples: &[FaultSample], cfg: &WatchdogConfig) -> Vec<Anomal
     anomalies
 }
 
+/// Flags stragglers from per-worker step-latency observations (the live
+/// check `threelc top` runs on the `step_seconds` series): worker `i`
+/// straggles when its latency exceeds `straggler_k` × the cross-worker
+/// lower-middle median and the `straggler_min_seconds` floor. With fewer
+/// than two workers there is no peer to lag behind, so nothing flags.
+pub fn straggler_workers(seconds: &[f64], cfg: &WatchdogConfig) -> Vec<bool> {
+    if seconds.len() < 2 {
+        return vec![false; seconds.len()];
+    }
+    let mut sorted = seconds.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let median = sorted[(sorted.len() - 1) / 2];
+    let threshold = cfg.straggler_k * median;
+    seconds
+        .iter()
+        .map(|&s| s > threshold && s > cfg.straggler_min_seconds)
+        .collect()
+}
+
 /// Runs both the timeline and step-level checks.
 pub fn check(timeline: &MergedTimeline, stats: &[StepStats], cfg: &WatchdogConfig) -> Vec<Anomaly> {
     let mut anomalies = check_timeline(timeline, cfg);

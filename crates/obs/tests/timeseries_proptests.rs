@@ -1,0 +1,117 @@
+//! Property tests for the time-series ring: wraparound must conserve
+//! counts and extremes, and downsampling must commute with splitting the
+//! observation stream at any point.
+
+use proptest::prelude::*;
+use threelc_obs::timeseries::{downsample, merge_buckets, Point, Series};
+
+fn points_of(values: &[f64]) -> Vec<Point> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Point {
+            step: i as u64,
+            value: v,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn wraparound_conserves_count_min_max_and_sum(
+        values in prop::collection::vec(-1e6f64..1e6, 0..200),
+        raw_window in 1usize..8,
+        bucket_capacity in 1usize..8,
+    ) {
+        let mut s = Series::with_capacity("x", raw_window, bucket_capacity);
+        for (step, &v) in values.iter().enumerate() {
+            s.push(step as u64, v);
+        }
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let exact_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let exact_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if values.is_empty() {
+            prop_assert!(s.min().is_none());
+            prop_assert!(s.max().is_none());
+        } else {
+            prop_assert_eq!(s.min(), Some(exact_min));
+            prop_assert_eq!(s.max(), Some(exact_max));
+            let exact_sum: f64 = values.iter().sum();
+            let tol = 1e-9 * (1.0 + exact_sum.abs());
+            prop_assert!((s.sum() - exact_sum).abs() <= tol,
+                "sum {} vs exact {}", s.sum(), exact_sum);
+            prop_assert_eq!(s.last().map(|p| p.value), values.last().copied());
+        }
+        // The ring stays bounded no matter how many points went in.
+        prop_assert!(s.raw.len() <= raw_window);
+        prop_assert!(s.buckets.len() <= bucket_capacity);
+    }
+
+    #[test]
+    fn buckets_tile_the_evicted_prefix_in_step_order(
+        n in 0usize..300,
+        raw_window in 1usize..6,
+        bucket_capacity in 1usize..6,
+    ) {
+        let mut s = Series::with_capacity("x", raw_window, bucket_capacity);
+        for step in 0..n as u64 {
+            s.push(step, step as f64);
+        }
+        for w in s.buckets.windows(2) {
+            prop_assert!(w[0].start_step < w[1].start_step, "buckets out of order");
+            prop_assert_eq!(w[0].width, w[1].width);
+            prop_assert!(w[0].start_step + w[0].width <= w[1].start_step,
+                "buckets overlap");
+        }
+        // The raw tail starts after every bucketed step.
+        if let (Some(last_bucket), Some(first_raw)) = (s.buckets.last(), s.raw.first()) {
+            prop_assert!(last_bucket.start_step < first_raw.step + 1);
+        }
+    }
+
+    #[test]
+    fn merge_of_downsampled_equals_downsample_of_merged(
+        values in prop::collection::vec(-1e3f64..1e3, 0..120),
+        width in 1u64..16,
+        split_seed in 0usize..1000,
+    ) {
+        let points = points_of(&values);
+        let split = if points.is_empty() { 0 } else { split_seed % (points.len() + 1) };
+        let whole = downsample(&points, width);
+        let merged = merge_buckets(
+            &downsample(&points[..split], width),
+            &downsample(&points[split..], width),
+        );
+        prop_assert_eq!(merged.len(), whole.len());
+        for (m, w) in merged.iter().zip(&whole) {
+            // Exact under any split: alignment, count, min, max.
+            prop_assert_eq!(m.start_step, w.start_step);
+            prop_assert_eq!(m.width, w.width);
+            prop_assert_eq!(m.count, w.count);
+            prop_assert_eq!(m.min, w.min);
+            prop_assert_eq!(m.max, w.max);
+            // Sum only up to float associativity.
+            let tol = 1e-9 * (1.0 + w.sum.abs());
+            prop_assert!((m.sum - w.sum).abs() <= tol, "sum {} vs {}", m.sum, w.sum);
+        }
+    }
+
+    #[test]
+    fn identical_push_sequences_yield_identical_series(
+        values in prop::collection::vec(-1e6f64..1e6, 0..150),
+        raw_window in 1usize..8,
+        bucket_capacity in 1usize..8,
+    ) {
+        // The determinism argument for sim-vs-net bit-identity: the series
+        // state is a pure function of the pushed sequence and capacities.
+        let mut a = Series::with_capacity("x", raw_window, bucket_capacity);
+        let mut b = Series::with_capacity("x", raw_window, bucket_capacity);
+        for (step, &v) in values.iter().enumerate() {
+            a.push(step as u64, v);
+        }
+        for (step, &v) in values.iter().enumerate() {
+            b.push(step as u64, v);
+        }
+        prop_assert_eq!(a, b);
+    }
+}
