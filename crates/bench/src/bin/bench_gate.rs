@@ -1,12 +1,19 @@
 //! CI regression gate: compares a fresh `bench_parallel` report against
 //! the checked-in baseline and exits nonzero on any violation (>15%
-//! slowdown after calibration scaling, or a missing parallel speedup on
-//! hosts with enough cores).
+//! slowdown after calibration scaling, a missing parallel speedup on
+//! hosts with enough cores, or negative thread scaling below the serial
+//! floor). With `--encode-bar <reference.json>` it additionally enforces
+//! the single-thread encode throughput bar: the current report must beat
+//! the calibration-scaled reference (the pre-SWAR `BENCH_pr3.json`) by
+//! 3x, unless the run used the scalar reference tier.
 //!
-//! Usage: `bench_gate <current.json> <baseline.json>`
+//! Usage: `bench_gate <current.json> <baseline.json> [--encode-bar <reference.json>]`
 
 use std::process::ExitCode;
-use threelc_bench::perf::{gate, BenchReport};
+use threelc_bench::perf::{encode_bar, gate, small_tensor_check, BenchReport};
+
+const USAGE: &str =
+    "usage: bench_gate <current.json> <baseline.json> [--encode-bar <reference.json>]";
 
 fn read_report(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -15,8 +22,27 @@ fn read_report(path: &str) -> Result<BenchReport, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [current, baseline] = args.as_slice() else {
-        eprintln!("usage: bench_gate <current.json> <baseline.json>");
+    let mut paths = Vec::new();
+    let mut encode_ref = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--encode-bar" => match it.next() {
+                Some(p) => encode_ref = Some(p.clone()),
+                None => {
+                    eprintln!("--encode-bar requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [current, baseline] = paths.as_slice() else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
     let (current, baseline) = match (read_report(current), read_report(baseline)) {
@@ -26,14 +52,31 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match gate(&current, &baseline) {
-        Ok(summary) => {
-            println!("{summary}");
-            ExitCode::SUCCESS
+
+    let mut checks = vec![gate(&current, &baseline), small_tensor_check(&current)];
+    if let Some(path) = encode_ref {
+        match read_report(&path) {
+            Ok(reference) => checks.push(encode_bar(&current, &reference)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
         }
-        Err(violations) => {
-            eprintln!("bench gate FAILED:\n{violations}");
-            ExitCode::FAILURE
+    }
+
+    let mut failed = false;
+    for check in checks {
+        match check {
+            Ok(summary) => println!("{summary}"),
+            Err(violations) => {
+                eprintln!("bench gate FAILED:\n{violations}");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

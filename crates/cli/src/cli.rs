@@ -17,6 +17,7 @@ usage:
   threelc decompress <input.3lc> <output.f32> [--threads N]
   threelc inspect    <input.3lc>
   threelc stats      <input.f32> [--sparsity S]
+  threelc codec
   threelc serve      --addr A [--workers N] [--steps N] [--seed N]
                      [--scheme float32|fp16|int8|3lc] [--sparsity S]
                      [--policy SPEC] [--width N] [--blocks N] [--batch N]
@@ -37,6 +38,12 @@ usage:
 
 --threads N uses up to N codec/aggregation threads (0 = one per core);
 output is bit-identical at every setting.
+
+codec prints the encode implementation tier in use (scalar, swar, or
+simd — auto-selected at startup, overridable via THREELC_CODEC_IMPL)
+and which tiers this host supports. Every tier is bit-identical; the
+choice only affects throughput. compress and inspect report the active
+tier inline.
 
 serve tolerates worker disconnects: a worker may reconnect and resume
 mid-run (up to --max-rejoins times, waiting --rejoin-timeout seconds per
@@ -97,6 +104,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("decompress") => decompress(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("codec") => codec(&args[1..]),
         Some("serve") => crate::netcmd::serve_cmd(&args[1..]),
         Some("worker") => crate::netcmd::worker_cmd(&args[1..]),
         Some("simulate") => crate::netcmd::simulate_cmd(&args[1..]),
@@ -220,6 +228,30 @@ fn compress(args: &[String]) -> CliResult {
         out.len(),
         in_bytes as f64 / out.len() as f64,
         out.len() as f64 * 8.0 / tensor.len() as f64,
+    )?;
+    writeln!(report, "codec: {}", ctx.codec_impl().name())?;
+    Ok(report)
+}
+
+/// Reports the active codec implementation tier and host support — the
+/// line format is stable (the CI dispatch matrix greps it).
+fn codec(args: &[String]) -> CliResult {
+    if let Some(extra) = args.first() {
+        return Err(format!("codec takes no arguments, got `{extra}`").into());
+    }
+    let sel = threelc::kernels::selection();
+    let available: Vec<&str> = threelc::CodecImpl::ALL
+        .into_iter()
+        .filter(|i| i.is_available())
+        .map(|i| i.name())
+        .collect();
+    let mut report = String::new();
+    writeln!(report, "active:    {}", sel.describe())?;
+    writeln!(report, "available: {}", available.join(" "))?;
+    writeln!(
+        report,
+        "override:  {}=scalar|swar|simd",
+        threelc::CODEC_IMPL_ENV
     )?;
     Ok(report)
 }
@@ -398,6 +430,11 @@ fn inspect(args: &[String]) -> CliResult {
     )?;
     writeln!(
         report,
+        "  codec:         {}",
+        threelc::kernels::selection().describe()
+    )?;
+    writeln!(
+        report,
         "  chunks ({CHUNK_QUARTIC_BYTES} quartic bytes = {} values each):",
         CHUNK_QUARTIC_BYTES * threelc::quartic::VALUES_PER_BYTE
     )?;
@@ -513,6 +550,8 @@ mod tests {
         ]))
         .expect("compress");
         assert!(report.contains("1000 values"));
+        // The report names the codec tier that ran.
+        assert!(report.contains("codec: "), "got: {report}");
 
         run(&s(&[
             "decompress",
@@ -544,6 +583,7 @@ mod tests {
         // The per-chunk table: 700 zeros quantize to 140 quartic zero
         // bytes, zero-run encoded into 10 escape bytes (one chunk).
         assert!(report.contains("encoding:      quartic + zero-run"));
+        assert!(report.contains("  codec:         "), "got: {report}");
         assert!(report.contains("280.0x"), "got: {report}");
         assert!(report.contains("100.00%"));
         // 140 zero bytes = 10 maximal runs of 14.
@@ -551,6 +591,26 @@ mod tests {
             report.contains("zero runs:     10 (p50 14, p95 14, max 14 quartic bytes)"),
             "got: {report}"
         );
+    }
+
+    #[test]
+    fn codec_command_reports_tiers() {
+        let report = run(&s(&["codec"])).expect("codec");
+        // Stable grep surface for the CI dispatch matrix.
+        assert!(report.contains("active:    "), "got: {report}");
+        assert!(report.contains("available: scalar swar"), "got: {report}");
+        assert!(report.contains("THREELC_CODEC_IMPL"), "got: {report}");
+        let active = report
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("active:    "))
+            .expect("active line");
+        let tier = active.split_whitespace().next().expect("tier name");
+        assert!(
+            threelc::CodecImpl::parse(tier).is_some(),
+            "active line must lead with a tier name, got: {active}"
+        );
+        assert!(run(&s(&["codec", "extra"])).is_err());
     }
 
     #[test]

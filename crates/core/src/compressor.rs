@@ -1,5 +1,6 @@
 //! The stateful 3LC compression context and its wire format.
 
+use crate::kernels::{self, CodecImpl};
 use crate::parallel::{self, split_off_ranges, split_ranges};
 use crate::telemetry::{l2_norm, CompressTelemetry};
 use crate::tlq::{SparsityMultiplier, TernaryTensor};
@@ -19,13 +20,14 @@ const FLAG_ZRE: u8 = crate::sizing::WIRE_FLAG_ZRE;
 /// Default minimum element count before encode/decode go chunk-parallel.
 ///
 /// Below this, thread-spawn overhead beats the win on every machine we
-/// care about; above it, the quantize+quartic pass dominates. Tests and
-/// benchmarks can lower it with
+/// care about; above it, the quantize+quartic pass dominates. The SWAR
+/// and SIMD kernels moved this break-even point up by several times —
+/// BENCH_pr3 recorded *negative* thread scaling at 256 Ki elements, so
+/// tensors up to that size now stay serial (the bench gate's small-tensor
+/// check enforces that the floor keeps multi-thread configs from losing
+/// to one thread). Tests and benchmarks can lower it with
 /// [`ThreeLcCompressor::set_parallel_min_values`].
-pub const DEFAULT_PARALLEL_MIN_VALUES: usize = 32 * 1024;
-
-/// Quartic digit weights, most-significant first (`3⁴ … 3⁰`).
-const QUARTIC_WEIGHTS: [u8; 5] = [81, 27, 9, 3, 1];
+pub const DEFAULT_PARALLEL_MIN_VALUES: usize = 256 * 1024;
 
 /// Configuration for a [`ThreeLcCompressor`].
 ///
@@ -102,6 +104,9 @@ pub struct ThreeLcCompressor {
     threads: usize,
     /// Minimum element count before the codec paths go parallel.
     parallel_min_values: usize,
+    /// Codec implementation tier the encode kernels run on. Every tier is
+    /// bit-identical (see [`crate::kernels`]); this is purely a speed knob.
+    codec: CodecImpl,
 }
 
 impl ThreeLcCompressor {
@@ -121,7 +126,31 @@ impl ThreeLcCompressor {
             telemetry: CompressTelemetry::from_global(),
             threads: 1,
             parallel_min_values: DEFAULT_PARALLEL_MIN_VALUES,
+            codec: kernels::active(),
         }
+    }
+
+    /// Returns the context pinned to an explicit codec implementation
+    /// tier instead of the process-wide selection. A testing and
+    /// benchmarking hook — every tier produces bit-identical output, so
+    /// production code should let [`crate::kernels::active`] pick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot run `imp` (see
+    /// [`CodecImpl::is_available`]).
+    pub fn with_codec_impl(mut self, imp: CodecImpl) -> Self {
+        assert!(
+            imp.is_available(),
+            "codec tier {imp} is not available on this host"
+        );
+        self.codec = imp;
+        self
+    }
+
+    /// The codec implementation tier this context encodes with.
+    pub fn codec_impl(&self) -> CodecImpl {
+        self.codec
     }
 
     /// Returns the context configured to use up to `threads` codec worker
@@ -198,11 +227,8 @@ impl Compressor for ThreeLcCompressor {
         self.check_shape(input)?;
         let n = input.len();
         let parts = self.plan_parts(n);
-        let (body, flags, scale) = if parts > 1 {
-            self.encode_parallel(input, parts)?
-        } else {
-            self.encode_serial(input)?
-        };
+        let (body, flags, scale) = self.encode(input, parts)?;
+        self.telemetry.record_encode(self.codec);
 
         let mut wire = Vec::with_capacity(HEADER_LEN + body.len());
         wire.push(flags);
@@ -247,73 +273,15 @@ impl Compressor for ThreeLcCompressor {
 }
 
 impl ThreeLcCompressor {
-    /// The serial pipeline: quantize → quartic → ZRE, exactly as the paper
-    /// lists the steps. The parallel path in [`Self::encode_parallel`] must
-    /// reproduce this output byte for byte.
-    fn encode_serial(&mut self, input: &Tensor) -> Result<(Vec<u8>, u8, f32), CompressError> {
-        // Distributed-tracing phase spans: inert unless the caller
-        // installed a `TraceScope` (see `threelc_obs::trace`).
-        let quantize_span = TraceSpan::start("quantize");
-        // Step (1): accumulate the input into the local buffer.
-        let quantized = if self.options.error_accumulation {
-            self.buffer
-                .add_assign(input)
-                .expect("buffer shape is validated");
-            // Step (2): quantize the accumulated sum.
-            let q = TernaryTensor::quantize(&self.buffer, self.options.sparsity)?;
-            // Steps (a)+(b): local dequantization; remaining error stays in
-            // the buffer.
-            let dequantized = q.dequantize();
-            self.buffer
-                .sub_assign(&dequantized)
-                .expect("dequantized shape matches buffer");
-            q
-        } else {
-            TernaryTensor::quantize(input, self.options.sparsity)?
-        };
-        quantize_span.finish();
-
-        // The expensive probes (an O(n) residual pass and a per-run
-        // closure) only run when debug logging is enabled; the always-on
-        // telemetry below is a few relaxed atomic adds per call.
-        let debug_probes = log_enabled(Level::Debug);
-        if debug_probes && self.options.error_accumulation {
-            self.telemetry
-                .residual_l2
-                .record(l2_norm(self.buffer.as_slice()));
-        }
-
-        let encode_span = TraceSpan::start("encode");
-        // Step (3): quartic encoding.
-        let quartic_start = Instant::now();
-        let quartic_bytes = quartic::encode(quantized.values());
-        self.telemetry
-            .quartic_seconds
-            .record(quartic_start.elapsed().as_secs_f64());
-
-        // Step (4): zero-run encoding.
-        let (body, flags) = if self.options.zero_run_encoding {
-            let zre_start = Instant::now();
-            let zre = if debug_probes {
-                let run_hist = &self.telemetry.zero_run_length;
-                zrle::encode_with_runs(&quartic_bytes, |run| run_hist.record(run as f64))
-            } else {
-                zrle::encode(&quartic_bytes)
-            }
-            .expect("quartic output is always in range 0..=242");
-            self.telemetry
-                .zre_seconds
-                .record(zre_start.elapsed().as_secs_f64());
-            (zre, FLAG_ZRE)
-        } else {
-            (quartic_bytes, 0)
-        };
-        encode_span.finish();
-        Ok((body, flags, quantized.scale()))
-    }
-
-    /// The chunk-parallel pipeline. Bit-for-bit identical to
-    /// [`Self::encode_serial`] by construction:
+    /// The encode pipeline: accumulate + max-reduce, fused quantize +
+    /// error write-back + quartic pack, then zero-run encoding — the
+    /// paper's steps, running on this context's codec tier
+    /// ([`Self::codec_impl`]) over `parts` chunks (`parts = 1` is the
+    /// serial path on the calling thread; `run_tasks` runs the first
+    /// chunk inline either way).
+    ///
+    /// Output is bit-for-bit independent of both `parts` and the codec
+    /// tier, by construction:
     ///
     /// - the max-magnitude reduction splits into per-chunk folds combined
     ///   in chunk order (`f32::max` is exactly associative, so the scale
@@ -322,31 +290,33 @@ impl ThreeLcCompressor {
     ///   partitioned by *output byte* ranges — each worker owns quartic
     ///   bytes `[lo, hi)` and therefore the five strided element ranges
     ///   `[j·L + lo, j·L + hi) ∩ [0, n)`, which are pairwise disjoint
-    ///   across workers; every element sees the same arithmetic as the
-    ///   serial path;
+    ///   across workers; every element sees the same arithmetic in every
+    ///   chunking and every tier (the tier argument is
+    ///   [`crate::kernels`]' bit-identity contract);
     /// - zero-run encoding splits at *serial token boundaries* (see
     ///   [`zrle::align_token_boundary`]): the serial encoder is memoryless
     ///   at those positions, so encoding the segments independently and
     ///   concatenating in order reproduces the serial stream.
-    fn encode_parallel(
+    fn encode(
         &mut self,
         input: &Tensor,
         parts: usize,
     ) -> Result<(Vec<u8>, u8, f32), CompressError> {
+        let imp = self.codec;
         let n = input.len();
         let ea = self.options.error_accumulation;
         let in_slice = input.as_slice();
 
-        // Tracing caveat: the parallel pipeline fuses the per-element
-        // quantization into the quartic pack, so the "quantize" span here
-        // covers only the accumulate + scale reduction (phase 1) and
-        // "encode" covers the fused pack + ZRE (phases 2-3).
+        // Distributed-tracing phase spans: inert unless the caller
+        // installed a `TraceScope` (see `threelc_obs::trace`). The
+        // per-element quantization is fused into the quartic pack, so the
+        // "quantize" span covers only the accumulate + scale reduction
+        // (phase 1) and "encode" covers the fused pack + ZRE (phases 2-3).
         let quantize_span = TraceSpan::start("quantize");
 
         // Phase 1: accumulate (error accumulation only) and reduce
         // max |x| + finiteness per chunk.
         let elem_ranges = split_ranges(n, parts);
-        let max_fold = |acc: (f32, bool), &x: &f32| (acc.0.max(x.abs()), acc.1 && x.is_finite());
         let partials: Vec<(f32, bool)> = if ea {
             let chunks = split_off_ranges(self.buffer.as_mut_slice(), &elem_ranges);
             let tasks: Vec<_> = chunks
@@ -354,14 +324,11 @@ impl ThreeLcCompressor {
                 .zip(elem_ranges.iter().cloned())
                 .collect();
             parallel::run_tasks(tasks, |_, (chunk, range)| {
-                for (b, &x) in chunk.iter_mut().zip(&in_slice[range]) {
-                    *b += x;
-                }
-                chunk.iter().fold((0.0f32, true), max_fold)
+                kernels::accumulate_max_abs_finite(imp, chunk, &in_slice[range])
             })
         } else {
             parallel::run_ranges(&elem_ranges, |_, r| {
-                in_slice[r].iter().fold((0.0f32, true), max_fold)
+                kernels::max_abs_finite(imp, &in_slice[r])
             })
         };
         let (max_abs, finite) = partials
@@ -375,14 +342,18 @@ impl ThreeLcCompressor {
 
         let encode_span = TraceSpan::start("encode");
         // Phase 2: fused quantize + error write-back + quartic pack, one
-        // worker per quartic byte range.
+        // worker per quartic byte range. A zero scale makes `inv = 0`:
+        // every finite `x · 0 = ±0` quantizes to digit 1 (byte 121) and
+        // the write-back `x − 0·scale` returns `x` bit-exactly, so no
+        // special casing is needed — including the subnormal-scale corner
+        // where `inv` overflows to infinity (the kernels clamp to valid
+        // ternary digits there; see `crate::kernels`).
         let quartic_start = Instant::now();
         let bl = n.div_ceil(quartic::VALUES_PER_BYTE); // partition length L
         let byte_ranges = split_ranges(bl, parts);
         let mut quartic_bytes = vec![0u8; bl];
         let out_chunks = split_off_ranges(&mut quartic_bytes, &byte_ranges);
-        let scale_nonzero = scale != 0.0;
-        let inv = if scale_nonzero { 1.0 / scale } else { 0.0 };
+        let inv = if scale != 0.0 { 1.0 / scale } else { 0.0 };
 
         // chunk_info[k] = (last non-zero byte index in chunk k, busy secs).
         let chunk_info: Vec<(Option<usize>, f64)> = if ea {
@@ -405,63 +376,34 @@ impl ThreeLcCompressor {
                 .zip(byte_ranges.iter().cloned())
                 .zip(out_chunks)
                 .collect();
-            parallel::run_tasks(tasks, |_, ((mut srcs, range), out)| {
+            parallel::run_tasks(tasks, |_, ((srcs, range), out)| {
                 let t0 = Instant::now();
-                let mut last_nonzero = None;
-                for (i, o) in out.iter_mut().enumerate() {
-                    let mut byte = 0u8;
-                    for (j, w) in QUARTIC_WEIGHTS.into_iter().enumerate() {
-                        let s = &mut *srcs[j];
-                        let digit = if i < s.len() && scale_nonzero {
-                            let x = s[i];
-                            let q = (x * inv).round() as i8;
-                            s[i] = x - q as f32 * scale;
-                            (q + 1) as u8
-                        } else {
-                            1
-                        };
-                        byte += digit * w;
-                    }
-                    *o = byte;
-                    if byte != quartic::ZERO_BYTE {
-                        last_nonzero = Some(range.start + i);
-                    }
-                }
-                (last_nonzero, t0.elapsed().as_secs_f64())
+                let mut five: [&mut [f32]; 5] = srcs.try_into().expect("five partitions per chunk");
+                let last = kernels::pack_chunk_ea(imp, &mut five, inv, scale, out, range.start);
+                (last, t0.elapsed().as_secs_f64())
             })
         } else {
             let tasks: Vec<_> = byte_ranges.iter().cloned().zip(out_chunks).collect();
             parallel::run_tasks(tasks, |_, (range, out)| {
                 let t0 = Instant::now();
-                let mut last_nonzero = None;
-                for (i, o) in out.iter_mut().enumerate() {
-                    let mut byte = 0u8;
-                    for (j, w) in QUARTIC_WEIGHTS.into_iter().enumerate() {
-                        let idx = j * bl + range.start + i;
-                        let digit = if idx < n && scale_nonzero {
-                            ((in_slice[idx] * inv).round() as i8 + 1) as u8
-                        } else {
-                            1
-                        };
-                        byte += digit * w;
-                    }
-                    *o = byte;
-                    if byte != quartic::ZERO_BYTE {
-                        last_nonzero = Some(range.start + i);
-                    }
-                }
-                (last_nonzero, t0.elapsed().as_secs_f64())
+                let five: [&[f32]; 5] = std::array::from_fn(|j| {
+                    &in_slice[(j * bl + range.start).min(n)..(j * bl + range.end).min(n)]
+                });
+                let last = kernels::pack_chunk(imp, &five, inv, out, range.start);
+                (last, t0.elapsed().as_secs_f64())
             })
         };
         let wall = quartic_start.elapsed().as_secs_f64();
         self.telemetry.quartic_seconds.record(wall);
-        let mut busy_total = 0.0;
-        for &(_, busy) in &chunk_info {
-            self.telemetry.chunk_seconds.record(busy);
-            busy_total += busy;
-        }
-        if wall > 0.0 {
-            self.telemetry.parallel_speedup.record(busy_total / wall);
+        if parts > 1 {
+            let mut busy_total = 0.0;
+            for &(_, busy) in &chunk_info {
+                self.telemetry.chunk_seconds.record(busy);
+                busy_total += busy;
+            }
+            if wall > 0.0 {
+                self.telemetry.parallel_speedup.record(busy_total / wall);
+            }
         }
 
         let debug_probes = log_enabled(Level::Debug);
@@ -495,9 +437,9 @@ impl ThreeLcCompressor {
             let run_hist = &self.telemetry.zero_run_length;
             let encoded: Vec<Vec<u8>> = parallel::run_tasks(segments, |_, seg| {
                 if debug_probes {
-                    zrle::encode_with_runs(seg, |run| run_hist.record(run as f64))
+                    zrle::encode_with_runs_impl(imp, seg, |run| run_hist.record(run as f64))
                 } else {
-                    zrle::encode(seg)
+                    zrle::encode_with_runs_impl(imp, seg, |_| {})
                 }
                 .expect("quartic output is always in range 0..=242")
             });

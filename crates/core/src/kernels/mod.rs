@@ -1,0 +1,504 @@
+//! Runtime-dispatched encode kernels: scalar reference, branchless u64
+//! SWAR, and `core::arch` x86-64 intrinsics.
+//!
+//! The 3LC encode path — max-magnitude reduction, fused ternary
+//! quantization + quartic packing, and zero-run scanning — exists in
+//! three implementation tiers behind one dispatch point:
+//!
+//! - [`CodecImpl::Scalar`]: the straightforward reference loops. Always
+//!   available; the other tiers are defined by being bit-for-bit
+//!   identical to it.
+//! - [`CodecImpl::Swar`]: branchless, word-at-a-time kernels built on
+//!   plain `u64` arithmetic ("SIMD within a register"). Always available,
+//!   100% safe code, and written so LLVM auto-vectorizes the float lanes.
+//! - [`CodecImpl::Simd`]: explicit AVX2 intrinsics (`core::arch::x86_64`),
+//!   selected at runtime only when the CPU reports AVX2.
+//!
+//! Selection happens once per process ([`selection`]): the best available
+//! tier wins, unless `THREELC_CODEC_IMPL=scalar|swar|simd` forces one for
+//! testing. A forced tier that the host cannot run falls back to the best
+//! available tier and the selection records the downgrade, so callers
+//! (`threelc codec`, the CI dispatch matrix) can report it loudly instead
+//! of silently testing the wrong code.
+//!
+//! # The bit-identity argument
+//!
+//! Every tier must produce byte-identical output — including identical
+//! error-accumulation buffers and identical corrupt-input error offsets —
+//! because distributed runs mix hosts and the protocol compares payloads
+//! bit for bit. The kernels keep that promise by construction:
+//!
+//! - **Quantization** maps `t = x · inv` to `{-1, 0, 1}` by the sign of
+//!   `t` and the single comparison `|t| ≥ 0.5`, evaluated on the IEEE bit
+//!   pattern (`(bits & 0x7fff_ffff) ≥ 0x3f00_0000`, with NaN excluded by
+//!   `≤ 0x7f80_0000`). For every `|t| < 1.5` this equals
+//!   `t.round() as i8` exactly — and `|t| ≤ 1 + 2ε` always holds when
+//!   `inv` is finite, because `scale = max|x| · s ≥ max|x|` (`s ≥ 1` and
+//!   rounding a product of positives never lands below the larger
+//!   representable factor). The float multiply itself is a single
+//!   IEEE-exact operation on every tier (no FMA contraction is emitted
+//!   from explicit `a * b`). The one place the comparison form *differs*
+//!   from the historical `round()` form is the degenerate corner where
+//!   `scale` is subnormal and `inv` overflows to `+inf`: `round(±inf) as
+//!   i8` saturated to `±127`, which poisoned the downstream quartic pack
+//!   (a debug-build panic). The comparison form yields `±1` there —
+//!   well-defined ternary output on all tiers — and `0 · inf = NaN`
+//!   quantizes to `0` exactly as the saturating cast did.
+//! - **Max-|x| reduction**: for non-negative finite floats the IEEE bit
+//!   pattern orders exactly like the integer it spells, so an integer max
+//!   over `bits & 0x7fff_ffff` equals the float max the scalar tier
+//!   computes. When any input is non-finite every tier reports
+//!   `finite = false` and the caller discards the max and errors, so the
+//!   tiers only need to agree on finiteness there (exponent ≠ 0xFF,
+//!   checked bitwise identically).
+//! - **Quartic packing** is integer arithmetic: digits in `{0, 1, 2}`
+//!   weighted by `{81, 27, 9, 3, 1}` never exceed 242, so the SWAR tier
+//!   can scale a whole 8-digit word with one `u64` multiply and sum the
+//!   five words without any lane ever carrying into its neighbour.
+//! - **Zero-run scanning** only locates byte positions (first `== 121`,
+//!   first `!= 121`, first `> 242`); word- and vector-at-a-time scans
+//!   refine their last word/vector to the exact first index, so offsets
+//!   in emitted runs and in `InvalidQuarticByte` errors are identical.
+//!
+//! `tests/dispatch_identity.rs` enforces all of this differentially on
+//! adversarial inputs (NaN/inf/subnormals, all-zero and no-zero tensors,
+//! lengths straddling the 5-symbol and chunk boundaries).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod simd_x86;
+mod swar;
+
+/// Environment variable forcing a codec implementation tier (for tests,
+/// benchmarks, and the CI dispatch matrix).
+pub const CODEC_IMPL_ENV: &str = "THREELC_CODEC_IMPL";
+
+/// IEEE-754 bit pattern of `0.5f32`: the quantization threshold.
+const HALF_BITS: u32 = 0x3f00_0000;
+/// IEEE-754 bit pattern of `f32::INFINITY`; larger magnitudes are NaN.
+const INF_BITS: u32 = 0x7f80_0000;
+/// Quartic digit weights, most-significant partition first (`3⁴ … 3⁰`).
+const WEIGHTS: [u8; 5] = [81, 27, 9, 3, 1];
+
+/// One encode-kernel implementation tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecImpl {
+    /// Reference loops; always available.
+    Scalar,
+    /// Branchless u64 word-at-a-time kernels; always available, safe code.
+    Swar,
+    /// AVX2 intrinsics; available on x86-64 CPUs reporting AVX2.
+    Simd,
+}
+
+impl CodecImpl {
+    /// Every tier, slowest first.
+    pub const ALL: [CodecImpl; 3] = [CodecImpl::Scalar, CodecImpl::Swar, CodecImpl::Simd];
+
+    /// The tier's lowercase name (`scalar`, `swar`, `simd`), as accepted
+    /// by [`CODEC_IMPL_ENV`].
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecImpl::Scalar => "scalar",
+            CodecImpl::Swar => "swar",
+            CodecImpl::Simd => "simd",
+        }
+    }
+
+    /// Parses a tier name (the values accepted in [`CODEC_IMPL_ENV`]).
+    pub fn parse(s: &str) -> Option<CodecImpl> {
+        match s {
+            "scalar" => Some(CodecImpl::Scalar),
+            "swar" => Some(CodecImpl::Swar),
+            "simd" => Some(CodecImpl::Simd),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can run the tier. `Scalar` and `Swar` always
+    /// can; `Simd` requires an x86-64 CPU reporting AVX2 at runtime.
+    pub fn is_available(self) -> bool {
+        match self {
+            CodecImpl::Scalar | CodecImpl::Swar => true,
+            #[cfg(target_arch = "x86_64")]
+            CodecImpl::Simd => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            CodecImpl::Simd => false,
+        }
+    }
+
+    /// The fastest tier this host can run.
+    pub fn best_available() -> CodecImpl {
+        if CodecImpl::Simd.is_available() {
+            CodecImpl::Simd
+        } else {
+            CodecImpl::Swar
+        }
+    }
+}
+
+impl fmt::Display for CodecImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the process-wide tier was chosen (see [`selection`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionSource {
+    /// Best available tier; [`CODEC_IMPL_ENV`] was unset.
+    Auto,
+    /// Forced via [`CODEC_IMPL_ENV`] and available.
+    Forced,
+    /// [`CODEC_IMPL_ENV`] requested the contained tier, but this host
+    /// cannot run it; the selection fell back to the best available one.
+    ForcedUnavailable(CodecImpl),
+}
+
+/// The process-wide codec tier and how it was picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecSelection {
+    /// The tier every new [`ThreeLcCompressor`](crate::ThreeLcCompressor)
+    /// uses.
+    pub imp: CodecImpl,
+    /// Whether the environment forced it.
+    pub source: SelectionSource,
+}
+
+impl CodecSelection {
+    /// One-line human description, e.g. `simd (auto)` or
+    /// `swar (requested simd unavailable on this host)`.
+    pub fn describe(&self) -> String {
+        match self.source {
+            SelectionSource::Auto => format!("{} (auto)", self.imp),
+            SelectionSource::Forced => format!("{} (forced via {CODEC_IMPL_ENV})", self.imp),
+            SelectionSource::ForcedUnavailable(want) => {
+                format!("{} (requested {want} unavailable on this host)", self.imp)
+            }
+        }
+    }
+}
+
+/// The process-wide codec selection, resolved once on first use.
+///
+/// Honors [`CODEC_IMPL_ENV`] (`scalar`/`swar`/`simd`); an unset or empty
+/// variable picks [`CodecImpl::best_available`]. A forced-but-unavailable tier
+/// falls back to the best available one and records the downgrade in
+/// [`SelectionSource::ForcedUnavailable`].
+///
+/// # Panics
+///
+/// Panics on an *invalid* value of the variable: a typo silently falling
+/// back to auto-selection would defeat the CI dispatch matrix, which
+/// relies on the forced tier actually being the one under test.
+pub fn selection() -> CodecSelection {
+    static SELECTION: OnceLock<CodecSelection> = OnceLock::new();
+    // A set-but-empty variable counts as unset: CI matrices routinely
+    // export an empty string for the "default" leg.
+    *SELECTION.get_or_init(|| match std::env::var(CODEC_IMPL_ENV) {
+        Err(_) => CodecSelection {
+            imp: CodecImpl::best_available(),
+            source: SelectionSource::Auto,
+        },
+        Ok(raw) if raw.is_empty() => CodecSelection {
+            imp: CodecImpl::best_available(),
+            source: SelectionSource::Auto,
+        },
+        Ok(raw) => {
+            let want = CodecImpl::parse(&raw)
+                .unwrap_or_else(|| panic!("{CODEC_IMPL_ENV}={raw} is not one of scalar|swar|simd"));
+            if want.is_available() {
+                CodecSelection {
+                    imp: want,
+                    source: SelectionSource::Forced,
+                }
+            } else {
+                CodecSelection {
+                    imp: CodecImpl::best_available(),
+                    source: SelectionSource::ForcedUnavailable(want),
+                }
+            }
+        }
+    })
+}
+
+/// The process-wide active tier (shorthand for [`selection`]`().imp`).
+pub fn active() -> CodecImpl {
+    selection().imp
+}
+
+/// Quantizes `t = x · inv` to the quartic digit `round(t) + 1 ∈ {0,1,2}`.
+///
+/// Shared by the scalar and SWAR tiers (the AVX2 tier re-derives the same
+/// arithmetic in vector registers). See the module docs for the proof
+/// that this equals `(x * inv).round() as i8 + 1` for every non-degenerate
+/// input.
+#[inline(always)]
+fn digit_of(x: f32, inv: f32) -> u8 {
+    let tb = (x * inv).to_bits();
+    let ab = tb & 0x7fff_ffff;
+    let nz = (HALF_BITS..=INF_BITS).contains(&ab) as u8;
+    let sg = (tb >> 31) as u8;
+    // 1 (zero) + 1 if quantized nonzero − 2 if that nonzero is negative.
+    1 + nz - (nz & sg) * 2
+}
+
+/// Resolves the tier to actually execute: an explicitly requested but
+/// unavailable `Simd` degrades to `Swar` (identical output, no illegal
+/// instruction) instead of crashing.
+#[inline]
+fn runnable(imp: CodecImpl) -> CodecImpl {
+    if imp == CodecImpl::Simd && !imp.is_available() {
+        CodecImpl::Swar
+    } else {
+        imp
+    }
+}
+
+/// Max `|x|` and all-finite flag over `xs` (Equation 1's reduction).
+///
+/// Exactly the fold `(m.max(x.abs()), ok && x.is_finite())` starting from
+/// `(0.0, true)`; the max is meaningful only when the flag is true.
+pub fn max_abs_finite(imp: CodecImpl, xs: &[f32]) -> (f32, bool) {
+    match runnable(imp) {
+        CodecImpl::Scalar => scalar::max_abs_finite(xs),
+        CodecImpl::Swar => swar::max_abs_finite(xs),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::max_abs_finite(xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// Fused error-accumulation step: `buf[i] += xs[i]`, then the same
+/// reduction as [`max_abs_finite`] over the updated buffer.
+pub fn accumulate_max_abs_finite(imp: CodecImpl, buf: &mut [f32], xs: &[f32]) -> (f32, bool) {
+    debug_assert_eq!(buf.len(), xs.len());
+    match runnable(imp) {
+        CodecImpl::Scalar => scalar::accumulate_max_abs_finite(buf, xs),
+        CodecImpl::Swar => swar::accumulate_max_abs_finite(buf, xs),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::accumulate_max_abs_finite(buf, xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// Quantizes each `x` to `round(x · inv) ∈ {-1, 0, 1}` (Equation 2).
+///
+/// # Panics
+///
+/// Panics if `out.len() != xs.len()`.
+pub fn quantize_ternary(imp: CodecImpl, xs: &[f32], inv: f32, out: &mut [i8]) {
+    assert_eq!(xs.len(), out.len(), "output must match input length");
+    match runnable(imp) {
+        CodecImpl::Scalar => scalar::quantize_ternary(xs, inv, out),
+        CodecImpl::Swar => swar::quantize_ternary(xs, inv, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::quantize_ternary(xs, inv, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// Fused quantize + quartic pack for one chunk of output bytes.
+///
+/// `srcs[j]` holds this chunk's slice of quartic partition `j`
+/// (`input[j·L + lo .. j·L + hi]` clamped to the tensor length); output
+/// byte `i` combines digit `round(srcs[j][i] · inv) + 1` across the five
+/// partitions, with the padding digit 1 past each slice's end. Returns
+/// the absolute index (`base` + chunk offset) of the last byte that is
+/// not the all-zero byte 121, for zero-run boundary alignment.
+pub fn pack_chunk(
+    imp: CodecImpl,
+    srcs: &[&[f32]; 5],
+    inv: f32,
+    out: &mut [u8],
+    base: usize,
+) -> Option<usize> {
+    for s in srcs {
+        debug_assert!(s.len() <= out.len());
+    }
+    match runnable(imp) {
+        CodecImpl::Scalar => scalar::pack_chunk(srcs, inv, out, base),
+        CodecImpl::Swar => swar::pack_chunk(srcs, inv, out, base),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::pack_chunk(srcs, inv, out, base) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// [`pack_chunk`] over the error-accumulation buffer: additionally writes
+/// the post-quantization residual `x − q · scale` back into each source
+/// slice (Figure 3 steps (a)+(b)), fused into the same pass.
+pub fn pack_chunk_ea(
+    imp: CodecImpl,
+    srcs: &mut [&mut [f32]; 5],
+    inv: f32,
+    scale: f32,
+    out: &mut [u8],
+    base: usize,
+) -> Option<usize> {
+    for s in srcs.iter() {
+        debug_assert!(s.len() <= out.len());
+    }
+    match runnable(imp) {
+        CodecImpl::Scalar => scalar::pack_chunk_ea(srcs, inv, scale, out, base),
+        CodecImpl::Swar => swar::pack_chunk_ea(srcs, inv, scale, out, base),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::pack_chunk_ea(srcs, inv, scale, out, base) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// Packs ternary values (partition layout, zero-padded) into quartic
+/// bytes: the dispatchable core of [`crate::quartic::encode`]. `srcs[j]`
+/// is partition `j` of the value stream.
+pub fn pack_ternary(imp: CodecImpl, srcs: &[&[i8]; 5], out: &mut [u8]) {
+    for s in srcs {
+        debug_assert!(s.len() <= out.len());
+    }
+    match runnable(imp) {
+        CodecImpl::Scalar => scalar::pack_ternary(srcs, out),
+        // The ternary-input pack has no float lanes for AVX2 to win on;
+        // the SWAR word kernel is the fast path for both upper tiers.
+        CodecImpl::Swar | CodecImpl::Simd => swar::pack_ternary(srcs, out),
+    }
+}
+
+/// First index whose byte exceeds the quartic maximum 242, if any — the
+/// offset reported by `InvalidQuarticByte` errors.
+pub fn find_invalid_quartic(imp: CodecImpl, h: &[u8]) -> Option<usize> {
+    match runnable(imp) {
+        CodecImpl::Scalar => h.iter().position(|&b| b > crate::quartic::MAX_QUARTIC_BYTE),
+        CodecImpl::Swar => swar::find_invalid_quartic(h),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::find_invalid_quartic(h) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// First index `≥ from` holding the all-zero quartic byte 121, or
+/// `h.len()` when none remains (zero-run detection's forward scan).
+pub fn find_zero_byte(imp: CodecImpl, h: &[u8], from: usize) -> usize {
+    debug_assert!(from <= h.len());
+    match runnable(imp) {
+        CodecImpl::Scalar => h[from..]
+            .iter()
+            .position(|&b| b == crate::quartic::ZERO_BYTE)
+            .map_or(h.len(), |p| from + p),
+        CodecImpl::Swar => swar::find_zero_byte(h, from),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::find_zero_byte(h, from) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+/// First index `≥ from` holding anything but the all-zero quartic byte
+/// 121, or `h.len()`: measures the zero run starting at `from`.
+pub fn find_nonzero_byte(imp: CodecImpl, h: &[u8], from: usize) -> usize {
+    debug_assert!(from <= h.len());
+    match runnable(imp) {
+        CodecImpl::Scalar => h[from..]
+            .iter()
+            .position(|&b| b != crate::quartic::ZERO_BYTE)
+            .map_or(h.len(), |p| from + p),
+        CodecImpl::Swar => swar::find_nonzero_byte(h, from),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `runnable` returns Simd only when AVX2 was detected.
+        CodecImpl::Simd => unsafe { simd_x86::find_nonzero_byte(h, from) },
+        #[cfg(not(target_arch = "x86_64"))]
+        CodecImpl::Simd => unreachable!("Simd resolves to Swar off x86-64"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_and_display() {
+        for imp in CodecImpl::ALL {
+            assert_eq!(CodecImpl::parse(imp.name()), Some(imp));
+            assert_eq!(imp.to_string(), imp.name());
+        }
+        assert_eq!(CodecImpl::parse("sse2"), None);
+        assert_eq!(CodecImpl::parse("SIMD"), None, "names are lowercase");
+    }
+
+    #[test]
+    fn scalar_and_swar_are_always_available() {
+        assert!(CodecImpl::Scalar.is_available());
+        assert!(CodecImpl::Swar.is_available());
+        assert!(CodecImpl::best_available() != CodecImpl::Scalar);
+        assert!(CodecImpl::best_available().is_available());
+    }
+
+    #[test]
+    fn selection_is_stable_and_runnable() {
+        let s = selection();
+        assert_eq!(s, selection(), "selection must be cached");
+        assert!(s.imp.is_available());
+        assert_eq!(active(), s.imp);
+        assert!(!s.describe().is_empty());
+    }
+
+    #[test]
+    fn describe_mentions_the_downgrade() {
+        let sel = CodecSelection {
+            imp: CodecImpl::Swar,
+            source: SelectionSource::ForcedUnavailable(CodecImpl::Simd),
+        };
+        let text = sel.describe();
+        assert!(text.contains("swar") && text.contains("simd") && text.contains("unavailable"));
+    }
+
+    #[test]
+    fn digit_of_matches_round_on_representative_points() {
+        // digit_of must equal round(x·inv)+1 wherever round stays ternary.
+        let inv = 1.0f32;
+        for &(x, want) in &[
+            (0.0f32, 1u8),
+            (-0.0, 1),
+            (0.49999997, 1),
+            (0.5, 2), // round half away from zero
+            (-0.5, 0),
+            (1.0, 2),
+            (-1.0, 0),
+            (0.25, 1),
+            (f32::MIN_POSITIVE / 2.0, 1), // subnormal input
+        ] {
+            assert_eq!(digit_of(x, inv), want, "x={x}");
+            let r = ((x * inv) as f64).round();
+            if (-1.0..=1.0).contains(&r) {
+                assert_eq!(digit_of(x, inv) as i8 - 1, r as i8, "x={x}");
+            }
+        }
+        // The degenerate inv=inf corner: NaN (0·inf) quantizes to 0 and
+        // overflowed magnitudes clamp to ±1 — well-defined ternary.
+        assert_eq!(digit_of(0.0, f32::INFINITY), 1);
+        assert_eq!(digit_of(1.0e-40, f32::INFINITY), 2);
+        assert_eq!(digit_of(-1.0e-40, f32::INFINITY), 0);
+    }
+
+    #[test]
+    fn runnable_never_returns_an_unavailable_tier() {
+        for imp in CodecImpl::ALL {
+            assert!(runnable(imp).is_available());
+        }
+    }
+}

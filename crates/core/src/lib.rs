@@ -45,6 +45,7 @@ mod compressor;
 pub mod elias;
 mod error;
 pub mod huffman;
+pub mod kernels;
 pub mod parallel;
 pub mod quartic;
 pub mod sizing;
@@ -53,8 +54,9 @@ pub mod tlq;
 mod traits;
 pub mod zrle;
 
-pub use compressor::{ThreeLcCompressor, ThreeLcOptions};
+pub use compressor::{ThreeLcCompressor, ThreeLcOptions, DEFAULT_PARALLEL_MIN_VALUES};
 pub use error::{CompressError, DecodeError};
+pub use kernels::{CodecImpl, CodecSelection, SelectionSource, CODEC_IMPL_ENV};
 pub use telemetry::CompressTelemetry;
 pub use tlq::{SparsityMultiplier, TernaryTensor};
 pub use traits::{CompressionStats, Compressor};

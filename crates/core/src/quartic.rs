@@ -50,6 +50,12 @@ pub const VALUES_PER_BYTE: usize = 5;
 /// assert_eq!(quartic::encode(&[1, 1, 1, 1, 1]), vec![242]);
 /// ```
 pub fn encode(values: &[i8]) -> Vec<u8> {
+    encode_impl(crate::kernels::active(), values)
+}
+
+/// [`encode`] on an explicit codec tier (every tier is bit-identical;
+/// see [`crate::kernels`]).
+pub fn encode_impl(imp: crate::kernels::CodecImpl, values: &[i8]) -> Vec<u8> {
     debug_assert!(
         values.iter().all(|v| (-1..=1).contains(v)),
         "quartic input must be ternary"
@@ -62,14 +68,9 @@ pub fn encode(values: &[i8]) -> Vec<u8> {
     let partition = bytes; // L: padded length / 5
     let mut out = vec![0u8; bytes];
     // digit(j, i) = values[j*L + i] + 1, with zero padding past the end.
-    for (j, weight) in [81u8, 27, 9, 3, 1].into_iter().enumerate() {
-        let base = j * partition;
-        for (i, o) in out.iter_mut().enumerate() {
-            let idx = base + i;
-            let digit = if idx < n { (values[idx] + 1) as u8 } else { 1 };
-            *o += digit * weight;
-        }
-    }
+    let srcs: [&[i8]; VALUES_PER_BYTE] =
+        std::array::from_fn(|j| &values[(j * partition).min(n)..((j + 1) * partition).min(n)]);
+    crate::kernels::pack_ternary(imp, &srcs, &mut out);
     out
 }
 
@@ -99,7 +100,7 @@ pub fn decode(bytes: &[u8], count: usize) -> Result<Vec<i8>, DecodeError> {
     if count == 0 {
         return Ok(Vec::new());
     }
-    if let Some(offset) = bytes.iter().position(|&b| b > MAX_QUARTIC_BYTE) {
+    if let Some(offset) = crate::kernels::find_invalid_quartic(crate::kernels::active(), bytes) {
         return Err(DecodeError::InvalidQuarticByte {
             byte: bytes[offset],
             offset,
@@ -108,6 +109,9 @@ pub fn decode(bytes: &[u8], count: usize) -> Result<Vec<i8>, DecodeError> {
     let partition = bytes.len();
     let mut out = vec![0i8; count];
     // Reverse the base-3 digits: p_j = (byte / 3^(4-j)) % 3, then -1.
+    // Deliberately arithmetic rather than a lookup table: LLVM turns the
+    // divide-by-constant and modulo into multiplies and vectorizes each
+    // contiguous per-digit pass, which a table gather would forbid.
     for (j, weight) in [81u16, 27, 9, 3, 1].into_iter().enumerate() {
         let base = j * partition;
         for (i, &b) in bytes.iter().enumerate() {

@@ -12,8 +12,9 @@
 //! buffer) and the zero-run-length histogram (one extra closure call per
 //! run during zero-run encoding).
 
+use crate::kernels::CodecImpl;
 use std::sync::Arc;
-use threelc_obs::{global, Histogram};
+use threelc_obs::{global, Counter, Histogram};
 
 /// Cached handles to the global `threelc.*` compression metrics.
 #[derive(Clone)]
@@ -44,6 +45,12 @@ pub struct CompressTelemetry {
     /// encode chunk (one sample per chunk), exposing stragglers among the
     /// codec workers. Only recorded on the parallel path.
     pub chunk_seconds: Arc<Histogram>,
+    /// `threelc.codec.encode.{scalar,swar,simd}` — encode calls per codec
+    /// implementation tier, indexed like [`CodecImpl::ALL`]. Makes the
+    /// tier that actually ran attributable from any metrics dump, so a
+    /// field host silently falling back to a slower tier shows up in
+    /// telemetry rather than as an unexplained throughput regression.
+    pub codec_encodes: [Arc<Counter>; 3],
 }
 
 impl CompressTelemetry {
@@ -59,7 +66,21 @@ impl CompressTelemetry {
             residual_l2: reg.histogram("threelc.compress.residual_l2"),
             parallel_speedup: reg.histogram("threelc.compress.parallel_speedup"),
             chunk_seconds: reg.histogram("threelc.compress.chunk_seconds"),
+            codec_encodes: [
+                reg.counter("threelc.codec.encode.scalar"),
+                reg.counter("threelc.codec.encode.swar"),
+                reg.counter("threelc.codec.encode.simd"),
+            ],
         }
+    }
+
+    /// Counts one encode on the given codec tier.
+    pub fn record_encode(&self, imp: CodecImpl) {
+        let idx = CodecImpl::ALL
+            .iter()
+            .position(|&i| i == imp)
+            .expect("ALL covers every tier");
+        self.codec_encodes[idx].inc();
     }
 }
 

@@ -94,18 +94,41 @@ impl TernaryTensor {
     /// Quantizes `input` with sparsity multiplier `s` (Equations 1–2).
     ///
     /// An all-zero input produces `M = 0` and an all-zero ternary tensor.
+    /// Runs on the process-wide codec tier (see [`crate::kernels`]); every
+    /// tier produces identical output.
     ///
     /// # Errors
     ///
     /// Returns [`CompressError::NonFiniteInput`] if any element is NaN or
     /// infinite.
     pub fn quantize(input: &Tensor, s: SparsityMultiplier) -> Result<Self, CompressError> {
-        // A single fold computes the max magnitude and detects NaN/inf
-        // (`f32::max` silently ignores NaN, so finiteness is tracked
-        // separately).
-        let (max_abs, finite) = input.as_slice().iter().fold((0.0f32, true), |(m, ok), &x| {
-            (m.max(x.abs()), ok && x.is_finite())
-        });
+        Self::quantize_impl(crate::kernels::active(), input, s)
+    }
+
+    /// [`Self::quantize`] on an explicit codec tier. The differential
+    /// tests drive every tier through this; production code should use
+    /// [`Self::quantize`].
+    ///
+    /// The mapping is `round(x / M)` evaluated in comparison form (sign
+    /// and the single threshold `|x / M| ≥ 1/2` on the IEEE bit pattern),
+    /// which is exact wherever `round` stays ternary — see the
+    /// bit-identity argument in [`crate::kernels`]. In the degenerate
+    /// corner where `M` is subnormal and `1/M` overflows to infinity, the
+    /// historical `round() as i8` saturated to ±127 (invalid ternary
+    /// output); the comparison form clamps to ±1 instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::quantize`].
+    pub fn quantize_impl(
+        imp: crate::kernels::CodecImpl,
+        input: &Tensor,
+        s: SparsityMultiplier,
+    ) -> Result<Self, CompressError> {
+        // One fused kernel pass computes the max magnitude and detects
+        // NaN/inf (`f32::max` silently ignores NaN, so finiteness is
+        // tracked separately).
+        let (max_abs, finite) = crate::kernels::max_abs_finite(imp, input.as_slice());
         if !finite {
             return Err(CompressError::NonFiniteInput);
         }
@@ -114,11 +137,9 @@ impl TernaryTensor {
             vec![0i8; input.len()]
         } else {
             let inv = 1.0 / scale;
-            input
-                .as_slice()
-                .iter()
-                .map(|&x| (x * inv).round() as i8)
-                .collect()
+            let mut v = vec![0i8; input.len()];
+            crate::kernels::quantize_ternary(imp, input.as_slice(), inv, &mut v);
+            v
         };
         Ok(TernaryTensor {
             shape: input.shape().clone(),

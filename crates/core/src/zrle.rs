@@ -11,7 +11,7 @@
 //! which is what keeps 3LC's computation overhead low compared to entropy
 //! coders (§3.3, §6).
 
-use crate::quartic::{MAX_QUARTIC_BYTE, ZERO_BYTE};
+use crate::quartic::ZERO_BYTE;
 use crate::DecodeError;
 
 /// Shortest zero-byte run that gets replaced by an escape code.
@@ -53,11 +53,24 @@ pub fn encode(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
 /// # Errors
 ///
 /// Same as [`encode`].
-pub fn encode_with_runs(
+pub fn encode_with_runs(input: &[u8], on_run: impl FnMut(usize)) -> Result<Vec<u8>, DecodeError> {
+    encode_with_runs_impl(crate::kernels::active(), input, on_run)
+}
+
+/// [`encode_with_runs`] on an explicit codec tier.
+///
+/// The scan-structured rewrite of the original byte-at-a-time loop:
+/// validate the whole stream, then alternate between bulk-copying the
+/// literal span up to the next zero byte and chunking the zero run up to
+/// the next non-zero byte into escapes of at most [`MAX_RUN`]. Emission
+/// order, run chunking, `on_run` reports, and error offsets are identical
+/// to the original loop on every tier (see [`crate::kernels`]).
+pub fn encode_with_runs_impl(
+    imp: crate::kernels::CodecImpl,
     input: &[u8],
     mut on_run: impl FnMut(usize),
 ) -> Result<Vec<u8>, DecodeError> {
-    if let Some(offset) = input.iter().position(|&b| b > MAX_QUARTIC_BYTE) {
+    if let Some(offset) = crate::kernels::find_invalid_quartic(imp, input) {
         return Err(DecodeError::InvalidQuarticByte {
             byte: input[offset],
             offset,
@@ -66,23 +79,28 @@ pub fn encode_with_runs(
     let mut out = Vec::with_capacity(input.len());
     let mut i = 0;
     while i < input.len() {
-        let b = input[i];
-        if b != ZERO_BYTE {
-            out.push(b);
-            i += 1;
-            continue;
+        // Literal span: everything up to the next zero byte passes
+        // through unchanged, as one bulk copy.
+        let z = crate::kernels::find_zero_byte(imp, input, i);
+        out.extend_from_slice(&input[i..z]);
+        if z == input.len() {
+            break;
         }
-        let mut run = 1;
-        while run < MAX_RUN && i + run < input.len() && input[i + run] == ZERO_BYTE {
-            run += 1;
+        // Zero run: measure it whole, then emit MAX_RUN-sized chunks
+        // exactly as the byte-at-a-time encoder did.
+        let end = crate::kernels::find_nonzero_byte(imp, input, z);
+        let mut remaining = end - z;
+        while remaining > 0 {
+            let run = remaining.min(MAX_RUN);
+            on_run(run);
+            if run >= MIN_RUN {
+                out.push(ESCAPE_BASE + (run - MIN_RUN) as u8);
+            } else {
+                out.push(ZERO_BYTE);
+            }
+            remaining -= run;
         }
-        on_run(run);
-        if run >= MIN_RUN {
-            out.push(ESCAPE_BASE + (run - MIN_RUN) as u8);
-        } else {
-            out.push(ZERO_BYTE);
-        }
-        i += run;
+        i = end;
     }
     Ok(out)
 }
