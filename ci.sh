@@ -186,8 +186,8 @@ run_traced_loopback() { # <report.json> <events.jsonl> <worker0-env...>
 run_traced_loopback "$smokedir/report.json" "$smokedir/events.jsonl"
 "$threelc" trace "$smokedir/report.json" --chrome "$smokedir/trace.json" \
     >"$smokedir/trace.txt"
-for phase in quantize encode serialize network server-decode aggregate \
-    re-encode pull; do
+for phase in quantize encode serialize network barrier-wait server-decode \
+    aggregate re-encode pull; do
     if ! grep -q "\"name\":\"$phase\"" "$smokedir/trace.json"; then
         echo "phase $phase missing from Chrome trace export" >&2
         exit 1
@@ -196,7 +196,9 @@ done
 "$threelc" trace "$smokedir/report.json" --check >/dev/null
 "$threelc" metrics --from "$smokedir/events.jsonl" >"$smokedir/metrics.txt"
 grep -q net.server "$smokedir/metrics.txt"
-echo "    all eight phases exported; --check clean; offline metrics render"
+"$threelc" metrics --from "$smokedir/events.jsonl" --prom >"$smokedir/metrics.prom"
+grep -q '^# TYPE ' "$smokedir/metrics.prom"
+echo "    all nine phases exported; --check clean; offline metrics render"
 
 echo "==> trace gate (injected straggler must fail --check)"
 run_traced_loopback "$smokedir/straggle.json" "$smokedir/straggle-events.jsonl" 250
@@ -207,6 +209,44 @@ if "$threelc" trace "$smokedir/straggle.json" --check \
 fi
 grep -q straggler "$smokedir/straggle.txt"
 echo "    straggler detected; --check exits nonzero"
+
+echo "==> analyze smoke (clean run: attribution conserved, no bottleneck)"
+"$threelc" analyze "$smokedir/report.json" --check >"$smokedir/analyze.txt"
+grep -q "attribution conserved" "$smokedir/analyze.txt"
+grep -q "critical path over" "$smokedir/analyze.txt"
+"$threelc" metrics --from "$smokedir/report.json" --prom \
+    >"$smokedir/analyze.prom"
+grep -q '^critical_conservation_error ' "$smokedir/analyze.prom"
+echo "    clean attribution conserved; blame gauges exported as OpenMetrics"
+
+echo "==> analyze gate (injected delay must be blamed on the right worker)"
+# Worker 1 sleeps 250 ms before its step-2 push. The analyzer must pin
+# the slowdown on worker1's network phase — the causal ground truth —
+# and the same report must then fail --check (the inverted gate).
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+THREELC_TRACE=1 "$threelc" serve --addr "$addr" --workers 2 --steps 5 \
+    --width 16 --blocks 1 --batch 8 --scheme 3lc --sparsity 1.5 \
+    --json "$smokedir/delayed.json" >"$smokedir/delayed.log" &
+serve_pid=$!
+THREELC_TRACE=1 "$threelc" worker --addr "$addr" --id 0 \
+    >"$smokedir/delayed.w0.log" &
+w0=$!
+THREELC_TRACE=1 "$threelc" worker --addr "$addr" --id 1 \
+    --inject-fault delay@2:250 >"$smokedir/delayed.w1.log" &
+w1=$!
+wait "$w0"
+wait "$w1"
+wait "$serve_pid"
+"$threelc" analyze "$smokedir/delayed.json" --expect-blame worker1:network \
+    >"$smokedir/delayed-analyze.txt"
+grep -q "blame check passed" "$smokedir/delayed-analyze.txt"
+grep -q "bottleneck \[worker1/network\]" "$smokedir/delayed-analyze.txt"
+if "$threelc" analyze "$smokedir/delayed.json" --check >/dev/null 2>&1; then
+    echo "analyze --check passed despite an injected 250 ms delay" >&2
+    exit 1
+fi
+echo "    delay@2:250 blamed on worker1/network; --check exits nonzero"
 
 echo "==> chaos smoke (faulted runs must recover bit-identically)"
 chaosdir=target/chaos-smoke
@@ -526,6 +566,24 @@ for attempt in 1 2 3; do
 done
 if [ "$gate_ok" != 1 ]; then
     echo "recorder bench gate failed on all attempts" >&2
+    exit 1
+fi
+
+echo "==> analyze bench gate vs BENCH_pr9.json"
+gate_ok=0
+for attempt in 1 2 3; do
+    cargo run -q --release --offline -p threelc-bench --bin bench_analyze -- \
+        target/bench/BENCH_analyze_current.json --reps 10
+    if cargo run -q --release --offline -p threelc-bench --bin bench_analyze -- \
+        --gate target/bench/BENCH_analyze_current.json BENCH_pr9.json; then
+        gate_ok=1
+        break
+    fi
+    echo "analyze bench gate attempt $attempt failed; re-measuring" >&2
+    sleep 2
+done
+if [ "$gate_ok" != 1 ]; then
+    echo "analyze bench gate failed on all attempts" >&2
     exit 1
 fi
 

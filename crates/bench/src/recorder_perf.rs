@@ -86,6 +86,7 @@ fn delta(worker: usize, step: u64) -> WorkerDelta {
         multiplier: 1.0,
         rejoins: 0,
         step_seconds: 0.004,
+        barrier_wait_seconds: 0.0,
     }
 }
 

@@ -30,11 +30,13 @@ usage:
                      [--sparsity S] [--policy SPEC] [--width N]
                      [--blocks N] [--batch N] [--eval-every N]
                      [--threads N]
-  threelc metrics    <addr> [--json] [--watch SECS]
-  threelc metrics    --from <log.jsonl> [--json]
+  threelc metrics    <addr> [--json|--prom] [--watch SECS]
+  threelc metrics    --from <log.jsonl|report.json> [--json|--prom]
   threelc top        <addr> [--interval SECS] [--once] [--json]
   threelc trace      <report.json|flight.json|addr> [--chrome out.json]
                      [--check] [--steps N]
+  threelc analyze    <report.json|flight.json|addr> [--json] [--steps N]
+                     [--check] [--expect-blame NODE:PHASE]
 
 --threads N uses up to N codec/aggregation threads (0 = one per core);
 output is bit-identical at every setting.
@@ -66,6 +68,19 @@ a `serve --json` report (or a live server's own spans), exports Chrome/
 Perfetto JSON with --chrome, and with --check exits nonzero on watchdog
 anomalies (stragglers, ratio drift, residual blowups). Point it at a
 `.flight.json` post-mortem dump to render the flight recorder instead.
+
+analyze reconstructs each BSP step's critical path from a traced run
+(THREELC_TRACE=1) and attributes the measured step time to {node x phase}
+buckets — time peers spend blocked at the barrier is charged to the
+straggler that caused it, so the buckets sum to the wall clock exactly.
+It prints first-order what-if projections (\"encode 2x faster => step
+-N%\") and flags workers whose network blame dominates. --expect-blame
+NODE:PHASE exits nonzero unless that bucket tops the ledger and is
+flagged (the CI ground-truth gate for injected delays); --check exits
+nonzero when attribution fails to conserve or any bottleneck is flagged.
+metrics --prom renders any snapshot source in OpenMetrics/Prometheus
+text exposition format for standard scrapers; --from also accepts a
+`serve --json` report (its final registry snapshot is embedded).
 
 top renders a live per-worker dashboard (step, ratio, wire throughput,
 rejoins, latency with straggler flags, wire-byte sparklines) by polling
@@ -111,6 +126,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("metrics") => crate::netcmd::metrics_cmd(&args[1..]),
         Some("top") => crate::topcmd::top_cmd(&args[1..]),
         Some("trace") => crate::tracecmd::trace_cmd(&args[1..]),
+        Some("analyze") => crate::analyzecmd::analyze_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`").into()),
         None => Err("missing command".into()),
     }
@@ -1142,6 +1158,24 @@ mod tests {
             2
         );
 
+        // --prom renders the same snapshot in Prometheus text exposition.
+        let prom = run(&s(&["metrics", "--from", fixture, "--prom"])).expect("prom render");
+        assert!(
+            prom.contains("# TYPE net_server_bytes_in counter"),
+            "got: {prom}"
+        );
+        assert!(prom.contains("net_server_bytes_in 4096"), "got: {prom}");
+        assert!(
+            prom.contains("# TYPE net_server_frame_seconds histogram"),
+            "got: {prom}"
+        );
+        assert!(
+            prom.contains("net_server_frame_seconds_bucket{le=\"+Inf\"} 2"),
+            "got: {prom}"
+        );
+        assert!(run(&s(&["metrics", "--from", fixture, "--prom", "--json"])).is_err());
+        assert!(run(&s(&["metrics", "127.0.0.1:1", "--prom", "--watch", "1"])).is_err());
+
         // Flag validation and failure modes.
         assert!(run(&s(&["metrics", "--from"])).is_err()); // path missing
         assert!(run(&s(&["metrics", "127.0.0.1:1", "--from", fixture])).is_err()); // both sources
@@ -1188,6 +1222,8 @@ mod tests {
             final_model_crc32: 0,
             faults: threelc_net::FaultsReport::default(),
             series: Default::default(),
+            analysis: None,
+            metrics: Default::default(),
         };
         let path = tmp("untraced-report.json");
         std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();

@@ -7,10 +7,11 @@
 //! threelc stats      <input.f32> [--sparsity S]
 //! threelc serve      --addr A [--workers N] [--steps N] [...]
 //! threelc worker     --addr A --id N
-//! threelc metrics    <addr> [--json] [--watch SECS]
-//! threelc metrics    --from <log.jsonl> [--json]
+//! threelc metrics    <addr> [--json|--prom] [--watch SECS]
+//! threelc metrics    --from <log.jsonl|report.json> [--json|--prom]
 //! threelc top        <addr> [--interval SECS] [--once] [--json]
 //! threelc trace      <report.json|flight.json|addr> [--chrome out.json] [--check]
+//! threelc analyze    <report.json|flight.json|addr> [--check] [--expect-blame N:P]
 //! ```
 //!
 //! Every command accepts a global `--log-json <path>` flag that appends
@@ -23,6 +24,7 @@
 
 use std::process::ExitCode;
 
+mod analyzecmd;
 mod cli;
 mod netcmd;
 mod topcmd;

@@ -290,20 +290,24 @@ fn write_policy_summary(
 
 /// `threelc metrics <addr>`: scrape a live metrics snapshot from a
 /// serving parameter server and print it (text by default, `--json` for
-/// the raw snapshot). `--from <jsonl>` instead renders the last
-/// `metrics.snapshot` event recorded in a `--log-json` file, so a
-/// finished run stays inspectable offline. `--watch SECS` keeps
-/// re-scraping every interval and prints what changed since the previous
-/// snapshot, exiting cleanly once the server goes away.
+/// the raw snapshot, `--prom` for OpenMetrics/Prometheus text
+/// exposition). `--from <file>` instead renders the last
+/// `metrics.snapshot` event recorded in a `--log-json` file — or the
+/// final registry snapshot embedded in a `serve --json` report — so a
+/// finished run stays inspectable (and scrapable) offline. `--watch
+/// SECS` keeps re-scraping every interval and prints what changed since
+/// the previous snapshot, exiting cleanly once the server goes away.
 pub fn metrics_cmd(args: &[String]) -> CliResult {
     let mut addr: Option<&str> = None;
     let mut from: Option<&str> = None;
     let mut json = false;
+    let mut prom = false;
     let mut watch: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--prom" => prom = true,
             "--from" => {
                 from = Some(
                     it.next()
@@ -331,7 +335,13 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
             }
         }
     }
+    if json && prom {
+        return Err("--json and --prom are mutually exclusive".into());
+    }
     if let Some(interval) = watch {
+        if prom {
+            return Err("--watch prints text or --json diffs, not --prom".into());
+        }
         let (Some(addr), None) = (addr, from) else {
             return Err("--watch needs a live server address (not --from)".into());
         };
@@ -342,7 +352,7 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
             return Err("pass either a server address or --from <jsonl>, not both".into());
         }
         (Some(addr), None) => scrape_metrics(addr, Duration::from_secs(5))?,
-        (None, Some(path)) => snapshot_from_log(path)?,
+        (None, Some(path)) => snapshot_from_file(path)?,
         (None, None) => {
             return Err("metrics requires a server address (e.g. threelc metrics \
                  127.0.0.1:7171) or --from <jsonl>"
@@ -353,6 +363,8 @@ pub fn metrics_cmd(args: &[String]) -> CliResult {
         let mut out = serde_json::to_string_pretty(&snapshot)?;
         out.push('\n');
         Ok(out)
+    } else if prom {
+        Ok(threelc_obs::render_prometheus(&snapshot))
     } else {
         Ok(snapshot.render_text())
     }
@@ -423,11 +435,22 @@ fn diff_snapshots(prev: &Snapshot, curr: &Snapshot) -> String {
     out
 }
 
+/// Loads a snapshot from an offline `--from` file: a `serve --json`
+/// report (the final registry snapshot is embedded as `metrics`) or a
+/// structured `--log-json` JSONL file. A report is a single JSON
+/// document, a log is one event per line, so the parse disambiguates.
+fn snapshot_from_file(path: &str) -> Result<Snapshot, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Ok(report) = serde_json::from_str::<threelc_net::NetReport>(&text) {
+        return Ok(report.metrics);
+    }
+    snapshot_from_log(path, &text)
+}
+
 /// Reconstructs the last `metrics.snapshot` event from a structured
 /// `--log-json` file. The server writes one at the end of every run (at
 /// `info` level, which `--log-json` enables by default).
-fn snapshot_from_log(path: &str) -> Result<Snapshot, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn snapshot_from_log(path: &str, text: &str) -> Result<Snapshot, Box<dyn Error>> {
     let mut snapshot: Option<Snapshot> = None;
     let mut events = 0usize;
     for (idx, line) in text.lines().enumerate() {

@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 use threelc_net::scrape_series;
 use threelc_obs::timeseries::{
-    RunSeries, Series, S_RATIO, S_REJOINS, S_STEP_SECONDS, S_WIRE_BYTES,
+    RunSeries, Series, S_BARRIER_WAIT, S_RATIO, S_REJOINS, S_STEP_SECONDS, S_WIRE_BYTES,
 };
 use threelc_obs::{watchdog, WatchdogConfig};
 
@@ -28,6 +28,10 @@ const SPARK_POINTS: usize = 16;
 /// Sparkline glyphs, lowest to highest (pure ASCII so any terminal and
 /// any CI log renders them).
 const SPARK_GLYPHS: &[u8] = b" .:-=+*#%@";
+/// Barrier lateness (seconds) below which the bottleneck column shows
+/// `-`. Matches the analyzer's `blame_min_seconds` floor so the live
+/// column and `threelc analyze` flag the same worker.
+const BOTTLENECK_FLOOR_SECONDS: f64 = 0.1;
 
 /// `threelc top <addr> [--interval SECS] [--once] [--json]`.
 pub fn top_cmd(args: &[String]) -> CliResult {
@@ -125,8 +129,8 @@ pub fn render_dashboard(store: &RunSeries) -> String {
 
     let _ = writeln!(
         out,
-        "{:<8} {:<10} {:>8} {:>8} {:>12} {:>8} {:>10}  wire trend",
-        "worker", "state", "step", "ratio", "bytes/s", "rejoins", "latency"
+        "{:<8} {:<10} {:>8} {:>8} {:>12} {:>8} {:>10} {:>12}  wire trend",
+        "worker", "state", "step", "ratio", "bytes/s", "rejoins", "latency", "bottleneck"
     );
     for (i, w) in store.workers.iter().enumerate() {
         let wire = w.series(S_WIRE_BYTES);
@@ -147,9 +151,18 @@ pub fn render_dashboard(store: &RunSeries) -> String {
         } else {
             "ok"
         };
+        // How late this worker's push reached the barrier relative to the
+        // fastest peer — the live proxy for critical-path blame (`threelc
+        // analyze` attributes exactly this time to the late worker).
+        let behind = last_value(w.series(S_BARRIER_WAIT)).unwrap_or(0.0);
+        let bottleneck = if behind >= BOTTLENECK_FLOOR_SECONDS {
+            format!("net +{:.0}ms", behind * 1e3)
+        } else {
+            "-".into()
+        };
         let _ = writeln!(
             out,
-            "worker {i:<1} {state:<10} {step:>8} {ratio:>7.1}x {:>12} {rejoins:>8.0} {:>9.1}ms  |{}|",
+            "worker {i:<1} {state:<10} {step:>8} {ratio:>7.1}x {:>12} {rejoins:>8.0} {:>9.1}ms {bottleneck:>12}  |{}|",
             human_bytes(rate),
             latency * 1e3,
             sparkline(wire, SPARK_POINTS),
@@ -220,6 +233,7 @@ mod tests {
                     rejoins: 0,
                     // Worker 1 is 10x slower than its peers: a straggler.
                     step_seconds: if w == 1 { 0.1 } else { 0.01 },
+                    barrier_wait_seconds: if w == 1 { 0.25 } else { 0.0 },
                 })
                 .collect();
             r.record_step(step, &deltas);
@@ -253,6 +267,24 @@ mod tests {
         assert!(rows[1].contains("straggler"), "{out}");
         assert!(rows[0].contains("ok"), "{out}");
         assert!(rows[2].contains("ok"), "{out}");
+    }
+
+    #[test]
+    fn barrier_lateness_surfaces_in_the_bottleneck_column() {
+        let out = render_dashboard(&store_with_steps(3, 4));
+        assert!(out.contains("bottleneck"), "{out}");
+        let rows: Vec<&str> = out
+            .lines()
+            .filter(|l| {
+                l.strip_prefix("worker ")
+                    .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_digit()))
+            })
+            .collect();
+        // Worker 1 arrived 250 ms behind the fastest peer; its row names
+        // the blame, its peers stay clean.
+        assert!(rows[1].contains("net +250ms"), "{out}");
+        assert!(!rows[0].contains("net +"), "{out}");
+        assert!(!rows[2].contains("net +"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! End-to-end causal-attribution test against the real `threelc` binary:
+//! a traced loopback serve/worker run with an injected 250 ms delay on
+//! worker 1, then `threelc analyze` must blame worker 1's network phase
+//! — the same ground-truth gate ci.sh runs, exercised hermetically here.
+
+use std::process::Command;
+
+fn threelc() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_threelc"));
+    // Trace every role; the analyzer needs all three span buffers.
+    cmd.env("THREELC_TRACE", "1");
+    cmd
+}
+
+fn ephemeral_addr() -> String {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+    probe.local_addr().expect("addr").to_string()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("threelc-analyze-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+/// Blocks until the server answers a metrics scrape. Workers started
+/// before the server binds retry with a ~500 ms backoff, and that wait
+/// lands in their step-0 network span — real, but it would drown the
+/// 250 ms signal this test injects.
+fn wait_until_serving(addr: &str) {
+    for _ in 0..250 {
+        let probe = Command::new(env!("CARGO_BIN_EXE_threelc"))
+            .args(["metrics", addr])
+            .output()
+            .expect("run metrics probe");
+        if probe.status.success() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    panic!("server at {addr} never started serving");
+}
+
+#[test]
+fn injected_delay_is_blamed_on_the_right_worker_and_phase() {
+    let addr = ephemeral_addr();
+    let report = tmp("delayed-report.json");
+
+    let mut server = threelc()
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--steps",
+            "5",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--json",
+            report.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn serve");
+    wait_until_serving(&addr);
+    // Worker 1 sleeps 250 ms before its step-2 push — from the server's
+    // vantage point, a slow wire.
+    let mut w0 = threelc()
+        .args(["worker", "--addr", &addr, "--id", "0"])
+        .spawn()
+        .expect("spawn worker 0");
+    let mut w1 = threelc()
+        .args([
+            "worker",
+            "--addr",
+            &addr,
+            "--id",
+            "1",
+            "--inject-fault",
+            "delay@2:250",
+        ])
+        .spawn()
+        .expect("spawn worker 1");
+    assert!(w0.wait().expect("worker 0").success());
+    assert!(w1.wait().expect("worker 1").success());
+    assert!(server.wait().expect("server").success());
+
+    // The ground-truth gate: the injected delay must surface as worker1's
+    // network phase topping the blame ledger AND being flagged.
+    let blame = threelc()
+        .args([
+            "analyze",
+            report.to_str().unwrap(),
+            "--expect-blame",
+            "worker1:network",
+        ])
+        .output()
+        .expect("run analyze");
+    let stdout = String::from_utf8_lossy(&blame.stdout);
+    let stderr = String::from_utf8_lossy(&blame.stderr);
+    assert!(
+        blame.status.success(),
+        "blame gate failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("blame check passed"), "got: {stdout}");
+    assert!(
+        stdout.contains("bottleneck [worker1/network]"),
+        "got: {stdout}"
+    );
+
+    // The inverse gate: a run with a flagged bottleneck must fail --check.
+    let check = threelc()
+        .args(["analyze", report.to_str().unwrap(), "--check"])
+        .output()
+        .expect("run analyze --check");
+    assert!(
+        !check.status.success(),
+        "--check must fail on a flagged bottleneck"
+    );
+
+    // Machine-readable path: attribution conserved, delay visible in the
+    // totals, and at least ~200 ms landed on worker1/network.
+    let json = threelc()
+        .args(["analyze", report.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run analyze --json");
+    assert!(json.status.success());
+    let analysis: threelc_obs::RunAnalysis =
+        serde_json::from_str(&String::from_utf8_lossy(&json.stdout)).expect("parse analysis JSON");
+    assert_eq!(analysis.steps.len(), 5);
+    assert!(
+        analysis.conservation_error < 0.05,
+        "residual {}",
+        analysis.conservation_error
+    );
+    let top = analysis.top().expect("top bucket");
+    assert_eq!(
+        (top.node.as_str(), top.phase.as_str()),
+        ("worker1", "network")
+    );
+    assert!(
+        top.seconds > 0.2,
+        "expected ≥200 ms of blame, got {}",
+        top.seconds
+    );
+
+    // The report embeds the analysis and the final registry snapshot, so
+    // `metrics --prom` exposes the blame gauges offline.
+    let prom = threelc()
+        .args(["metrics", "--from", report.to_str().unwrap(), "--prom"])
+        .output()
+        .expect("run metrics --prom");
+    assert!(prom.status.success());
+    let prom = String::from_utf8_lossy(&prom.stdout);
+    assert!(
+        prom.contains("# TYPE critical_worker1_network_seconds gauge"),
+        "got: {prom}"
+    );
+    assert!(prom.contains("critical_conservation_error"), "got: {prom}");
+}
+
+#[test]
+fn clean_run_attribution_is_conserved() {
+    let addr = ephemeral_addr();
+    let report = tmp("clean-report.json");
+
+    let mut server = threelc()
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--workers",
+            "2",
+            "--steps",
+            "4",
+            "--width",
+            "16",
+            "--blocks",
+            "1",
+            "--batch",
+            "8",
+            "--scheme",
+            "3lc",
+            "--json",
+            report.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn serve");
+    wait_until_serving(&addr);
+    let workers: Vec<_> = (0..2)
+        .map(|id| {
+            threelc()
+                .args(["worker", "--addr", &addr, "--id", &id.to_string()])
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect();
+    for mut w in workers {
+        assert!(w.wait().expect("worker").success());
+    }
+    assert!(server.wait().expect("server").success());
+
+    // Every step's buckets must sum to its measured wall time. The
+    // bottleneck flag is deliberately not asserted here: a loaded host
+    // can make a debug-build loopback step genuinely lopsided, and that
+    // verdict would be correct — conservation is the invariant.
+    let json = threelc()
+        .args(["analyze", report.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run analyze --json");
+    assert!(json.status.success());
+    let analysis: threelc_obs::RunAnalysis =
+        serde_json::from_str(&String::from_utf8_lossy(&json.stdout)).expect("parse analysis JSON");
+    assert_eq!(analysis.steps.len(), 4);
+    assert!(
+        analysis.conservation_error < 0.05,
+        "residual {}",
+        analysis.conservation_error
+    );
+    for st in &analysis.steps {
+        let sum: f64 = st.buckets.iter().map(|b| b.seconds).sum();
+        assert!(
+            (sum - st.wall_seconds).abs() <= 0.05 * st.wall_seconds.max(1e-9),
+            "step {}: buckets sum {sum} vs wall {}",
+            st.step,
+            st.wall_seconds
+        );
+    }
+}

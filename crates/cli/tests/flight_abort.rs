@@ -61,6 +61,7 @@ fn aborted_run_leaves_a_flight_dump_and_a_metrics_snapshot() {
             "--log-json",
             log.to_str().unwrap(),
         ])
+        .env("THREELC_TRACE", "1")
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -157,6 +158,25 @@ fn aborted_run_leaves_a_flight_dump_and_a_metrics_snapshot() {
         !checked.status.success(),
         "--check must fail on a dump with anomalies"
     );
+
+    // A traced abort snapshots the server's own span buffer into the dump
+    // (workers' spans are only drained at graceful shutdown), so the
+    // critical-path analyzer works on the post-mortem too.
+    assert!(
+        dump.spans.iter().any(|n| !n.spans.is_empty()),
+        "a THREELC_TRACE=1 abort must carry the server's spans"
+    );
+    let analyzed = Command::new(bin)
+        .args(["analyze", flight.to_str().unwrap()])
+        .output()
+        .expect("analyze dump");
+    assert!(
+        analyzed.status.success(),
+        "analyze on the dump: {}",
+        String::from_utf8_lossy(&analyzed.stderr)
+    );
+    let out = String::from_utf8_lossy(&analyzed.stdout);
+    assert!(out.contains("critical path over"), "got: {out}");
 
     // Satellite regression: the aborted run still left its end-of-run
     // metrics.snapshot event in the structured log, so `metrics --from`

@@ -430,6 +430,7 @@ mod tests {
                 multiplier: 1.0,
                 rejoins: 0,
                 step_seconds: 0.001,
+                barrier_wait_seconds: 0.0,
             }],
         );
         let bytes = encode_series_dump(rec.store()).unwrap();

@@ -3,7 +3,7 @@
 use crate::counters::ConnCounters;
 use serde::{Deserialize, Serialize};
 use threelc_distsim::ExperimentResult;
-use threelc_obs::{Anomaly, NodeTrace, RunSeries};
+use threelc_obs::{Anomaly, NodeTrace, RunAnalysis, RunSeries, Snapshot};
 
 /// One connection's summary in the final report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +84,17 @@ pub struct NetReport {
     /// existed.
     #[serde(default)]
     pub series: RunSeries,
+    /// Critical-path analysis of the run, computed server-side from the
+    /// merged timeline at shutdown (`None` unless the run traced).
+    /// `threelc analyze <report.json>` prefers rebuilding from
+    /// `node_traces` and falls back to this embedded copy.
+    #[serde(default)]
+    pub analysis: Option<RunAnalysis>,
+    /// Final metrics-registry snapshot, so `threelc metrics --prom` can
+    /// expose a finished run to standard scrapers. Empty in reports
+    /// written before the field existed.
+    #[serde(default)]
+    pub metrics: Snapshot,
 }
 
 #[cfg(test)]
@@ -127,6 +138,8 @@ mod tests {
             }],
             anomalies: Vec::new(),
             series: RunSeries::default(),
+            analysis: None,
+            metrics: Snapshot::default(),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: NetReport = serde_json::from_str(&json).unwrap();
@@ -152,9 +165,18 @@ mod tests {
             !stripped.contains("final_model_crc32"),
             "crc key not stripped"
         );
+        // Pre-analyzer reports lack the analysis/metrics keys too.
+        let stripped = stripped.replace(",\"analysis\":null", "").replace(
+            ",\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}",
+            "",
+        );
+        assert!(!stripped.contains("analysis"), "analysis key not stripped");
+        assert!(!stripped.contains("metrics"), "metrics key not stripped");
         let old: NetReport = serde_json::from_str(&stripped).unwrap();
         assert!(old.node_traces.is_empty());
         assert!(old.anomalies.is_empty());
+        assert!(old.analysis.is_none());
+        assert_eq!(old.metrics, Snapshot::default());
         assert_eq!(old.final_model_crc32, 0);
         assert_eq!(old.faults, FaultsReport::default());
         // The embedded result stays readable by ExperimentResult readers

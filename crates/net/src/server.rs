@@ -44,8 +44,9 @@ use threelc_distsim::{ExperimentConfig, ExperimentResult};
 use threelc_learning::Evaluation;
 use threelc_obs::flight::trigger;
 use threelc_obs::{
-    trace, write_flight_dump, FaultSample, FlightRecorder, Level, MergedTimeline, NodeTrace,
-    RunRecorder, SpanGuard, TraceBuffer, TraceScope, TraceSpan, WatchdogConfig, WorkerDelta,
+    trace, write_flight_dump, AnalysisConfig, FaultSample, FlightRecorder, Level, MergedTimeline,
+    NodeTrace, RunAnalysis, RunRecorder, SpanGuard, TraceBuffer, TraceScope, TraceSpan,
+    WatchdogConfig, WorkerDelta,
 };
 use threelc_tensor::Shape;
 
@@ -181,7 +182,11 @@ pub fn serve(
     // scrapes); the flight recorder is coordinator-only.
     let recorder = Arc::new(Mutex::new(RunRecorder::new(config.workers)));
     let mut flight = FlightRecorder::new();
-    let result = serve_run(listener, config, opts, &recorder, &mut flight);
+    // Owned here (not inside serve_run) so an aborted run's flight dump can
+    // still carry the server's spans — the global buffer the recorder
+    // snapshots belongs to the in-process simulator, not this runtime.
+    let server_buf = Arc::new(TraceBuffer::default());
+    let result = serve_run(listener, config, opts, &recorder, &mut flight, &server_buf);
     if let Some(path) = &opts.flight {
         let series = recorder.lock().expect("series recorder lock").snapshot();
         let dump = match &result {
@@ -216,6 +221,19 @@ pub fn serve(
                 }
             }
         };
+        let dump = dump.map(|mut d| {
+            // The recorder snapshots the in-process (simulator) span buffer;
+            // this runtime's spans live in `server_buf`. Swap them in so
+            // `threelc trace`/`analyze <dump.flight.json>` see the timeline.
+            d.spans.retain(|n| !n.spans.is_empty());
+            if trace::trace_enabled() {
+                let nt = server_buf.snapshot("server");
+                if !nt.spans.is_empty() {
+                    d.spans.push(nt);
+                }
+            }
+            d
+        });
         if let Some(dump) = dump {
             if let Err(e) = write_flight_dump(path, &dump) {
                 threelc_obs::event!(
@@ -240,6 +258,7 @@ fn serve_run(
     opts: &ServeOptions,
     recorder: &Arc<Mutex<RunRecorder>>,
     flight: &mut FlightRecorder,
+    server_buf: &Arc<TraceBuffer>,
 ) -> Result<NetReport, NetError> {
     validate_config(config)?;
     let problem = Problem::build(config);
@@ -263,7 +282,7 @@ fn serve_run(
     // trace id is derived from the seed, identically on every node.
     let tracing = trace::trace_enabled();
     let trace_id = trace::run_trace_id(config.seed);
-    let server_buf = Arc::new(TraceBuffer::default());
+    let server_buf = Arc::clone(server_buf);
 
     // ---- Handshake: fill every worker slot. Metrics/trace scrapes
     // arriving in this phase are answered inline without consuming a slot.
@@ -355,6 +374,9 @@ fn serve_run(
         // barrier instead of aborting.
         let barrier_span = TraceSpan::start("barrier");
         let mut slots: Vec<Option<PushSlot>> = (0..workers).map(|_| None).collect();
+        // Wall-clock arrival of each worker's complete push: the lag past
+        // the earliest arrival is that worker's barrier-wait charge.
+        let mut arrivals: Vec<Option<Instant>> = (0..workers).map(|_| None).collect();
         let mut missing = workers;
         let mut deadline = Instant::now()
             + if connected.iter().all(|&c| c) {
@@ -399,6 +421,7 @@ fn serve_run(
                     }
                     slots[worker] =
                         Some((payloads, loss, codec_seconds, residual_l2, step_seconds));
+                    arrivals[worker] = Some(Instant::now());
                     missing -= 1;
                 }
                 Ok(ToCoord::Finished {
@@ -431,6 +454,7 @@ fn serve_run(
                     // and deterministic replay makes the re-push
                     // byte-identical.
                     if slots[worker].take().is_some() {
+                        arrivals[worker] = None;
                         missing += 1;
                     }
                     deadline = deadline.max(Instant::now() + opts.rejoin_timeout);
@@ -474,6 +498,7 @@ fn serve_run(
                             flight,
                         )?;
                         if slots[worker].take().is_some() {
+                            arrivals[worker] = None;
                             missing += 1;
                         }
                     }
@@ -547,6 +572,7 @@ fn serve_run(
         let mut push_bytes = 0u64;
         let mut raw_bytes = 0u64;
         let mut server_bytes = vec![0u64; servers];
+        let first_arrival = arrivals.iter().flatten().min().copied();
         for (w, slot) in slots.iter_mut().enumerate() {
             let (payloads, loss, codec, residual, step_seconds) =
                 slot.take().expect("barrier filled every slot");
@@ -580,6 +606,10 @@ fn serve_run(
                 multiplier: step_multiplier,
                 rejoins: rejoin_counts[w],
                 step_seconds,
+                barrier_wait_seconds: match (arrivals[w], first_arrival) {
+                    (Some(at), Some(first)) => at.saturating_duration_since(first).as_secs_f64(),
+                    _ => 0.0,
+                },
             });
             payloads_by_worker.push(payloads);
         }
@@ -762,11 +792,20 @@ fn serve_run(
     trace.run_watchdog(workers as u64);
     let mut node_traces = Vec::new();
     let mut anomalies = Vec::new();
+    let mut analysis = None;
     if tracing {
         node_traces.push(server_buf.drain("server"));
         node_traces.extend(worker_traces.into_iter().flatten());
         let timeline = MergedTimeline::build(&node_traces);
         anomalies = threelc_obs::watchdog::check_timeline(&timeline, &WatchdogConfig::default());
+        // Critical-path attribution over the same merged timeline; the
+        // blame buckets land in the report and in the global registry so
+        // `threelc metrics` (and `--prom` scrapers) see them too.
+        let run_analysis = RunAnalysis::build(&timeline, &AnalysisConfig::default());
+        if !run_analysis.steps.is_empty() {
+            run_analysis.export_gauges(threelc_obs::global());
+            analysis = Some(run_analysis);
+        }
     }
     // Fault anomalies (rejoin flapping) need no tracing — the coordinator
     // saw every disconnect itself.
@@ -809,6 +848,8 @@ fn serve_run(
         node_traces,
         anomalies,
         series: recorder.lock().expect("series recorder lock").snapshot(),
+        analysis,
+        metrics: threelc_obs::global().snapshot(),
     })
 }
 

@@ -296,7 +296,9 @@ fn traced_loopback_produces_a_complete_cross_node_timeline() {
     assert_eq!(report.node_traces[0].clock, "server");
     assert_eq!(report.node_traces.iter().map(|n| n.dropped).sum::<u64>(), 0);
 
-    // The merged timeline covers every step with all eight phases.
+    // The merged timeline covers every step with all nine phases
+    // (barrier-wait is synthesized by the merge from the server-side
+    // barrier endpoints).
     let timeline = threelc_obs::MergedTimeline::build(&report.node_traces);
     let steps = timeline.steps();
     assert_eq!(steps.len(), config.total_steps as usize);

@@ -199,6 +199,7 @@ mod tests {
             multiplier: 1.0,
             rejoins: 0,
             step_seconds: 0.0,
+            barrier_wait_seconds: 0.0,
         }
     }
 

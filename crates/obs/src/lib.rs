@@ -4,7 +4,7 @@
 //! wall-clock — so every layer of this workspace reports into one shared
 //! instrumentation layer instead of growing its own ad-hoc counters. The
 //! crate is std-only (the vendored `serde` stubs are its only
-//! dependencies) and provides nine pieces:
+//! dependencies) and provides eleven pieces:
 //!
 //! 1. **A metrics registry** ([`Registry`]) of named [`Counter`]s,
 //!    [`Gauge`]s, and log-bucketed [`Histogram`]s. Metrics are lock-free
@@ -43,6 +43,15 @@
 //!    that combines with the series store and recent spans into a
 //!    self-contained `<out>.flight.json` post-mortem dump when the
 //!    watchdog fires, a handler panics, a fault injects, or a run aborts.
+//! 10. **A critical-path profiler** ([`critical`]): rebuilds the per-step
+//!     BSP dependency DAG from the clock-aligned timeline, attributes
+//!     every nanosecond of step wall-clock to a {phase × node} blame
+//!     bucket (barrier-wait charged to the causing straggler), computes
+//!     Amdahl-style what-if projections, and flags bottlenecks — the
+//!     engine behind `threelc analyze`.
+//! 11. **Prometheus exposition** ([`prom`]): renders any [`Snapshot`] in
+//!     the Prometheus text format for standard scrapers
+//!     (`threelc metrics --prom`).
 //!
 //! ```
 //! use threelc_obs::Registry;
@@ -61,8 +70,10 @@
 //! networked server exposes exactly that registry to `threelc metrics`
 //! scrapes.
 
+pub mod critical;
 pub mod flight;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
@@ -72,7 +83,11 @@ pub mod timeseries;
 pub mod trace;
 pub mod watchdog;
 
+pub use critical::{
+    AnalysisConfig, BlameBucket, Bottleneck, PathSegment, RunAnalysis, StepAnalysis, WhatIf,
+};
 pub use flight::{write_flight_dump, FlightDump, FlightRecorder, FLIGHT_VERSION};
+pub use prom::render_prometheus;
 
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry};

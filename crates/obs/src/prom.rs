@@ -1,0 +1,165 @@
+//! Prometheus / OpenMetrics text exposition for metric snapshots.
+//!
+//! [`render_prometheus`] turns any [`Snapshot`] — a live scrape, a
+//! `metrics.snapshot` JSONL event, or the snapshot embedded in a
+//! `threelc serve --json` report — into the Prometheus text exposition
+//! format (version 0.0.4), so standard scrapers and `promtool` can
+//! consume the registry without speaking the bespoke frame protocol.
+//! std-only, like everything else in this crate.
+//!
+//! Mapping rules:
+//!
+//! - Metric names are sanitized to `[a-zA-Z0-9_:]` (dots and dashes
+//!   become underscores): `span.compress.seconds` →
+//!   `span_compress_seconds`.
+//! - Counters and gauges export as their Prometheus namesakes.
+//! - Log-bucketed histograms export as Prometheus histograms with
+//!   cumulative `_bucket{le="..."}` series at each *occupied* bucket's
+//!   upper bound (power-of-two boundaries), plus the mandatory
+//!   `le="+Inf"` bucket, `_sum`, and `_count`. Skipping empty buckets
+//!   keeps the output small and is valid: cumulative counts stay
+//!   monotone over any subset of boundaries.
+
+use crate::metrics::bucket_upper_bound;
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+
+/// Sanitizes a metric name into the Prometheus character set.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN`
+/// spelled out, shortest round-trip otherwise).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `snap` in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let name = sanitize(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snap.gauges {
+        let name = sanitize(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(g.value));
+    }
+    for h in &snap.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.hist.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            cumulative += count;
+            let le = fmt_value(bucket_upper_bound(i));
+            if le == "+Inf" {
+                continue; // merged into the mandatory +Inf bucket below
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.hist.count);
+        let _ = writeln!(out, "{name}_sum {}", fmt_value(h.hist.sum));
+        let _ = writeln!(out, "{name}_count {}", h.hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn sanitize_maps_into_the_prometheus_charset() {
+        assert_eq!(sanitize("span.compress.seconds"), "span_compress_seconds");
+        assert_eq!(
+            sanitize("critical.worker1.network.seconds"),
+            "critical_worker1_network_seconds"
+        );
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+        assert_eq!(sanitize("a-b"), "a_b");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_expose() {
+        let reg = Registry::new();
+        reg.counter("frames.sent").add(7);
+        reg.gauge("queue.depth").set(3.5);
+        let h = reg.histogram("latency.seconds");
+        h.record(0.004);
+        h.record(0.009);
+        h.record(1e12); // overflow bucket
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE frames_sent counter"));
+        assert!(text.contains("frames_sent 7"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 3.5"));
+        assert!(text.contains("# TYPE latency_seconds histogram"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_seconds_count 3"));
+        assert!(text.contains("latency_seconds_sum"));
+        // No raw dots survive in metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap_or("");
+            assert!(!name.contains('.'), "unsanitized name in {line:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let reg = Registry::new();
+        let h = reg.histogram("x");
+        for v in [0.001, 0.001, 0.5, 2.0, 2.0, 2.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("x_bucket{le=\"") {
+                let count: u64 = rest
+                    .split("} ")
+                    .nth(1)
+                    .expect("count")
+                    .parse()
+                    .expect("integer");
+                assert!(count >= last, "non-monotone cumulative counts:\n{text}");
+                last = count;
+                bucket_lines += 1;
+            }
+        }
+        assert!(
+            bucket_lines >= 3,
+            "expected occupied buckets plus +Inf:\n{text}"
+        );
+        assert_eq!(last, 6, "+Inf bucket must equal count:\n{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&Snapshot::default()), "");
+    }
+}

@@ -30,11 +30,21 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The per-step phases a fully traced run records, in pipeline order.
-pub const PHASES: [&str; 8] = [
+///
+/// `barrier-wait` is synthesized during the merge rather than recorded:
+/// a worker's raw `network` span covers *flush push → first pull frame*,
+/// which conflates wire transit with blocking at the barrier. When the
+/// server-side endpoints for the pair are known (`recv_push` end `T1`,
+/// `send_pull` start `T2`), the merge splits the span into
+/// `network [t0, T1)`, `barrier-wait [T1, T2)`, and `network [T2, t3)` on
+/// the aligned axis — so the per-step table sums to step wall-clock
+/// instead of double-counting the barrier inside "network".
+pub const PHASES: [&str; 9] = [
     "quantize",
     "encode",
     "serialize",
     "network",
+    "barrier-wait",
     "server-decode",
     "aggregate",
     "re-encode",
@@ -150,7 +160,16 @@ impl MergedTimeline {
                 });
             }
             for s in &node.spans {
-                spans.push(shift(s, offset_ns));
+                let aligned = shift(s, offset_ns);
+                if s.name == "network" && s.worker != NO_WORKER {
+                    if let Some(e) = server_ends.get(&(s.step, s.worker)) {
+                        if let (Some(t1), Some(t2)) = (e.t1, e.t2) {
+                            split_network(aligned, t1, t2, &mut spans);
+                            continue;
+                        }
+                    }
+                }
+                spans.push(aligned);
             }
         }
 
@@ -230,11 +249,97 @@ impl MergedTimeline {
                 s.worker
             );
         }
+        // Flow events: one arrow chain per (step, worker) linking the
+        // push leaving the worker lane → the server receiving it → the
+        // aggregate → the pull send → the pull landing back on the
+        // worker lane, so cross-node causality is visible in the UI.
+        // Point order: [push start, recv end, aggregate start, send_pull
+        // start, pull start]; each point is (pid, ts).
+        type FlowPoints = [Option<(usize, u64)>; 5];
+        let mut flows: BTreeMap<(u64, i64), FlowPoints> = BTreeMap::new();
+        let mut aggregates: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            if s.name == "aggregate" && s.worker == NO_WORKER {
+                let e = aggregates.entry(s.step).or_insert((0, u64::MAX));
+                if s.start_ns < e.1 {
+                    *e = (pid_of(&s.node), s.start_ns);
+                }
+            }
+            if s.worker == NO_WORKER {
+                continue;
+            }
+            let key = (s.step, s.worker);
+            let on_worker_lane = s.node.starts_with("worker");
+            let point: Option<(usize, usize, u64)> = match s.name.as_str() {
+                "network" if on_worker_lane => Some((0, pid_of(&s.node), s.start_ns)),
+                "recv_push" => Some((1, pid_of(&s.node), s.start_ns + s.dur_ns)),
+                "send_pull" => Some((3, pid_of(&s.node), s.start_ns)),
+                "pull" if on_worker_lane => Some((4, pid_of(&s.node), s.start_ns)),
+                _ => None,
+            };
+            if let Some((slot, pid, ts)) = point {
+                let entry = flows.entry(key).or_default();
+                // Earliest network/pull start, latest recv end,
+                // earliest send start.
+                let better = match entry[slot] {
+                    None => true,
+                    Some((_, old)) => {
+                        if slot == 1 {
+                            ts > old
+                        } else {
+                            ts < old
+                        }
+                    }
+                };
+                if better {
+                    entry[slot] = Some((pid, ts));
+                }
+            }
+        }
+        for ((step, worker), slots) in &flows {
+            let mut points: Vec<(usize, u64)> = Vec::new();
+            for (slot, p) in slots.iter().enumerate() {
+                if slot == 2 {
+                    if let Some(&agg) = aggregates.get(step) {
+                        points.push(agg);
+                    }
+                }
+                if let Some(p) = p {
+                    points.push(*p);
+                }
+            }
+            if points.len() < 2 {
+                continue;
+            }
+            // Chrome requires nondecreasing timestamps along one flow id.
+            let mut last = 0u64;
+            let id = step.wrapping_mul(4_096).wrapping_add((*worker + 1) as u64);
+            for (i, (pid, ts)) in points.iter().enumerate() {
+                let ts = (*ts).max(last);
+                last = ts;
+                let (ph, bind) = if i == 0 {
+                    ("s", "")
+                } else if i == points.len() - 1 {
+                    ("f", ",\"bp\":\"e\"")
+                } else {
+                    ("t", "")
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"{ph}\",\"id\":{id},\"pid\":{pid},\"tid\":0,\"ts\":{:.3},\"name\":\"bsp\",\"cat\":\"bsp-flow\"{bind},\"args\":{{\"step\":{step},\"worker\":{worker}}}}}",
+                    ts as f64 / 1e3
+                );
+            }
+        }
         out.push_str("]}");
         out
     }
 
-    /// Terminal per-step breakdown of the eight phases (milliseconds,
+    /// Terminal per-step breakdown of the nine phases (milliseconds,
     /// summed across lanes), plus the clock-offset estimates. Rows are
     /// capped at `max_steps` (0 = all).
     pub fn render_text(&self, max_steps: usize) -> String {
@@ -279,6 +384,41 @@ impl MergedTimeline {
         }
         out
     }
+}
+
+/// Splits one aligned worker `network` span at the server-side barrier
+/// endpoints `T1` (push fully received) and `T2` (pull about to be
+/// written), both already on the reference axis: the middle becomes an
+/// explicit `barrier-wait` span, the flanks stay `network` (true
+/// transit). Degenerate overlaps (clock estimation error pushing `T1`/
+/// `T2` outside the span) fall back to the unsplit span.
+fn split_network(s: AlignedSpan, t1: u64, t2: u64, out: &mut Vec<AlignedSpan>) {
+    let start = s.start_ns;
+    let end = s.start_ns + s.dur_ns;
+    let lo = t1.clamp(start, end);
+    let hi = t2.clamp(lo, end);
+    if hi <= lo {
+        out.push(s);
+        return;
+    }
+    let mut piece = |name: &str, a: u64, b: u64, id_salt: u64| {
+        if b > a {
+            out.push(AlignedSpan {
+                node: s.node.clone(),
+                name: name.to_string(),
+                step: s.step,
+                worker: s.worker,
+                start_ns: a,
+                dur_ns: b - a,
+                trace: s.trace,
+                span: s.span.wrapping_add(id_salt),
+                parent: s.parent,
+            });
+        }
+    };
+    piece("network", start, lo, 0);
+    piece("barrier-wait", lo, hi, 1 << 62);
+    piece("network", hi, end, 1 << 63);
 }
 
 fn shift(s: &SpanRecord, offset_ns: i64) -> AlignedSpan {
@@ -503,14 +643,34 @@ mod tests {
         assert_eq!(earliest.name, "quantize");
         assert_eq!(earliest.start_ns, 0);
         // The step-0 network span's true start is 1000 − 100 after
-        // normalization = 900 on the shared axis.
-        let net = tl
+        // normalization = 900 on the shared axis. Because the server-side
+        // endpoints for the pair are known (T1=1100, T2=2000 true time),
+        // the raw [1000, 2100) span splits into network / barrier-wait /
+        // network on the aligned axis.
+        let step0: Vec<&AlignedSpan> = tl
             .spans
             .iter()
-            .find(|s| s.name == "network" && s.step == 0)
-            .expect("network span");
-        assert_eq!(net.start_ns, 900);
-        assert_eq!(net.dur_ns, 1_100);
+            .filter(|s| s.step == 0 && (s.name == "network" || s.name == "barrier-wait"))
+            .collect();
+        assert_eq!(step0.len(), 3, "split into transit/wait/transit");
+        assert_eq!(
+            (step0[0].name.as_str(), step0[0].start_ns, step0[0].dur_ns),
+            ("network", 900, 100)
+        );
+        assert_eq!(
+            (step0[1].name.as_str(), step0[1].start_ns, step0[1].dur_ns),
+            ("barrier-wait", 1_000, 900)
+        );
+        assert_eq!(
+            (step0[2].name.as_str(), step0[2].start_ns, step0[2].dur_ns),
+            ("network", 1_900, 100)
+        );
+        // The pieces tile the original span exactly: total network +
+        // barrier-wait time equals the raw 1100 ns.
+        assert_eq!(
+            tl.phase_seconds(0, "network") + tl.phase_seconds(0, "barrier-wait"),
+            1_100e-9
+        );
     }
 
     #[test]

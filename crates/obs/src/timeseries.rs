@@ -46,11 +46,15 @@ pub const S_MULTIPLIER: &str = "multiplier";
 pub const S_REJOINS: &str = "rejoins";
 /// Wall-clock seconds the worker spent computing + encoding the step.
 pub const S_STEP_SECONDS: &str = "step_seconds";
+/// Wall-clock seconds the barrier spent waiting on this worker beyond
+/// the first arrival — how late its push was relative to the fastest
+/// worker that step (0 in the simulator, which has no wall clock).
+pub const S_BARRIER_WAIT: &str = "barrier_wait_seconds";
 
 /// Series whose values derive from wall clocks and therefore differ
 /// between two otherwise identical runs. [`RunSeries::deterministic`]
 /// strips these before bit-exact comparisons.
-pub const WALL_CLOCK_SERIES: &[&str] = &[S_STEP_SECONDS];
+pub const WALL_CLOCK_SERIES: &[&str] = &[S_STEP_SECONDS, S_BARRIER_WAIT];
 
 /// All per-worker series names, in recording order.
 pub const WORKER_SERIES: &[&str] = &[
@@ -61,6 +65,7 @@ pub const WORKER_SERIES: &[&str] = &[
     S_MULTIPLIER,
     S_REJOINS,
     S_STEP_SECONDS,
+    S_BARRIER_WAIT,
 ];
 
 /// Run-level series names (aggregated across workers each step).
@@ -378,6 +383,9 @@ pub struct WorkerDelta {
     pub rejoins: u64,
     /// Wall-clock compute+encode seconds (non-deterministic).
     pub step_seconds: f64,
+    /// Seconds the barrier waited on this worker past the first push
+    /// arrival (non-deterministic; 0 in the simulator).
+    pub barrier_wait_seconds: f64,
 }
 
 /// Folds per-worker step deltas into a bounded [`RunSeries`] store.
@@ -430,6 +438,7 @@ impl RunRecorder {
                 d.multiplier,
                 d.rejoins as f64,
                 d.step_seconds,
+                d.barrier_wait_seconds,
             ];
             for (s, v) in ws.series.iter_mut().zip(values) {
                 s.push(step, v);
@@ -544,6 +553,7 @@ mod tests {
                     multiplier: 1.5,
                     rejoins: 0,
                     step_seconds: 0.001,
+                    barrier_wait_seconds: 0.0,
                 })
                 .collect();
             r.record_step(step, &deltas);
@@ -573,6 +583,7 @@ mod tests {
                 multiplier: 1.0,
                 rejoins: 0,
                 step_seconds: 0.123,
+                barrier_wait_seconds: 0.0,
             }],
         );
         let det = r.store().deterministic();
@@ -598,6 +609,7 @@ mod tests {
                     multiplier: 1.0,
                     rejoins: 0,
                     step_seconds: 0.0,
+                    barrier_wait_seconds: 0.0,
                 }],
             );
         }

@@ -83,7 +83,14 @@ pub struct StepStats {
 /// spans mostly measure *waiting at the barrier*, which is longest for
 /// the **fastest** worker — flagging it would invert the signal. `step`
 /// envelopes are compared through their constituent phases instead.
-const STRAGGLER_SKIP: [&str; 5] = ["network", "step", "recv_push", "send_pull", "barrier"];
+const STRAGGLER_SKIP: [&str; 6] = [
+    "network",
+    "step",
+    "recv_push",
+    "send_pull",
+    "barrier",
+    "barrier-wait",
+];
 
 /// Flags worker phases that exceed `k` × the per-step cross-worker median
 /// (lower-middle median, so with two workers the baseline is the faster
