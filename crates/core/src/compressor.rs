@@ -251,6 +251,19 @@ impl Compressor for ThreeLcCompressor {
         out
     }
 
+    fn decompress_symbols(
+        &self,
+        payload: &[u8],
+        out: &mut Vec<i8>,
+    ) -> Result<Option<f32>, DecodeError> {
+        let start = Instant::now();
+        let res = self.decode_symbols_inner(payload, out);
+        self.telemetry
+            .decompress_seconds
+            .record(start.elapsed().as_secs_f64());
+        res.map(Some)
+    }
+
     fn residual(&self) -> Option<&Tensor> {
         if self.options.error_accumulation {
             Some(&self.buffer)
@@ -457,6 +470,52 @@ impl ThreeLcCompressor {
         };
         encode_span.finish();
         Ok((body, flags, scale))
+    }
+
+    /// The symbol half of [`Self::decompress_inner`]: identical header and
+    /// body validation (same errors at the same offsets), stopping after
+    /// the ternary decode instead of dequantizing into a `Tensor`. Always
+    /// serial — symbol decoding is the cheap half of a decode, and its
+    /// callers (server aggregation) already parallelize across tensors.
+    fn decode_symbols_inner(&self, payload: &[u8], out: &mut Vec<i8>) -> Result<f32, DecodeError> {
+        if payload.len() < HEADER_LEN {
+            return Err(DecodeError::TruncatedHeader {
+                have: payload.len(),
+                need: HEADER_LEN,
+            });
+        }
+        let flags = payload[0];
+        if flags & !FLAG_ZRE != 0 {
+            return Err(DecodeError::UnknownFormat { flags });
+        }
+        let scale = f32::from_le_bytes(payload[1..5].try_into().expect("4 bytes"));
+        if !scale.is_finite() {
+            return Err(DecodeError::NonFiniteScale);
+        }
+        let count = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as usize;
+        if count != self.shape.num_elements() {
+            return Err(DecodeError::ElementCountMismatch {
+                payload: count,
+                expected: self.shape.num_elements(),
+            });
+        }
+        let body = &payload[HEADER_LEN..];
+        let quartic_len = count.div_ceil(quartic::VALUES_PER_BYTE);
+        let quartic_owned: Vec<u8>;
+        let quartic_bytes: &[u8] = if flags & FLAG_ZRE != 0 {
+            quartic_owned = zrle::decode_exact(body, quartic_len)?;
+            &quartic_owned
+        } else {
+            if body.len() != quartic_len {
+                return Err(DecodeError::BodyLengthMismatch {
+                    decoded: body.len() * quartic::VALUES_PER_BYTE,
+                    expected: count,
+                });
+            }
+            body
+        };
+        quartic::decode_into_impl(self.codec, quartic_bytes, count, out)?;
+        Ok(scale)
     }
 
     fn decompress_inner(&self, payload: &[u8]) -> Result<Tensor, DecodeError> {

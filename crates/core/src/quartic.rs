@@ -90,6 +90,26 @@ pub fn encode_impl(imp: crate::kernels::CodecImpl, values: &[i8]) -> Vec<u8> {
 /// # Ok::<(), threelc::DecodeError>(())
 /// ```
 pub fn decode(bytes: &[u8], count: usize) -> Result<Vec<i8>, DecodeError> {
+    let mut out = Vec::new();
+    decode_into_impl(crate::kernels::active(), bytes, count, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode`] into a caller-owned buffer on an explicit codec tier: `out`
+/// is resized to `count` and overwritten. Reusing one buffer across calls
+/// is what lets symbol-domain consumers (compressed-domain aggregation)
+/// decode a stream of payloads without a fresh allocation per payload.
+///
+/// # Errors
+///
+/// Exactly [`decode`]'s errors, with identical offsets; on error `out` is
+/// left in an unspecified (but valid) state.
+pub fn decode_into_impl(
+    imp: crate::kernels::CodecImpl,
+    bytes: &[u8],
+    count: usize,
+    out: &mut Vec<i8>,
+) -> Result<(), DecodeError> {
     let expected_bytes = count.div_ceil(VALUES_PER_BYTE);
     if bytes.len() != expected_bytes {
         return Err(DecodeError::BodyLengthMismatch {
@@ -98,16 +118,18 @@ pub fn decode(bytes: &[u8], count: usize) -> Result<Vec<i8>, DecodeError> {
         });
     }
     if count == 0 {
-        return Ok(Vec::new());
+        out.clear();
+        return Ok(());
     }
-    if let Some(offset) = crate::kernels::find_invalid_quartic(crate::kernels::active(), bytes) {
+    if let Some(offset) = crate::kernels::find_invalid_quartic(imp, bytes) {
         return Err(DecodeError::InvalidQuarticByte {
             byte: bytes[offset],
             offset,
         });
     }
     let partition = bytes.len();
-    let mut out = vec![0i8; count];
+    out.clear();
+    out.resize(count, 0);
     // Reverse the base-3 digits: p_j = (byte / 3^(4-j)) % 3, then -1.
     // Deliberately arithmetic rather than a lookup table: LLVM turns the
     // divide-by-constant and modulo into multiplies and vectorizes each
@@ -123,7 +145,7 @@ pub fn decode(bytes: &[u8], count: usize) -> Result<Vec<i8>, DecodeError> {
             out[idx] = digit as i8 - 1;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Bits per ternary value used by quartic encoding (8 bits / 5 values).

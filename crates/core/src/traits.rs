@@ -43,6 +43,33 @@ pub trait Compressor: Send {
     /// Returns a [`DecodeError`] for any structurally malformed payload.
     fn decompress(&self, payload: &[u8]) -> Result<Tensor, DecodeError>;
 
+    /// Decodes a wire payload to its raw quantization symbols, without
+    /// materializing a `Tensor`.
+    ///
+    /// Schemes whose payloads are `symbols × scale` (3LC's ternary
+    /// `{-1, 0, 1}`) write the symbols into `out` (resized to the tensor's
+    /// element count) and return `Ok(Some(scale))`, such that
+    /// `decompress(payload)[e] == out[e] as f32 * scale` bit for bit.
+    /// Servers use this to aggregate in the symbol domain — summing
+    /// `scale · sym` per worker, or integer symbol lanes per scale group —
+    /// without a per-worker tensor allocation and dequantize pass.
+    ///
+    /// The default returns `Ok(None)`: the scheme has no symbol form and
+    /// callers must fall back to [`decompress`](Self::decompress). `out`
+    /// is unspecified after a `None` or error return.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`DecodeError`]s `decompress` reports for the same
+    /// payload, so callers can treat either entry point as the validator.
+    fn decompress_symbols(
+        &self,
+        _payload: &[u8],
+        _out: &mut Vec<i8>,
+    ) -> Result<Option<f32>, DecodeError> {
+        Ok(None)
+    }
+
     /// The error-accumulation (residual) buffer, if this scheme keeps one.
     ///
     /// Exposed for tests and instrumentation; `None` for stateless schemes.

@@ -212,6 +212,171 @@ proptest! {
     }
 }
 
+proptest! {
+    #[test]
+    fn aggregate_kernels_are_identical_on_every_tier(
+        workers in prop::collection::vec(ternary_vec(), 1..6),
+        scale_bits in prop_oneof![
+            Just(0.0f32), Just(-0.0f32), Just(1.0f32), Just(0.125f32),
+            (1u32..0x0080_0000).prop_map(f32::from_bits), // subnormal scales
+            -2.0f32..2.0,
+        ],
+    ) {
+        // All workers share the shortest length so they aggregate the
+        // same tensor.
+        let n = workers.iter().map(Vec::len).min().unwrap_or(0);
+        let workers: Vec<&[i8]> = workers.iter().map(|w| &w[..n]).collect();
+        let scale = scale_bits;
+        use threelc::kernels;
+
+        // Reference: scalar dequant assign-then-add in worker order.
+        let mut want = vec![0f32; n];
+        for (w, syms) in workers.iter().enumerate() {
+            if w == 0 {
+                kernels::dequant_assign(CodecImpl::Scalar, syms, scale, &mut want);
+            } else {
+                kernels::dequant_add(CodecImpl::Scalar, syms, scale, &mut want);
+            }
+        }
+        let want_bits: Vec<u32> = want.iter().map(|f| f.to_bits()).collect();
+        for imp in available_tiers() {
+            let mut got = vec![0f32; n];
+            for (w, syms) in workers.iter().enumerate() {
+                if w == 0 {
+                    kernels::dequant_assign(imp, syms, scale, &mut got);
+                } else {
+                    kernels::dequant_add(imp, syms, scale, &mut got);
+                }
+            }
+            let got_bits: Vec<u32> = got.iter().map(|f| f.to_bits()).collect();
+            prop_assert!(got_bits == want_bits, "dequant diverged on {}", imp);
+        }
+
+        // Lane accumulate + drain: every tier must agree with the scalar
+        // tier on the packed words AND the drained floats, and draining
+        // must equal the integer symbol sum times the scale.
+        let members = workers.len() as u32;
+        let mut want_lanes = vec![0u64; n.div_ceil(4)];
+        for syms in &workers {
+            kernels::symbol_lanes_add(CodecImpl::Scalar, syms, &mut want_lanes);
+        }
+        let mut want_drained = vec![7.0f32; n];
+        kernels::symbol_lanes_drain_assign(
+            CodecImpl::Scalar, &want_lanes, members, scale, &mut want_drained,
+        );
+        for (e, &d) in want_drained.iter().enumerate() {
+            let isum: i32 = workers.iter().map(|syms| syms[e] as i32).sum();
+            prop_assert!(
+                d.to_bits() == (isum as f32 * scale).to_bits(),
+                "drain is not the integer sum times scale at {}", e
+            );
+        }
+        for imp in available_tiers() {
+            let mut lanes = vec![0u64; n.div_ceil(4)];
+            for syms in &workers {
+                kernels::symbol_lanes_add(imp, syms, &mut lanes);
+            }
+            prop_assert!(lanes == want_lanes, "lane words diverged on {}", imp);
+            let mut drained = vec![7.0f32; n];
+            kernels::symbol_lanes_drain_assign(imp, &lanes, members, scale, &mut drained);
+            let a: Vec<u32> = drained.iter().map(|f| f.to_bits()).collect();
+            let b: Vec<u32> = want_drained.iter().map(|f| f.to_bits()).collect();
+            prop_assert!(a == b, "drain-assign diverged on {}", imp);
+            let mut added = want_drained.clone();
+            let mut added_want = want_drained.clone();
+            kernels::symbol_lanes_drain_add(imp, &lanes, members, scale, &mut added);
+            kernels::symbol_lanes_drain_add(
+                CodecImpl::Scalar, &want_lanes, members, scale, &mut added_want,
+            );
+            let a: Vec<u32> = added.iter().map(|f| f.to_bits()).collect();
+            let b: Vec<u32> = added_want.iter().map(|f| f.to_bits()).collect();
+            prop_assert!(a == b, "drain-add diverged on {}", imp);
+        }
+    }
+
+    #[test]
+    fn symbol_decode_matches_decompress_bit_for_bit(
+        v in adversarial_floats(400),
+        opts in options(),
+    ) {
+        // decompress_symbols must expose exactly the (symbols, scale) pair
+        // decompress dequantizes: syms[e] as f32 * scale == tensor[e],
+        // bit for bit, on every tier.
+        let input = Tensor::from_slice(&v);
+        for imp in available_tiers() {
+            let mut cx = ThreeLcCompressor::with_options(input.shape().clone(), opts)
+                .with_codec_impl(imp);
+            let wire = match cx.compress(&input) {
+                Ok(w) => w,
+                Err(_) => continue, // non-finite input rejected; nothing to decode
+            };
+            let mut syms = Vec::new();
+            // A scale that overflowed to +inf at encode time makes *both*
+            // entry points reject the payload with the identical error.
+            match (cx.decompress(&wire), cx.decompress_symbols(&wire, &mut syms)) {
+                (Ok(dense), Ok(Some(scale))) => {
+                    prop_assert!(syms.len() == dense.len());
+                    for (e, (&s, &x)) in syms.iter().zip(dense.as_slice()).enumerate() {
+                        prop_assert!((-1..=1).contains(&s), "non-ternary symbol at {}", e);
+                        prop_assert!(
+                            (s as f32 * scale).to_bits() == x.to_bits(),
+                            "symbol {} · scale diverged from dense decode at {} on {}", s, e, imp
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert!(a == b, "errors diverged on {}", imp),
+                (d, s) => prop_assert!(false, "outcomes diverged on {}: {:?} vs {:?}", imp, d, s),
+            }
+        }
+    }
+}
+
+#[test]
+fn symbol_decode_errors_match_decompress_errors() {
+    // Corrupt a real payload byte-by-byte: the symbol entry point must
+    // report exactly the error decompress reports (same variant, same
+    // offsets), or succeed with the matching symbols, on every tier.
+    let n = 350usize;
+    let mut r = threelc_tensor::rng(41);
+    use rand::Rng as _;
+    let v: Vec<f32> = (0..n)
+        .map(|_| {
+            if r.gen_bool(0.7) {
+                0.0
+            } else {
+                r.gen_range(-1.0f32..1.0)
+            }
+        })
+        .collect();
+    let input = Tensor::from_slice(&v);
+    let mut cx = ThreeLcCompressor::new(input.shape().clone(), SparsityMultiplier::default());
+    let wire = cx.compress(&input).unwrap();
+    for pos in 0..wire.len() {
+        let mut bad = wire.clone();
+        bad[pos] ^= 0xa5;
+        for imp in available_tiers() {
+            let cx = ThreeLcCompressor::new(input.shape().clone(), SparsityMultiplier::default())
+                .with_codec_impl(imp);
+            let dense = cx.decompress(&bad);
+            let mut syms = Vec::new();
+            let symbolic = cx.decompress_symbols(&bad, &mut syms);
+            match (dense, symbolic) {
+                (Ok(t), Ok(Some(scale))) => {
+                    for (e, (&s, &x)) in syms.iter().zip(t.as_slice()).enumerate() {
+                        assert_eq!(
+                            (s as f32 * scale).to_bits(),
+                            x.to_bits(),
+                            "byte {pos} elem {e} on {imp}"
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "byte {pos} on {imp}"),
+                (d, s) => panic!("byte {pos} on {imp}: outcomes diverged: {d:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
 #[test]
 fn all_tiers_handle_boundary_straddling_lengths() {
     // Deterministic sweep over every length around the 5-symbol quartic

@@ -273,9 +273,13 @@ impl Cluster {
                 trace::NO_WORKER,
             )
         });
+        // `sample_stragglers` keeps `backups < n`, so at least one worker's
+        // push is always accepted and the all-rejected error is unreachable
+        // in the simulator.
         let out = self
             .server
-            .apply_step(&payloads, accepted_count, residual_l2);
+            .apply_step(&payloads, accepted_count, residual_l2)
+            .expect("straggler sampling guarantees at least one accepted push");
         drop(server_scope);
 
         // Deliver the next step's policy decisions to every replica —

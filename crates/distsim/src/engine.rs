@@ -21,9 +21,11 @@
 //! a pure function of the payload and the tensor shape: compression state
 //! (error-accumulation buffers, RNG draws) only affects `compress`.
 
-use crate::config::ExperimentConfig;
+use crate::config::{AggregateMode, ExperimentConfig};
+use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use threelc::kernels::{self, CodecImpl};
 use threelc::parallel::{self, split_off_ranges, split_ranges};
 use threelc::{CompressionStats, Compressor, SparsityMultiplier};
 use threelc_baselines::{build_compressor, SchemeKind};
@@ -144,6 +146,33 @@ impl Problem {
             .collect()
     }
 }
+
+/// A typed server-step failure ([`ServerCore::apply_step`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Every worker's push was rejected this step, leaving nothing to
+    /// aggregate. BSP callers that gate on `workers − backup_workers`
+    /// accepted pushes can never hit this; runtimes that drop payloads on
+    /// validation failures (the networked server under fault injection)
+    /// surface it as a named run error instead of a panic.
+    NoAcceptedPushes {
+        /// The step that had no accepted pushes.
+        step: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoAcceptedPushes { step } => write!(
+                f,
+                "step {step}: every worker's push was rejected; nothing to aggregate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// A per-tensor state-change payload: compressed wire bytes, or the raw
 /// tensor for small layers excluded from compression.
@@ -342,6 +371,386 @@ pub struct ServerCore {
     /// `engine.shard.lock_wait_seconds` — time shards spent waiting on the
     /// striped stats accumulators (the contention signal).
     shard_lock_wait: Arc<Histogram>,
+    /// `engine.aggregate.symbol_decode_seconds` — payload→symbol (or
+    /// payload→tensor, in f32 mode) decode time per aggregation pass (per
+    /// shard when sharded). With `engine.aggregate.accumulate_seconds`
+    /// this splits the aggregate phase so `threelc analyze` can attribute
+    /// symbol-domain wins to the right half.
+    aggregate_decode_seconds: Arc<Histogram>,
+    /// `engine.aggregate.accumulate_seconds` — pure accumulate arithmetic
+    /// (dequantize-sum, integer lane sums, float adds) per aggregation
+    /// pass (per shard when sharded).
+    aggregate_accumulate_seconds: Arc<Histogram>,
+}
+
+/// The largest accepted-worker count compressed-mode aggregation can sum
+/// in u16 symbol lanes: each worker contributes a biased digit ≤ 2 per
+/// lane, so 32767 workers max out at 65534 < 2¹⁶. Bigger steps fall back
+/// to exact mode (deterministically — the choice depends only on the
+/// accepted count, which replays identically).
+pub const MAX_COMPRESSED_LANE_WORKERS: usize = 32767;
+
+/// Reusable scratch for one aggregation pass: symbol buffers, scale-group
+/// tables, and widened integer lanes. One instance per pass (per shard
+/// when sharded) — tensors reuse the allocations instead of paying a
+/// per-worker `Tensor` per tensor per step like the f32 path.
+#[derive(Default)]
+struct AggScratch {
+    /// Current worker's decoded symbols (exact mode).
+    syms: Vec<i8>,
+    /// Per-accepted-member symbol buffers (compressed mode pass 1).
+    pool: Vec<Vec<i8>>,
+    /// Per-member payload scale, in worker order (compressed mode).
+    scales: Vec<f32>,
+    /// Distinct scale bit patterns in first-occurrence worker order: the
+    /// scale-grouping rule (DESIGN.md §16). Grouping by *bit pattern*
+    /// keeps `0.0` and `-0.0` apart, which preserves signed-zero products.
+    groups: Vec<u32>,
+    /// Member → group index, parallel to `scales`.
+    membership: Vec<usize>,
+    /// Widened u16 symbol lanes, 4 per u64 word.
+    lanes: Vec<u64>,
+}
+
+/// The aggregate phase's two-way timing split (DESIGN.md §16).
+#[derive(Default, Clone, Copy)]
+struct AggTimings {
+    /// Payload→symbol decode (payload→tensor in f32 mode).
+    decode: f64,
+    /// Accumulate arithmetic: dequantize-sums, lane sums, float adds.
+    accumulate: f64,
+}
+
+/// Decodes and averages one tensor's accepted pushes under `mode`.
+///
+/// `ctx_row` holds the tensor's per-worker decode contexts; `stats`,
+/// `codec`, and `timings` accumulate the pass's bookkeeping. The caller
+/// guarantees at least one accepted worker ([`ServerCore::apply_step`]
+/// returns [`EngineError::NoAcceptedPushes`] otherwise) and, for
+/// [`AggregateMode::Compressed`], at most [`MAX_COMPRESSED_LANE_WORKERS`]
+/// of them.
+#[allow(clippy::too_many_arguments)] // one bookkeeping sink per output, shared by both shard layouts
+fn aggregate_tensor(
+    mode: AggregateMode,
+    imp: CodecImpl,
+    shape: &Shape,
+    ctx_row: &[Option<Box<dyn Compressor>>],
+    payloads: &[Vec<TensorPayload>],
+    i: usize,
+    accepted_count: usize,
+    scratch: &mut AggScratch,
+    stats: &mut CompressionStats,
+    codec: &mut f64,
+    timings: &mut AggTimings,
+) -> Tensor {
+    match mode {
+        AggregateMode::F32 => aggregate_tensor_f32(
+            shape,
+            ctx_row,
+            payloads,
+            i,
+            accepted_count,
+            stats,
+            codec,
+            timings,
+        ),
+        AggregateMode::Exact => aggregate_tensor_exact(
+            imp,
+            shape,
+            ctx_row,
+            payloads,
+            i,
+            accepted_count,
+            scratch,
+            stats,
+            codec,
+            timings,
+        ),
+        AggregateMode::Compressed => aggregate_tensor_compressed(
+            imp,
+            shape,
+            ctx_row,
+            payloads,
+            i,
+            accepted_count,
+            scratch,
+            stats,
+            codec,
+            timings,
+        ),
+    }
+}
+
+/// The seed aggregation path: decode every accepted payload to an f32
+/// [`Tensor`], sum in worker order, divide by the accepted count.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_tensor_f32(
+    shape: &Shape,
+    ctx_row: &[Option<Box<dyn Compressor>>],
+    payloads: &[Vec<TensorPayload>],
+    i: usize,
+    accepted_count: usize,
+    stats: &mut CompressionStats,
+    codec: &mut f64,
+    timings: &mut AggTimings,
+) -> Tensor {
+    let mut sum: Option<Tensor> = None;
+    for (w, worker_payloads) in payloads.iter().enumerate() {
+        if worker_payloads.is_empty() {
+            continue; // dropped straggler
+        }
+        let grad = match &worker_payloads[i] {
+            TensorPayload::Compressed(wire) => {
+                let t0 = Instant::now();
+                let g = ctx_row[w]
+                    .as_ref()
+                    .expect("compressed payload implies a context")
+                    .decompress(wire)
+                    .expect("payload produced by matching context");
+                let dt = t0.elapsed().as_secs_f64();
+                *codec += dt;
+                timings.decode += dt;
+                stats.record(shape.num_elements(), wire.len());
+                g
+            }
+            TensorPayload::Raw(grad) => grad.clone(),
+        };
+        let a0 = Instant::now();
+        match &mut sum {
+            Some(s) => s.add_assign(&grad).expect("same shapes"),
+            None => sum = Some(grad),
+        }
+        timings.accumulate += a0.elapsed().as_secs_f64();
+    }
+    let mut avg = sum.expect("caller guarantees an accepted worker");
+    avg.scale_inplace(1.0 / accepted_count as f32);
+    avg
+}
+
+/// Exact-mode aggregation: decode payloads to i8 symbols and perform the
+/// same per-element worker-order float accumulation `Σ scale_w · sym_w`
+/// the f32 path computes — bit-identical to it (each term is the one IEEE
+/// multiply `sym as f32 · scale` the dequantizer would have produced, and
+/// the adds run in the same order), without per-worker tensor
+/// allocations or a separate dequantize pass. The first accepted worker
+/// *assigns* (preserving `-0.0` products exactly as moving the first
+/// decoded tensor into the sum did); schemes without a symbol form fall
+/// back to dense decode per payload, accumulating the same float values.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_tensor_exact(
+    imp: CodecImpl,
+    shape: &Shape,
+    ctx_row: &[Option<Box<dyn Compressor>>],
+    payloads: &[Vec<TensorPayload>],
+    i: usize,
+    accepted_count: usize,
+    scratch: &mut AggScratch,
+    stats: &mut CompressionStats,
+    codec: &mut f64,
+    timings: &mut AggTimings,
+) -> Tensor {
+    let n = shape.num_elements();
+    let mut acc = vec![0f32; n];
+    let mut first = true;
+    for (w, worker_payloads) in payloads.iter().enumerate() {
+        if worker_payloads.is_empty() {
+            continue; // dropped straggler
+        }
+        match &worker_payloads[i] {
+            TensorPayload::Compressed(wire) => {
+                let ctx = ctx_row[w]
+                    .as_ref()
+                    .expect("compressed payload implies a context");
+                let t0 = Instant::now();
+                match ctx
+                    .decompress_symbols(wire, &mut scratch.syms)
+                    .expect("payload produced by matching context")
+                {
+                    Some(scale) => {
+                        let dt = t0.elapsed().as_secs_f64();
+                        *codec += dt;
+                        timings.decode += dt;
+                        stats.record(n, wire.len());
+                        let a0 = Instant::now();
+                        if first {
+                            kernels::dequant_assign(imp, &scratch.syms, scale, &mut acc);
+                        } else {
+                            kernels::dequant_add(imp, &scratch.syms, scale, &mut acc);
+                        }
+                        timings.accumulate += a0.elapsed().as_secs_f64();
+                    }
+                    None => {
+                        // No symbol form (f32/baseline schemes): dense
+                        // decode, then accumulate the identical floats.
+                        let g = ctx
+                            .decompress(wire)
+                            .expect("payload produced by matching context");
+                        let dt = t0.elapsed().as_secs_f64();
+                        *codec += dt;
+                        timings.decode += dt;
+                        stats.record(n, wire.len());
+                        let a0 = Instant::now();
+                        accumulate_dense(g.as_slice(), first, &mut acc);
+                        timings.accumulate += a0.elapsed().as_secs_f64();
+                    }
+                }
+            }
+            TensorPayload::Raw(grad) => {
+                let a0 = Instant::now();
+                accumulate_dense(grad.as_slice(), first, &mut acc);
+                timings.accumulate += a0.elapsed().as_secs_f64();
+            }
+        }
+        first = false;
+    }
+    let a0 = Instant::now();
+    let mut avg = Tensor::from_vec(acc, shape.clone());
+    avg.scale_inplace(1.0 / accepted_count as f32);
+    timings.accumulate += a0.elapsed().as_secs_f64();
+    avg
+}
+
+/// `acc = xs` (first worker) or `acc += xs`: the dense half of exact-mode
+/// accumulation, element-for-element what `Tensor::add_assign` (and
+/// moving the first tensor into the sum) computes.
+fn accumulate_dense(xs: &[f32], first: bool, acc: &mut [f32]) {
+    if first {
+        acc.copy_from_slice(xs);
+    } else {
+        for (a, &x) in acc.iter_mut().zip(xs) {
+            *a += x;
+        }
+    }
+}
+
+/// Compressed-mode aggregation: group accepted workers by payload scale
+/// (bit pattern, first-occurrence worker order), sum each group's symbols
+/// in widened u16 integer lanes — exact, order-free integer arithmetic —
+/// and defer the float multiply to one drain pass per group. Group
+/// results combine in group order, so the whole computation is a
+/// deterministic function of the payloads alone: simulate, serve, and
+/// rejoin-replay reproduce it bit for bit (though it is *not*
+/// bit-identical to exact/f32 mode, whose float sums associate
+/// per-worker). Tensors whose payloads have no symbol form (raw small
+/// layers, baseline schemes) take the exact path instead.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_tensor_compressed(
+    imp: CodecImpl,
+    shape: &Shape,
+    ctx_row: &[Option<Box<dyn Compressor>>],
+    payloads: &[Vec<TensorPayload>],
+    i: usize,
+    accepted_count: usize,
+    scratch: &mut AggScratch,
+    stats: &mut CompressionStats,
+    codec: &mut f64,
+    timings: &mut AggTimings,
+) -> Tensor {
+    let n = shape.num_elements();
+    // Probe the first accepted payload: one scheme serves every worker of
+    // a tensor, so raw payloads or a scheme without a symbol form send
+    // the whole tensor down the exact path (before any stats are
+    // recorded). The probe is cheap — the no-symbol default returns
+    // `None` without decoding.
+    let probe = payloads.iter().enumerate().find(|(_, p)| !p.is_empty());
+    let symbolic = match probe {
+        Some((w, worker_payloads)) => match &worker_payloads[i] {
+            TensorPayload::Raw(_) => false,
+            TensorPayload::Compressed(wire) => ctx_row[w]
+                .as_ref()
+                .expect("compressed payload implies a context")
+                .decompress_symbols(wire, &mut scratch.syms)
+                .expect("payload produced by matching context")
+                .is_some(),
+        },
+        None => unreachable!("caller guarantees an accepted worker"),
+    };
+    if !symbolic {
+        return aggregate_tensor_exact(
+            imp,
+            shape,
+            ctx_row,
+            payloads,
+            i,
+            accepted_count,
+            scratch,
+            stats,
+            codec,
+            timings,
+        );
+    }
+
+    // Pass 1: decode every accepted worker's symbols and scale.
+    scratch.scales.clear();
+    let mut member = 0usize;
+    for (w, worker_payloads) in payloads.iter().enumerate() {
+        if worker_payloads.is_empty() {
+            continue; // dropped straggler
+        }
+        let wire = match &worker_payloads[i] {
+            TensorPayload::Compressed(wire) => wire,
+            TensorPayload::Raw(_) => {
+                unreachable!("payload kinds are uniform across workers for a tensor")
+            }
+        };
+        if scratch.pool.len() <= member {
+            scratch.pool.push(Vec::new());
+        }
+        let t0 = Instant::now();
+        let scale = ctx_row[w]
+            .as_ref()
+            .expect("compressed payload implies a context")
+            .decompress_symbols(wire, &mut scratch.pool[member])
+            .expect("payload produced by matching context")
+            .expect("symbol form is uniform across workers for a tensor");
+        let dt = t0.elapsed().as_secs_f64();
+        *codec += dt;
+        timings.decode += dt;
+        stats.record(n, wire.len());
+        scratch.scales.push(scale);
+        member += 1;
+    }
+
+    let a0 = Instant::now();
+    // Scale grouping: distinct bit patterns in first-occurrence order.
+    scratch.groups.clear();
+    scratch.membership.clear();
+    for &scale in &scratch.scales {
+        let bits = scale.to_bits();
+        let g = match scratch.groups.iter().position(|&b| b == bits) {
+            Some(g) => g,
+            None => {
+                scratch.groups.push(bits);
+                scratch.groups.len() - 1
+            }
+        };
+        scratch.membership.push(g);
+    }
+
+    // Pass 2: per group, integer lane sums then one deferred multiply.
+    let mut acc = vec![0f32; n];
+    let words = n.div_ceil(4);
+    for (g, &bits) in scratch.groups.iter().enumerate() {
+        scratch.lanes.clear();
+        scratch.lanes.resize(words, 0);
+        let mut members = 0u32;
+        for (m, syms) in scratch.pool[..scratch.membership.len()].iter().enumerate() {
+            if scratch.membership[m] == g {
+                kernels::symbol_lanes_add(imp, syms, &mut scratch.lanes);
+                members += 1;
+            }
+        }
+        let scale = f32::from_bits(bits);
+        if g == 0 {
+            kernels::symbol_lanes_drain_assign(imp, &scratch.lanes, members, scale, &mut acc);
+        } else {
+            kernels::symbol_lanes_drain_add(imp, &scratch.lanes, members, scale, &mut acc);
+        }
+    }
+    let mut avg = Tensor::from_vec(acc, shape.clone());
+    avg.scale_inplace(1.0 / accepted_count as f32);
+    timings.accumulate += a0.elapsed().as_secs_f64();
+    avg
 }
 
 /// A striped accumulator for the bookkeeping shards must share: traffic
@@ -404,6 +813,8 @@ impl ServerCore {
             apply_seconds: reg.histogram("engine.apply_step_seconds"),
             shard_busy: reg.histogram("engine.shard.busy_seconds"),
             shard_lock_wait: reg.histogram("engine.shard.lock_wait_seconds"),
+            aggregate_decode_seconds: reg.histogram("engine.aggregate.symbol_decode_seconds"),
+            aggregate_accumulate_seconds: reg.histogram("engine.aggregate.accumulate_seconds"),
             config,
         }
     }
@@ -494,23 +905,42 @@ impl ServerCore {
     /// across runtimes (it is: workers compute it from their own contexts
     /// and report it with the push).
     ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoAcceptedPushes`] when every worker's
+    /// payload list is empty (or `accepted_count` is zero): an all-rejected
+    /// step has nothing to aggregate. The model, optimizer, and step
+    /// counter are untouched on error.
+    ///
     /// # Panics
     ///
-    /// Panics if every worker's payload list is empty, if payload counts
-    /// disagree with the model, or if a payload fails to decode (payloads
-    /// come from matching contexts; failures are programming errors here —
-    /// the networked runtime validates frames before this point).
+    /// Panics if payload counts disagree with the model, or if a payload
+    /// fails to decode (payloads come from matching contexts; failures are
+    /// programming errors here — the networked runtime validates frames
+    /// before this point).
     pub fn apply_step(
         &mut self,
         payloads: &[Vec<TensorPayload>],
         accepted_count: usize,
         residual_l2: f64,
-    ) -> ServerStepOutput {
+    ) -> Result<ServerStepOutput, EngineError> {
+        if accepted_count == 0 || payloads.iter().all(|p| p.is_empty()) {
+            return Err(EngineError::NoAcceptedPushes { step: self.step });
+        }
         let step_start = Instant::now();
         let lr = self.lr();
         let n_params = self.shapes.len();
         let shards = self.plan_shards(n_params);
         let mut server_codec = 0.0f64;
+        // Compressed mode's u16 lanes hold at most 32767 workers' digits;
+        // bigger steps take the exact path (a deterministic choice — it
+        // depends only on the accepted count, which replays identically).
+        let mode = match self.config.aggregate {
+            AggregateMode::Compressed if accepted_count > MAX_COMPRESSED_LANE_WORKERS => {
+                AggregateMode::Exact
+            }
+            m => m,
+        };
 
         // The decisions governing this step also apply to the pull side:
         // the server re-encodes model deltas at the same multiplier the
@@ -530,9 +960,9 @@ impl ServerCore {
         let tracing = trace::scope_active();
         let t_decode = if tracing { trace::now_ns() } else { 0 };
         let aggregated = if shards > 1 {
-            self.decode_aggregate_sharded(payloads, accepted_count, shards, &mut server_codec)
+            self.decode_aggregate_sharded(payloads, accepted_count, mode, shards, &mut server_codec)
         } else {
-            self.decode_aggregate_serial(payloads, accepted_count, &mut server_codec)
+            self.decode_aggregate_serial(payloads, accepted_count, mode, &mut server_codec)
         };
         let t_aggregate = if tracing {
             let t = trace::now_ns();
@@ -620,14 +1050,14 @@ impl ServerCore {
         self.apply_seconds
             .record(step_start.elapsed().as_secs_f64());
 
-        ServerStepOutput {
+        Ok(ServerStepOutput {
             lr,
             pulls,
             step_deltas,
             server_codec_seconds: server_codec,
             policy_records,
             next_decisions,
-        }
+        })
     }
 
     /// Whether an adaptive policy is active (decisions must then be
@@ -636,45 +1066,37 @@ impl ServerCore {
         self.policy.is_some()
     }
 
-    /// Decode + aggregate in worker-id order, one tensor at a time.
+    /// Decode + aggregate in worker-id order, one tensor at a time, under
+    /// the step's resolved [`AggregateMode`].
     fn decode_aggregate_serial(
         &mut self,
         payloads: &[Vec<TensorPayload>],
         accepted_count: usize,
+        mode: AggregateMode,
         server_codec: &mut f64,
     ) -> Vec<Tensor> {
+        let imp = kernels::active();
         let n_params = self.shapes.len();
+        let mut scratch = AggScratch::default();
+        let mut timings = AggTimings::default();
         let mut aggregated: Vec<Tensor> = Vec::with_capacity(n_params);
         for i in 0..n_params {
-            let mut sum: Option<Tensor> = None;
-            for (w, worker_payloads) in payloads.iter().enumerate() {
-                if worker_payloads.is_empty() {
-                    continue; // dropped straggler
-                }
-                let grad = match &worker_payloads[i] {
-                    TensorPayload::Compressed(wire) => {
-                        let t0 = Instant::now();
-                        let g = self.decode_ctxs[i][w]
-                            .as_ref()
-                            .expect("compressed payload implies a context")
-                            .decompress(wire)
-                            .expect("payload produced by matching context");
-                        *server_codec += t0.elapsed().as_secs_f64();
-                        self.push_stats
-                            .record(self.shapes[i].num_elements(), wire.len());
-                        g
-                    }
-                    TensorPayload::Raw(grad) => grad.clone(),
-                };
-                match &mut sum {
-                    Some(s) => s.add_assign(&grad).expect("same shapes"),
-                    None => sum = Some(grad),
-                }
-            }
-            let mut avg = sum.expect("at least one accepted worker");
-            avg.scale_inplace(1.0 / accepted_count as f32);
-            aggregated.push(avg);
+            aggregated.push(aggregate_tensor(
+                mode,
+                imp,
+                &self.shapes[i],
+                &self.decode_ctxs[i],
+                payloads,
+                i,
+                accepted_count,
+                &mut scratch,
+                &mut self.push_stats,
+                server_codec,
+                &mut timings,
+            ));
         }
+        self.aggregate_decode_seconds.record(timings.decode);
+        self.aggregate_accumulate_seconds.record(timings.accumulate);
         aggregated
     }
 
@@ -689,50 +1111,44 @@ impl ServerCore {
         &mut self,
         payloads: &[Vec<TensorPayload>],
         accepted_count: usize,
+        mode: AggregateMode,
         shards: usize,
         server_codec: &mut f64,
     ) -> Vec<Tensor> {
+        let imp = kernels::active();
         let ranges = split_ranges(self.shapes.len(), shards);
         let ctx_chunks = split_off_ranges(self.decode_ctxs.as_mut_slice(), &ranges);
         let stripes = stats_stripes(shards);
         let shapes = &self.shapes;
         let shard_busy = &self.shard_busy;
         let shard_lock_wait = &self.shard_lock_wait;
+        let aggregate_decode_seconds = &self.aggregate_decode_seconds;
+        let aggregate_accumulate_seconds = &self.aggregate_accumulate_seconds;
         let tasks: Vec<_> = ranges.iter().cloned().zip(ctx_chunks).collect();
         let results = parallel::run_tasks(tasks, |k, (range, ctx_rows)| {
             let t0 = Instant::now();
             let mut local_stats = CompressionStats::new();
             let mut local_codec = 0.0f64;
+            let mut scratch = AggScratch::default();
+            let mut timings = AggTimings::default();
             let mut out = Vec::with_capacity(range.len());
-            for (ctx_row, i) in ctx_rows.iter_mut().zip(range) {
-                let mut sum: Option<Tensor> = None;
-                for (w, worker_payloads) in payloads.iter().enumerate() {
-                    if worker_payloads.is_empty() {
-                        continue; // dropped straggler
-                    }
-                    let grad = match &worker_payloads[i] {
-                        TensorPayload::Compressed(wire) => {
-                            let c0 = Instant::now();
-                            let g = ctx_row[w]
-                                .as_ref()
-                                .expect("compressed payload implies a context")
-                                .decompress(wire)
-                                .expect("payload produced by matching context");
-                            local_codec += c0.elapsed().as_secs_f64();
-                            local_stats.record(shapes[i].num_elements(), wire.len());
-                            g
-                        }
-                        TensorPayload::Raw(grad) => grad.clone(),
-                    };
-                    match &mut sum {
-                        Some(s) => s.add_assign(&grad).expect("same shapes"),
-                        None => sum = Some(grad),
-                    }
-                }
-                let mut avg = sum.expect("at least one accepted worker");
-                avg.scale_inplace(1.0 / accepted_count as f32);
-                out.push(avg);
+            for (ctx_row, i) in ctx_rows.iter().zip(range) {
+                out.push(aggregate_tensor(
+                    mode,
+                    imp,
+                    &shapes[i],
+                    ctx_row,
+                    payloads,
+                    i,
+                    accepted_count,
+                    &mut scratch,
+                    &mut local_stats,
+                    &mut local_codec,
+                    &mut timings,
+                ));
             }
+            aggregate_decode_seconds.record(timings.decode);
+            aggregate_accumulate_seconds.record(timings.accumulate);
             let w0 = Instant::now();
             let mut stripe = stripes[k % stripes.len()].lock().expect("stripe poisoned");
             shard_lock_wait.record(w0.elapsed().as_secs_f64());
@@ -938,7 +1354,9 @@ mod tests {
             payloads.push(w.encode_push(grads).payloads);
             residual = residual.max(w.residual_l2());
         }
-        let out = server.apply_step(&payloads, workers.len(), residual);
+        let out = server
+            .apply_step(&payloads, workers.len(), residual)
+            .expect("every worker accepted in engine tests");
         for w in workers.iter_mut() {
             w.apply_deltas(&out.step_deltas);
             w.apply_policy(&out.next_decisions);
@@ -1018,6 +1436,157 @@ mod tests {
             assert_eq!(serial.push_stats(), sharded.push_stats());
             assert_eq!(serial.pull_stats(), sharded.pull_stats());
         }
+    }
+
+    #[test]
+    fn all_rejected_step_is_a_typed_error_not_a_panic() {
+        // Both the serial and the sharded aggregation paths must refuse an
+        // all-rejected step with `NoAcceptedPushes` and leave the server
+        // untouched, so the very next valid step behaves like step 0.
+        for threads in [1usize, 4] {
+            let config = tiny(SchemeKind::three_lc(1.5));
+            let problem = Problem::build(&config);
+            let mut server = ServerCore::new(&problem);
+            server.set_threads(threads);
+            let before = server.global().snapshot();
+
+            let empty: Vec<Vec<TensorPayload>> = (0..config.workers).map(|_| Vec::new()).collect();
+            assert_eq!(
+                server.apply_step(&empty, config.workers, 0.0).err(),
+                Some(EngineError::NoAcceptedPushes { step: 0 }),
+                "threads={threads}: every-payload-empty step must error"
+            );
+            assert_eq!(
+                server.apply_step(&empty, 0, 0.0).err(),
+                Some(EngineError::NoAcceptedPushes { step: 0 }),
+                "threads={threads}: accepted_count=0 must error"
+            );
+            assert_eq!(
+                server.global().snapshot(),
+                before,
+                "threads={threads}: a rejected step must not touch the model"
+            );
+
+            // The failed attempts consumed no step: a fresh server fed the
+            // same pushes produces bit-identical output.
+            let mut workers: Vec<WorkerReplica> = (0..config.workers)
+                .map(|w| WorkerReplica::new(&problem, w))
+                .collect();
+            let mut fresh_workers: Vec<WorkerReplica> = (0..config.workers)
+                .map(|w| WorkerReplica::new(&problem, w))
+                .collect();
+            let mut fresh = ServerCore::new(&problem);
+            fresh.set_threads(threads);
+            engine_step(&problem, &mut workers, &mut server);
+            engine_step(&problem, &mut fresh_workers, &mut fresh);
+            assert_eq!(
+                server.global().snapshot(),
+                fresh.global().snapshot(),
+                "threads={threads}: errored attempts must not advance the step"
+            );
+        }
+    }
+
+    /// Runs `steps` BSP steps under one aggregation mode and returns
+    /// everything that must be bit-reproducible: per-step pull wires,
+    /// deltas, the final global model, and push statistics.
+    fn run_mode(
+        config: &ExperimentConfig,
+        threads: usize,
+        steps: usize,
+    ) -> (Vec<ServerStepOutput>, Vec<Tensor>, CompressionStats) {
+        let problem = Problem::build(config);
+        let mut workers: Vec<WorkerReplica> = (0..config.workers)
+            .map(|w| WorkerReplica::new(&problem, w))
+            .collect();
+        let mut server = ServerCore::new(&problem);
+        server.set_threads(threads);
+        let outs: Vec<ServerStepOutput> = (0..steps)
+            .map(|_| engine_step(&problem, &mut workers, &mut server))
+            .collect();
+        let global = server.global().snapshot();
+        let stats = server.push_stats().clone();
+        (outs, global, stats)
+    }
+
+    fn assert_runs_identical(a: &[ServerStepOutput], b: &[ServerStepOutput], label: &str) {
+        for (step, (oa, ob)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                oa.step_deltas, ob.step_deltas,
+                "{label}: deltas step={step}"
+            );
+            assert_eq!(oa.pulls.len(), ob.pulls.len(), "{label}: pulls step={step}");
+            for (i, (x, y)) in oa.pulls.iter().zip(&ob.pulls).enumerate() {
+                match (x, y) {
+                    (TensorPayload::Compressed(wa), TensorPayload::Compressed(wb)) => {
+                        assert_eq!(wa, wb, "{label}: pull wire step={step} tensor={i}")
+                    }
+                    (TensorPayload::Raw(ta), TensorPayload::Raw(tb)) => {
+                        assert_eq!(ta, tb, "{label}: raw pull step={step} tensor={i}")
+                    }
+                    _ => panic!("{label}: payload kind diverged step={step} tensor={i}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_bit_identical_to_f32_mode() {
+        // The tentpole's core claim: symbol-domain worker-order
+        // accumulation reproduces the dense f32 path bit for bit — same
+        // pull wires, same deltas, same model, same traffic stats — at
+        // every thread count, for 3LC and for schemes with no symbol form.
+        for scheme in [SchemeKind::three_lc(1.5), SchemeKind::Float32] {
+            for threads in [1usize, 4] {
+                let mut f32_cfg = tiny(scheme);
+                f32_cfg.aggregate = AggregateMode::F32;
+                let mut exact_cfg = tiny(scheme);
+                exact_cfg.aggregate = AggregateMode::Exact;
+                let (a, ga, sa) = run_mode(&f32_cfg, threads, 4);
+                let (b, gb, sb) = run_mode(&exact_cfg, threads, 4);
+                let label = format!("{scheme} threads={threads}");
+                assert_runs_identical(&a, &b, &label);
+                assert_eq!(ga, gb, "{label}: global model diverged");
+                assert_eq!(sa, sb, "{label}: push stats diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_mode_is_deterministic_across_thread_counts() {
+        // Compressed-lane aggregation reorders float math (per scale
+        // group), so it is not bit-identical to exact mode — but it must be
+        // bit-identical to *itself* regardless of sharding.
+        let mut config = tiny(SchemeKind::three_lc(1.5));
+        config.workers = 4;
+        config.aggregate = AggregateMode::Compressed;
+        let (a, ga, sa) = run_mode(&config, 1, 4);
+        let (b, gb, sb) = run_mode(&config, 4, 4);
+        assert_runs_identical(&a, &b, "compressed serial-vs-sharded");
+        assert_eq!(ga, gb, "compressed: global model diverged across shards");
+        assert_eq!(sa, sb, "compressed: push stats diverged across shards");
+        // And it must still converge on the same training signal: traffic
+        // stats match exact mode (same payloads flow either way).
+        let mut exact_cfg = config;
+        exact_cfg.aggregate = AggregateMode::Exact;
+        let (_, _, se) = run_mode(&exact_cfg, 1, 4);
+        assert_eq!(sa, se, "compressed: traffic stats diverged from exact");
+    }
+
+    #[test]
+    fn compressed_mode_with_uniform_scales_matches_exact() {
+        // Single accepted worker ⇒ one scale group whose drain computes
+        // the same `sym × scale` products in the same order as exact mode,
+        // so the two modes coincide bitwise.
+        let mut compressed_cfg = tiny(SchemeKind::three_lc(1.0));
+        compressed_cfg.workers = 1;
+        compressed_cfg.aggregate = AggregateMode::Compressed;
+        let mut exact_cfg = compressed_cfg;
+        exact_cfg.aggregate = AggregateMode::Exact;
+        let (a, ga, _) = run_mode(&compressed_cfg, 1, 4);
+        let (b, gb, _) = run_mode(&exact_cfg, 1, 4);
+        assert_runs_identical(&a, &b, "single-worker compressed-vs-exact");
+        assert_eq!(ga, gb, "single-worker: global model diverged");
     }
 
     #[test]

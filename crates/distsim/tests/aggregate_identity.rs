@@ -1,0 +1,260 @@
+//! Property tests for the tentpole claim: **exact-mode symbol-domain
+//! aggregation is bit-identical to the seed f32 path** — same pull wires,
+//! same per-step deltas, same global model bit patterns — across thread
+//! counts and adversarial inputs (all-zero tensors, denormal scales,
+//! single-worker steps, and payloads rejected mid-step).
+//!
+//! Codec-tier coverage (scalar / SWAR / SIMD) comes from re-running this
+//! suite under `THREELC_CODEC_IMPL` in ci.sh's codec matrix: the engine
+//! aggregates with the process-wide active tier, so one env var pins it.
+//!
+//! Bit patterns are compared directly (`f32::to_bits`), which is strictly
+//! stronger than the CRC32 comparison the networked loopback tests use.
+
+use proptest::prelude::*;
+use threelc_baselines::SchemeKind;
+use threelc_distsim::engine::ServerStepOutput;
+use threelc_distsim::{
+    AggregateMode, ExperimentConfig, Problem, ServerCore, TensorPayload, WorkerReplica,
+};
+use threelc_tensor::Tensor;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(workers: usize, aggregate: AggregateMode) -> ExperimentConfig {
+    ExperimentConfig {
+        scheme: SchemeKind::three_lc(1.5),
+        workers,
+        batch_per_worker: 8,
+        total_steps: 8,
+        model_width: 16,
+        model_blocks: 1,
+        seed: 11,
+        aggregate,
+        ..Default::default()
+    }
+}
+
+/// Bit patterns of a model snapshot (or any tensor list).
+fn bits(ts: &[Tensor]) -> Vec<Vec<u32>> {
+    ts.iter()
+        .map(|t| t.as_slice().iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+fn assert_outputs_identical(
+    a: &ServerStepOutput,
+    b: &ServerStepOutput,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        bits(&a.step_deltas) == bits(&b.step_deltas),
+        "{label}: step deltas diverged"
+    );
+    prop_assert!(a.pulls.len() == b.pulls.len(), "{label}: pull count");
+    for (i, (x, y)) in a.pulls.iter().zip(&b.pulls).enumerate() {
+        match (x, y) {
+            (TensorPayload::Compressed(wa), TensorPayload::Compressed(wb)) => {
+                prop_assert!(wa == wb, "{label}: pull wire diverged, tensor {i}");
+            }
+            (TensorPayload::Raw(ta), TensorPayload::Raw(tb)) => {
+                prop_assert!(
+                    bits(std::slice::from_ref(ta)) == bits(std::slice::from_ref(tb)),
+                    "{label}: raw pull diverged, tensor {i}"
+                );
+            }
+            _ => prop_assert!(false, "{label}: payload kind diverged, tensor {i}"),
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic adversarial fill for one tensor. `kind` selects the
+/// pathology; `seed` varies the pattern between workers and steps.
+fn fill(kind: u8, seed: u64, n: usize) -> Vec<f32> {
+    match kind % 4 {
+        // All-zero gradient: 3LC's scale collapses to 0.0.
+        0 => vec![0.0; n],
+        // Subnormal magnitudes: the wire scale itself goes denormal.
+        1 => (0..n)
+            .map(|i| {
+                if (i as u64 + seed).is_multiple_of(3) {
+                    1.0e-41
+                } else {
+                    -1.0e-41
+                }
+            })
+            .collect(),
+        // Pseudo-random small values (the common case).
+        2 => (0..n)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33;
+                ((x % 2001) as f32 - 1000.0) / 500.0
+            })
+            .collect(),
+        // Sparse with exact zeros mixed among quantized-looking values.
+        _ => (0..n)
+            .map(|i| {
+                if (i as u64 + seed).is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((i % 13) as f32 - 6.0) * 0.25
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Compresses one crafted gradient set through worker `w`'s contexts,
+/// keeping `ctxs` stateful across steps (error accumulation feeds back).
+fn crafted_push(
+    problem: &Problem,
+    ctxs: &mut [Option<Box<dyn threelc::Compressor>>],
+    kind: u8,
+    seed: u64,
+) -> Vec<TensorPayload> {
+    problem
+        .shapes
+        .iter()
+        .enumerate()
+        .map(|(i, shape)| {
+            let t = Tensor::from_vec(
+                fill(kind, seed ^ (i as u64) << 8, shape.num_elements()),
+                shape.clone(),
+            );
+            match ctxs[i].as_mut() {
+                Some(ctx) => TensorPayload::Compressed(
+                    ctx.compress(&t)
+                        .expect("finite adversarial values compress"),
+                ),
+                None => TensorPayload::Raw(t),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Feeds both aggregation modes the *same* crafted payload bytes —
+    /// adversarial value patterns, per-step rejection masks (a payload
+    /// dropped mid-step, exactly what the networked server does on a CRC
+    /// failure), single-worker steps — and demands bitwise-equal output.
+    #[test]
+    fn exact_matches_f32_on_adversarial_pushes(
+        workers in 1usize..5,
+        threads_idx in 0usize..4,
+        kinds in prop::collection::vec(0u8..4, 4..5),
+        masks in prop::collection::vec(0u32..16, 2..3),
+        seed in any::<u64>(),
+    ) {
+        let threads = THREAD_COUNTS[threads_idx];
+        let problem_a = Problem::build(&config(workers, AggregateMode::F32));
+        let problem_b = Problem::build(&config(workers, AggregateMode::Exact));
+        let mut server_a = ServerCore::new(&problem_a);
+        let mut server_b = ServerCore::new(&problem_b);
+        server_a.set_threads(threads);
+        server_b.set_threads(threads);
+        // One stateful context set, shared by both servers: the payload
+        // bytes under test are identical by construction.
+        let mut ctxs: Vec<_> = (0..workers).map(|w| problem_a.push_ctxs(w)).collect();
+
+        for (step, &mask) in masks.iter().enumerate() {
+            let rejected = |w: usize| w != 0 && (mask >> w) & 1 == 1;
+            let mut payloads: Vec<Vec<TensorPayload>> = Vec::with_capacity(workers);
+            let mut accepted = 0usize;
+            for w in 0..workers {
+                // A rejected worker still compressed (its residual state
+                // advances) — the server just never sees the bytes.
+                let push = crafted_push(
+                    &problem_a,
+                    &mut ctxs[w],
+                    kinds[w % kinds.len()].wrapping_add(step as u8),
+                    seed ^ (w as u64) << 32 ^ step as u64,
+                );
+                if rejected(w) {
+                    payloads.push(Vec::new());
+                } else {
+                    payloads.push(push);
+                    accepted += 1;
+                }
+            }
+            let out_a = server_a
+                .apply_step(&payloads, accepted, 0.0)
+                .expect("worker 0 always accepted");
+            let out_b = server_b
+                .apply_step(&payloads, accepted, 0.0)
+                .expect("worker 0 always accepted");
+            assert_outputs_identical(&out_a, &out_b, &format!("step {step}"))?;
+        }
+        prop_assert!(
+            bits(&server_a.global().snapshot()) == bits(&server_b.global().snapshot()),
+            "global model diverged"
+        );
+    }
+
+    /// Full training loop (real gradients, error accumulation in every
+    /// worker) with one worker's push rejected at a random step: pull
+    /// wires, worker residual norms, and the final model must stay
+    /// bit-identical between f32 and exact aggregation.
+    #[test]
+    fn exact_matches_f32_through_training(
+        threads_idx in 0usize..4,
+        drop_step in 0usize..4,
+        drop_worker in 0usize..2,
+    ) {
+        let threads = THREAD_COUNTS[threads_idx];
+        let workers = 2usize;
+        let mut runs = [AggregateMode::F32, AggregateMode::Exact].map(|mode| {
+            let problem = Problem::build(&config(workers, mode));
+            let replicas: Vec<WorkerReplica> = (0..workers)
+                .map(|w| WorkerReplica::new(&problem, w))
+                .collect();
+            let mut server = ServerCore::new(&problem);
+            server.set_threads(threads);
+            (problem, replicas, server)
+        });
+
+        for step in 0..4usize {
+            let mut outs = Vec::with_capacity(2);
+            for (problem, replicas, server) in runs.iter_mut() {
+                let mut payloads = Vec::with_capacity(workers);
+                let mut residual = 0.0f64;
+                for w in replicas.iter_mut() {
+                    let (_loss, grads) =
+                        w.compute(&problem.data, problem.config.batch_per_worker);
+                    payloads.push(w.encode_push(grads).payloads);
+                    residual = residual.max(w.residual_l2());
+                }
+                let mut accepted = workers;
+                if step == drop_step {
+                    // The networked server rejects this worker's frame
+                    // (bad CRC); the worker itself is none the wiser.
+                    payloads[drop_worker].clear();
+                    accepted -= 1;
+                }
+                let out = server
+                    .apply_step(&payloads, accepted, residual)
+                    .expect("at most one worker rejected");
+                for w in replicas.iter_mut() {
+                    w.apply_deltas(&out.step_deltas);
+                    w.apply_policy(&out.next_decisions);
+                }
+                outs.push(out);
+            }
+            assert_outputs_identical(&outs[0], &outs[1], &format!("step {step}"))?;
+            let residuals = |replicas: &[WorkerReplica]| -> Vec<u64> {
+                replicas.iter().map(|w| w.residual_l2().to_bits()).collect()
+            };
+            prop_assert!(
+                residuals(&runs[0].1) == residuals(&runs[1].1),
+                "worker residual bit patterns diverged at step {step}"
+            );
+        }
+        prop_assert!(
+            bits(&runs[0].2.global().snapshot()) == bits(&runs[1].2.global().snapshot()),
+            "global model diverged"
+        );
+    }
+}

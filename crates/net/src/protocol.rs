@@ -244,14 +244,30 @@ pub fn decode_series_dump(payload: &[u8]) -> Result<threelc_obs::RunSeries, NetE
 
 /// Encodes the `PolicyUpdate` payload: the per-tensor decisions for the
 /// next step as `count (u16 LE) + count × [s (f32 LE) + reason (u8)]`.
-pub fn encode_policy_update(decisions: &[threelc_policy::Decision]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] when `decisions` exceeds the wire
+/// format's `u16` count field. A plain `as u16` cast here would silently
+/// truncate (65 536 decisions encode as 0) and every worker would then
+/// reject the frame as a body-length mismatch — or worse, apply a prefix.
+/// Models with that many tensors are beyond this format; failing at
+/// encode time names the real limit.
+pub fn encode_policy_update(decisions: &[threelc_policy::Decision]) -> Result<Vec<u8>, NetError> {
+    let count = u16::try_from(decisions.len()).map_err(|_| {
+        NetError::Protocol(format!(
+            "policy update has {} decisions; the wire format caps at {}",
+            decisions.len(),
+            u16::MAX
+        ))
+    })?;
     let mut out = Vec::with_capacity(2 + decisions.len() * 5);
-    out.extend_from_slice(&(decisions.len() as u16).to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
     for d in decisions {
         out.extend_from_slice(&d.s.value().to_le_bytes());
         out.push(d.reason.code());
     }
-    out
+    Ok(out)
 }
 
 /// Decodes the `PolicyUpdate` payload, validating every multiplier
@@ -454,16 +470,38 @@ mod tests {
                 reason: Reason::RatioLow,
             },
         ];
-        let payload = encode_policy_update(&decisions);
+        let payload = encode_policy_update(&decisions).unwrap();
         assert_eq!(payload.len(), 2 + 2 * 5);
         let back = decode_policy_update(&payload).unwrap();
         assert_eq!(back, decisions);
         // Empty decision lists are valid (a model of zero tensors is not,
         // but the codec does not decide that).
         assert_eq!(
-            decode_policy_update(&encode_policy_update(&[])).unwrap(),
+            decode_policy_update(&encode_policy_update(&[]).unwrap()).unwrap(),
             []
         );
+    }
+
+    #[test]
+    fn policy_update_rejects_counts_beyond_the_u16_field() {
+        use threelc::SparsityMultiplier;
+        use threelc_policy::{Decision, Reason};
+        let d = Decision {
+            s: SparsityMultiplier::new(1.5).unwrap(),
+            reason: Reason::Hold,
+        };
+        // Exactly at the field's capacity: encodes and roundtrips.
+        let at_cap = vec![d; usize::from(u16::MAX)];
+        let payload = encode_policy_update(&at_cap).unwrap();
+        assert_eq!(payload.len(), 2 + at_cap.len() * 5);
+        assert_eq!(decode_policy_update(&payload).unwrap().len(), at_cap.len());
+        // One past it: a typed encode-time error, not a silent `as u16`
+        // truncation (which would write count=0 over 65 536 records).
+        let over = vec![d; usize::from(u16::MAX) + 1];
+        let err = encode_policy_update(&over).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("65536"), "error should name the count: {msg}");
+        assert!(msg.contains("65535"), "error should name the cap: {msg}");
     }
 
     #[test]
@@ -473,7 +511,8 @@ mod tests {
         let good = encode_policy_update(&[Decision {
             s: SparsityMultiplier::new(1.5).unwrap(),
             reason: Reason::Hold,
-        }]);
+        }])
+        .unwrap();
         // Truncated / length-mismatched payloads.
         assert!(decode_policy_update(&[]).is_err());
         assert!(decode_policy_update(&good[..good.len() - 1]).is_err());

@@ -38,9 +38,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
-use threelc_distsim::engine::{self, Problem, ServerCore, TensorPayload};
+use threelc_distsim::engine::{self, EngineError, Problem, ServerCore, TensorPayload};
 use threelc_distsim::trace::{EvalRecord, StepRecord, TrainingTrace};
-use threelc_distsim::{ExperimentConfig, ExperimentResult};
+use threelc_distsim::{AggregateMode, ExperimentConfig, ExperimentResult};
 use threelc_learning::Evaluation;
 use threelc_obs::flight::trigger;
 use threelc_obs::{
@@ -76,6 +76,11 @@ pub struct ServeOptions {
     /// anomalies. `None` disables dumping (series are still recorded and
     /// scrapeable).
     pub flight: Option<String>,
+    /// Overrides the configuration's server aggregation mode for this run
+    /// (`None` keeps [`ExperimentConfig::aggregate`]). The effective mode
+    /// lands in the config broadcast to workers and in the report, so a
+    /// matching `simulate` run stays bit-comparable.
+    pub aggregate: Option<AggregateMode>,
 }
 
 impl Default for ServeOptions {
@@ -87,6 +92,7 @@ impl Default for ServeOptions {
             max_rejoins: 4,
             threads: 1,
             flight: None,
+            aggregate: None,
         }
     }
 }
@@ -261,6 +267,16 @@ fn serve_run(
     server_buf: &Arc<TraceBuffer>,
 ) -> Result<NetReport, NetError> {
     validate_config(config)?;
+    // Resolve the effective aggregation mode up front: everything
+    // downstream — the server core, the config JSON workers receive, the
+    // report — sees one consistent config.
+    let config = &{
+        let mut c = *config;
+        if let Some(mode) = opts.aggregate {
+            c.aggregate = mode;
+        }
+        c
+    };
     let problem = Problem::build(config);
     let n_params = problem.num_tensors();
     if n_params > usize::from(u16::MAX) {
@@ -618,7 +634,9 @@ fn serve_run(
             .expect("series recorder lock")
             .record_step(step, &deltas);
 
-        let out = server.apply_step(&payloads_by_worker, workers, residual_l2);
+        let out = server
+            .apply_step(&payloads_by_worker, workers, residual_l2)
+            .map_err(aggregation_error)?;
         trace
             .policy
             .records
@@ -650,7 +668,7 @@ fn serve_run(
         if !out.next_decisions.is_empty() {
             frames.push((
                 MsgType::PolicyUpdate,
-                encode_policy_update(&out.next_decisions),
+                encode_policy_update(&out.next_decisions)?,
             ));
         }
         let batch = Arc::new(PullBatch { step, frames });
@@ -840,6 +858,7 @@ fn serve_run(
             trace,
         },
         final_model_crc32: model_crc32(server.global()),
+        aggregate_mode: config.aggregate.name().into(),
         connections: connections
             .into_iter()
             .map(|c| c.expect("every slot reported"))
@@ -993,6 +1012,14 @@ fn validate_config(config: &ExperimentConfig) -> Result<(), NetError> {
         ));
     }
     Ok(())
+}
+
+/// Names an engine aggregation failure as the run's error. The seed
+/// engine `panic!`ed here (taking the coordinator thread down with an
+/// opaque abort); now the serve loop finishes with a typed [`NetError`]
+/// that reaches the caller and the report like any other run failure.
+fn aggregation_error(e: EngineError) -> NetError {
+    NetError::Protocol(format!("server aggregation failed: {e}"))
 }
 
 /// What a fresh connection's first frame turned out to be.
@@ -1425,6 +1452,21 @@ mod tests {
         assert_eq!(panic_message(caught.as_ref()), "formatted 7");
         let caught = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
         assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn all_rejected_aggregation_maps_to_a_named_run_error() {
+        let e = aggregation_error(EngineError::NoAcceptedPushes { step: 7 });
+        let msg = e.to_string();
+        assert!(
+            msg.contains("server aggregation failed"),
+            "error must name the failing phase: {msg}"
+        );
+        assert!(msg.contains("step 7"), "error must carry the step: {msg}");
+        assert!(
+            msg.contains("rejected"),
+            "error must explain the cause: {msg}"
+        );
     }
 
     #[test]

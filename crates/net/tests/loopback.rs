@@ -259,6 +259,74 @@ fn sharded_loopback_matches_simulator_bit_for_bit() {
 }
 
 #[test]
+fn compressed_aggregation_loopback_matches_simulator_bit_for_bit() {
+    // `--aggregate compressed` changes the server's float math (scale
+    // groups, integer symbol lanes), so its model differs from the f32
+    // path — but serve and simulate must still agree bit for bit, serial
+    // and sharded alike. The mode arrives via the ServeOptions override
+    // here, proving the effective config (not the caller's) is what the
+    // run trains, reports, and broadcasts.
+    let base = ExperimentConfig {
+        total_steps: 8,
+        eval_every: 0,
+        ..loopback_config(SchemeKind::three_lc(1.0))
+    };
+    let effective = ExperimentConfig {
+        aggregate: threelc_distsim::AggregateMode::Compressed,
+        ..base
+    };
+    for threads in [1usize, 2] {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let opts = ServeOptions {
+            threads,
+            aggregate: Some(threelc_distsim::AggregateMode::Compressed),
+            ..ServeOptions::default()
+        };
+        let server = thread::spawn(move || serve(&listener, &base, &opts));
+        let clients: Vec<_> = (0..base.workers as u16)
+            .map(|w| {
+                let addr = addr.clone();
+                thread::spawn(move || run_worker(&WorkerOptions::new(addr, w)))
+            })
+            .collect();
+        let outcomes: Vec<_> = clients
+            .into_iter()
+            .map(|c| c.join().expect("client thread").expect("worker run"))
+            .collect();
+        let report = server.join().expect("server thread").expect("serve run");
+
+        assert_eq!(report.aggregate_mode, "compressed", "threads={threads}");
+        assert_eq!(report.result.config, effective, "threads={threads}");
+        let mut cluster = Cluster::new(effective);
+        for _ in 0..effective.total_steps {
+            cluster.step();
+        }
+        assert_eq!(
+            report.final_model_crc32,
+            threelc_net::model_crc32(cluster.global_model()),
+            "threads={threads}: compressed-mode serve diverged from simulate"
+        );
+        for (w, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(
+                outcome.model.snapshot(),
+                cluster.worker_model(w).snapshot(),
+                "threads={threads}: worker {w} replica diverged"
+            );
+        }
+        // Same traffic accounting as any mode: aggregation happens after
+        // the bytes are counted.
+        let simulated = run_experiment(&effective);
+        assert_eq!(report.result.final_eval, simulated.final_eval);
+        for (net, sim) in report.result.trace.steps.iter().zip(&simulated.trace.steps) {
+            assert_eq!(net.loss.to_bits(), sim.loss.to_bits(), "step {}", sim.step);
+            assert_eq!(net.push_bytes, sim.push_bytes, "step {}", sim.step);
+            assert_eq!(net.pull_bytes, sim.pull_bytes, "step {}", sim.step);
+        }
+    }
+}
+
+#[test]
 fn loopback_uncompressed_scheme_also_matches() {
     let config = ExperimentConfig {
         total_steps: 6,
